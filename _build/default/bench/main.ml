@@ -1,0 +1,798 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (plus the extension experiments of DESIGN.md) and runs the
+   Bechamel performance microbenches.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe T1 X1      # a subset, by experiment id
+
+   Experiment ids: T1 F1 F2 F3 F6 S1 S2 S3 V1 V2 X1 X2 X3 P1 (see DESIGN.md,
+   "Per-experiment index"). Output is plain text tables so the run can be
+   diffed against EXPERIMENTS.md. *)
+
+open Pte_util
+
+let params = Pte_core.Params.case_study
+
+(* ------------------------------------------------------------------ *)
+(* T1: Table I — PTE safety rule violation statistics                  *)
+(* ------------------------------------------------------------------ *)
+
+let t1 () =
+  let table =
+    Table.create
+      ~title:"T1 / Table I: PTE safety-rule violation statistics (30-min trials)"
+      ~header:
+        [ "Trial Mode"; "E(Toff) s"; "Emissions"; "(paper)"; "Failures";
+          "(paper)"; "evtToStop"; "(paper)"; "longest pause s"; "loss %" ]
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  let paper = [ (19, 0, 5); (11, 4, 0); (19, 0, 3); (12, 3, 0) ] in
+  let rows = Pte_tracheotomy.Trial.table1 ~seed:2013 () in
+  List.iter2
+    (fun (mode, e_toff, (r : Pte_tracheotomy.Trial.result)) (pe, pf, ps) ->
+      Table.add_row table
+        [ mode; Table.fmt_float ~decimals:0 e_toff;
+          Table.fmt_int r.Pte_tracheotomy.Trial.emissions; Table.fmt_int pe;
+          Table.fmt_int r.Pte_tracheotomy.Trial.failures; Table.fmt_int pf;
+          Table.fmt_int r.Pte_tracheotomy.Trial.evt_to_stop; Table.fmt_int ps;
+          Table.fmt_float ~decimals:1 r.Pte_tracheotomy.Trial.longest_pause;
+          Table.fmt_float ~decimals:0
+            (100.0 *. r.Pte_tracheotomy.Trial.effective_loss_rate) ])
+    rows paper;
+  Table.add_note table
+    "each trial: 1800 simulated s, E(Ton)=30 s, constant WiFi-style bursty interference";
+  Table.add_note table
+    "shape to match the paper: with-lease rows have 0 failures and >0 evtToStop rescues;";
+  Table.add_note table
+    "without-lease rows have several failures and 0 evtToStop (no lease to expire).";
+  Table.print table;
+  (* robustness of the shape across seeds *)
+  let robust =
+    Table.create ~title:"T1b: Table I shape across 5 independent seeds"
+      ~header:
+        [ "seed"; "failures (lease, 18s/6s)"; "failures (none, 18s/6s)";
+          "evtToStop (lease, 18s/6s)" ]
+      ~aligns:[ Table.Right; Table.Left; Table.Left; Table.Left ] ()
+  in
+  List.iter
+    (fun seed ->
+      let rows = Pte_tracheotomy.Trial.table1 ~seed () in
+      let get i =
+        let _, _, r = List.nth rows i in
+        r
+      in
+      Table.add_row robust
+        [ Table.fmt_int seed;
+          Fmt.str "%d / %d" (get 0).Pte_tracheotomy.Trial.failures
+            (get 2).Pte_tracheotomy.Trial.failures;
+          Fmt.str "%d / %d" (get 1).Pte_tracheotomy.Trial.failures
+            (get 3).Pte_tracheotomy.Trial.failures;
+          Fmt.str "%d / %d" (get 0).Pte_tracheotomy.Trial.evt_to_stop
+            (get 2).Pte_tracheotomy.Trial.evt_to_stop ])
+    [ 1; 101; 2013; 4096; 9999 ];
+  Table.add_note robust
+    "with-lease failures must be 0 for every seed; without-lease failures must be > 0 in at least one E(Toff) column per seed";
+  Table.print robust;
+  (* MAC-layer retransmission variant (the TMote-Sky radios retransmit;
+     our default channel does not) *)
+  let mac =
+    Table.create
+      ~title:"T1c: with 3 MAC retransmissions per frame (TMote-Sky-like)"
+      ~header:
+        [ "Trial Mode"; "E(Toff) s"; "Emissions"; "Failures"; "evtToStop";
+          "frame loss %" ]
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right ]
+      ()
+  in
+  List.iter
+    (fun (lease, e_toff, seed) ->
+      let r =
+        Pte_tracheotomy.Trial.run
+          { Pte_tracheotomy.Emulation.default with
+            lease; e_toff; seed; mac_retries = 3 }
+      in
+      Table.add_row mac
+        [ (if lease then "with Lease" else "without Lease");
+          Table.fmt_float ~decimals:0 e_toff;
+          Table.fmt_int r.Pte_tracheotomy.Trial.emissions;
+          Table.fmt_int r.Pte_tracheotomy.Trial.failures;
+          Table.fmt_int r.Pte_tracheotomy.Trial.evt_to_stop;
+          Table.fmt_float ~decimals:0
+            (100.0 *. r.Pte_tracheotomy.Trial.effective_loss_rate) ])
+    [ (true, 18.0, 2013); (false, 18.0, 2014); (true, 6.0, 2015);
+      (false, 6.0, 2016) ];
+  Table.add_note mac
+    "retries cut residual frame loss and lift session throughput toward the paper's counts; bursty interference still defeats retries often enough that the no-lease rows keep failing";
+  Table.print mac
+
+(* ------------------------------------------------------------------ *)
+(* F1: the Fig. 1 timeline of one leased episode                       *)
+(* ------------------------------------------------------------------ *)
+
+let f1 () =
+  let tl = Pte_tracheotomy.Scenarios.fig1_timeline ~cancel_at:10.0 () in
+  let table =
+    Table.create ~title:"F1 / Fig. 1: measured PTE timeline of one episode"
+      ~header:[ "quantity"; "measured s"; "requirement" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Left ] ()
+  in
+  Table.add_row table
+    [ "t1: pause -> emission spacing";
+      Table.fmt_float tl.Pte_tracheotomy.Scenarios.t1;
+      ">= T_risky:1->2 = 3.0 s" ];
+  Table.add_row table
+    [ "t2: laser-off -> resume spacing";
+      Table.fmt_float tl.Pte_tracheotomy.Scenarios.t2;
+      ">= T_safe:2->1 = 1.5 s" ];
+  Table.add_row table
+    [ "t3: ventilator pause duration";
+      Table.fmt_float tl.Pte_tracheotomy.Scenarios.t3; "<= 60 s (Rule 1)" ];
+  Table.add_row table
+    [ "t4: laser emission duration";
+      Table.fmt_float tl.Pte_tracheotomy.Scenarios.t4; "<= 60 s (Rule 1)" ];
+  Table.add_note table
+    "single leased episode, perfect channel, surgeon cancels 10 s into the emission";
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* F2: the stand-alone ventilator of Fig. 2                            *)
+(* ------------------------------------------------------------------ *)
+
+let f2 () =
+  let open Pte_hybrid in
+  let vent = Pte_tracheotomy.Ventilator.stand_alone in
+  let config =
+    { Executor.default_config with
+      dt = 1e-3;
+      sample_vars = [ ("vent-standalone", "Hvent") ];
+      sample_period = 0.5 }
+  in
+  let exec = Executor.create ~config (System.make ~name:"f2" [ vent ]) in
+  Executor.run exec ~until:30.0;
+  let trace = Executor.trace exec in
+  let strokes = Trace.transitions_of trace ~automaton:"vent-standalone" in
+  let periods =
+    let times = List.map (fun (t, _, _, _) -> t) strokes in
+    match times with
+    | [] | [ _ ] -> []
+    | _ :: rest ->
+        List.map2 (fun a b -> b -. a)
+          (List.filteri (fun i _ -> i < List.length times - 1) times)
+          rest
+  in
+  let samples =
+    Pte_sim.Metrics.series trace ~automaton:"vent-standalone" ~var:"Hvent"
+  in
+  let heights = List.map snd samples in
+  let table =
+    Table.create ~title:"F2 / Fig. 2: stand-alone ventilator A'vent (30 s run)"
+      ~header:[ "quantity"; "measured"; "expected" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Left ] ()
+  in
+  Table.add_row table
+    [ "stroke reversals"; Table.fmt_int (List.length strokes);
+      "10 (one per 3 s)" ];
+  Table.add_row table
+    [ "mean stroke period (s)"; Table.fmt_float (Stats.mean periods);
+      "3.00 (0.3 m at 0.1 m/s)" ];
+  Table.add_row table
+    [ "min Hvent (m)"; Table.fmt_float (Stats.minimum heights); "0.00" ];
+  Table.add_row table
+    [ "max Hvent (m)"; Table.fmt_float (Stats.maximum heights); "0.30" ];
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* F3: structure of the generated pattern automata (Figs. 3 and 5)     *)
+(* ------------------------------------------------------------------ *)
+
+let f3 () =
+  let open Pte_hybrid in
+  let table =
+    Table.create
+      ~title:"F3 / Figs. 3+5: generated pattern automata, structural inventory"
+      ~header:[ "N"; "role"; "locations"; "edges"; "risky locs"; "clock vars" ]
+      ~aligns:
+        [ Table.Right; Table.Left; Table.Right; Table.Right; Table.Right;
+          Table.Right ]
+      ()
+  in
+  List.iter
+    (fun n ->
+      let p =
+        if n = 2 then params
+        else
+          Pte_core.Synthesis.synthesize_exn
+            (Pte_core.Synthesis.default_requirements
+               ~entity_names:(List.init n (fun i -> Printf.sprintf "xi%d" (i + 1)))
+               ~safeguards:
+                 (List.init (n - 1) (fun _ ->
+                      { Pte_core.Params.enter_risky_min = 2.0;
+                        exit_safe_min = 1.0 })))
+      in
+      let row role (a : Automaton.t) =
+        Table.add_row table
+          [ string_of_int n; role;
+            Table.fmt_int (List.length a.Automaton.locations);
+            Table.fmt_int (List.length a.Automaton.edges);
+            Table.fmt_int (List.length (Automaton.risky_locations a));
+            Table.fmt_int (List.length a.Automaton.vars) ]
+      in
+      row "Supervisor (Asupvsr)" (Pte_core.Pattern.supervisor p);
+      row "Participant (Aptcpnt,1)" (Pte_core.Pattern.participant p ~index:1);
+      row "Initializer (Ainitzr)" (Pte_core.Pattern.initializer_ p))
+    [ 2; 3; 4; 5 ];
+  Table.add_note table
+    "zero-dwell dispatch locations materialize the paper's footnote-2 intermediate locations";
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* F6: the atomic elaboration example                                  *)
+(* ------------------------------------------------------------------ *)
+
+let f6 () =
+  let open Pte_hybrid in
+  let parent =
+    Automaton.make ~name:"fig6" ~vars:[ "x" ]
+      ~locations:
+        [ Location.make ~flow:(Flow.Rates [ ("x", 1.0) ]) "Fall-Back";
+          Location.make ~kind:Location.Risky ~flow:(Flow.Rates [ ("x", 1.0) ])
+            "Risky" ]
+      ~edges:
+        [ Edge.make ~guard:[ Guard.atom "x" Guard.Ge 5.0 ]
+            ~reset:(Reset.set "x" 0.0) ~src:"Fall-Back" ~dst:"Risky" ();
+          Edge.make ~guard:[ Guard.atom "x" Guard.Ge 2.0 ]
+            ~reset:(Reset.set "x" 0.0) ~src:"Risky" ~dst:"Fall-Back" () ]
+      ~initial_location:"Fall-Back" ()
+  in
+  let child = Pte_tracheotomy.Ventilator.stand_alone in
+  let elaborated = Elaboration.atomic_exn parent "Fall-Back" child in
+  let table =
+    Table.create
+      ~title:"F6 / Fig. 6: atomic elaboration E(A, Fall-Back, A'vent)"
+      ~header:[ "automaton"; "locations"; "edges"; "vars"; "initial" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Left ]
+      ()
+  in
+  let row label (a : Automaton.t) =
+    Table.add_row table
+      [ label;
+        Table.fmt_int (List.length a.Automaton.locations);
+        Table.fmt_int (List.length a.Automaton.edges);
+        Table.fmt_int (List.length a.Automaton.vars);
+        a.Automaton.initial_location ]
+  in
+  row "A (Fig. 6a)" parent;
+  row "A'vent (Fig. 2)" child;
+  row "A'' = E(A, Fall-Back, A'vent)" elaborated;
+  let has_edge src dst =
+    List.exists
+      (fun (e : Edge.t) -> e.Edge.src = src && e.Edge.dst = dst)
+      elaborated.Automaton.edges
+  in
+  Table.add_note table
+    (Printf.sprintf
+       "Risky->PumpOut edge: %s; Risky->PumpIn edge: %s (paper: ingress only \
+        to the child's initial location)"
+       (Table.fmt_bool (has_edge "Risky" "PumpOut"))
+       (Table.fmt_bool (has_edge "Risky" "PumpIn")));
+  Table.add_note table
+    (Printf.sprintf
+       "independence (Def. 2): %s; simplicity of A'vent (Def. 3): %s"
+       (Table.fmt_bool (Automaton.independent parent child))
+       (Table.fmt_bool (Automaton.is_simple child)));
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* S1-S3: the Section V failure scenarios                              *)
+(* ------------------------------------------------------------------ *)
+
+let scenario_table ~title ~note episodes =
+  let table =
+    Table.create ~title
+      ~header:
+        [ "variant"; "lease"; "emission s"; "pause s"; "failures"; "evtToStop";
+          "aborts" ]
+      ~aligns:
+        [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun (variant, (e : Pte_tracheotomy.Scenarios.episode)) ->
+      Table.add_row table
+        [ variant; Table.fmt_bool e.Pte_tracheotomy.Scenarios.lease;
+          Table.fmt_float ~decimals:1
+            e.Pte_tracheotomy.Scenarios.emission_duration;
+          Table.fmt_float ~decimals:1
+            e.Pte_tracheotomy.Scenarios.pause_duration;
+          Table.fmt_int e.Pte_tracheotomy.Scenarios.failures;
+          Table.fmt_int e.Pte_tracheotomy.Scenarios.evt_to_stop;
+          Table.fmt_int e.Pte_tracheotomy.Scenarios.aborts ])
+    episodes;
+  Table.add_note table note;
+  Table.print table
+
+let s1 () =
+  scenario_table ~title:"S1: surgeon forgets to cancel (Toff -> 1 hour)"
+    ~note:
+      "with the lease the laser self-stops at T_run,2=20 s; without it only \
+       the SpO2 abort chain can intervene — and a blackout of those messages \
+       leaves the no-lease system stuck (the paper's 'no one can terminate' \
+       case)"
+    [
+      ( "clean channel",
+        Pte_tracheotomy.Scenarios.s1_forgotten_cancel ~lease:true () );
+      ( "clean channel",
+        Pte_tracheotomy.Scenarios.s1_forgotten_cancel ~lease:false () );
+      ( "abort blackout",
+        Pte_tracheotomy.Scenarios.s1_forgotten_cancel ~abort_blackout:true
+          ~lease:true () );
+      ( "abort blackout",
+        Pte_tracheotomy.Scenarios.s1_forgotten_cancel ~abort_blackout:true
+          ~lease:false () );
+    ]
+
+let s2 () =
+  scenario_table
+    ~title:"S2: surgeon cancels but evt(laser->supervisor)Cancel is lost"
+    ~note:
+      "the laser stops itself either way; without the lease the supervisor \
+       never learns and the ventilator's pause overruns the 60 s bound"
+    [
+      ("cancel lost", Pte_tracheotomy.Scenarios.s2_lost_cancel ~lease:true ());
+      ("cancel lost", Pte_tracheotomy.Scenarios.s2_lost_cancel ~lease:false ());
+    ]
+
+let s3 () =
+  let outcomes, episode = Pte_tracheotomy.Scenarios.s3_c5_violated () in
+  let table =
+    Table.create
+      ~title:
+        "S3: configuration constraint c5 deliberately violated (T_enter,2 = \
+         T_enter,1)"
+      ~header:[ "check"; "verdict" ]
+      ~aligns:[ Table.Left; Table.Left ] ()
+  in
+  List.iter
+    (fun (o : Pte_core.Constraints.outcome) ->
+      if not o.Pte_core.Constraints.ok then
+        Table.add_row table
+          [ Pte_core.Constraints.condition_name o.Pte_core.Constraints.condition;
+            "VIOLATED — " ^ o.Pte_core.Constraints.detail ])
+    outcomes;
+  Table.add_row table
+    [ "simulated episode";
+      Fmt.str "%a" Pte_tracheotomy.Scenarios.pp_episode episode ];
+  List.iter
+    (fun v ->
+      Table.add_note table (Fmt.str "%a" Pte_core.Monitor.pp_violation v))
+    episode.Pte_tracheotomy.Scenarios.violations;
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* V1: Theorem 1, verified by exhaustive zone reachability             *)
+(* ------------------------------------------------------------------ *)
+
+let v1 () =
+  let table =
+    Table.create
+      ~title:"V1 / Theorem 1: zone-reachability verdicts under arbitrary loss"
+      ~header:
+        [ "system"; "states"; "transitions"; "exhaustive"; "violations";
+          "time s" ]
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Left; Table.Left;
+          Table.Right ]
+      ()
+  in
+  let run label check =
+    let t0 = Unix.gettimeofday () in
+    let r = check () in
+    let dt = Unix.gettimeofday () -. t0 in
+    let kinds =
+      List.sort_uniq compare
+        (List.map
+           (fun (v : Pte_mc.Reach.violation) ->
+             Fmt.str "%a" Pte_mc.Reach.pp_violation_kind v.Pte_mc.Reach.kind)
+           r.Pte_mc.Reach.violations)
+    in
+    Table.add_row table
+      [ label;
+        Table.fmt_int r.Pte_mc.Reach.states;
+        Table.fmt_int r.Pte_mc.Reach.transitions;
+        Table.fmt_bool r.Pte_mc.Reach.exhausted;
+        (if kinds = [] then "none" else String.concat " | " kinds);
+        Table.fmt_float ~decimals:1 dt ]
+  in
+  run "with lease (c1-c7 hold)" (fun () -> Pte_mc.Reach.check_pattern params);
+  run "without lease" (fun () ->
+      Pte_mc.Reach.check_pattern ~lease:false
+        ~config:{ Pte_mc.Reach.default_config with stop_at_first = true }
+        params);
+  run "with lease, dwell bound 60 s (trial rule)" (fun () ->
+      Pte_mc.Reach.check_pattern ~dwell_bound:60.0 params);
+  Table.add_note table
+    "exhaustive + none = a machine-checked proof of the PTE safety rules for \
+     this configuration under arbitrary loss";
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* V2: ablations of each Theorem 1 condition                           *)
+(* ------------------------------------------------------------------ *)
+
+let v2 () =
+  let with_entity i f =
+    let entities = Array.map Fun.id params.Pte_core.Params.entities in
+    entities.(i) <- f entities.(i);
+    { params with Pte_core.Params.entities }
+  in
+  let ablations =
+    [
+      ( "c2", "T_LS1 <= N*T_wait (tiny participant lease)",
+        with_entity 0 (fun e ->
+            { e with Pte_core.Params.t_enter_max = 1.0; t_run_max = 2.0;
+              t_exit = 2.0 }) );
+      ("c3", "T_req,N above T_LS1",
+       { params with Pte_core.Params.t_req_max = 50.0 });
+      ( "c4", "initializer lease longer than T_LS1",
+        with_entity 1 (fun e -> { e with Pte_core.Params.t_run_max = 60.0 }) );
+      ( "c5", "T_enter,2 = T_enter,1 (paper's scenario)",
+        with_entity 1 (fun e -> { e with Pte_core.Params.t_enter_max = 3.0 }) );
+      ( "c6", "outer lease shorter than inner",
+        with_entity 0 (fun e -> { e with Pte_core.Params.t_run_max = 20.0 }) );
+      ( "c7", "T_exit,1 below T_safe:2->1",
+        with_entity 0 (fun e -> { e with Pte_core.Params.t_exit = 1.0 }) );
+    ]
+  in
+  let table =
+    Table.create
+      ~title:
+        "V2: breaking each Theorem 1 condition — checker verdict vs model \
+         checker"
+      ~header:[ "cond"; "ablation"; "checker"; "model checker (bounded)" ]
+      ~aligns:[ Table.Left; Table.Left; Table.Left; Table.Left ] ()
+  in
+  List.iter
+    (fun (cname, description, p) ->
+      let violated =
+        List.map Pte_core.Constraints.condition_name
+          (Pte_core.Constraints.violated (Pte_core.Constraints.check p))
+      in
+      let r =
+        Pte_mc.Reach.check_pattern
+          ~config:
+            { Pte_mc.Reach.default_config with
+              max_states = 40_000;
+              stop_at_first = true }
+          p
+      in
+      let mc =
+        match r.Pte_mc.Reach.violations with
+        | [] ->
+            Fmt.str "no violation in %d states%s" r.Pte_mc.Reach.states
+              (if r.Pte_mc.Reach.exhausted then " [exhaustive]" else "")
+        | v :: _ ->
+            Fmt.str "%a" Pte_mc.Reach.pp_violation_kind v.Pte_mc.Reach.kind
+      in
+      Table.add_row table
+        [ cname; description; "flags " ^ String.concat "," violated; mc ])
+    ablations;
+  Table.add_note table
+    "c1 (positivity) is rejected statically by the checker; it has no \
+     executable ablation";
+  Table.add_note table
+    "a clean bounded sweep for an ablation (e.g. c3) means the condition \
+     guards self-reset/liveness arguments of the proof rather than an \
+     immediately reachable PTE breach";
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* X1: loss-rate sweep                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let x1 () =
+  let table =
+    Table.create
+      ~title:
+        "X1: average loss-rate sweep, with vs without lease (30-min trials)"
+      ~header:
+        [ "avg loss"; "emissions (lease)"; "failures (lease)";
+          "emissions (none)"; "failures (none)"; "longest pause none s" ]
+      ~aligns:
+        [ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right ]
+      ()
+  in
+  List.iteri
+    (fun i loss ->
+      let run lease =
+        Pte_tracheotomy.Trial.run
+          {
+            Pte_tracheotomy.Emulation.default with
+            lease;
+            seed = 500 + i;
+            loss =
+              (if loss = 0.0 then Pte_net.Loss.Perfect
+               else Pte_net.Loss.wifi_interference ~average_loss:loss);
+          }
+      in
+      let w = run true and n = run false in
+      Table.add_row table
+        [ Fmt.str "%.0f%%" (100.0 *. loss);
+          Table.fmt_int w.Pte_tracheotomy.Trial.emissions;
+          Table.fmt_int w.Pte_tracheotomy.Trial.failures;
+          Table.fmt_int n.Pte_tracheotomy.Trial.emissions;
+          Table.fmt_int n.Pte_tracheotomy.Trial.failures;
+          Table.fmt_float ~decimals:1 n.Pte_tracheotomy.Trial.longest_pause ])
+    [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7 ];
+  Table.add_note table
+    "with-lease failures stay at 0 at every loss rate (Theorem 1); no-lease \
+     failures appear as soon as recovery messages start to vanish";
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* X2: synthesis scaling with the chain length                         *)
+(* ------------------------------------------------------------------ *)
+
+let x2 () =
+  let table =
+    Table.create
+      ~title:
+        "X2: synthesized configurations vs chain length N (2 s/1 s safeguards)"
+      ~header:
+        [ "N"; "T_LS1 s"; "dwell bound s"; "T_enter,N s"; "T_run,1 s"; "c1-c7" ]
+      ~aligns:
+        [ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Left ]
+      ()
+  in
+  List.iter
+    (fun n ->
+      let p =
+        Pte_core.Synthesis.synthesize_exn
+          (Pte_core.Synthesis.default_requirements
+             ~entity_names:(List.init n (fun i -> Printf.sprintf "xi%d" (i + 1)))
+             ~safeguards:
+               (List.init (n - 1) (fun _ ->
+                    { Pte_core.Params.enter_risky_min = 2.0;
+                      exit_safe_min = 1.0 })))
+      in
+      Table.add_row table
+        [ string_of_int n;
+          Table.fmt_float ~decimals:1 (Pte_core.Params.t_ls1 p);
+          Table.fmt_float ~decimals:1 (Pte_core.Params.risky_dwell_bound p);
+          Table.fmt_float ~decimals:1
+            (Pte_core.Params.initializer_ p).Pte_core.Params.t_enter_max;
+          Table.fmt_float ~decimals:1
+            p.Pte_core.Params.entities.(0).Pte_core.Params.t_run_max;
+          Table.fmt_bool (Pte_core.Constraints.satisfies p) ])
+    [ 2; 3; 4; 5; 6; 7; 8 ];
+  Table.add_note table
+    "condition c6 forces outer leases to dominate inner ones, so T_run,1 and \
+     the dwell bound grow linearly with N";
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* X3: the multiple-initializer extension                              *)
+(* ------------------------------------------------------------------ *)
+
+let x3 () =
+  let config =
+    { Pte_core.Multi.params; initiators = [ 1; 2 ] }
+  in
+  let table =
+    Table.create
+      ~title:
+        "X3: multiple-initializer extension (ventilator may request solo \
+         pauses; laser requests full sessions)"
+      ~header:[ "quantity"; "value" ]
+      ~aligns:[ Table.Left; Table.Left ] ()
+  in
+  (match Pte_core.Multi.check config with
+  | Ok outcomes ->
+      Table.add_row table
+        [ "constraints (c1-c7 + per-initiator c3)";
+          (if Pte_core.Constraints.all_ok outcomes then "all hold"
+           else "VIOLATED") ]
+  | Error e -> Table.add_row table [ "constraints"; "error: " ^ e ]);
+  let system = Pte_core.Multi.system config in
+  let rng = Pte_util.Rng.create 77 in
+  let net =
+    Pte_net.Star.create ~base:"supervisor"
+      ~remotes:[ "ventilator"; "laser" ]
+      ~loss_kind:(Pte_net.Loss.wifi_interference ~average_loss:0.3)
+      ~rng ()
+  in
+  let engine =
+    Pte_sim.Engine.create
+      ~config:{ Pte_hybrid.Executor.default_config with dt = 0.01 }
+      ~net ~seed:78 system
+  in
+  List.iter
+    (fun (automaton, request, cancel) ->
+      Pte_sim.Scenario.exponential_stimulus engine ~mean:30.0 ~automaton
+        ~armed_in:"Fall-Back" ~root:request ();
+      let emitting =
+        if String.equal automaton "laser" then "Risky Core"
+        else Pte_core.Multi.init_suffix "Risky Core"
+      in
+      Pte_sim.Scenario.exponential_stimulus engine ~mean:10.0 ~automaton
+        ~armed_in:emitting ~root:cancel ())
+    (Pte_core.Multi.stimuli config);
+  let horizon = 1800.0 in
+  Pte_sim.Engine.run engine ~until:horizon;
+  let trace = Pte_sim.Engine.trace engine in
+  let spec = Pte_core.Rules.of_params params in
+  let report = Pte_core.Monitor.analyze_system trace system spec ~horizon in
+  let count automaton location =
+    Pte_sim.Metrics.entries trace ~automaton ~location
+  in
+  Table.add_row table
+    [ "30-min trial: laser sessions";
+      Table.fmt_int (count "laser" "Risky Core") ];
+  Table.add_row table
+    [ "30-min trial: ventilator solo pauses";
+      Table.fmt_int (count "ventilator" (Pte_core.Multi.init_suffix "Risky Core")) ];
+  Table.add_row table
+    [ "30-min trial: ventilator participant leases";
+      Table.fmt_int (count "ventilator" "Risky Core") ];
+  Table.add_row table
+    [ "30-min trial: PTE violation episodes";
+      Table.fmt_int (Pte_core.Monitor.episodes report) ];
+  let r =
+    Pte_mc.Reach.check
+      ~config:{ Pte_mc.Reach.default_config with max_states = 100_000 }
+      ~system ~spec ()
+  in
+  Table.add_row table
+    [ "model checker (interleaved initiators)";
+      Fmt.str "%d states, %d violations%s" r.Pte_mc.Reach.states
+        (List.length r.Pte_mc.Reach.violations)
+        (if r.Pte_mc.Reach.exhausted then " [exhaustive]" else " [bounded]") ];
+  Table.add_note table
+    "the paper defers multiple Initializers; sessions are serialized by the \
+     supervisor and each is lease-protected, so Theorem 1 applies per session";
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* P1: Bechamel performance microbenches                               *)
+(* ------------------------------------------------------------------ *)
+
+let p1 () =
+  let open Bechamel in
+  let vent_system () =
+    Pte_hybrid.System.make ~name:"bench"
+      [ Pte_tracheotomy.Ventilator.stand_alone ]
+  in
+  let trace_for_monitor =
+    (* a cached 300 s trial trace for the monitor bench *)
+    lazy
+      (let built =
+         Pte_tracheotomy.Emulation.build
+           { Pte_tracheotomy.Emulation.default with horizon = 300.0; seed = 77 }
+       in
+       let trace = Pte_tracheotomy.Emulation.run built in
+       (trace, built))
+  in
+  let tests =
+    [
+      Test.make ~name:"rng.exponential.x100"
+        (Staged.stage (fun () ->
+             let rng = Rng.create 1 in
+             for _ = 1 to 100 do
+               ignore (Rng.exponential rng ~mean:18.0)
+             done));
+      Test.make ~name:"crc16.64B"
+        (Staged.stage (fun () ->
+             ignore (Pte_net.Crc.of_string (String.make 64 'x'))));
+      Test.make ~name:"heap.push-pop.100"
+        (Staged.stage (fun () ->
+             let h = Heap.create ~dummy:0 in
+             for i = 1 to 100 do
+               Heap.push h (Float.of_int (i * 7919 mod 100)) i
+             done;
+             while not (Heap.is_empty h) do
+               ignore (Heap.pop h)
+             done));
+      Test.make ~name:"executor.1s-ventilator"
+        (Staged.stage (fun () ->
+             let exec = Pte_hybrid.Executor.create (vent_system ()) in
+             Pte_hybrid.Executor.run exec ~until:1.0));
+      Test.make ~name:"pattern.build-N2"
+        (Staged.stage (fun () -> ignore (Pte_core.Pattern.system params)));
+      Test.make ~name:"constraints.check"
+        (Staged.stage (fun () -> ignore (Pte_core.Constraints.check params)));
+      Test.make ~name:"monitor.analyze-300s-trace"
+        (Staged.stage (fun () ->
+             let trace, built = Lazy.force trace_for_monitor in
+             ignore
+               (Pte_core.Monitor.analyze_system trace
+                  built.Pte_tracheotomy.Emulation.system
+                  built.Pte_tracheotomy.Emulation.spec ~horizon:300.0)));
+      Test.make ~name:"dbm.canonicalize-14clk"
+        (Staged.stage (fun () ->
+             let z = Pte_mc.Dbm.top ~clocks:13 in
+             ignore
+               (Pte_mc.Dbm.constrain_atom z ~clock:1 ~cmp:Pte_mc.Dbm.Le
+                  ~const:5.0);
+             Pte_mc.Dbm.canonicalize z));
+      Test.make ~name:"trial.30s-with-lease"
+        (Staged.stage (fun () ->
+             ignore
+               (Pte_tracheotomy.Trial.run
+                  { Pte_tracheotomy.Emulation.default with horizon = 30.0;
+                    seed = 3 })));
+    ]
+  in
+  ignore (Lazy.force trace_for_monitor);
+  let grouped = Test.make_grouped ~name:"pte" tests in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let table =
+    Table.create
+      ~title:"P1: performance microbenches (Bechamel, monotonic clock)"
+      ~header:[ "benchmark"; "time per run"; "r^2" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right ] ()
+  in
+  let rows = ref [] in
+  Hashtbl.iter (fun name result -> rows := (name, result) :: !rows) results;
+  List.iter
+    (fun (name, result) ->
+      let estimate =
+        match Analyze.OLS.estimates result with
+        | Some (est :: _) ->
+            if est > 1e9 then Fmt.str "%.2f s" (est /. 1e9)
+            else if est > 1e6 then Fmt.str "%.2f ms" (est /. 1e6)
+            else if est > 1e3 then Fmt.str "%.2f us" (est /. 1e3)
+            else Fmt.str "%.0f ns" est
+        | _ -> "-"
+      in
+      let r2 =
+        match Analyze.OLS.r_square result with
+        | Some r -> Fmt.str "%.3f" r
+        | None -> "-"
+      in
+      Table.add_row table [ name; estimate; r2 ])
+    (List.sort compare !rows);
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("T1", t1); ("F1", f1); ("F2", f2); ("F3", f3); ("F6", f6); ("S1", s1);
+    ("S2", s2); ("S3", s3); ("V1", v1); ("V2", v2); ("X1", x1); ("X2", x2);
+    ("X3", x3); ("P1", p1);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as ids) -> List.map String.uppercase_ascii ids
+    | _ -> List.map fst experiments
+  in
+  let t0 = Unix.gettimeofday () in
+  Fmt.pr "PTE-Lease benchmark harness — reproducing the paper's evaluation@.";
+  Fmt.pr "configuration: %a@.@." Pte_core.Params.pp params;
+  List.iter
+    (fun id ->
+      match List.assoc_opt id experiments with
+      | Some f ->
+          let t = Unix.gettimeofday () in
+          f ();
+          Fmt.pr "[%s done in %.1fs]@.@." id (Unix.gettimeofday () -. t)
+      | None ->
+          Fmt.epr "unknown experiment id %S (known: %s)@." id
+            (String.concat " " (List.map fst experiments)))
+    requested;
+  Fmt.pr "total: %.1fs@." (Unix.gettimeofday () -. t0)

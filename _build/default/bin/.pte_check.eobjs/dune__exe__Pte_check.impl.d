@@ -1,0 +1,1 @@
+bin/pte_check.ml: Arg Array Cmd Cmdliner Fmt List Pte_core String Term

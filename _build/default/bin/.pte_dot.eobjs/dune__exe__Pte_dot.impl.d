@@ -1,0 +1,1 @@
+bin/pte_dot.ml: Arg Cmd Cmdliner Fmt List Pte_core Pte_hybrid Pte_tracheotomy String Term

@@ -1,0 +1,1 @@
+bin/pte_mc_cli.ml: Arg Array Cmd Cmdliner Fmt List Pte_core Pte_mc Term Unix

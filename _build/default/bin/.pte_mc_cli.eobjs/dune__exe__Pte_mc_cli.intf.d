@@ -1,0 +1,1 @@
+bin/pte_mc_cli.mli:

@@ -1,0 +1,1 @@
+bin/pte_sim_cli.ml: Arg Cmd Cmdliner Fmt List Pte_core Pte_net Pte_tracheotomy Term

@@ -1,0 +1,1 @@
+bin/pte_sim_cli.mli:

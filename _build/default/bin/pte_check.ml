@@ -1,0 +1,95 @@
+(* `pte-check`: verify Theorem 1's conditions c1-c7 for a configuration,
+   or synthesize one from safety requirements.
+
+     dune exec bin/pte_check.exe                      # the case study
+     dune exec bin/pte_check.exe -- --t-enter-2 3     # break c5
+     dune exec bin/pte_check.exe -- --synthesize a,b,c --run 15 *)
+
+open Cmdliner
+
+let override value replacement = match replacement with Some v -> v | None -> value
+
+let check t_wait t_fb t_req t_enter_1 t_run_1 t_exit_1 t_enter_2 t_run_2
+    t_exit_2 synthesize run_time =
+  match synthesize with
+  | Some names ->
+      let entity_names = String.split_on_char ',' names in
+      let n = List.length entity_names in
+      if n < 2 then begin
+        Fmt.epr "need at least two comma-separated entity names@.";
+        exit 2
+      end;
+      let r =
+        {
+          (Pte_core.Synthesis.default_requirements ~entity_names
+             ~safeguards:
+               (List.init (n - 1) (fun _ ->
+                    { Pte_core.Params.enter_risky_min = 2.0; exit_safe_min = 1.0 })))
+          with
+          Pte_core.Synthesis.initializer_run = run_time;
+        }
+      in
+      (match Pte_core.Synthesis.synthesize r with
+      | Ok p ->
+          Fmt.pr "%a@.@.%a@." Pte_core.Params.pp p Pte_core.Constraints.pp_report
+            (Pte_core.Constraints.check p)
+      | Error e ->
+          Fmt.epr "synthesis failed: %a@." Pte_core.Synthesis.pp_error e;
+          exit 1)
+  | None ->
+      let base = Pte_core.Params.case_study in
+      let e1 = base.Pte_core.Params.entities.(0) in
+      let e2 = base.Pte_core.Params.entities.(1) in
+      let p =
+        {
+          base with
+          Pte_core.Params.t_wait_max = override base.Pte_core.Params.t_wait_max t_wait;
+          t_fb_min = override base.Pte_core.Params.t_fb_min t_fb;
+          t_req_max = override base.Pte_core.Params.t_req_max t_req;
+          entities =
+            [|
+              { e1 with
+                Pte_core.Params.t_enter_max = override e1.Pte_core.Params.t_enter_max t_enter_1;
+                t_run_max = override e1.Pte_core.Params.t_run_max t_run_1;
+                t_exit = override e1.Pte_core.Params.t_exit t_exit_1 };
+              { e2 with
+                Pte_core.Params.t_enter_max = override e2.Pte_core.Params.t_enter_max t_enter_2;
+                t_run_max = override e2.Pte_core.Params.t_run_max t_run_2;
+                t_exit = override e2.Pte_core.Params.t_exit t_exit_2 };
+            |];
+        }
+      in
+      Fmt.pr "%a@.@." Pte_core.Params.pp p;
+      let outcomes = Pte_core.Constraints.check p in
+      Fmt.pr "%a@." Pte_core.Constraints.pp_report outcomes;
+      exit (if Pte_core.Constraints.all_ok outcomes then 0 else 1)
+
+let cmd =
+  let opt_f name doc = Arg.(value & opt (some float) None & info [ name ] ~docv:"S" ~doc) in
+  let synthesize =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "synthesize" ] ~docv:"NAMES"
+          ~doc:"Synthesize constants for the comma-separated PTE chain instead of checking.")
+  in
+  let run_time =
+    Arg.(value & opt float 20.0 & info [ "run" ] ~docv:"S" ~doc:"Initializer run time for --synthesize.")
+  in
+  let doc = "check Theorem 1's conditions c1-c7 or synthesize a configuration" in
+  Cmd.v
+    (Cmd.info "pte-check" ~doc)
+    Term.(
+      const check
+      $ opt_f "t-wait" "Override T_wait."
+      $ opt_f "t-fb" "Override T_fb,0."
+      $ opt_f "t-req" "Override T_req,N."
+      $ opt_f "t-enter-1" "Override the ventilator's T_enter."
+      $ opt_f "t-run-1" "Override the ventilator's T_run."
+      $ opt_f "t-exit-1" "Override the ventilator's T_exit."
+      $ opt_f "t-enter-2" "Override the laser's T_enter."
+      $ opt_f "t-run-2" "Override the laser's T_run."
+      $ opt_f "t-exit-2" "Override the laser's T_exit."
+      $ synthesize $ run_time)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,39 @@
+(* `pte-dot`: export the pattern/case-study automata as Graphviz, the
+   repository's analogue of the paper's figures.
+
+     dune exec bin/pte_dot.exe -- supervisor > supervisor.dot
+     dune exec bin/pte_dot.exe -- ventilator-elaborated | dot -Tsvg > vent.svg *)
+
+open Cmdliner
+
+let automata =
+  [
+    ("supervisor", fun () -> Pte_core.Pattern.supervisor Pte_core.Params.case_study);
+    ("initializer", fun () -> Pte_core.Pattern.initializer_ Pte_core.Params.case_study);
+    ("participant", fun () ->
+        Pte_core.Pattern.participant Pte_core.Params.case_study ~index:1);
+    ("ventilator-standalone", fun () -> Pte_tracheotomy.Ventilator.stand_alone);
+    ("ventilator-elaborated", fun () ->
+        Pte_tracheotomy.Ventilator.participant Pte_core.Params.case_study);
+    ("patient", fun () -> Pte_tracheotomy.Patient.automaton);
+  ]
+
+let run which =
+  match List.assoc_opt which automata with
+  | Some build -> print_string (Pte_hybrid.Dot.to_string (build ()))
+  | None ->
+      Fmt.epr "unknown automaton %S; choose from: %s@." which
+        (String.concat ", " (List.map fst automata));
+      exit 2
+
+let cmd =
+  let which =
+    Arg.(
+      value
+      & pos 0 string "supervisor"
+      & info [] ~docv:"AUTOMATON" ~doc:"Which automaton to export.")
+  in
+  let doc = "export case-study hybrid automata as Graphviz dot" in
+  Cmd.v (Cmd.info "pte-dot" ~doc) Term.(const run $ which)
+
+let () = exit (Cmd.eval cmd)

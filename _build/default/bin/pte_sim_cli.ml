@@ -1,0 +1,75 @@
+(* `pte-sim`: run laser-tracheotomy emulation trials from the command
+   line.
+
+     dune exec bin/pte_sim_cli.exe -- --minutes 30 --e-toff 18 --no-lease
+     dune exec bin/pte_sim_cli.exe -- --table1
+     dune exec bin/pte_sim_cli.exe -- --loss 0.4 --seed 7 --verbose *)
+
+open Cmdliner
+
+let run table1 lease minutes e_ton e_toff loss seed verbose =
+  if table1 then begin
+    Fmt.pr "Table I reproduction (seed %d):@." seed;
+    List.iter
+      (fun (mode, e_toff, r) ->
+        Fmt.pr "  %-14s E(Toff)=%4.1fs : %a@." mode e_toff
+          Pte_tracheotomy.Trial.pp_result r)
+      (Pte_tracheotomy.Trial.table1 ~seed ())
+  end
+  else begin
+    let config =
+      {
+        Pte_tracheotomy.Emulation.default with
+        lease;
+        horizon = minutes *. 60.0;
+        e_ton;
+        e_toff;
+        seed;
+        loss =
+          (if loss <= 0.0 then Pte_net.Loss.Perfect
+           else Pte_net.Loss.wifi_interference ~average_loss:loss);
+      }
+    in
+    let r = Pte_tracheotomy.Trial.run config in
+    Fmt.pr "%.0f-minute trial (%s, E(Ton)=%gs, E(Toff)=%gs, loss %g, seed %d)@."
+      minutes
+      (if lease then "with lease" else "WITHOUT lease")
+      e_ton e_toff loss seed;
+    Fmt.pr "  %a@." Pte_tracheotomy.Trial.pp_result r;
+    if verbose || r.Pte_tracheotomy.Trial.failures > 0 then
+      List.iter
+        (fun v -> Fmt.pr "  %a@." Pte_core.Monitor.pp_violation v)
+        r.Pte_tracheotomy.Trial.violations;
+    exit (if r.Pte_tracheotomy.Trial.failures > 0 then 1 else 0)
+  end
+
+let cmd =
+  let table1 =
+    Arg.(value & flag & info [ "table1" ] ~doc:"Run the four Table I trials.")
+  in
+  let lease =
+    Arg.(
+      value & opt bool true
+      & info [ "lease" ] ~docv:"BOOL"
+          ~doc:"Enable the lease mechanism (use $(b,--lease false) for the baseline).")
+  in
+  let minutes =
+    Arg.(value & opt float 30.0 & info [ "minutes" ] ~docv:"MIN" ~doc:"Trial length.")
+  in
+  let e_ton =
+    Arg.(value & opt float 30.0 & info [ "e-ton" ] ~docv:"S" ~doc:"Mean of the surgeon's request timer Ton.")
+  in
+  let e_toff =
+    Arg.(value & opt float 18.0 & info [ "e-toff" ] ~docv:"S" ~doc:"Mean of the surgeon's cancel timer Toff.")
+  in
+  let loss =
+    Arg.(value & opt float 0.25 & info [ "loss" ] ~docv:"P" ~doc:"Average channel loss rate (0 = perfect channel).")
+  in
+  let seed = Arg.(value & opt int 2013 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.") in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print all violations.") in
+  let doc = "run laser-tracheotomy wireless-CPS emulation trials" in
+  Cmd.v
+    (Cmd.info "pte-sim" ~doc)
+    Term.(const run $ table1 $ lease $ minutes $ e_ton $ e_toff $ loss $ seed $ verbose)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/dual_initiator.ml: Fmt List Pte_core Pte_hybrid Pte_mc Pte_net Pte_sim Pte_util String

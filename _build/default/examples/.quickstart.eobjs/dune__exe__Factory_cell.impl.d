@@ -1,0 +1,1 @@
+examples/factory_cell.ml: Array Fmt Fun List Pte_core Pte_hybrid Pte_net Pte_sim Pte_util

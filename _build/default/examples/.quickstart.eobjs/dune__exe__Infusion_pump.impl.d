@@ -1,0 +1,1 @@
+examples/infusion_pump.ml: Automaton Edge Executor Flow Fmt Guard Label Location Pte_core Pte_hybrid Pte_net Pte_sim Pte_util Reset System

@@ -1,0 +1,1 @@
+examples/laser_tracheotomy.ml: Fmt List Pte_core Pte_mc Pte_tracheotomy

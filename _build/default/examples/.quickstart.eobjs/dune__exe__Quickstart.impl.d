@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Pte_core Pte_hybrid Pte_net Pte_sim Pte_util

@@ -1,0 +1,65 @@
+(* Quickstart: guard a two-entity wireless CPS with the PTE lease pattern
+   in about forty lines.
+
+     dune exec examples/quickstart.exe
+
+   Workflow: describe the safety requirements, synthesize configuration
+   constants satisfying Theorem 1, build the pattern automata, run them
+   over a lossy wireless network, and check the trace against the PTE
+   safety rules. *)
+
+let () =
+  (* 1. Requirements: a heater (outer, ξ1) must shut off before a filler
+     nozzle (inner/Initializer, ξ2) opens, with 2 s spacing on entry and
+     1 s on exit. *)
+  let requirements =
+    Pte_core.Synthesis.default_requirements
+      ~entity_names:[ "heater-off"; "nozzle" ]
+      ~safeguards:[ { Pte_core.Params.enter_risky_min = 2.0; exit_safe_min = 1.0 } ]
+  in
+  let params = Pte_core.Synthesis.synthesize_exn requirements in
+  Fmt.pr "Synthesized configuration:@.%a@.@." Pte_core.Params.pp params;
+
+  (* 2. The constants provably satisfy Theorem 1's conditions c1-c7. *)
+  Fmt.pr "%a@.@." Pte_core.Constraints.pp_report (Pte_core.Constraints.check params);
+
+  (* 3. Build the hybrid system (Supervisor + Participant + Initializer)
+     and a bursty wireless star network, and drive the Initializer with
+     random requests. *)
+  let system = Pte_core.Pattern.system params in
+  let net =
+    Pte_net.Star.create ~base:"supervisor"
+      ~remotes:(Pte_core.Pattern.remotes params)
+      ~loss_kind:(Pte_net.Loss.wifi_interference ~average_loss:0.3)
+      ~rng:(Pte_util.Rng.create 2013) ()
+  in
+  let engine =
+    Pte_sim.Engine.create
+      ~config:{ Pte_hybrid.Executor.default_config with dt = 0.01 }
+      ~net ~seed:7 system
+  in
+  Pte_sim.Scenario.exponential_stimulus engine ~mean:20.0 ~automaton:"nozzle"
+    ~armed_in:"Fall-Back"
+    ~root:(Pte_core.Events.stim_request ~initializer_:"nozzle") ();
+  Pte_sim.Scenario.exponential_stimulus engine ~mean:6.0 ~automaton:"nozzle"
+    ~armed_in:"Risky Core"
+    ~root:(Pte_core.Events.stim_cancel ~initializer_:"nozzle") ();
+  let horizon = 300.0 in
+  Pte_sim.Engine.run engine ~until:horizon;
+
+  (* 4. Check the run against the PTE safety rules. *)
+  let spec = Pte_core.Rules.of_params params in
+  let report =
+    Pte_core.Monitor.analyze_system (Pte_sim.Engine.trace engine) system spec
+      ~horizon
+  in
+  let emissions =
+    Pte_sim.Metrics.entries (Pte_sim.Engine.trace engine) ~automaton:"nozzle"
+      ~location:"Risky Core"
+  in
+  Fmt.pr "Simulated %.0fs: %d nozzle activations over a %.0f%%-loss channel.@."
+    horizon emissions
+    (100.0 *. Pte_net.Link_stats.loss_rate (Pte_net.Star.total_stats net));
+  Fmt.pr "%a@." Pte_core.Monitor.pp_report report;
+  if Pte_core.Monitor.ok report then
+    Fmt.pr "PTE safety held under arbitrary message loss — Theorem 1 at work.@."

@@ -1,0 +1,1 @@
+lib/core/compliance.ml: Automaton Constraints Elaboration Fmt List Params Pattern Pte_hybrid String System

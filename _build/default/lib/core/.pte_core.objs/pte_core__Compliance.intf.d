@@ -1,0 +1,1 @@
+lib/core/compliance.mli: Constraints Fmt Params Pte_hybrid

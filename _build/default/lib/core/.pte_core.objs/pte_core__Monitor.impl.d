@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Float Fmt List Pte_hybrid Rules

@@ -1,0 +1,1 @@
+lib/core/monitor.mli: Fmt Pte_hybrid Rules

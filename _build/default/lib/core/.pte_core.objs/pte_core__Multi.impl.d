@@ -1,0 +1,1 @@
+lib/core/multi.ml: Array Automaton Constraints Edge Events Float Flow Fmt Guard Label List Location Params Pattern Pte_hybrid Reset String System

@@ -1,0 +1,1 @@
+lib/core/multi.mli: Automaton Constraints Params Pte_hybrid System

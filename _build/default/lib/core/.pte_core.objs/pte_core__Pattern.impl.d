@@ -1,0 +1,1 @@
+lib/core/pattern.ml: Array Automaton Edge Events Flow Fmt Guard Label List Location Params Pte_hybrid Reset System

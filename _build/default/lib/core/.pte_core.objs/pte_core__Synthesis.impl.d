@@ -1,0 +1,1 @@
+lib/core/synthesis.ml: Array Constraints Float Fmt List Params

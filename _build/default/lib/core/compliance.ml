@@ -1,0 +1,142 @@
+(** Theorem 2 (Design Pattern Compliance): turning the pattern into a
+    specific wireless CPS design while preserving the PTE guarantee.
+
+    A {!plan} names, per member entity, the pattern locations to
+    elaborate and the simple child automata to put there. {!build}
+    executes the methodology of Section IV-C — it constructs each member
+    by parallel elaboration and verifies every premise of Theorem 2:
+
+    1–3. each member elaborates its role's pattern automaton at distinct
+         locations with child automata that are independent of it;
+    4.   the children are mutually independent across the whole design;
+    5.   the configuration constants satisfy c1–c7 (Theorem 1).
+
+    A design produced by [build] therefore satisfies the PTE safety
+    rules by Theorem 2. {!audit} re-checks an externally supplied design
+    against a plan (structural sufficient conditions). *)
+
+open Pte_hybrid
+
+type plan = {
+  params : Params.t;
+  lease : bool;
+  children : (string * (string * Automaton.t) list) list;
+      (** [(member, [(pattern location, simple child); ...])]; members
+          not listed are used as bare pattern automata. *)
+}
+
+type error =
+  | Constraints_violated of Constraints.condition list
+  | Unknown_member of string
+  | Elaboration_failed of string * Elaboration.error
+  | Children_not_mutually_independent of string * string
+
+let pp_error ppf = function
+  | Constraints_violated cs ->
+      Fmt.pf ppf "Theorem 1 conditions violated: %a"
+        Fmt.(list ~sep:comma string)
+        (List.map Constraints.condition_name cs)
+  | Unknown_member m -> Fmt.pf ppf "plan names unknown member %s" m
+  | Elaboration_failed (m, e) ->
+      Fmt.pf ppf "elaboration of %s failed: %a" m Elaboration.pp_error e
+  | Children_not_mutually_independent (a, b) ->
+      Fmt.pf ppf "child automata %s and %s are not mutually independent" a b
+
+let pattern_automata plan =
+  let p = plan.params in
+  let n = Params.n p in
+  (Pattern.supervisor p
+  :: List.init (n - 1) (fun idx ->
+         Pattern.participant ~lease:plan.lease p ~index:(idx + 1)))
+  @ [ Pattern.initializer_ ~lease:plan.lease p ]
+
+(* Theorem 2, premise 4: all children, across all members, pairwise
+   independent. *)
+let check_mutual_independence plan =
+  let all_children =
+    List.concat_map (fun (_, cs) -> List.map snd cs) plan.children
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | (a : Automaton.t) :: rest -> (
+        match
+          List.find_opt (fun b -> not (Automaton.independent a b)) rest
+        with
+        | Some b ->
+            Error
+              (Children_not_mutually_independent
+                 (a.Automaton.name, b.Automaton.name))
+        | None -> go rest)
+  in
+  go all_children
+
+let known_members plan =
+  List.map
+    (fun (a : Automaton.t) -> a.Automaton.name)
+    (pattern_automata plan)
+
+let build plan : (System.t, error list) result =
+  let errors = ref [] in
+  let outcomes = Constraints.check plan.params in
+  if not (Constraints.all_ok outcomes) then
+    errors := Constraints_violated (Constraints.violated outcomes) :: !errors;
+  (match check_mutual_independence plan with
+  | Ok () -> ()
+  | Error e -> errors := e :: !errors);
+  let members = known_members plan in
+  List.iter
+    (fun (m, _) ->
+      if not (List.exists (String.equal m) members) then
+        errors := Unknown_member m :: !errors)
+    plan.children;
+  let elaborated =
+    List.map
+      (fun (pattern : Automaton.t) ->
+        let targets =
+          match List.assoc_opt pattern.Automaton.name plan.children with
+          | Some cs -> cs
+          | None -> []
+        in
+        match Elaboration.parallel pattern targets with
+        | Ok a -> a
+        | Error e ->
+            errors := Elaboration_failed (pattern.Automaton.name, e) :: !errors;
+            pattern)
+      (pattern_automata plan)
+  in
+  match List.rev !errors with
+  | [] -> Ok (System.make ~name:"pte-design" elaborated)
+  | errs -> Error errs
+
+let build_exn plan =
+  match build plan with
+  | Ok system -> system
+  | Error errs ->
+      Fmt.invalid_arg "compliance build failed: %a"
+        Fmt.(list ~sep:(any "; ") pp_error)
+        errs
+
+(** Audit an externally supplied design against the plan: premises of
+    Theorem 2 plus a structural check that each design member preserves
+    the un-elaborated part of its pattern automaton. *)
+let audit plan ~(design : System.t) : (unit, error list) result =
+  let errors = ref [] in
+  let outcomes = Constraints.check plan.params in
+  if not (Constraints.all_ok outcomes) then
+    errors := Constraints_violated (Constraints.violated outcomes) :: !errors;
+  (match check_mutual_independence plan with
+  | Ok () -> ()
+  | Error e -> errors := e :: !errors);
+  List.iter
+    (fun (pattern : Automaton.t) ->
+      match System.find design pattern.Automaton.name with
+      | None -> errors := Unknown_member pattern.Automaton.name :: !errors
+      | Some member ->
+          if not (Elaboration.elaborates ~pattern ~design:member) then
+            errors :=
+              Elaboration_failed
+                ( pattern.Automaton.name,
+                  Elaboration.Not_simple "structural audit failed" )
+              :: !errors)
+    (pattern_automata plan);
+  match List.rev !errors with [] -> Ok () | errs -> Error errs

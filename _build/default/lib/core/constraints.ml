@@ -1,0 +1,145 @@
+(** The closed-form configuration constraints c1–c7 of Theorem 1.
+
+    If a hybrid system follows the design pattern and its constants
+    satisfy all seven conditions, PTE Safety Rules 1 and 2 hold under
+    arbitrary loss of the events carried over unreliable channels, and
+    every entity's continuous risky dwelling is bounded by
+    T^max_wait + T^max_LS1. *)
+
+type condition = C1 | C2 | C3 | C4 | C5 | C6 | C7
+
+let all_conditions = [ C1; C2; C3; C4; C5; C6; C7 ]
+
+let condition_name = function
+  | C1 -> "c1"
+  | C2 -> "c2"
+  | C3 -> "c3"
+  | C4 -> "c4"
+  | C5 -> "c5"
+  | C6 -> "c6"
+  | C7 -> "c7"
+
+let condition_statement = function
+  | C1 -> "all configuration time constants are positive"
+  | C2 -> "T_LS1 = T_enter,1 + T_run,1 + T_exit,1 > N * T_wait"
+  | C3 -> "(N-1) * T_wait < T_req,N < T_LS1"
+  | C4 -> "forall i: (i-1)*T_wait + T_enter,i + T_run,i + T_exit,i <= T_LS1"
+  | C5 -> "forall i<N: T_enter,i + T_risky:i->i+1 < T_enter,i+1"
+  | C6 ->
+      "forall i<N: T_enter,i + T_run,i > T_wait + T_enter,i+1 + T_run,i+1 + \
+       T_exit,i+1"
+  | C7 -> "forall i<N: T_exit,i > T_safe:i+1->i"
+
+type outcome = { condition : condition; ok : bool; detail : string }
+
+let check_condition (p : Params.t) condition =
+  let n = Params.n p in
+  let e i = p.Params.entities.(i - 1) (* 1-based like the paper *) in
+  let t_ls1 = Params.t_ls1 p in
+  let fail fmt = Fmt.kstr (fun s -> (false, s)) fmt in
+  let pass fmt = Fmt.kstr (fun s -> (true, s)) fmt in
+  let forall lo hi predicate describe =
+    let rec go i =
+      if i > hi then pass "holds for i=%d..%d" lo hi
+      else if predicate i then go (i + 1)
+      else fail "fails at i=%d: %s" i (describe i)
+    in
+    go lo
+  in
+  let ok, detail =
+    match condition with
+    | C1 ->
+        let constants =
+          [ ("T_wait", p.Params.t_wait_max); ("T_fb,0", p.Params.t_fb_min);
+            ("T_req,N", p.Params.t_req_max) ]
+          @ Array.to_list
+              (Array.map
+                 (fun (en : Params.entity) -> ("T_enter," ^ en.name, en.t_enter_max))
+                 p.Params.entities)
+          @ Array.to_list
+              (Array.map
+                 (fun (en : Params.entity) -> ("T_run," ^ en.name, en.t_run_max))
+                 p.Params.entities)
+          @ Array.to_list
+              (Array.map
+                 (fun (en : Params.entity) -> ("T_exit," ^ en.name, en.t_exit))
+                 p.Params.entities)
+        in
+        (match List.find_opt (fun (_, v) -> v <= 0.0) constants with
+        | Some (name, v) -> fail "%s = %g is not positive" name v
+        | None -> pass "all %d constants positive" (List.length constants))
+    | C2 ->
+        let rhs = Float.of_int n *. p.Params.t_wait_max in
+        if t_ls1 > rhs then pass "T_LS1 = %g > %g = N*T_wait" t_ls1 rhs
+        else fail "T_LS1 = %g <= %g = N*T_wait" t_ls1 rhs
+    | C3 ->
+        let lo = Float.of_int (n - 1) *. p.Params.t_wait_max in
+        if lo < p.Params.t_req_max && p.Params.t_req_max < t_ls1 then
+          pass "%g < T_req,N = %g < %g" lo p.Params.t_req_max t_ls1
+        else fail "T_req,N = %g not in (%g, %g)" p.Params.t_req_max lo t_ls1
+    | C4 ->
+        forall 1 n
+          (fun i ->
+            let en = e i in
+            (Float.of_int (i - 1) *. p.Params.t_wait_max)
+            +. en.t_enter_max +. en.t_run_max +. en.t_exit
+            <= t_ls1 +. 1e-9)
+          (fun i ->
+            let en = e i in
+            Fmt.str "(%d-1)*%g + %g + %g + %g > T_LS1 = %g" i
+              p.Params.t_wait_max en.t_enter_max en.t_run_max en.t_exit t_ls1)
+    | C5 ->
+        forall 1 (n - 1)
+          (fun i ->
+            (e i).t_enter_max
+            +. p.Params.safeguards.(i - 1).Params.enter_risky_min
+            < (e (i + 1)).t_enter_max)
+          (fun i ->
+            Fmt.str "T_enter,%d + T_risky:%d->%d = %g + %g >= T_enter,%d = %g"
+              i i (i + 1) (e i).t_enter_max
+              p.Params.safeguards.(i - 1).Params.enter_risky_min
+              (i + 1) (e (i + 1)).t_enter_max)
+    | C6 ->
+        forall 1 (n - 1)
+          (fun i ->
+            (e i).t_enter_max +. (e i).t_run_max
+            > p.Params.t_wait_max
+              +. (e (i + 1)).t_enter_max +. (e (i + 1)).t_run_max
+              +. (e (i + 1)).t_exit)
+          (fun i ->
+            Fmt.str "%g + %g <= %g + %g + %g + %g" (e i).t_enter_max
+              (e i).t_run_max p.Params.t_wait_max (e (i + 1)).t_enter_max
+              (e (i + 1)).t_run_max (e (i + 1)).t_exit)
+    | C7 ->
+        forall 1 (n - 1)
+          (fun i ->
+            (e i).t_exit > p.Params.safeguards.(i - 1).Params.exit_safe_min)
+          (fun i ->
+            Fmt.str "T_exit,%d = %g <= T_safe:%d->%d = %g" i (e i).t_exit
+              (i + 1) i p.Params.safeguards.(i - 1).Params.exit_safe_min)
+  in
+  { condition; ok; detail }
+
+let check params =
+  if Params.n params < 2 then
+    invalid_arg "Theorem 1 requires N >= 2 remote entities";
+  List.map (check_condition params) all_conditions
+
+let all_ok outcomes = List.for_all (fun o -> o.ok) outcomes
+
+let violated outcomes =
+  List.filter_map (fun o -> if o.ok then None else Some o.condition) outcomes
+
+(** [satisfies params] is [true] iff c1–c7 all hold — the hypothesis of
+    Theorem 1. *)
+let satisfies params = all_ok (check params)
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "%s %s: %s — %s"
+    (if o.ok then "[ok]" else "[VIOLATED]")
+    (condition_name o.condition)
+    (condition_statement o.condition)
+    o.detail
+
+let pp_report ppf outcomes =
+  Fmt.(list ~sep:cut pp_outcome) ppf outcomes

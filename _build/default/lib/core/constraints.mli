@@ -1,0 +1,37 @@
+(** The closed-form configuration constraints c1–c7 of Theorem 1.
+
+    If a hybrid system follows the design pattern and its constants
+    satisfy all seven conditions, the PTE safety rules hold under
+    arbitrary loss of the events carried over unreliable channels, and
+    every entity's continuous risky dwelling is bounded by
+    T^max_wait + T^max_LS1 ({!Params.risky_dwell_bound}). *)
+
+type condition = C1 | C2 | C3 | C4 | C5 | C6 | C7
+
+val all_conditions : condition list
+
+val condition_name : condition -> string
+(** ["c1"] .. ["c7"]. *)
+
+val condition_statement : condition -> string
+(** The inequality, in the paper's notation. *)
+
+(** Result of checking one condition. *)
+type outcome = { condition : condition; ok : bool; detail : string }
+
+val check_condition : Params.t -> condition -> outcome
+
+val check : Params.t -> outcome list
+(** All seven, in order. Raises [Invalid_argument] when N < 2 (Theorem 1
+    requires at least two remote entities). *)
+
+val all_ok : outcome list -> bool
+
+val violated : outcome list -> condition list
+(** The conditions that failed. *)
+
+val satisfies : Params.t -> bool
+(** [satisfies p] iff c1–c7 all hold — the hypothesis of Theorem 1. *)
+
+val pp_outcome : outcome Fmt.t
+val pp_report : outcome list Fmt.t

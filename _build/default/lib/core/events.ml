@@ -1,0 +1,49 @@
+(** Event-root naming conventions for the lease design pattern.
+
+    One place defines every synchronization root exchanged between the
+    Supervisor, Initializer and Participants, so that the pattern
+    builders, the trial metrics, the failure-injection tests and the
+    model checker all agree on names. Roots embed the entity name; the
+    full labels add the [!]/[?]/[??] prefixes per automaton role. *)
+
+(* Uplink: initializer ξN -> supervisor ξ0. *)
+
+let request ~initializer_ = "evt_" ^ initializer_ ^ "_to_s_req"
+let cancel_up ~initializer_ = "evt_" ^ initializer_ ^ "_to_s_cancel"
+
+(** Sent by the initializer when it leaves "Risky Core"/"Entering" due to
+    abort or lease expiry, so the supervisor can descend the abort chain
+    (the paper's evtξ2Toξ0Exit). *)
+let exit_up ~initializer_ = "evt_" ^ initializer_ ^ "_to_s_exit"
+
+(* Uplink: participant ξi -> supervisor ξ0. *)
+
+let lease_approve ~participant = "evt_" ^ participant ^ "_to_s_lease_approve"
+let lease_deny ~participant = "evt_" ^ participant ^ "_to_s_lease_deny"
+
+(** Sent by a participant when its exit completes (it re-enters
+    "Fall-Back"), confirming the cancel/abort chain may descend. *)
+let exited_up ~participant = "evt_" ^ participant ^ "_to_s_exited"
+
+(* Downlink: supervisor ξ0 -> remote ξi. *)
+
+let lease_req ~participant = "evt_s_to_" ^ participant ^ "_lease_req"
+let approve ~initializer_ = "evt_s_to_" ^ initializer_ ^ "_approve"
+let cancel_down ~entity = "evt_s_to_" ^ entity ^ "_cancel"
+let abort_down ~entity = "evt_s_to_" ^ entity ^ "_abort"
+
+(* Environment stimuli (never cross the wireless network; injected by
+   scenarios, mirroring the paper's emulated surgeon timers Ton/Toff). *)
+
+let stim_request ~initializer_ = "stim_" ^ initializer_ ^ "_request"
+let stim_cancel ~initializer_ = "stim_" ^ initializer_ ^ "_cancel"
+
+(* Internal markers (trace-only; no receiver). *)
+
+(** The paper's evtToStop: "lease expiration forces the laser-scalpel to
+    stop emitting". Counting these measures how often the lease mechanism
+    rescued the system. *)
+let to_stop ~entity = "evt_to_stop_" ^ entity
+
+(** Marks a participant's lease expiring in "Risky Core". *)
+let lease_expired ~entity = "evt_lease_expired_" ^ entity

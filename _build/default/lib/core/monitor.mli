@@ -1,0 +1,78 @@
+(** Trace monitor for PTE Safety Rules 1 and 2 — the measurement
+    instrument behind the Table-I reproduction: a trial's "# of
+    Failures" is {!episodes} of the trial's {!report}.
+
+    The monitor extracts each entity's maximal continuous risky-dwelling
+    intervals and checks: Rule 1 bounds their length; for each
+    consecutive pair, every inner interval must be contained in an outer
+    one (p2), whose start precedes it by T^min_risky (p1) and whose end
+    follows it by T^min_safe (p3). Intervals still open at the horizon
+    leave p3 (and truncated p1) unresolved rather than violated. *)
+
+type violation =
+  | Dwell_exceeded of {
+      entity : string;
+      start : float;
+      stop : float;
+      bound : float;
+    }  (** Rule 1. *)
+  | Not_embedded of {
+      outer : string;
+      inner : string;
+      start : float;
+      stop : float;
+    }  (** Rule 2, p2. *)
+  | Enter_safeguard of {
+      outer : string;
+      inner : string;
+      inner_start : float;
+      outer_start : float;
+      required : float;
+    }  (** Rule 2, p1. *)
+  | Exit_safeguard of {
+      outer : string;
+      inner : string;
+      inner_start : float;  (** identifies the inner episode *)
+      inner_stop : float;
+      outer_stop : float;
+      required : float;
+    }  (** Rule 2, p3. *)
+
+type report = {
+  horizon : float;
+  intervals : (string * (float * float) list) list;
+      (** risky intervals per entity, zero-gap-merged, in time order. *)
+  violations : violation list;
+}
+
+val risky_intervals :
+  Pte_hybrid.Trace.t ->
+  entity:string ->
+  risky:(string -> string -> bool) ->
+  initial:(string -> string) ->
+  horizon:float ->
+  (float * float) list
+
+val analyze :
+  Pte_hybrid.Trace.t ->
+  Rules.t ->
+  risky:(string -> string -> bool) ->
+  initial:(string -> string) ->
+  horizon:float ->
+  report
+(** [risky entity location] and [initial entity] describe the per-entity
+    location partition and starting location. *)
+
+val analyze_system :
+  Pte_hybrid.Trace.t -> Pte_hybrid.System.t -> Rules.t -> horizon:float -> report
+(** Convenience: derive [risky]/[initial] from the system's automata. *)
+
+val ok : report -> bool
+
+val episodes : report -> int
+(** Violation {e episodes}: distinct risky intervals implicated (two
+    safeguard breaches of one inner interval count once), matching the
+    paper's per-incident failure counting. *)
+
+val pp_violation : violation Fmt.t
+val pp_report : report Fmt.t

@@ -1,0 +1,86 @@
+(** Configuration constants of the lease design pattern (Section IV).
+
+    These are the {e cyber} parameters Theorem 1 constrains: unlike the
+    physical-world quantities, they are fully controllable in software,
+    which is the whole point of the design pattern — PTE safety depends
+    only on them. *)
+
+(** Per remote entity ξi (i = 1..N; index N is the Initializer). *)
+type entity = {
+  name : string;
+  t_enter_max : float;
+      (** T^max_enter,i: dwell in "Entering" before "Risky Core". *)
+  t_run_max : float;
+      (** T^max_run,i: the lease proper — maximal dwell in "Risky Core". *)
+  t_exit : float;  (** T_exit,i: exact dwell in "Exiting 1"/"Exiting 2". *)
+}
+
+(** Safeguard intervals required between consecutive entities ξi < ξi+1
+    (Definition 1). *)
+type safeguard = {
+  enter_risky_min : float;  (** T^min_risky:i→i+1 (property p1). *)
+  exit_safe_min : float;  (** T^min_safe:i+1→i (property p3). *)
+}
+
+type t = {
+  supervisor : string;  (** name of ξ0 *)
+  t_wait_max : float;  (** T^max_wait: supervisor per-step wait timeout. *)
+  t_fb_min : float;  (** T^min_fb,0: supervisor Fall-Back cool-down. *)
+  t_req_max : float;  (** T^max_req,N: initializer "Requesting" timeout. *)
+  entities : entity array;
+      (** ξ1 .. ξN in PTE order; [entities.(n-1)] is the Initializer. *)
+  safeguards : safeguard array;  (** length N−1; [safeguards.(i)] sits
+      between [entities.(i)] and [entities.(i+1)]. *)
+}
+
+let n t = Array.length t.entities
+
+let initializer_ t = t.entities.(n t - 1)
+
+let participants t = Array.sub t.entities 0 (n t - 1)
+
+let entity t name =
+  match Array.find_opt (fun e -> String.equal e.name name) t.entities with
+  | Some e -> e
+  | None -> Fmt.invalid_arg "no entity named %s" name
+
+(** T^max_LS1 = T^max_enter,1 + T^max_run,1 + T_exit,1 (condition c2's
+    left-hand side): the total lease span of the first — outermost —
+    participant. *)
+let t_ls1 t =
+  let e1 = t.entities.(0) in
+  e1.t_enter_max +. e1.t_run_max +. e1.t_exit
+
+(** Theorem 1's bound on any entity's continuous risky dwelling:
+    T^max_wait + T^max_LS1. *)
+let risky_dwell_bound t = t.t_wait_max +. t_ls1 t
+
+(** The case-study configuration of Section V (laser tracheotomy, N = 2:
+    ξ1 = ventilator, ξ2 = laser-scalpel), with the paper's common-sense
+    constants and safeguard intervals T^min_risky:1→2 = 3 s,
+    T^min_safe:2→1 = 1.5 s. *)
+let case_study =
+  {
+    supervisor = "supervisor";
+    t_wait_max = 3.0;
+    t_fb_min = 13.0;
+    t_req_max = 5.0;
+    entities =
+      [|
+        { name = "ventilator"; t_enter_max = 3.0; t_run_max = 35.0; t_exit = 6.0 };
+        { name = "laser"; t_enter_max = 10.0; t_run_max = 20.0; t_exit = 1.5 };
+      |];
+    safeguards = [| { enter_risky_min = 3.0; exit_safe_min = 1.5 } |];
+  }
+
+let pp_entity ppf e =
+  Fmt.pf ppf "%s: enter<=%g run<=%g exit=%g" e.name e.t_enter_max e.t_run_max
+    e.t_exit
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>supervisor %s: wait<=%g fb>=%g req<=%g (T_LS1=%g, dwell bound %g)@,%a@]"
+    t.supervisor t.t_wait_max t.t_fb_min t.t_req_max (t_ls1 t)
+    (risky_dwell_bound t)
+    (Fmt.list ~sep:Fmt.cut pp_entity)
+    (Array.to_list t.entities)

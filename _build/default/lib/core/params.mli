@@ -1,0 +1,63 @@
+(** Configuration constants of the lease design pattern (Section IV).
+
+    These are the {e cyber} parameters Theorem 1 constrains: unlike the
+    physical-world quantities, they are fully controllable in software —
+    which is the point of the design pattern: PTE safety depends only on
+    them. *)
+
+(** Per remote entity ξi (i = 1..N; index N is the Initializer). *)
+type entity = {
+  name : string;
+  t_enter_max : float;
+      (** T^max_enter,i: dwell in "Entering" before "Risky Core". *)
+  t_run_max : float;
+      (** T^max_run,i: the lease proper — maximal dwell in "Risky Core". *)
+  t_exit : float;  (** T_exit,i: exact dwell in "Exiting 1"/"Exiting 2". *)
+}
+
+(** Safeguard intervals required between consecutive entities ξi < ξi+1
+    (Definition 1). *)
+type safeguard = {
+  enter_risky_min : float;  (** T^min_risky:i→i+1 (property p1). *)
+  exit_safe_min : float;  (** T^min_safe:i+1→i (property p3). *)
+}
+
+type t = {
+  supervisor : string;  (** name of ξ0 *)
+  t_wait_max : float;  (** T^max_wait: supervisor per-step wait timeout. *)
+  t_fb_min : float;  (** T^min_fb,0: supervisor Fall-Back cool-down. *)
+  t_req_max : float;  (** T^max_req,N: initializer "Requesting" timeout. *)
+  entities : entity array;
+      (** ξ1 .. ξN in PTE order; [entities.(n-1)] is the Initializer. *)
+  safeguards : safeguard array;
+      (** length N−1; [safeguards.(i)] sits between [entities.(i)] and
+          [entities.(i+1)]. *)
+}
+
+val n : t -> int
+(** Number of remote entities N (the supervisor ξ0 not counted). *)
+
+val initializer_ : t -> entity
+(** ξN. *)
+
+val participants : t -> entity array
+(** ξ1 .. ξN−1. *)
+
+val entity : t -> string -> entity
+(** Lookup by name. Raises [Invalid_argument] if absent. *)
+
+val t_ls1 : t -> float
+(** T^max_LS1 = T^max_enter,1 + T^max_run,1 + T_exit,1: the total lease
+    span of the outermost participant (condition c2's left-hand side). *)
+
+val risky_dwell_bound : t -> float
+(** Theorem 1's bound on any entity's continuous risky dwelling:
+    T^max_wait + T^max_LS1. *)
+
+val case_study : t
+(** The Section V laser-tracheotomy configuration (N = 2,
+    ξ1 = "ventilator", ξ2 = "laser", the paper's constants, safeguards
+    T^min_risky:1→2 = 3 s and T^min_safe:2→1 = 1.5 s). *)
+
+val pp_entity : entity Fmt.t
+val pp : t Fmt.t

@@ -1,0 +1,437 @@
+(** The lease-based design pattern automata (Section IV-A).
+
+    Builders for the three roles — Supervisor ξ0 ([Asupvsr], Fig. 3),
+    Initializer ξN ([Ainitzr], Fig. 5a) and Participant ξi
+    ([Aptcpnt,i], Fig. 5b) — parameterized by the configuration constants
+    of {!Params.t}.
+
+    Where the paper compresses a receive-then-send step into one
+    "transition", we materialize its footnote 2: an intermediate
+    zero-dwell location whose egress edge carries the send label
+    ("Grant …", "Send Cancel …", …). These instants dwell for 0 time
+    (the executor fires their eager egress in the same instant).
+
+    Reconstructions where the paper's figures are only sketched:
+
+    - Participants confirm completed exits with an uplink event
+      [evt_<p>_to_s_exited] (sent on the Exiting → Fall-Back step); the
+      Initializer confirms aborts and lease expirations with
+      [evt_<N>_to_s_exit], which the paper's abort-scenario analysis
+      names explicitly. The supervisor descends its cancel/abort chain
+      only on such confirmations — descending blindly after a timeout
+      could order exits wrongly when a cancel is lost, exactly the
+      failure mode the paper's §V scenario discusses.
+    - While waiting for a confirmation the supervisor retransmits the
+      cancel/abort every T^max_wait.
+    - The supervisor carries its own lease: a session clock [ls] started
+      when it leaves "Fall-Back"; when [ls] reaches
+      T^max_wait + T^max_LS1 — the Theorem 1 bound by which every
+      remote entity has provably self-reset — it abandons the chain and
+      returns to "Fall-Back".
+
+    The [~lease:false] variants reproduce the paper's "without Lease"
+    baseline trials: the risky-core lease-expiry transitions of the
+    remote entities are removed (their "Entering" procedure timers
+    remain — only the risky-state leases are ablated, as in §V). *)
+
+open Pte_hybrid
+
+let clock = "c"
+let session_clock = "ls"
+let fallback_clock = "fb"
+let approval_var = "approval"
+let participation_var = "part"
+
+(* location-name helpers *)
+let fall_back = "Fall-Back"
+let grant_loc name = "Grant " ^ name
+let lease_loc name = "Lease " ^ name
+let send_cancel_loc name = "Send Cancel " ^ name
+let cancel_loc name = "Cancel " ^ name
+let send_abort_loc name = "Send Abort " ^ name
+let abort_loc name = "Abort " ^ name
+let requesting = "Requesting"
+let entering = "Entering"
+let risky_core = "Risky Core"
+let exiting1 = "Exiting 1"
+let exiting2 = "Exiting 2"
+
+let ge var bound = [ Guard.atom var Guard.Ge bound ]
+let lt var bound = [ Guard.atom var Guard.Lt bound ]
+
+let reset_clock = Reset.set clock 0.0
+
+let edge ?guard ?reset ?label ?urgency src dst =
+  Edge.make ?guard ?reset ?label ?urgency ~src ~dst ()
+
+(** {1 Supervisor} *)
+
+let supervisor (p : Params.t) =
+  let n = Params.n p in
+  let names =
+    Array.map (fun (e : Params.entity) -> e.Params.name) p.Params.entities
+  in
+  let name i = names.(i - 1) (* 1-based, like the paper *) in
+  let initializer_name = name n in
+  let bailout_bound = Params.risky_dwell_bound p in
+  let flow =
+    Flow.Rates [ (clock, 1.0); (session_clock, 1.0); (fallback_clock, 1.0) ]
+  in
+  let loc ?(kind = Location.Safe) location_name =
+    Location.make ~kind ~flow location_name
+  in
+  let locations =
+    (* cancel-chain locations exist for participants only: the
+       Initializer cancels itself (it is never sent a cancel), so the
+       reverse-order cancel chain starts at ξN−1. Abort locations exist
+       for every remote entity including ξN. *)
+    [ loc fall_back ]
+    @ List.concat
+        (List.init n (fun idx ->
+             let i = idx + 1 in
+             [ loc (grant_loc (name i)); loc (lease_loc (name i));
+               loc (send_abort_loc (name i)); loc (abort_loc (name i)) ]
+             @
+             if i < n then
+               [ loc (send_cancel_loc (name i)); loc (cancel_loc (name i)) ]
+             else []))
+  in
+  let to_fb ?guard ?label ?urgency src =
+    edge ?guard ?label ?urgency
+      ~reset:[ (clock, Reset.Set_const 0.0); (fallback_clock, Reset.Set_const 0.0) ]
+      src fall_back
+  in
+  let bailout src = to_fb ~guard:(ge session_clock bailout_bound) src in
+  let grant_edges i =
+    (* instant: send the lease request (or the approval for ξN) *)
+    let send_label =
+      if i < n then Label.Send (Events.lease_req ~participant:(name i))
+      else Label.Send (Events.approve ~initializer_:initializer_name)
+    in
+    [ edge ~label:send_label ~reset:reset_clock (grant_loc (name i))
+        (lease_loc (name i)) ]
+  in
+  let lease_edges i =
+    let here = lease_loc (name i) in
+    let abort_here =
+      edge ~guard:(lt approval_var 0.5) ~reset:reset_clock here
+        (send_abort_loc (name i))
+    in
+    if i < n then
+      [
+        bailout here;
+        abort_here;
+        edge ~label:(Label.Recv_lossy (Events.lease_approve ~participant:(name i)))
+          ~reset:reset_clock here
+          (grant_loc (name (i + 1)));
+        (if i = 1 then
+           to_fb ~label:(Label.Recv_lossy (Events.lease_deny ~participant:(name i))) here
+         else
+           edge ~label:(Label.Recv_lossy (Events.lease_deny ~participant:(name i)))
+             ~reset:reset_clock here
+             (send_cancel_loc (name (i - 1))));
+        edge ~label:(Label.Recv_lossy (Events.cancel_up ~initializer_:initializer_name))
+          ~reset:reset_clock here
+          (send_cancel_loc (name i));
+        edge ~guard:(ge clock p.Params.t_wait_max) ~reset:reset_clock here
+          (send_cancel_loc (name i));
+      ]
+    else
+      (* Lease ξN: the session is granted. The supervisor leaves only on
+         the initializer's cancel/exit, on an approval failure (abort
+         chain), or via the session bailout. Deliberately {e no} dwell
+         timeout here: if the initializer's messages are all lost, the
+         rescue must come from the remote entities' own leases — that is
+         the property the with/without-lease trials contrast. *)
+      [
+        bailout here;
+        abort_here;
+        edge ~label:(Label.Recv_lossy (Events.cancel_up ~initializer_:initializer_name))
+          ~reset:reset_clock here
+          (send_cancel_loc (name (n - 1)));
+        edge ~label:(Label.Recv_lossy (Events.exit_up ~initializer_:initializer_name))
+          ~reset:reset_clock here
+          (send_cancel_loc (name (n - 1)));
+      ]
+  in
+  let cancel_edges i =
+    let dispatch =
+      edge ~label:(Label.Send (Events.cancel_down ~entity:(name i)))
+        ~reset:reset_clock
+        (send_cancel_loc (name i))
+        (cancel_loc (name i))
+    in
+    let here = cancel_loc (name i) in
+    let confirmed =
+      let label =
+        Label.Recv_lossy (Events.exited_up ~participant:(name i))
+      in
+      if i = 1 then to_fb ~label here
+      else edge ~label ~reset:reset_clock here (send_cancel_loc (name (i - 1)))
+    in
+    let retransmit =
+      edge ~guard:(ge clock p.Params.t_wait_max) ~reset:reset_clock here
+        (send_cancel_loc (name i))
+    in
+    [ dispatch; bailout here; confirmed; retransmit ]
+  in
+  let abort_edges i =
+    let dispatch =
+      edge ~label:(Label.Send (Events.abort_down ~entity:(name i)))
+        ~reset:reset_clock
+        (send_abort_loc (name i))
+        (abort_loc (name i))
+    in
+    let here = abort_loc (name i) in
+    let confirmation_label =
+      if i = n then Label.Recv_lossy (Events.exit_up ~initializer_:initializer_name)
+      else Label.Recv_lossy (Events.exited_up ~participant:(name i))
+    in
+    let confirmed =
+      if i = 1 then to_fb ~label:confirmation_label here
+      else
+        edge ~label:confirmation_label ~reset:reset_clock here
+          (send_abort_loc (name (i - 1)))
+    in
+    let retransmit =
+      edge ~guard:(ge clock p.Params.t_wait_max) ~reset:reset_clock here
+        (send_abort_loc (name i))
+    in
+    [ dispatch; bailout here; confirmed; retransmit ]
+  in
+  let grant_from_fb =
+    edge
+      ~label:(Label.Recv_lossy (Events.request ~initializer_:initializer_name))
+      ~guard:(ge fallback_clock p.Params.t_fb_min @ ge approval_var 0.5)
+      ~reset:
+        [ (clock, Reset.Set_const 0.0); (session_clock, Reset.Set_const 0.0) ]
+      fall_back (grant_loc (name 1))
+  in
+  (* Precautionary sweep: the ApprovalCondition failing while the
+     supervisor believes all leases are clear means some remote entity
+     may be stuck in a risky state (possible only when its lease was
+     ablated, or after a chain was abandoned at the session bailout).
+     Sweep a cancel chain through the participants, paced by the
+     Fall-Back cool-down. *)
+  let sweep_from_fb =
+    edge
+      ~guard:(lt approval_var 0.5 @ ge fallback_clock p.Params.t_fb_min)
+      ~reset:
+        [ (clock, Reset.Set_const 0.0); (session_clock, Reset.Set_const 0.0) ]
+      fall_back
+      (send_cancel_loc (name (n - 1)))
+  in
+  let edges =
+    grant_from_fb :: sweep_from_fb
+    :: List.concat
+         (List.init n (fun idx ->
+              let i = idx + 1 in
+              grant_edges i @ lease_edges i @ abort_edges i
+              @ if i < n then cancel_edges i else []))
+  in
+  Automaton.make ~name:p.Params.supervisor
+    ~vars:[ clock; session_clock; fallback_clock; approval_var ]
+    ~locations ~edges ~initial_location:fall_back
+    ~initial_values:[ (approval_var, 1.0) ]
+    ()
+
+(** {1 Initializer} *)
+
+let initializer_ ?(lease = true) (p : Params.t) =
+  let e = Params.initializer_ p in
+  let me = e.Params.name in
+  let flow = Flow.Rates [ (clock, 1.0) ] in
+  let loc ?(kind = Location.Safe) location_name =
+    Location.make ~kind ~flow location_name
+  in
+  let send_req = "Send Req" in
+  let send_cancel_req = "Send Cancel (requesting)" in
+  let send_cancel_entering = "Send Cancel (entering)" in
+  let send_exit_entering = "Send Exit (entering)" in
+  let send_cancel_risky = "Send Cancel (risky)" in
+  let send_exit_abort = "Send Exit (abort)" in
+  let lease_expired = "Lease Expired" in
+  let send_exit_expired = "Send Exit (expired)" in
+  let locations =
+    [
+      loc fall_back; loc send_req; loc requesting; loc entering;
+      loc send_cancel_req; loc send_cancel_entering; loc send_exit_entering;
+      loc ~kind:Location.Risky risky_core;
+      loc ~kind:Location.Risky send_cancel_risky;
+      loc ~kind:Location.Risky send_exit_abort;
+      loc ~kind:Location.Risky lease_expired;
+      loc ~kind:Location.Risky send_exit_expired;
+      loc ~kind:Location.Risky exiting1;
+      loc exiting2;
+    ]
+  in
+  let stim_request = Events.stim_request ~initializer_:me in
+  let stim_cancel = Events.stim_cancel ~initializer_:me in
+  let expiry_edges =
+    if lease then
+      [
+        edge ~guard:(ge clock e.Params.t_run_max) ~reset:reset_clock risky_core
+          lease_expired;
+        edge ~label:(Label.Internal (Events.to_stop ~entity:me)) lease_expired
+          send_exit_expired;
+        edge ~label:(Label.Send (Events.exit_up ~initializer_:me))
+          ~reset:reset_clock send_exit_expired exiting1;
+      ]
+    else []
+  in
+  let edges =
+    [
+      (* Fall-Back: the surgeon may request at any time (env stimulus). *)
+      edge ~label:(Label.Recv stim_request) ~reset:reset_clock fall_back
+        send_req;
+      edge ~label:(Label.Send (Events.request ~initializer_:me))
+        ~reset:reset_clock send_req requesting;
+      (* Requesting *)
+      edge ~label:(Label.Recv stim_cancel) ~reset:reset_clock requesting
+        send_cancel_req;
+      edge ~label:(Label.Send (Events.cancel_up ~initializer_:me))
+        ~reset:reset_clock send_cancel_req fall_back;
+      edge ~guard:(ge clock p.Params.t_req_max) ~reset:reset_clock requesting
+        fall_back;
+      edge ~label:(Label.Recv_lossy (Events.approve ~initializer_:me))
+        ~reset:reset_clock requesting entering;
+      (* Entering *)
+      edge ~label:(Label.Recv stim_cancel) ~reset:reset_clock entering
+        send_cancel_entering;
+      edge ~label:(Label.Send (Events.cancel_up ~initializer_:me))
+        ~reset:reset_clock send_cancel_entering exiting2;
+      edge ~label:(Label.Recv_lossy (Events.abort_down ~entity:me))
+        ~reset:reset_clock entering send_exit_entering;
+      edge ~label:(Label.Send (Events.exit_up ~initializer_:me))
+        ~reset:reset_clock send_exit_entering exiting2;
+      edge ~guard:(ge clock e.Params.t_enter_max) ~reset:reset_clock entering
+        risky_core;
+      (* Risky Core *)
+      edge ~label:(Label.Recv stim_cancel) ~reset:reset_clock risky_core
+        send_cancel_risky;
+      edge ~label:(Label.Send (Events.cancel_up ~initializer_:me))
+        ~reset:reset_clock send_cancel_risky exiting1;
+      edge ~label:(Label.Recv_lossy (Events.abort_down ~entity:me))
+        ~reset:reset_clock risky_core send_exit_abort;
+      edge ~label:(Label.Send (Events.exit_up ~initializer_:me))
+        ~reset:reset_clock send_exit_abort exiting1;
+    ]
+    @ expiry_edges
+    @ [
+        (* Exiting: dwell exactly T_exit,N, then back to Fall-Back. *)
+        edge ~guard:(ge clock e.Params.t_exit) ~reset:reset_clock exiting1
+          fall_back;
+        edge ~guard:(ge clock e.Params.t_exit) ~reset:reset_clock exiting2
+          fall_back;
+      ]
+  in
+  Automaton.make ~name:me ~vars:[ clock ] ~locations ~edges
+    ~initial_location:fall_back ()
+
+(** {1 Participant} *)
+
+let participant ?(lease = true) (p : Params.t) ~index =
+  if index < 1 || index > Params.n p - 1 then
+    Fmt.invalid_arg "participant index %d out of range 1..%d" index
+      (Params.n p - 1);
+  let e = p.Params.entities.(index - 1) in
+  let me = e.Params.name in
+  let flow = Flow.Rates [ (clock, 1.0) ] in
+  let loc ?(kind = Location.Safe) location_name =
+    Location.make ~kind ~flow location_name
+  in
+  let l0 = "L0" in
+  let send_approve = "Send Approve" in
+  let send_deny = "Send Deny" in
+  let lease_expired = "Lease Expired" in
+  let send_exited_1 = "Send Exited 1" in
+  let send_exited_2 = "Send Exited 2" in
+  let locations =
+    [
+      loc fall_back; loc "Send Exited (idle)"; loc l0; loc send_approve;
+      loc send_deny; loc entering;
+      loc ~kind:Location.Risky risky_core;
+      loc ~kind:Location.Risky lease_expired;
+      loc ~kind:Location.Risky exiting1;
+      loc exiting2; loc send_exited_1; loc send_exited_2;
+    ]
+  in
+  let cancel = Events.cancel_down ~entity:me in
+  let abort = Events.abort_down ~entity:me in
+  let expiry_edges =
+    if lease then
+      [
+        edge ~guard:(ge clock e.Params.t_run_max) ~reset:reset_clock risky_core
+          lease_expired;
+        edge ~label:(Label.Internal (Events.lease_expired ~entity:me))
+          lease_expired exiting1;
+      ]
+    else []
+  in
+  let idle_ack = "Send Exited (idle)" in
+  let edges =
+    [
+      edge ~label:(Label.Recv_lossy (Events.lease_req ~participant:me))
+        ~reset:reset_clock fall_back l0;
+      (* Idle acks: a cancel/abort reaching a participant that is already
+         back in Fall-Back is answered with the exited confirmation, so a
+         supervisor chain never stalls on a participant that has nothing
+         left to do. (The Initializer deliberately has no such ack: the
+         paper's §V scenario analyses the supervisor stalling on a lost
+         evtξN→ξ0Exit.) *)
+      edge ~label:(Label.Recv_lossy cancel) fall_back idle_ack;
+      edge ~label:(Label.Recv_lossy abort) fall_back idle_ack;
+      edge ~label:(Label.Send (Events.exited_up ~participant:me)) idle_ack
+        fall_back;
+      (* L0: decide on the ParticipationCondition. *)
+      edge ~guard:(ge participation_var 0.5) l0 send_approve;
+      edge ~guard:(lt participation_var 0.5) l0 send_deny;
+      edge ~label:(Label.Send (Events.lease_approve ~participant:me))
+        ~reset:reset_clock send_approve entering;
+      edge ~label:(Label.Send (Events.lease_deny ~participant:me))
+        ~reset:reset_clock send_deny fall_back;
+      (* Entering *)
+      edge ~label:(Label.Recv_lossy cancel) ~reset:reset_clock entering exiting2;
+      edge ~label:(Label.Recv_lossy abort) ~reset:reset_clock entering exiting2;
+      edge ~guard:(ge clock e.Params.t_enter_max) ~reset:reset_clock entering
+        risky_core;
+      (* Risky Core *)
+      edge ~label:(Label.Recv_lossy cancel) ~reset:reset_clock risky_core
+        exiting1;
+      edge ~label:(Label.Recv_lossy abort) ~reset:reset_clock risky_core
+        exiting1;
+    ]
+    @ expiry_edges
+    @ [
+        edge ~guard:(ge clock e.Params.t_exit) ~reset:reset_clock exiting1
+          send_exited_1;
+        edge ~label:(Label.Send (Events.exited_up ~participant:me))
+          ~reset:reset_clock send_exited_1 fall_back;
+        edge ~guard:(ge clock e.Params.t_exit) ~reset:reset_clock exiting2
+          send_exited_2;
+        edge ~label:(Label.Send (Events.exited_up ~participant:me))
+          ~reset:reset_clock send_exited_2 fall_back;
+      ]
+  in
+  Automaton.make ~name:me ~vars:[ clock; participation_var ] ~locations ~edges
+    ~initial_location:fall_back
+    ~initial_values:[ (participation_var, 1.0) ]
+    ()
+
+(** {1 Whole-system assembly} *)
+
+(** The hybrid system H of Theorem 1: ξ0 as Supervisor, ξN as
+    Initializer, ξ1..ξN−1 as Participants. [~lease:false] gives the
+    baseline used by the paper's "without Lease" trials. *)
+let system ?(lease = true) (p : Params.t) =
+  let n = Params.n p in
+  let participants =
+    List.init (n - 1) (fun idx -> participant ~lease p ~index:(idx + 1))
+  in
+  System.make ~name:"pte-lease-pattern"
+    ((supervisor p :: participants) @ [ initializer_ ~lease p ])
+
+(** Names of the remote entities, in PTE order (for network setup). *)
+let remotes (p : Params.t) =
+  Array.to_list
+    (Array.map (fun (e : Params.entity) -> e.Params.name) p.Params.entities)

@@ -1,0 +1,80 @@
+(** Specification of PTE safety rules (Section III).
+
+    A {!t} captures everything the two rules quantify over:
+
+    - {e Rule 1 (Bounded Dwelling)}: for each remote entity, an upper
+      bound on continuous dwelling in risky-locations;
+    - {e Rule 2 (Proper-Temporal-Embedding)}: the full order
+      ξ1 < ξ2 < … < ξN together with, for each consecutive pair, the
+      enter-risky safeguard T^min_risky:i→i+1 (Definition 1, p1) and the
+      exit-risky safeguard T^min_safe:i+1→i (p3); p2 is the embedding
+      itself. *)
+
+type pair = {
+  outer : string;  (** ξi: enters risky first, exits last. *)
+  inner : string;  (** ξi+1. *)
+  enter_risky_min : float;  (** T^min_risky:outer→inner. *)
+  exit_safe_min : float;  (** T^min_safe:inner→outer. *)
+}
+
+type t = {
+  order : string list;  (** ξ1 .. ξN. *)
+  dwell_bounds : (string * float) list;  (** Rule 1, per entity. *)
+  pairs : pair list;  (** consecutive pairs of [order]. *)
+}
+
+let make ~order ~dwell_bounds ~safeguards =
+  let rec pairs_of = function
+    | a :: (b :: _ as rest), (sg : Params.safeguard) :: sgs ->
+        {
+          outer = a;
+          inner = b;
+          enter_risky_min = sg.Params.enter_risky_min;
+          exit_safe_min = sg.Params.exit_safe_min;
+        }
+        :: pairs_of (rest, sgs)
+    | _ -> []
+  in
+  if List.length safeguards <> List.length order - 1 then
+    invalid_arg "Rules.make: need one safeguard pair per consecutive pair";
+  { order; dwell_bounds; pairs = pairs_of (order, safeguards) }
+
+(** The specification induced by a pattern configuration, with Rule 1
+    bounds set to Theorem 1's guarantee T^max_wait + T^max_LS1 (the
+    tightest bound the theorem promises for every entity). *)
+let of_params (p : Params.t) =
+  let order =
+    Array.to_list (Array.map (fun (e : Params.entity) -> e.Params.name) p.Params.entities)
+  in
+  let bound = Params.risky_dwell_bound p in
+  make ~order
+    ~dwell_bounds:(List.map (fun name -> (name, bound)) order)
+    ~safeguards:(Array.to_list p.Params.safeguards)
+
+(** Same, but with explicit application-level dwell bounds (the case
+    study uses 60 s — "holding breath for <= 1 minute is always safe" —
+    rather than the theorem's tighter guarantee). *)
+let of_params_with_bounds (p : Params.t) ~dwell_bound =
+  let spec = of_params p in
+  {
+    spec with
+    dwell_bounds = List.map (fun (name, _) -> (name, dwell_bound)) spec.dwell_bounds;
+  }
+
+let dwell_bound t entity =
+  match List.assoc_opt entity t.dwell_bounds with
+  | Some b -> b
+  | None -> infinity
+
+let pp_pair ppf p =
+  Fmt.pf ppf "%s < %s (enter>=%g, exit>=%g)" p.outer p.inner p.enter_risky_min
+    p.exit_safe_min
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>PTE order: %a@,bounds: %a@,%a@]"
+    Fmt.(list ~sep:(any " < ") string)
+    t.order
+    Fmt.(list ~sep:comma (pair ~sep:(any ":") string float))
+    t.dwell_bounds
+    Fmt.(list ~sep:cut pp_pair)
+    t.pairs

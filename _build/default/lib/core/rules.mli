@@ -1,0 +1,43 @@
+(** Specification of the PTE safety rules (Section III).
+
+    A {!t} captures everything Rules 1 and 2 quantify over: the full
+    order ξ1 < … < ξN, per-entity bounds on continuous risky dwelling,
+    and per consecutive pair the enter-risky safeguard T^min_risky:i→i+1
+    (Definition 1, p1) and the exit-risky safeguard T^min_safe:i+1→i
+    (p3); p2 is the embedding itself. *)
+
+(** One consecutive pair of the full order. *)
+type pair = {
+  outer : string;  (** ξi: enters risky first, exits last. *)
+  inner : string;  (** ξi+1. *)
+  enter_risky_min : float;  (** T^min_risky:outer→inner. *)
+  exit_safe_min : float;  (** T^min_safe:inner→outer. *)
+}
+
+type t = {
+  order : string list;  (** ξ1 .. ξN. *)
+  dwell_bounds : (string * float) list;  (** Rule 1, per entity. *)
+  pairs : pair list;  (** consecutive pairs of [order]. *)
+}
+
+val make :
+  order:string list ->
+  dwell_bounds:(string * float) list ->
+  safeguards:Params.safeguard list ->
+  t
+(** Raises [Invalid_argument] unless there is exactly one safeguard per
+    consecutive pair. *)
+
+val of_params : Params.t -> t
+(** The spec induced by a configuration, with Rule 1 bounds set to the
+    Theorem 1 guarantee {!Params.risky_dwell_bound}. *)
+
+val of_params_with_bounds : Params.t -> dwell_bound:float -> t
+(** Same, with an explicit application-level dwell bound (the case study
+    uses 60 s — "holding breath for <= 1 minute is always safe"). *)
+
+val dwell_bound : t -> string -> float
+(** [infinity] for entities without a declared bound. *)
+
+val pp_pair : pair Fmt.t
+val pp : t Fmt.t

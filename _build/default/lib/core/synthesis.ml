@@ -1,0 +1,128 @@
+(** Constructive parameter synthesis for Theorem 1.
+
+    Given the application-level requirements — the PTE order, the
+    safeguard intervals, each entity's useful risky time and a bound on
+    risky dwelling — derive configuration constants satisfying c1–c7, or
+    explain why none exist. The derivation follows the structure of the
+    constraints:
+
+    - c7 fixes exits bottom-up: T_exit,i must exceed the exit safeguard;
+      our cancel/abort chains additionally want
+      T_exit,i >= T_exit,i+1 + T_safe:i+1→i (+ margin) so a cancelled
+      inner entity is always outlived by its outer neighbour.
+    - c5 fixes enters top-down along the chain:
+      T_enter,i+1 > T_enter,i + T_risky:i→i+1.
+    - c6 fixes runs backwards from the Initializer's requested run time:
+      T_run,i > T_wait + T_enter,i+1 + T_run,i+1 + T_exit,i+1 − T_enter,i.
+    - c2/c3/c4 are then checked (they may fail if the requested run time
+      or N make T_LS1 incompatible; the margins are conservative). *)
+
+type requirements = {
+  supervisor : string;
+  entity_names : string list;  (** ξ1 .. ξN in PTE order; N >= 2. *)
+  safeguards : Params.safeguard list;  (** length N−1. *)
+  initializer_run : float;
+      (** Useful risky time for the Initializer (T^max_run,N). *)
+  t_wait_max : float;  (** Supervisor wait timeout (e.g. a few RTTs). *)
+  margin : float;  (** Slack added to every strict inequality. *)
+}
+
+let default_requirements ~entity_names ~safeguards =
+  {
+    supervisor = "supervisor";
+    entity_names;
+    safeguards;
+    initializer_run = 20.0;
+    t_wait_max = 3.0;
+    margin = 1.0;
+  }
+
+type error =
+  | Too_few_entities of int
+  | Bad_safeguard_count of { expected : int; got : int }
+  | Nonpositive of string
+  | Infeasible of Constraints.outcome list
+
+let pp_error ppf = function
+  | Too_few_entities n -> Fmt.pf ppf "need N >= 2 entities, got %d" n
+  | Bad_safeguard_count { expected; got } ->
+      Fmt.pf ppf "need %d safeguard pairs, got %d" expected got
+  | Nonpositive what -> Fmt.pf ppf "%s must be positive" what
+  | Infeasible outcomes ->
+      Fmt.pf ppf "synthesized constants violate: %a"
+        Fmt.(list ~sep:comma string)
+        (List.map
+           (fun c -> Constraints.condition_name c)
+           (Constraints.violated outcomes))
+
+let synthesize (r : requirements) : (Params.t, error) result =
+  let n = List.length r.entity_names in
+  if n < 2 then Error (Too_few_entities n)
+  else if List.length r.safeguards <> n - 1 then
+    Error
+      (Bad_safeguard_count { expected = n - 1; got = List.length r.safeguards })
+  else if r.initializer_run <= 0.0 then Error (Nonpositive "initializer_run")
+  else if r.t_wait_max <= 0.0 then Error (Nonpositive "t_wait_max")
+  else if r.margin <= 0.0 then Error (Nonpositive "margin")
+  else begin
+    let names = Array.of_list r.entity_names in
+    let safeguards = Array.of_list r.safeguards in
+    let t_enter = Array.make n 0.0 in
+    let t_run = Array.make n 0.0 in
+    let t_exit = Array.make n 0.0 in
+    (* exits: bottom of the chain upward (c7 + chain-descent headroom) *)
+    t_exit.(n - 1) <- r.margin;
+    for i = n - 2 downto 0 do
+      t_exit.(i) <-
+        t_exit.(i + 1) +. safeguards.(i).Params.exit_safe_min +. r.margin
+    done;
+    (* enters: top of the chain downward (c5) *)
+    t_enter.(0) <- r.margin;
+    for i = 1 to n - 1 do
+      t_enter.(i) <-
+        t_enter.(i - 1) +. safeguards.(i - 1).Params.enter_risky_min +. r.margin
+    done;
+    (* runs: initializer's request, then backwards (c6) *)
+    t_run.(n - 1) <- r.initializer_run;
+    for i = n - 2 downto 0 do
+      t_run.(i) <-
+        r.t_wait_max +. t_enter.(i + 1) +. t_run.(i + 1) +. t_exit.(i + 1)
+        +. r.margin -. t_enter.(i)
+    done;
+    let entities =
+      Array.init n (fun i ->
+          {
+            Params.name = names.(i);
+            t_enter_max = t_enter.(i);
+            t_run_max = t_run.(i);
+            t_exit = t_exit.(i);
+          })
+    in
+    let t_ls1 = t_enter.(0) +. t_run.(0) +. t_exit.(0) in
+    (* c3: any value strictly inside ((N-1) T_wait, T_LS1) *)
+    let t_req_max =
+      let lo = Float.of_int (n - 1) *. r.t_wait_max in
+      Float.min (lo +. r.margin) ((lo +. t_ls1) /. 2.0)
+    in
+    (* Fall-Back cool-down: enough for in-flight stragglers to clear. The
+       case study uses 13 s for N = 2; we scale with the chain length. *)
+    let t_fb_min = Float.max r.margin (Float.of_int n *. r.t_wait_max) +. 2.0 *. r.margin in
+    let params =
+      {
+        Params.supervisor = r.supervisor;
+        t_wait_max = r.t_wait_max;
+        t_fb_min;
+        t_req_max;
+        entities;
+        safeguards;
+      }
+    in
+    let outcomes = Constraints.check params in
+    if Constraints.all_ok outcomes then Ok params
+    else Error (Infeasible outcomes)
+  end
+
+let synthesize_exn r =
+  match synthesize r with
+  | Ok p -> p
+  | Error e -> Fmt.invalid_arg "synthesis failed: %a" pp_error e

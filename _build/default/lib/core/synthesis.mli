@@ -1,0 +1,34 @@
+(** Constructive parameter synthesis for Theorem 1: derive configuration
+    constants satisfying c1–c7 from application-level safety
+    requirements, or explain why none exist. The derivation is
+    margin-based: exits bottom-up from c7, enters top-down from c5, runs
+    backwards from the Initializer's useful risky time via c6. *)
+
+type requirements = {
+  supervisor : string;
+  entity_names : string list;  (** ξ1 .. ξN in PTE order; N >= 2. *)
+  safeguards : Params.safeguard list;  (** length N−1. *)
+  initializer_run : float;
+      (** Useful risky time for the Initializer (becomes T^max_run,N). *)
+  t_wait_max : float;  (** Supervisor wait timeout (a few RTTs). *)
+  margin : float;  (** Slack added to every strict inequality. *)
+}
+
+val default_requirements :
+  entity_names:string list -> safeguards:Params.safeguard list -> requirements
+(** 20 s run time, 3 s wait, 1 s margin. *)
+
+type error =
+  | Too_few_entities of int
+  | Bad_safeguard_count of { expected : int; got : int }
+  | Nonpositive of string
+  | Infeasible of Constraints.outcome list
+      (** The derived constants violate some condition (conservative
+          margins can make tight requirement sets infeasible). *)
+
+val pp_error : error Fmt.t
+
+val synthesize : requirements -> (Params.t, error) result
+(** On [Ok p], [Constraints.satisfies p] holds. *)
+
+val synthesize_exn : requirements -> Params.t

@@ -1,0 +1,1 @@
+lib/hybrid/automaton.ml: Edge Fmt Guard Label List Location Printf Reset String Valuation Var

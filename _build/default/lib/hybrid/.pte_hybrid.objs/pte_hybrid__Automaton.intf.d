@@ -1,0 +1,1 @@
+lib/hybrid/automaton.mli: Edge Fmt Label Location Valuation Var

@@ -1,0 +1,1 @@
+lib/hybrid/dot.ml: Automaton Edge Fmt Fun Guard Label List Location Reset String

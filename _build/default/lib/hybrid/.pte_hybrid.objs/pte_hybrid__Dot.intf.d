@@ -1,0 +1,1 @@
+lib/hybrid/dot.mli: Automaton Fmt

@@ -1,0 +1,1 @@
+lib/hybrid/edge.ml: Fmt Guard Label Reset

@@ -1,0 +1,1 @@
+lib/hybrid/edge.mli: Fmt Guard Label Reset

@@ -1,0 +1,1 @@
+lib/hybrid/elaboration.ml: Automaton Edge Flow Fmt List Location String Var

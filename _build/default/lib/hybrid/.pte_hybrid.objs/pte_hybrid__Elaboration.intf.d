@@ -1,0 +1,1 @@
+lib/hybrid/elaboration.mli: Automaton Fmt

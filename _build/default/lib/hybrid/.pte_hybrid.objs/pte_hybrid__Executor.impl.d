@@ -1,0 +1,1 @@
+lib/hybrid/executor.ml: Automaton Edge Flow Fmt Guard Hashtbl Label List Location Reset String System Trace Valuation Var

@@ -1,0 +1,1 @@
+lib/hybrid/executor.mli: System Trace Valuation Var

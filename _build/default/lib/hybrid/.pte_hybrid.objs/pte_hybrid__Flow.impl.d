@@ -1,0 +1,1 @@
+lib/hybrid/flow.ml: Fmt List Valuation Var

@@ -1,0 +1,1 @@
+lib/hybrid/flow.mli: Fmt Valuation Var

@@ -1,0 +1,1 @@
+lib/hybrid/guard.ml: Float Fmt List Valuation Var

@@ -1,0 +1,1 @@
+lib/hybrid/guard.mli: Fmt Valuation Var

@@ -1,0 +1,1 @@
+lib/hybrid/label.ml: Fmt String

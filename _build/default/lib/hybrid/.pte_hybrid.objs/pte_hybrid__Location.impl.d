@@ -1,0 +1,1 @@
+lib/hybrid/location.ml: Flow Fmt Guard

@@ -1,0 +1,1 @@
+lib/hybrid/location.mli: Flow Fmt Guard

@@ -1,0 +1,1 @@
+lib/hybrid/reset.ml: Fmt List Valuation Var

@@ -1,0 +1,1 @@
+lib/hybrid/reset.mli: Fmt Valuation Var

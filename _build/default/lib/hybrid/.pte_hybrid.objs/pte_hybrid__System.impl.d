@@ -1,0 +1,1 @@
+lib/hybrid/system.ml: Automaton Fmt List String Var

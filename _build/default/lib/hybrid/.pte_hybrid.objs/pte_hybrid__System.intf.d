@@ -1,0 +1,1 @@
+lib/hybrid/system.mli: Automaton Fmt

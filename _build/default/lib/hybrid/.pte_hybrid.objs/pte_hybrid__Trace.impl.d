@@ -1,0 +1,1 @@
+lib/hybrid/trace.ml: Float Fmt Label List String Var

@@ -1,0 +1,1 @@
+lib/hybrid/trace.mli: Fmt Label Var

@@ -1,0 +1,1 @@
+lib/hybrid/valuation.ml: Float Fmt List Option Var

@@ -1,0 +1,1 @@
+lib/hybrid/valuation.mli: Fmt Var

@@ -1,0 +1,1 @@
+lib/hybrid/var.ml: Fmt Map Printf Set String

@@ -1,0 +1,1 @@
+lib/hybrid/var.mli: Fmt Map Set

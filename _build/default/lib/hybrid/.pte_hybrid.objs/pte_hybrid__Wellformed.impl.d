@@ -1,0 +1,1 @@
+lib/hybrid/wellformed.ml: Automaton Edge Float Flow Fmt Guard Hashtbl List Location String

@@ -1,0 +1,1 @@
+lib/hybrid/wellformed.mli: Automaton Fmt

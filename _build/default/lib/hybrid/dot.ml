@@ -1,0 +1,56 @@
+(** Graphviz export for hybrid automata, for inspecting generated pattern
+    automata and their elaborations (the repository's analogue of the
+    paper's Figs. 2–6). *)
+
+let escape s =
+  String.concat "\\\""
+    (String.split_on_char '"' s)
+
+let automaton ppf (a : Automaton.t) =
+  Fmt.pf ppf "digraph \"%s\" {\n" (escape a.Automaton.name);
+  Fmt.pf ppf "  rankdir=LR;\n  node [shape=box, style=rounded];\n";
+  List.iter
+    (fun (l : Location.t) ->
+      let color =
+        if Location.is_risky l then ", color=red, penwidth=2.0" else ""
+      in
+      let invariant =
+        if l.Location.invariant = Guard.always then ""
+        else Fmt.str "\\n%a" Guard.pp l.Location.invariant
+      in
+      Fmt.pf ppf "  \"%s\" [label=\"%s%s\"%s];\n" (escape l.Location.name)
+        (escape l.Location.name) (escape invariant) color)
+    a.Automaton.locations;
+  Fmt.pf ppf "  \"__init\" [shape=point];\n";
+  Fmt.pf ppf "  \"__init\" -> \"%s\";\n" (escape a.Automaton.initial_location);
+  List.iter
+    (fun (e : Edge.t) ->
+      let label =
+        let guard =
+          if e.Edge.guard = Guard.always then ""
+          else Fmt.str "%a" Guard.pp e.Edge.guard
+        in
+        let sync =
+          match e.Edge.label with
+          | None -> ""
+          | Some l -> Fmt.str "%a" Label.pp l
+        in
+        let reset =
+          if e.Edge.reset = Reset.identity then ""
+          else Fmt.str "%a" Reset.pp e.Edge.reset
+        in
+        String.concat "\\n"
+          (List.filter (fun s -> s <> "") [ guard; sync; reset ])
+      in
+      Fmt.pf ppf "  \"%s\" -> \"%s\" [label=\"%s\"];\n" (escape e.Edge.src)
+        (escape e.Edge.dst) (escape label))
+    a.Automaton.edges;
+  Fmt.pf ppf "}\n"
+
+let to_string a = Fmt.str "%a" automaton a
+
+let write_file path a =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string a))

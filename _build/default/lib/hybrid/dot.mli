@@ -1,0 +1,7 @@
+(** Graphviz export for hybrid automata — the repository's analogue of
+    the paper's automata figures. Risky locations are outlined in red;
+    edges carry guard/label/reset annotations. *)
+
+val automaton : Automaton.t Fmt.t
+val to_string : Automaton.t -> string
+val write_file : string -> Automaton.t -> unit

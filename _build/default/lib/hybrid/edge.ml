@@ -1,0 +1,51 @@
+(** Edges (discrete transitions) of a hybrid automaton.
+
+    An edge [e = (v, v')] with guard set [g(e)], reset [r_e] and optional
+    synchronization label [syn(e)] (Section II-A, items 5–8).
+
+    Urgency is an executor-level annotation refining the paper's informal
+    "transits when …" prose into executable semantics:
+
+    - {!Eager}: fires as soon as its guard holds (lease expirations,
+      dwell-time transitions such as "if ξN dwells continuously in
+      'Entering' for T^max_enter,N, it transits to 'Risky Core'").
+    - {!Delayed}: may fire any time its guard holds; the executor only
+      forces it when the location invariant is about to be violated, and
+      the model checker explores all firing times. Environment choices
+      ("can send event … at any time") are modeled as receive edges
+      triggered by scenario stimuli instead, mirroring the paper's own
+      emulation of the surgeon by random timers.
+
+    Edges whose label is a receive ([?l] / [??l]) fire only upon event
+    delivery, never spontaneously. *)
+
+type urgency = Eager | Delayed
+
+type t = {
+  src : string;
+  dst : string;
+  guard : Guard.t;
+  reset : Reset.t;
+  label : Label.t option;
+  urgency : urgency;
+}
+
+let make ?(guard = Guard.always) ?(reset = Reset.identity) ?label
+    ?(urgency = Eager) ~src ~dst () =
+  { src; dst; guard; reset; label; urgency }
+
+let is_triggered edge =
+  match edge.label with Some l -> Label.is_receive l | None -> false
+
+let is_spontaneous edge = not (is_triggered edge)
+
+let trigger_root edge =
+  match edge.label with
+  | Some (Label.Recv r | Label.Recv_lossy r) -> Some r
+  | _ -> None
+
+let pp ppf e =
+  Fmt.pf ppf "%s -> %s [%a]%a%s" e.src e.dst Guard.pp e.guard
+    (Fmt.option (fun ppf l -> Fmt.pf ppf " %a" Label.pp l))
+    e.label
+    (match e.urgency with Eager -> "" | Delayed -> " (delayed)")

@@ -1,0 +1,32 @@
+(** Edges: discrete transitions with guard, reset and optional
+    synchronization label (Section II-A items 5–8), plus an executor
+    urgency annotation: {!Eager} fires as soon as enabled (lease
+    expirations, dwell-time steps), {!Delayed} fires nondeterministically
+    and is forced only at invariant boundaries. Receive-labelled edges
+    fire only upon event delivery. *)
+
+type urgency = Eager | Delayed
+
+type t = {
+  src : string;
+  dst : string;
+  guard : Guard.t;
+  reset : Reset.t;
+  label : Label.t option;
+  urgency : urgency;
+}
+
+val make :
+  ?guard:Guard.t ->
+  ?reset:Reset.t ->
+  ?label:Label.t ->
+  ?urgency:urgency ->
+  src:string ->
+  dst:string ->
+  unit ->
+  t
+
+val is_triggered : t -> bool
+val is_spontaneous : t -> bool
+val trigger_root : t -> string option
+val pp : t Fmt.t

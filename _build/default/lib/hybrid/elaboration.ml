@@ -1,0 +1,173 @@
+(** Elaboration of hybrid automata (Section IV-C).
+
+    The methodology expands a location [v] of a pattern automaton [A]
+    with an independent {e simple} child automaton [A'], producing
+    [A'' = E(A, v, A')]:
+
+    1. location [v] is replaced by the locations of [A'];
+    2. former ingress edges to [v] become ingress edges to [A']'s
+       initial location;
+    3. former egress edges from [v] become egress edges from {e every}
+       location of [A'];
+    4. inside [A'], the data state variables of [A] keep the continuous
+       behaviour they had in [v] (the child locations' flows are combined
+       with [v]'s flow, and their invariants conjoined with [v]'s);
+    5. outside [A'], the data state variables of [A'] are frozen — this
+       holds by construction since flows only list their own variables.
+
+    Theorem 2 then transfers the PTE guarantee from the pattern to any
+    design whose member automata elaborate the pattern automata at
+    mutually independent, simple children; [pte_core.Compliance] performs
+    those checks on whole systems. *)
+
+type error =
+  | Not_independent of string * string
+  | Not_simple of string
+  | No_such_location of string * string
+  | Duplicate_target of string
+
+let pp_error ppf = function
+  | Not_independent (a, b) ->
+      Fmt.pf ppf "automata %s and %s are not independent (Definition 2)" a b
+  | Not_simple a -> Fmt.pf ppf "automaton %s is not simple (Definition 3)" a
+  | No_such_location (a, v) ->
+      Fmt.pf ppf "automaton %s has no location %s" a v
+  | Duplicate_target v ->
+      Fmt.pf ppf "location %s elaborated more than once" v
+
+(** Child locations inherit the safe/risky kind of the location they
+    replace: the PTE partition is defined at the pattern level, and the
+    whole child automaton dwells "inside" the pattern location. *)
+let atomic (a : Automaton.t) v (child : Automaton.t) :
+    (Automaton.t, error) result =
+  match Automaton.find_location a v with
+  | None -> Error (No_such_location (a.Automaton.name, v))
+  | Some parent ->
+      if not (Automaton.independent a child) then
+        Error (Not_independent (a.Automaton.name, child.Automaton.name))
+      else if not (Automaton.is_simple child) then
+        Error (Not_simple child.Automaton.name)
+      else begin
+        let child_locations =
+          List.map
+            (fun (l : Location.t) ->
+              {
+                Location.name = l.Location.name;
+                kind = parent.Location.kind;
+                invariant = parent.Location.invariant @ l.Location.invariant;
+                flow = Flow.combine parent.Location.flow l.Location.flow;
+              })
+            child.Automaton.locations
+        in
+        let locations =
+          List.filter
+            (fun (l : Location.t) -> not (String.equal l.Location.name v))
+            a.Automaton.locations
+          @ child_locations
+        in
+        let child_initial = child.Automaton.initial_location in
+        let redirect (e : Edge.t) =
+          (* parent edges: retarget ingress to the child's initial
+             location; expand egress to leave from every child location. *)
+          if String.equal e.Edge.src v && String.equal e.Edge.dst v then
+            List.map
+              (fun (l : Location.t) ->
+                { e with Edge.src = l.Location.name; dst = child_initial })
+              child_locations
+          else if String.equal e.Edge.dst v then
+            [ { e with Edge.dst = child_initial } ]
+          else if String.equal e.Edge.src v then
+            List.map
+              (fun (l : Location.t) -> { e with Edge.src = l.Location.name })
+              child_locations
+          else [ e ]
+        in
+        let edges =
+          List.concat_map redirect a.Automaton.edges @ child.Automaton.edges
+        in
+        let initial_location =
+          if String.equal a.Automaton.initial_location v then child_initial
+          else a.Automaton.initial_location
+        in
+        Ok
+          {
+            Automaton.name = a.Automaton.name;
+            vars = a.Automaton.vars @ child.Automaton.vars;
+            locations;
+            edges;
+            initial_location;
+            initial_values =
+              a.Automaton.initial_values @ child.Automaton.initial_values;
+          }
+      end
+
+let atomic_exn a v child =
+  match atomic a v child with
+  | Ok a'' -> a''
+  | Error e -> Fmt.invalid_arg "elaboration failed: %a" pp_error e
+
+(** Parallel elaboration [E(A, (v1..vk), (A1..Ak))]: repeated atomic
+    elaboration. Requires the target locations to be distinct and the
+    children mutually independent (checked pairwise, including against
+    the evolving parent, which subsumes the paper's mutual-independence
+    premise). *)
+let parallel (a : Automaton.t) (targets : (string * Automaton.t) list) :
+    (Automaton.t, error) result =
+  let rec distinct = function
+    | [] -> Ok ()
+    | (v, _) :: rest ->
+        if List.exists (fun (v', _) -> String.equal v v') rest then
+          Error (Duplicate_target v)
+        else distinct rest
+  in
+  match distinct targets with
+  | Error e -> Error e
+  | Ok () ->
+      List.fold_left
+        (fun acc (v, child) ->
+          match acc with
+          | Error _ as e -> e
+          | Ok a' -> atomic a' v child)
+        (Ok a) targets
+
+let parallel_exn a targets =
+  match parallel a targets with
+  | Ok a'' -> a''
+  | Error e -> Fmt.invalid_arg "parallel elaboration failed: %a" pp_error e
+
+(** [elaborates ~pattern ~design] checks that [design] could be the
+    result of elaborating [pattern] at some locations: every pattern
+    location either survives verbatim or was replaced, every surviving
+    pattern edge is present, and the pattern's variables are preserved.
+    This is a sufficient structural audit used by Theorem 2 compliance
+    checking (a full behavioural check is undecidable in general). *)
+let elaborates ~(pattern : Automaton.t) ~(design : Automaton.t) =
+  let design_locations = Automaton.location_names design in
+  let surviving =
+    List.filter
+      (fun n -> List.exists (String.equal n) design_locations)
+      (Automaton.location_names pattern)
+  in
+  let vars_preserved =
+    List.for_all
+      (fun v -> List.exists (Var.equal v) design.Automaton.vars)
+      pattern.Automaton.vars
+  in
+  let edges_preserved =
+    List.for_all
+      (fun (e : Edge.t) ->
+        (* edges between surviving locations must appear unchanged *)
+        if
+          List.exists (String.equal e.Edge.src) surviving
+          && List.exists (String.equal e.Edge.dst) surviving
+        then
+          List.exists
+            (fun (e' : Edge.t) ->
+              String.equal e.Edge.src e'.Edge.src
+              && String.equal e.Edge.dst e'.Edge.dst
+              && e.Edge.label = e'.Edge.label)
+            design.Automaton.edges
+        else true)
+      pattern.Automaton.edges
+  in
+  vars_preserved && edges_preserved

@@ -1,0 +1,31 @@
+(** Elaboration of hybrid automata (Section IV-C): expand a location [v]
+    of a pattern automaton [A] with an independent {e simple} child
+    automaton [A'], producing [A'' = E(A, v, A')] — ingress edges
+    retarget to the child's initial location, egress edges leave from
+    every child location, [A]'s variables keep [v]'s dynamics inside the
+    child, the child's variables are frozen outside. *)
+
+type error =
+  | Not_independent of string * string  (** Definition 2 fails *)
+  | Not_simple of string  (** Definition 3 fails *)
+  | No_such_location of string * string
+  | Duplicate_target of string
+
+val pp_error : error Fmt.t
+
+val atomic : Automaton.t -> string -> Automaton.t -> (Automaton.t, error) result
+(** [atomic a v child] is [E(a, v, child)]. Child locations inherit the
+    safe/risky kind of [v]. *)
+
+val atomic_exn : Automaton.t -> string -> Automaton.t -> Automaton.t
+
+val parallel :
+  Automaton.t -> (string * Automaton.t) list -> (Automaton.t, error) result
+(** [E(A, (v1..vk), (A1..Ak))]: repeated atomic elaboration at distinct
+    locations. *)
+
+val parallel_exn : Automaton.t -> (string * Automaton.t) list -> Automaton.t
+
+val elaborates : pattern:Automaton.t -> design:Automaton.t -> bool
+(** Structural audit used by Theorem 2 compliance: every surviving
+    pattern location/edge/variable appears unchanged in the design. *)

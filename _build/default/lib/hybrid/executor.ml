@@ -1,0 +1,336 @@
+(** Fixed-step executor for hybrid systems.
+
+    Executes a {!System.t} under the semantics of Section II: per
+    location, data state variables evolve along the flow map while the
+    invariant holds; discrete transitions fire when guards hold, reset
+    variables, and exchange events through synchronization labels.
+
+    Operational choices (documented here because the paper gives
+    denotational semantics only):
+
+    - Time advances in fixed steps of [config.dt] (default 1 ms) using
+      explicit Euler integration. All configuration constants of the
+      design pattern are >= 1 s in the case study, so the discretization
+      error is orders of magnitude below every constraint margin.
+    - If a step would violate the current invariant, the executor
+      bisects to the boundary, fires an enabled spontaneous edge there
+      ({e forced} transition), and finishes the step under the new
+      location's flow. A boundary with no enabled edge is a time-block
+      and raises {!Time_block} — the paper assumes time-block-free
+      automata, so this surfaces modeling errors.
+    - {!Edge.Eager} edges fire as soon as their guard holds (checked at
+      step boundaries and after every discrete change).
+    - Event transport is delegated to a pluggable {!router}: the closed
+      (wired) semantics delivers instantly and reliably; [pte_sim] plugs
+      in the wireless star network, making [??l] receptions lossy.
+    - A bounded number of discrete changes may occur per instant;
+      exceeding it raises {!Zeno} (the paper assumes non-zeno automata). *)
+
+exception Time_block of { automaton : string; location : string; time : float }
+exception Zeno of { automaton : string; time : float }
+
+type route_decision =
+  | Deliver of float  (** deliver after the given delay (seconds) *)
+  | Lose
+
+type router =
+  time:float -> sender:string -> root:string -> receiver:string ->
+  route_decision
+
+let reliable_router ~time:_ ~sender:_ ~root:_ ~receiver:_ = Deliver 0.0
+
+type config = {
+  dt : float;
+  max_chain : int;
+      (** Maximum discrete transitions per automaton per instant. *)
+  sample_vars : (string * Var.t) list;
+      (** [(automaton, var)] pairs recorded every {!sample_period}. *)
+  sample_period : float;
+}
+
+let default_config =
+  { dt = 1e-3; max_chain = 64; sample_vars = []; sample_period = 1.0 }
+
+type automaton_state = {
+  automaton : Automaton.t;
+  mutable location : Location.t;
+  mutable valuation : Valuation.t;
+  mutable entered_at : float;
+}
+
+type pending = { due : float; receiver : string; root : string; seq : int }
+
+type t = {
+  system : System.t;
+  config : config;
+  mutable now : float;
+  states : (string, automaton_state) Hashtbl.t;
+  order : string list;
+  mutable queue : pending list;  (* sorted by (due, seq) *)
+  mutable seq : int;
+  recorder : Trace.Recorder.recorder;
+  mutable router : router;
+  mutable next_sample : float;
+}
+
+let create ?(config = default_config) ?trace_sink system =
+  let system = System.validate_exn system in
+  let states = Hashtbl.create 16 in
+  let recorder = Trace.Recorder.create ?sink:trace_sink () in
+  let order =
+    List.map (fun (a : Automaton.t) -> a.Automaton.name) system.automata
+  in
+  List.iter
+    (fun (a : Automaton.t) ->
+      let location = Automaton.location_exn a a.Automaton.initial_location in
+      let valuation = Automaton.initial_valuation a in
+      Hashtbl.replace states a.Automaton.name
+        { automaton = a; location; valuation; entered_at = 0.0 };
+      Trace.Recorder.record recorder ~time:0.0
+        (Trace.Enter_location
+           { automaton = a.Automaton.name; location = location.Location.name }))
+    system.automata;
+  {
+    system;
+    config;
+    now = 0.0;
+    states;
+    order;
+    queue = [];
+    seq = 0;
+    recorder;
+    router = reliable_router;
+    next_sample = 0.0;
+  }
+
+let set_router t router = t.router <- router
+let time t = t.now
+let trace t = Trace.Recorder.entries t.recorder
+
+let state t name =
+  match Hashtbl.find_opt t.states name with
+  | Some s -> s
+  | None -> Fmt.invalid_arg "executor: unknown automaton %s" name
+
+let location_of t name = (state t name).location.Location.name
+let valuation_of t name = (state t name).valuation
+let value_of t name var = Valuation.get (state t name).valuation var
+let dwell_time t name = t.now -. (state t name).entered_at
+
+(** Overwrite one variable, bypassing flows and resets. This is the hook
+    for {e wired} physical couplings that the automata formalism cannot
+    express without shared variables (which the system model forbids):
+    e.g. the oximeter wired to the supervisor writes the sampled SpO2
+    into the supervisor's local data state. Use through [pte_sim]'s
+    coupling API rather than directly. *)
+let set_value t name var value =
+  let st = state t name in
+  st.valuation <- Valuation.set st.valuation var value
+
+let record t event = Trace.Recorder.record t.recorder ~time:t.now event
+let note t text = record t (Trace.Note text)
+
+let enqueue t ~due ~receiver ~root =
+  let item = { due; receiver; root; seq = t.seq } in
+  t.seq <- t.seq + 1;
+  let rec insert = function
+    | [] -> [ item ]
+    | hd :: tl as all ->
+        if hd.due > item.due || (hd.due = item.due && hd.seq > item.seq) then
+          item :: all
+        else hd :: insert tl
+  in
+  t.queue <- insert t.queue
+
+let broadcast t ~sender ~root =
+  record t (Trace.Message_sent { sender; root });
+  List.iter
+    (fun (listener : Automaton.t) ->
+      let receiver = listener.Automaton.name in
+      if not (String.equal receiver sender) then
+        match t.router ~time:t.now ~sender ~root ~receiver with
+        | Lose -> record t (Trace.Message_lost { receiver; root })
+        | Deliver delay -> enqueue t ~due:(t.now +. delay) ~receiver ~root)
+    (System.listeners t.system root)
+
+(* Fire [edge] from [st]'s current location. Emits trace entries and
+   broadcasts any sent event. The caller maintains the chain budget. *)
+let fire t st (edge : Edge.t) ~forced =
+  let name = st.automaton.Automaton.name in
+  record t
+    (Trace.Transition
+       { automaton = name; src = edge.src; dst = edge.dst; label = edge.label;
+         forced });
+  st.valuation <- Reset.apply edge.reset st.valuation;
+  st.location <- Automaton.location_exn st.automaton edge.dst;
+  st.entered_at <- t.now;
+  record t
+    (Trace.Enter_location
+       { automaton = name; location = st.location.Location.name });
+  match edge.label with
+  | Some (Label.Send root) -> broadcast t ~sender:name ~root
+  | Some (Label.Internal _) | Some (Label.Recv _) | Some (Label.Recv_lossy _)
+  | None ->
+      ()
+
+let enabled_spontaneous st =
+  List.find_opt
+    (fun (e : Edge.t) ->
+      Edge.is_spontaneous e && Guard.holds e.guard st.valuation)
+    (Automaton.edges_from st.automaton st.location.Location.name)
+
+let enabled_eager st =
+  List.find_opt
+    (fun (e : Edge.t) ->
+      Edge.is_spontaneous e && e.urgency = Edge.Eager
+      && Guard.holds e.guard st.valuation)
+    (Automaton.edges_from st.automaton st.location.Location.name)
+
+(* Deliver [root] to [receiver]: fires the first enabled triggered edge
+   listening on [root] in the current location, if any. *)
+let deliver t ~receiver ~root =
+  let st = state t receiver in
+  let candidate =
+    List.find_opt
+      (fun (e : Edge.t) ->
+        (match Edge.trigger_root e with
+        | Some r -> String.equal r root
+        | None -> false)
+        && Guard.holds e.guard st.valuation)
+      (Automaton.edges_from st.automaton st.location.Location.name)
+  in
+  match candidate with
+  | Some edge ->
+      record t (Trace.Message_delivered { receiver; root; consumed = true });
+      fire t st edge ~forced:false;
+      true
+  | None ->
+      record t (Trace.Message_delivered { receiver; root; consumed = false });
+      false
+
+(* Fire eager edges and deliver due events until quiescent at the current
+   instant. *)
+let stabilize t =
+  let budget = t.config.max_chain * List.length t.order in
+  let fires = ref 0 in
+  let bump name =
+    incr fires;
+    if !fires > budget then raise (Zeno { automaton = name; time = t.now })
+  in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    (* due deliveries, in order *)
+    let rec drain () =
+      match t.queue with
+      | { due; receiver; root; _ } :: rest when due <= t.now +. 1e-12 ->
+          t.queue <- rest;
+          bump receiver;
+          if deliver t ~receiver ~root then progress := true;
+          drain ()
+      | _ -> ()
+    in
+    drain ();
+    List.iter
+      (fun name ->
+        let st = state t name in
+        let rec chase n =
+          if n >= t.config.max_chain then
+            raise (Zeno { automaton = name; time = t.now });
+          match enabled_eager st with
+          | Some edge ->
+              bump name;
+              fire t st edge ~forced:false;
+              progress := true;
+              chase (n + 1)
+          | None -> ()
+        in
+        chase 0)
+      t.order
+  done
+
+(* Advance one automaton's continuous state by [span] seconds starting at
+   absolute time [start]; handles invariant boundaries by bisection and
+   forced transitions. Precondition: invariant holds at entry. *)
+let rec advance_automaton t st ~start ~span ~depth =
+  if span <= 0.0 then ()
+  else begin
+    if depth > t.config.max_chain then
+      raise (Zeno { automaton = st.automaton.Automaton.name; time = start });
+    let flow = st.location.Location.flow in
+    let derivatives = Flow.derivatives flow ~time:start st.valuation in
+    let tentative = Valuation.advance st.valuation derivatives span in
+    let invariant = st.location.Location.invariant in
+    if Guard.holds invariant tentative then st.valuation <- tentative
+    else begin
+      (* Bisect for the largest alpha in [0,1] keeping the invariant. *)
+      let from = st.valuation in
+      let alpha = ref 0.0 in
+      let width = ref 0.5 in
+      for _ = 1 to 30 do
+        let candidate = !alpha +. !width in
+        let v = Valuation.interpolate ~from ~target:tentative candidate in
+        if Guard.holds invariant v then alpha := candidate;
+        width := !width /. 2.0
+      done;
+      st.valuation <- Valuation.interpolate ~from ~target:tentative !alpha;
+      let boundary_time = start +. (!alpha *. span) in
+      let saved_now = t.now in
+      t.now <- boundary_time;
+      (match enabled_spontaneous st with
+      | Some edge -> fire t st edge ~forced:true
+      | None ->
+          raise
+            (Time_block
+               {
+                 automaton = st.automaton.Automaton.name;
+                 location = st.location.Location.name;
+                 time = boundary_time;
+               }));
+      t.now <- saved_now;
+      advance_automaton t st ~start:boundary_time
+        ~span:(span -. (!alpha *. span))
+        ~depth:(depth + 1)
+    end
+  end
+
+let sample t =
+  List.iter
+    (fun (automaton, var) ->
+      match Hashtbl.find_opt t.states automaton with
+      | None -> ()
+      | Some st ->
+          record t
+            (Trace.Sample
+               { automaton; var; value = Valuation.get st.valuation var }))
+    t.config.sample_vars
+
+(** Advance the whole system by one step of [config.dt]. *)
+let step t =
+  stabilize t;
+  let start = t.now in
+  let span = t.config.dt in
+  List.iter
+    (fun name -> advance_automaton t (state t name) ~start ~span ~depth:0)
+    t.order;
+  t.now <- start +. span;
+  stabilize t;
+  if t.config.sample_vars <> [] && t.now >= t.next_sample -. 1e-12 then begin
+    sample t;
+    t.next_sample <- t.next_sample +. t.config.sample_period
+  end
+
+let run t ~until =
+  while t.now < until -. 1e-12 do
+    step t
+  done
+
+(** Deliver an environment stimulus to one automaton at the current time
+    (used by scenarios for "at any time" environment transitions, e.g.
+    the surgeon's request in the paper's emulation). Returns [true] if a
+    triggered edge consumed it. *)
+let inject t ~receiver ~root =
+  record t (Trace.Message_sent { sender = "env"; root });
+  let consumed = deliver t ~receiver ~root in
+  stabilize t;
+  consumed

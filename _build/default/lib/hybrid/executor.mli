@@ -1,0 +1,71 @@
+(** Fixed-step executor for hybrid systems.
+
+    Time advances in steps of [config.dt] (explicit Euler); invariant
+    boundaries are located by bisection and force an enabled spontaneous
+    transition ({e forced} in the trace); {!Edge.Eager} edges fire as
+    soon as their guard holds; event transport is delegated to a
+    pluggable {!type-router} (reliable-instant by default; [pte_sim]
+    plugs in the lossy wireless star). A bounded number of discrete
+    changes may occur per instant. *)
+
+exception
+  Time_block of { automaton : string; location : string; time : float }
+(** An invariant boundary was reached with no enabled egress — the paper
+    assumes time-block-free automata, so this surfaces modeling errors. *)
+
+exception Zeno of { automaton : string; time : float }
+(** More than [config.max_chain] discrete changes in one instant. *)
+
+type route_decision =
+  | Deliver of float  (** deliver after the given delay (seconds) *)
+  | Lose
+
+type router =
+  time:float -> sender:string -> root:string -> receiver:string ->
+  route_decision
+
+val reliable_router : router
+
+type config = {
+  dt : float;
+  max_chain : int;
+  sample_vars : (string * Var.t) list;
+      (** [(automaton, var)] recorded every [sample_period]. *)
+  sample_period : float;
+}
+
+val default_config : config
+(** 1 ms step, chain bound 64, no sampling. *)
+
+type t
+
+val create : ?config:config -> ?trace_sink:(Trace.entry -> unit) ->
+  System.t -> t
+(** Validates the system. [trace_sink] streams entries as they happen. *)
+
+val set_router : t -> router -> unit
+val time : t -> float
+val trace : t -> Trace.t
+
+val location_of : t -> string -> string
+val valuation_of : t -> string -> Valuation.t
+val value_of : t -> string -> Var.t -> float
+val dwell_time : t -> string -> float
+(** Continuous dwell in the current location. *)
+
+val set_value : t -> string -> Var.t -> float -> unit
+(** Overwrite one variable, bypassing flows/resets — the hook for wired
+    physical couplings (e.g. the oximeter writing the supervisor's
+    ApprovalCondition). Use via [pte_sim]'s coupling API. *)
+
+val note : t -> string -> unit
+(** Append a free-form annotation to the trace. *)
+
+val step : t -> unit
+(** Advance by one [config.dt] step. *)
+
+val run : t -> until:float -> unit
+
+val inject : t -> receiver:string -> root:string -> bool
+(** Deliver an environment stimulus now (the paper's emulated surgeon).
+    Returns [true] if a triggered edge consumed it. *)

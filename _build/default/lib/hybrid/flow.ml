@@ -1,0 +1,56 @@
+(** Flow maps.
+
+    The paper's flow map [f_v] gives a differential equation
+    [~x' = f_v(~x)] per location (Section II-A, item 4). Two concrete
+    forms cover the paper and its case study:
+
+    - {!Rates}: constant-slope flows ([x' = c]). All clock variables of
+      the design-pattern automata, and the ventilator cylinder height of
+      Fig. 2, are of this form. Constant-rate flows admit exact
+      boundary-crossing computation and an exact timed-automaton view for
+      the model checker.
+    - {!Ode}: an arbitrary vector field evaluated numerically (the
+      executor integrates with explicit Euler and boundary bisection).
+      Used for physical dynamics such as the patient's SpO2 level. *)
+
+type t =
+  | Rates of (Var.t * float) list
+      (** Constant derivative per listed variable; unlisted variables have
+          derivative 0. *)
+  | Ode of (float -> Valuation.t -> (Var.t * float) list)
+      (** [f time valuation] returns the derivatives; unlisted variables
+          have derivative 0. *)
+
+(** All declared clocks advance at rate 1 and everything else is frozen. *)
+let clocks vars = Rates (List.map (fun v -> (v, 1.0)) vars)
+
+let frozen = Rates []
+
+let derivatives flow ~time valuation =
+  match flow with Rates rates -> rates | Ode f -> f time valuation
+
+let rate_of flow ~time valuation var =
+  let rates = derivatives flow ~time valuation in
+  match List.assoc_opt var rates with Some r -> r | None -> 0.0
+
+let is_constant_rate = function Rates _ -> true | Ode _ -> false
+
+(** [combine f g] evolves the (disjoint) variables of both flows
+    simultaneously; used by elaboration, where the data state variables of
+    the elaborated automaton keep their parent-location dynamics while the
+    child automaton's variables follow the child flow. *)
+let combine f g =
+  match (f, g) with
+  | Rates a, Rates b -> Rates (a @ b)
+  | _ ->
+      Ode
+        (fun time valuation ->
+          derivatives f ~time valuation @ derivatives g ~time valuation)
+
+let pp ppf = function
+  | Rates [] -> Fmt.string ppf "frozen"
+  | Rates rates ->
+      Fmt.list ~sep:(Fmt.any ", ")
+        (fun ppf (v, r) -> Fmt.pf ppf "%s'=%g" v r)
+        ppf rates
+  | Ode _ -> Fmt.string ppf "<ode>"

@@ -1,0 +1,25 @@
+(** Flow maps (Section II-A item 4): the differential equations governing
+    data state variables per location. *)
+
+type t =
+  | Rates of (Var.t * float) list
+      (** constant derivatives; unlisted variables have derivative 0
+          (clocks, the ventilator cylinder of Fig. 2). *)
+  | Ode of (float -> Valuation.t -> (Var.t * float) list)
+      (** arbitrary vector field [f time valuation], integrated
+          numerically (physical dynamics such as SpO2). *)
+
+val clocks : Var.t list -> t
+(** All listed variables advance at rate 1. *)
+
+val frozen : t
+
+val derivatives : t -> time:float -> Valuation.t -> (Var.t * float) list
+val rate_of : t -> time:float -> Valuation.t -> Var.t -> float
+val is_constant_rate : t -> bool
+
+val combine : t -> t -> t
+(** Evolve the (disjoint) variables of both flows simultaneously (used
+    by elaboration). *)
+
+val pp : t Fmt.t

@@ -1,0 +1,108 @@
+(** Guards and invariants.
+
+    The paper's guard function [g] assigns each edge a guard set, and
+    [inv] assigns each location an invariant set (Section II-A, items 3
+    and 6). We represent both as conjunctions of atomic half-space
+    constraints [x ⋈ c] over single variables. This class is closed under
+    the operations the executor needs (evaluation, exact
+    boundary-crossing times under constant-rate flows) and coincides with
+    clock constraints on the timed fragment used by the model checker. *)
+
+type cmp = Lt | Le | Gt | Ge | Eq
+
+type atom = { var : Var.t; cmp : cmp; bound : float }
+
+(** A conjunction of atoms; [[]] is [true] (the whole space). *)
+type t = atom list
+
+let always : t = []
+
+(* Numeric slack for comparisons: guards like [x >= 3] must be considered
+   enabled when the executor lands at [x = 3 - 1e-12] after float
+   round-off. *)
+let eps = 1e-9
+
+let atom var cmp bound = { var; cmp; bound }
+let ( <. ) var bound = atom var Lt bound
+let ( <=. ) var bound = atom var Le bound
+let ( >. ) var bound = atom var Gt bound
+let ( >=. ) var bound = atom var Ge bound
+let ( =. ) var bound = atom var Eq bound
+
+let conj atoms : t = atoms
+
+let atom_holds { cmp; bound; _ } value =
+  match cmp with
+  | Lt -> value < bound +. eps
+  | Le -> value <= bound +. eps
+  | Gt -> value > bound -. eps
+  | Ge -> value >= bound -. eps
+  | Eq -> Float.abs (value -. bound) <= eps
+
+let holds guard valuation =
+  List.for_all (fun a -> atom_holds a (Valuation.get valuation a.var)) guard
+
+let vars guard =
+  List.fold_left (fun acc a -> Var.Set.add a.var acc) Var.Set.empty guard
+
+(** [time_to_satisfy atom ~value ~rate] is the least [d >= 0] such that the
+    atom holds after the variable evolves linearly for time [d] from
+    [value] at slope [rate]; [None] if it never will. *)
+let time_to_satisfy atom ~value ~rate =
+  if atom_holds atom value then Some 0.0
+  else
+    let toward target =
+      (* strictly on the wrong side; does linear motion reach [target]? *)
+      let gap = target -. value in
+      if Float.abs rate < eps then None
+      else
+        let d = gap /. rate in
+        if d >= 0.0 then Some d else None
+    in
+    match atom.cmp with
+    | Lt | Le -> toward atom.bound (* value > bound: need rate < 0 *)
+    | Gt | Ge -> toward atom.bound (* value < bound: need rate > 0 *)
+    | Eq -> toward atom.bound
+
+(** [time_to_violate atom ~value ~rate] is the least [d >= 0] such that the
+    atom stops holding; [None] if it holds forever (or never held). *)
+let time_to_violate atom ~value ~rate =
+  if not (atom_holds atom value) then Some 0.0
+  else
+    let escape target =
+      let gap = target -. value in
+      if Float.abs rate < eps then None
+      else
+        let d = gap /. rate in
+        if d >= 0.0 then Some d else None
+    in
+    match atom.cmp with
+    | Lt | Le -> if rate > 0.0 then escape atom.bound else None
+    | Gt | Ge -> if rate < 0.0 then escape atom.bound else None
+    | Eq -> if Float.abs rate < eps then None else Some 0.0
+
+(** Earliest time a conjunction is violated under per-variable constant
+    rates (max of per-atom satisfaction is not needed for invariants; the
+    invariant fails as soon as any atom fails). *)
+let invariant_horizon guard valuation rate_of =
+  List.fold_left
+    (fun acc a ->
+      let value = Valuation.get valuation a.var in
+      match time_to_violate a ~value ~rate:(rate_of a.var) with
+      | None -> acc
+      | Some d -> ( match acc with None -> Some d | Some d' -> Some (Float.min d d'))
+    )
+    None guard
+
+let pp_cmp ppf = function
+  | Lt -> Fmt.string ppf "<"
+  | Le -> Fmt.string ppf "<="
+  | Gt -> Fmt.string ppf ">"
+  | Ge -> Fmt.string ppf ">="
+  | Eq -> Fmt.string ppf "="
+
+let pp_atom ppf a = Fmt.pf ppf "%s %a %g" a.var pp_cmp a.cmp a.bound
+
+let pp ppf = function
+  | [] -> Fmt.string ppf "true"
+  | atoms -> Fmt.list ~sep:(Fmt.any " /\\ ") pp_atom ppf atoms

@@ -1,0 +1,47 @@
+(** Guards and invariants: conjunctions of half-space atoms [x ⋈ c]
+    (Section II-A items 3 and 6). Closed under the operations the
+    executor needs and coinciding with clock constraints on the timed
+    fragment used by the model checker. *)
+
+type cmp = Lt | Le | Gt | Ge | Eq
+
+type atom = { var : Var.t; cmp : cmp; bound : float }
+
+type t = atom list
+(** Conjunction; [[]] is [true]. *)
+
+val always : t
+
+val eps : float
+(** Numeric slack used by all comparisons (guards must enable when a
+    fixed-step executor lands epsilon short of a threshold). *)
+
+val atom : Var.t -> cmp -> float -> atom
+
+val ( <. ) : Var.t -> float -> atom
+val ( <=. ) : Var.t -> float -> atom
+val ( >. ) : Var.t -> float -> atom
+val ( >=. ) : Var.t -> float -> atom
+val ( =. ) : Var.t -> float -> atom
+
+val conj : atom list -> t
+val atom_holds : atom -> float -> bool
+val holds : t -> Valuation.t -> bool
+val vars : t -> Var.Set.t
+
+val time_to_satisfy : atom -> value:float -> rate:float -> float option
+(** Least [d >= 0] such that the atom holds after linear evolution;
+    [None] if never. *)
+
+val time_to_violate : atom -> value:float -> rate:float -> float option
+(** Least [d >= 0] such that the atom stops holding; [None] if it holds
+    forever (or never held). *)
+
+val invariant_horizon :
+  t -> Valuation.t -> (Var.t -> float) -> float option
+(** Earliest violation time of a conjunction under per-variable constant
+    rates. *)
+
+val pp_cmp : cmp Fmt.t
+val pp_atom : atom Fmt.t
+val pp : t Fmt.t

@@ -1,0 +1,46 @@
+(** Synchronization labels.
+
+    A label has a root (the event) and a prefix encoding the automaton's
+    role for that event (Section II-A, item 8):
+
+    - [!l]  — the sender of event [l]                → {!Send}
+    - [?l]  — a reliable receiver of [l]             → {!Recv}
+    - [??l] — an unreliable (e.g. wireless) receiver → {!Recv_lossy}
+    - internal labels without receivers omit the [!] → {!Internal}
+
+    Labels with different prefixes or roots are distinct labels, but they
+    are {e related} through the shared root: the executor routes a fired
+    [Send l] to every automaton listening on [Recv l] or [Recv_lossy l],
+    with loss possible only on the lossy form. *)
+
+type t =
+  | Internal of string
+  | Send of string
+  | Recv of string
+  | Recv_lossy of string
+
+let root = function
+  | Internal r | Send r | Recv r | Recv_lossy r -> r
+
+let is_receive = function
+  | Recv _ | Recv_lossy _ -> true
+  | Internal _ | Send _ -> false
+
+let is_lossy = function
+  | Recv_lossy _ -> true
+  | Internal _ | Send _ | Recv _ -> false
+
+let equal a b =
+  match (a, b) with
+  | Internal x, Internal y
+  | Send x, Send y
+  | Recv x, Recv y
+  | Recv_lossy x, Recv_lossy y ->
+      String.equal x y
+  | _ -> false
+
+let pp ppf = function
+  | Internal r -> Fmt.string ppf r
+  | Send r -> Fmt.pf ppf "!%s" r
+  | Recv r -> Fmt.pf ppf "?%s" r
+  | Recv_lossy r -> Fmt.pf ppf "??%s" r

@@ -1,0 +1,15 @@
+(** Synchronization labels (Section II-A item 8): a root (the event) and
+    a prefix encoding the automaton's role — [!l] send, [?l] reliable
+    receive, [??l] unreliable (wireless) receive, bare internal. *)
+
+type t =
+  | Internal of string
+  | Send of string
+  | Recv of string
+  | Recv_lossy of string
+
+val root : t -> string
+val is_receive : t -> bool
+val is_lossy : t -> bool
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,30 @@
+(** Locations (vertices) of a hybrid automaton.
+
+    Each location carries its invariant set and flow map (Section II-A,
+    items 2–4) plus the safe/risky partition of Section III: the PTE
+    rules are stated over each remote entity's partition
+    [V_i = V_i^safe ∪ V_i^risky]. The supervisor's locations are not
+    partitioned by the paper; we mark them all {!Safe}. *)
+
+type kind = Safe | Risky
+
+type t = {
+  name : string;
+  kind : kind;
+  invariant : Guard.t;
+  flow : Flow.t;
+}
+
+let make ?(kind = Safe) ?(invariant = Guard.always) ?(flow = Flow.frozen) name
+    =
+  { name; kind; invariant; flow }
+
+let is_risky location = location.kind = Risky
+
+let pp_kind ppf = function
+  | Safe -> Fmt.string ppf "safe"
+  | Risky -> Fmt.string ppf "risky"
+
+let pp ppf l =
+  Fmt.pf ppf "%s [%a] inv:(%a) flow:(%a)" l.name pp_kind l.kind Guard.pp
+    l.invariant Flow.pp l.flow

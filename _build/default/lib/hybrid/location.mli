@@ -1,0 +1,17 @@
+(** Locations of a hybrid automaton, carrying invariant, flow, and the
+    safe/risky partition of Section III (the supervisor's locations are
+    all {!Safe}; the paper does not partition ξ0's). *)
+
+type kind = Safe | Risky
+
+type t = {
+  name : string;
+  kind : kind;
+  invariant : Guard.t;
+  flow : Flow.t;
+}
+
+val make : ?kind:kind -> ?invariant:Guard.t -> ?flow:Flow.t -> string -> t
+val is_risky : t -> bool
+val pp_kind : kind Fmt.t
+val pp : t Fmt.t

@@ -1,0 +1,53 @@
+(** Reset functions.
+
+    The paper's reset function [r_e] maps the data state at the source of
+    an edge to a new data state at the destination (Section II-A, item
+    7). The design-pattern automata only ever reset clocks to zero or
+    keep variables unchanged, so we restrict to deterministic assignment
+    lists; the identity reset is the empty list, matching the paper's
+    convention of omitting identity resets from figures. *)
+
+type assignment =
+  | Set_const of float  (** [x := c] — e.g. restarting a lease clock. *)
+  | Add_const of float  (** [x := x + c]. *)
+  | Copy of Var.t       (** [x := y]. *)
+
+type t = (Var.t * assignment) list
+
+let identity : t = []
+
+let set var value : t = [ (var, Set_const value) ]
+
+let zero vars : t = List.map (fun v -> (v, Set_const 0.0)) vars
+
+let apply reset valuation =
+  (* All right-hand sides read the pre-transition valuation, i.e. the
+     assignments are simultaneous, as in the formal definition. *)
+  List.fold_left
+    (fun acc (var, assignment) ->
+      let value =
+        match assignment with
+        | Set_const c -> c
+        | Add_const c -> Valuation.get valuation var +. c
+        | Copy src -> Valuation.get valuation src
+      in
+      Valuation.set acc var value)
+    valuation reset
+
+let vars reset =
+  List.fold_left
+    (fun acc (var, assignment) ->
+      let acc = Var.Set.add var acc in
+      match assignment with Copy src -> Var.Set.add src acc | _ -> acc)
+    Var.Set.empty reset
+
+let pp ppf = function
+  | [] -> Fmt.string ppf "id"
+  | assignments ->
+      let pp_one ppf (var, a) =
+        match a with
+        | Set_const c -> Fmt.pf ppf "%s:=%g" var c
+        | Add_const c -> Fmt.pf ppf "%s:=%s+%g" var var c
+        | Copy src -> Fmt.pf ppf "%s:=%s" var src
+      in
+      Fmt.list ~sep:(Fmt.any "; ") pp_one ppf assignments

@@ -1,0 +1,20 @@
+(** Reset functions (Section II-A item 7): deterministic simultaneous
+    assignments applied on a transition; the identity reset is the empty
+    list (omitted from the paper's figures). *)
+
+type assignment =
+  | Set_const of float  (** [x := c] *)
+  | Add_const of float  (** [x := x + c] *)
+  | Copy of Var.t  (** [x := y] *)
+
+type t = (Var.t * assignment) list
+
+val identity : t
+val set : Var.t -> float -> t
+val zero : Var.t list -> t
+
+val apply : t -> Valuation.t -> Valuation.t
+(** All right-hand sides read the pre-transition valuation. *)
+
+val vars : t -> Var.Set.t
+val pp : t Fmt.t

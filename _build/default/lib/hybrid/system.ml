@@ -1,0 +1,75 @@
+(** Hybrid systems: collections of concurrently executing hybrid automata
+    coordinating via event communication (Section II-B).
+
+    Per the paper's simplifying assumption we require no shared data
+    state variables or locations between member automata; sharing a
+    synchronization {e root} with complementary prefixes is precisely how
+    automata communicate, so roots may (and should) be shared while full
+    labels differ. *)
+
+type t = {
+  name : string;
+  automata : Automaton.t list;
+}
+
+let make ~name automata = { name; automata }
+
+let names system = List.map (fun (a : Automaton.t) -> a.Automaton.name) system.automata
+
+let find system name =
+  List.find_opt
+    (fun (a : Automaton.t) -> String.equal a.Automaton.name name)
+    system.automata
+
+let find_exn system name =
+  match find system name with
+  | Some a -> a
+  | None -> Fmt.invalid_arg "hybrid system %s has no automaton %s" system.name name
+
+(** Automata that listen (via [?l] or [??l]) to a given root. *)
+let listeners system root =
+  List.filter
+    (fun a -> Var.Set.mem root (Automaton.listened_roots a))
+    system.automata
+
+(** Validation: each member automaton is well-formed and member names are
+    unique. Data state variable and location names are {e local} to each
+    member automaton ("Fall-Back" of Asupvsr and "Fall-Back" of Ainitzr
+    are two distinct locations — Section IV-A), so no cross-automaton
+    disjointness is required here; Definition 2 independence is the
+    stronger condition checked only when automata are merged by
+    elaboration. *)
+let validate system =
+  let errs = ref [] in
+  let err fmt = Fmt.kstr (fun s -> errs := s :: !errs) fmt in
+  let rec unique_names = function
+    | [] -> ()
+    | (a : Automaton.t) :: rest ->
+        if
+          List.exists
+            (fun (b : Automaton.t) -> String.equal a.name b.Automaton.name)
+            rest
+        then err "duplicate automaton name %S" a.Automaton.name;
+        unique_names rest
+  in
+  unique_names system.automata;
+  List.iter
+    (fun (a : Automaton.t) ->
+      match Automaton.validate a with
+      | Ok () -> ()
+      | Error es ->
+          List.iter (fun e -> err "[%s] %s" a.Automaton.name e) es)
+    system.automata;
+  match !errs with [] -> Ok () | errors -> Error (List.rev errors)
+
+let validate_exn system =
+  match validate system with
+  | Ok () -> system
+  | Error errors ->
+      Fmt.invalid_arg "hybrid system %s is malformed: %s" system.name
+        (String.concat "; " errors)
+
+let pp ppf system =
+  Fmt.pf ppf "@[<v>hybrid system %s@,%a@]" system.name
+    (Fmt.list ~sep:Fmt.cut Automaton.pp)
+    system.automata

@@ -1,0 +1,19 @@
+(** Hybrid systems: collections of concurrently executing hybrid
+    automata coordinating via events (Section II-B). Variable and
+    location names are local to each member automaton. *)
+
+type t = { name : string; automata : Automaton.t list }
+
+val make : name:string -> Automaton.t list -> t
+val names : t -> string list
+val find : t -> string -> Automaton.t option
+val find_exn : t -> string -> Automaton.t
+
+val listeners : t -> string -> Automaton.t list
+(** Automata that receive (via [?l] or [??l]) a given root. *)
+
+val validate : t -> (unit, string list) result
+(** Member automata well-formed, member names unique. *)
+
+val validate_exn : t -> t
+val pp : t Fmt.t

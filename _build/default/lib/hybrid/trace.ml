@@ -1,0 +1,125 @@
+(** Timed execution traces.
+
+    A trace records the observable history of one run of a hybrid system:
+    discrete transitions, event transport outcomes, and sampled data
+    state. The PTE monitor (in [pte_core]) consumes traces to decide
+    whether the run satisfied PTE Safety Rules 1 and 2; the trial runner
+    consumes them to compute Table-I statistics. *)
+
+type event =
+  | Enter_location of { automaton : string; location : string }
+      (** Emitted for the initial location and after every transition. *)
+  | Transition of {
+      automaton : string;
+      src : string;
+      dst : string;
+      label : Label.t option;
+      forced : bool;
+          (** [true] when the executor fired the edge because the location
+              invariant was about to be violated. *)
+    }
+  | Message_sent of { sender : string; root : string }
+  | Message_delivered of {
+      receiver : string;
+      root : string;
+      consumed : bool;
+          (** [false] when no enabled receive edge existed in the
+              receiver's current location — the event is dropped, matching
+              the [??l] semantics. *)
+    }
+  | Message_lost of { receiver : string; root : string }
+  | Sample of { automaton : string; var : Var.t; value : float }
+  | Note of string  (** Free-form annotation from scenarios. *)
+
+type entry = { time : float; event : event }
+
+type t = entry list
+(** In increasing time order. *)
+
+(** Mutable trace collector. *)
+module Recorder = struct
+  type recorder = {
+    mutable entries : entry list;  (* reversed *)
+    mutable count : int;
+    mutable sink : (entry -> unit) option;
+  }
+
+  let create ?sink () = { entries = []; count = 0; sink }
+
+  let record recorder ~time event =
+    let entry = { time; event } in
+    recorder.entries <- entry :: recorder.entries;
+    recorder.count <- recorder.count + 1;
+    match recorder.sink with None -> () | Some f -> f entry
+
+  let entries recorder = List.rev recorder.entries
+  let length recorder = recorder.count
+end
+
+let transitions_of trace ~automaton =
+  List.filter_map
+    (fun { time; event } ->
+      match event with
+      | Transition t when String.equal t.automaton automaton ->
+          Some (time, t.src, t.dst, t.label)
+      | _ -> None)
+    trace
+
+(** [intervals trace ~automaton ~member ~initial ~horizon] returns the
+    maximal closed time intervals during which [automaton] dwelt in a
+    location satisfying [member], over [[0, horizon]].
+
+    This is the primitive under both PTE rules: with [member = is_risky]
+    it yields each entity's continuous risky-dwelling intervals, whose
+    lengths Rule 1 bounds and whose relative embedding Rule 2
+    constrains. *)
+let intervals trace ~automaton ~member ~initial ~horizon =
+  let finish acc start stop =
+    if stop > start then (start, stop) :: acc else acc
+  in
+  let rec go acc current start = function
+    | [] ->
+        let acc = if member current then finish acc start horizon else acc in
+        List.rev acc
+    | { time; event } :: rest -> (
+        match event with
+        | Transition { automaton = a; src; dst; _ }
+          when String.equal a automaton && String.equal src current ->
+            let acc =
+              if member current && not (member dst) then finish acc start time
+              else acc
+            in
+            let start = if member dst && not (member current) then time else start in
+            go acc dst start rest
+        | _ -> go acc current start rest)
+  in
+  go [] initial (if member initial then 0.0 else nan) trace
+
+(** Longest continuous dwell among [intervals]-style output. *)
+let longest_dwell intervals =
+  List.fold_left (fun acc (a, b) -> Float.max acc (b -. a)) 0.0 intervals
+
+let count trace predicate =
+  List.length (List.filter (fun e -> predicate e) trace)
+
+let pp_event ppf = function
+  | Enter_location { automaton; location } ->
+      Fmt.pf ppf "%s enters %s" automaton location
+  | Transition { automaton; src; dst; label; forced } ->
+      Fmt.pf ppf "%s: %s -> %s%a%s" automaton src dst
+        (Fmt.option (fun ppf l -> Fmt.pf ppf " on %a" Label.pp l))
+        label
+        (if forced then " (forced)" else "")
+  | Message_sent { sender; root } -> Fmt.pf ppf "%s sends %s" sender root
+  | Message_delivered { receiver; root; consumed } ->
+      Fmt.pf ppf "%s receives %s%s" receiver root
+        (if consumed then "" else " (ignored)")
+  | Message_lost { receiver; root } ->
+      Fmt.pf ppf "%s loses %s" receiver root
+  | Sample { automaton; var; value } ->
+      Fmt.pf ppf "%s.%s = %g" automaton var value
+  | Note s -> Fmt.pf ppf "note: %s" s
+
+let pp_entry ppf { time; event } = Fmt.pf ppf "[%8.3f] %a" time pp_event event
+
+let pp ppf trace = Fmt.list ~sep:Fmt.cut pp_entry ppf trace

@@ -1,0 +1,58 @@
+(** Timed execution traces: the observable history of one run —
+    transitions, event-transport outcomes, sampled data state. The PTE
+    monitor and the trial runner consume these. *)
+
+type event =
+  | Enter_location of { automaton : string; location : string }
+  | Transition of {
+      automaton : string;
+      src : string;
+      dst : string;
+      label : Label.t option;
+      forced : bool;
+          (** fired because the location invariant was about to fail *)
+    }
+  | Message_sent of { sender : string; root : string }
+  | Message_delivered of {
+      receiver : string;
+      root : string;
+      consumed : bool;  (** [false]: no enabled receive edge — dropped *)
+    }
+  | Message_lost of { receiver : string; root : string }
+  | Sample of { automaton : string; var : Var.t; value : float }
+  | Note of string
+
+type entry = { time : float; event : event }
+
+type t = entry list
+(** In increasing time order. *)
+
+(** Mutable trace collector. *)
+module Recorder : sig
+  type recorder
+
+  val create : ?sink:(entry -> unit) -> unit -> recorder
+  val record : recorder -> time:float -> event -> unit
+  val entries : recorder -> t
+  val length : recorder -> int
+end
+
+val transitions_of :
+  t -> automaton:string -> (float * string * string * Label.t option) list
+
+val intervals :
+  t ->
+  automaton:string ->
+  member:(string -> bool) ->
+  initial:string ->
+  horizon:float ->
+  (float * float) list
+(** Maximal closed intervals during which the automaton dwelt in
+    locations satisfying [member] — the primitive under both PTE rules. *)
+
+val longest_dwell : (float * float) list -> float
+val count : t -> (entry -> bool) -> int
+
+val pp_event : event Fmt.t
+val pp_entry : entry Fmt.t
+val pp : t Fmt.t

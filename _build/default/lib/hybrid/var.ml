@@ -1,0 +1,29 @@
+(** Data state variable names.
+
+    A hybrid automaton's data state variables vector [~x(t)] (paper,
+    Section II-A, item 1) is indexed by symbolic names. Names are local to
+    their automaton: the paper's system model (Section II-B) assumes no
+    shared data state variables between member automata of a hybrid
+    system, which we enforce in {!Automaton.independent}. *)
+
+type t = string
+
+let compare = String.compare
+let equal = String.equal
+let pp = Fmt.string
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)
+
+(** [fresh ~base used] returns a name derived from [base] that does not
+    appear in [used]. Used by elaboration when renaming would otherwise be
+    needed; the paper instead requires independence, so this is only a
+    convenience for test-fixture construction. *)
+let fresh ~base used =
+  if not (Set.mem base used) then base
+  else
+    let rec go i =
+      let candidate = Printf.sprintf "%s_%d" base i in
+      if Set.mem candidate used then go (i + 1) else candidate
+    in
+    go 1

@@ -1,0 +1,15 @@
+(** Data state variable names (Section II-A item 1). Names are local to
+    their automaton: the system model assumes no shared data state
+    variables between members of a hybrid system. *)
+
+type t = string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : t Fmt.t
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val fresh : base:t -> Set.t -> t
+(** A name derived from [base] not present in the given set. *)

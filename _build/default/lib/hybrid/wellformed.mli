@@ -1,0 +1,17 @@
+(** Conservative static checks for the paper's standing assumptions
+    (footnote 3): time-block freedom and non-zenoness. An empty issue
+    list is a sufficient (not necessary) certificate; the pattern
+    automata pass both checks. *)
+
+type issue =
+  | Possible_time_block of { location : string; reason : string }
+      (** The invariant can expire with no spontaneous egress certainly
+          enabled at the reachable boundary. *)
+  | Possible_zeno_cycle of { locations : string list }
+      (** A cycle of spontaneous edges traversable without time passing. *)
+
+val pp_issue : issue Fmt.t
+
+val check_time_block_free : Automaton.t -> issue list
+val check_non_zeno : Automaton.t -> issue list
+val check : Automaton.t -> issue list

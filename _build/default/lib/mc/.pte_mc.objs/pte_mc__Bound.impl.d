@@ -1,0 +1,1 @@
+lib/mc/bound.ml: Bool Float Fmt

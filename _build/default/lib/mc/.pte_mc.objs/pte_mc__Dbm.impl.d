@@ -1,0 +1,1 @@
+lib/mc/dbm.ml: Array Bound Fmt Printf

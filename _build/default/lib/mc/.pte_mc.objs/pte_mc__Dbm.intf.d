@@ -1,0 +1,1 @@
+lib/mc/dbm.mli: Bound Fmt

@@ -1,0 +1,1 @@
+lib/mc/reach.ml: Array Automaton Bound Dbm Edge Float Fmt Fun Hashtbl Label List Option Pte_core Pte_hybrid Queue String System Ta Var

@@ -1,0 +1,1 @@
+lib/mc/reach.mli: Fmt Pte_core Pte_hybrid

@@ -1,0 +1,1 @@
+lib/mc/ta.ml: Array Automaton Dbm Edge Float Flow Fmt Guard Int Label List Location Pte_hybrid Reset Set String

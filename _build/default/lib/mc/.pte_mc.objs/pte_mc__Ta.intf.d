@@ -1,0 +1,1 @@
+lib/mc/ta.mli: Automaton Dbm Label Pte_hybrid Set

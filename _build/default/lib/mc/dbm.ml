@@ -1,0 +1,221 @@
+(** Difference Bound Matrices: the canonical zone representation for
+    timed-automaton reachability (Dill 1989). Index 0 is the reference
+    clock (constant 0); entry [(i, j)] bounds [x_i − x_j].
+
+    This gives the repository an {e exact} analysis of the design-pattern
+    automata, complementing the numeric simulator: the pattern's clocks
+    all have rate 1, its guards and invariants are clock constraints, so
+    zone reachability decides PTE safety for a given configuration under
+    truly arbitrary message loss (Theorem 1's quantifier). *)
+
+type t = {
+  dim : int;  (** number of clocks + 1 *)
+  m : Bound.t array array;
+}
+
+let dim t = t.dim
+
+let copy t = { dim = t.dim; m = Array.map Array.copy t.m }
+
+(** The zone where every clock equals 0. *)
+let zero ~clocks =
+  let dim = clocks + 1 in
+  { dim; m = Array.make_matrix dim dim (Bound.le 0.0) }
+
+(** The unconstrained zone (all clocks >= 0). *)
+let top ~clocks =
+  let dim = clocks + 1 in
+  let m =
+    Array.init dim (fun i ->
+        Array.init dim (fun j ->
+            if i = j then Bound.zero
+            else if i = 0 then Bound.le 0.0 (* 0 − x_j <= 0 *)
+            else Bound.infinity_))
+  in
+  { dim; m }
+
+let get t i j = t.m.(i).(j)
+
+let is_empty t =
+  let rec go i = i >= t.dim || (Bound.compare t.m.(i).(i) Bound.zero >= 0 && go (i + 1)) in
+  not (go 0)
+
+(** Floyd–Warshall tightening to canonical form. *)
+let canonicalize t =
+  let { dim; m } = t in
+  for k = 0 to dim - 1 do
+    for i = 0 to dim - 1 do
+      for j = 0 to dim - 1 do
+        let through_k = Bound.add m.(i).(k) m.(k).(j) in
+        if Bound.compare through_k m.(i).(j) < 0 then m.(i).(j) <- through_k
+      done
+    done
+  done
+
+(** Constrain [x_i − x_j ⋈ bound] and restore canonical form
+    incrementally. Returns [false] if the zone became empty. *)
+let constrain t i j bound =
+  if Bound.compare bound t.m.(i).(j) < 0 then begin
+    t.m.(i).(j) <- bound;
+    (* incremental canonicalization through the updated edge *)
+    let { dim; m } = t in
+    for a = 0 to dim - 1 do
+      for b = 0 to dim - 1 do
+        let via = Bound.add (Bound.add m.(a).(i) bound) m.(j).(b) in
+        if Bound.compare via m.(a).(b) < 0 then m.(a).(b) <- via
+      done
+    done
+  end;
+  not (is_empty t)
+
+(** Time elapse ("up"): remove upper bounds on all clocks. Preserves
+    canonical form. *)
+let up t =
+  for i = 1 to t.dim - 1 do
+    t.m.(i).(0) <- Bound.infinity_
+  done
+
+(** Reset clock [i] to 0. Requires canonical input; preserves it. *)
+let reset t i =
+  for j = 0 to t.dim - 1 do
+    if j <> i then begin
+      t.m.(i).(j) <- t.m.(0).(j);
+      t.m.(j).(i) <- t.m.(j).(0)
+    end
+  done;
+  t.m.(i).(i) <- Bound.zero
+
+(** Free clock [i]: drop every constraint involving it (the clock becomes
+    an arbitrary non-negative value, unrelated to the others). This is
+    the inactive-clock reduction primitive — unlike a reset, a freed
+    clock does not re-entangle with the others as time elapses. Preserves
+    canonical form. *)
+let free t i =
+  for j = 0 to t.dim - 1 do
+    if j <> i then begin
+      t.m.(i).(j) <- (if j = 0 then Bound.infinity_ else t.m.(i).(0));
+      t.m.(j).(i) <- t.m.(j).(0)
+    end
+  done;
+  (* x_i >= 0 and unbounded above; differences via 0 only *)
+  t.m.(0).(i) <- Bound.le 0.0;
+  t.m.(i).(0) <- Bound.infinity_;
+  for j = 1 to t.dim - 1 do
+    if j <> i then begin
+      t.m.(i).(j) <- Bound.add t.m.(i).(0) t.m.(0).(j);
+      t.m.(j).(i) <- Bound.add t.m.(j).(0) t.m.(0).(i)
+    end
+  done
+
+(** [includes a b]: every valuation of [b] lies in [a] (assumes both
+    canonical and non-empty). *)
+let includes a b =
+  assert (a.dim = b.dim);
+  let ok = ref true in
+  for i = 0 to a.dim - 1 do
+    for j = 0 to a.dim - 1 do
+      if Bound.compare a.m.(i).(j) b.m.(i).(j) < 0 then ok := false
+    done
+  done;
+  !ok
+
+let equal a b =
+  a.dim = b.dim
+  &&
+  let ok = ref true in
+  for i = 0 to a.dim - 1 do
+    for j = 0 to a.dim - 1 do
+      if not (Bound.equal a.m.(i).(j) b.m.(i).(j)) then ok := false
+    done
+  done;
+  !ok
+
+(** Upper bound of clock [i] over the zone ([Inf] if unbounded). *)
+let sup t i = t.m.(i).(0)
+
+(** Lower bound of clock [i] (as a non-negative float). *)
+let inf t i =
+  match t.m.(0).(i) with
+  | Bound.Inf -> 0.0 (* cannot happen for clocks *)
+  | Bound.Bound (v, _) -> -.v
+
+type cmp = Le | Lt | Ge | Gt | Eq
+
+(** Constrain by a clock atom [x_i ⋈ c]. *)
+let constrain_atom t ~clock ~cmp ~const =
+  match cmp with
+  | Le -> constrain t clock 0 (Bound.le const)
+  | Lt -> constrain t clock 0 (Bound.lt const)
+  | Ge -> constrain t 0 clock (Bound.le (-.const))
+  | Gt -> constrain t 0 clock (Bound.lt (-.const))
+  | Eq ->
+      constrain t clock 0 (Bound.le const)
+      && constrain t 0 clock (Bound.le (-.const))
+
+(** Per-clock k-extrapolation (Behrmann et al.): entry [(i, j)] bounds
+    [x_i − x_j]; its upper bound is irrelevant beyond [k.(i)] and its
+    lower bound beyond [−k.(j)], where [k.(c)] is the largest constant
+    clock [c] is ever compared against. Much coarser than a single
+    global constant, which is what makes reachability converge on
+    protocol automata with long-lived observer clocks. [k.(0)] is
+    ignored (the reference row/column keeps clocks non-negative). *)
+let normalize_per_clock t ~k =
+  let bound_for i = if i = 0 then 0.0 else k.(i) in
+  let changed = ref false in
+  for i = 0 to t.dim - 1 do
+    for j = 0 to t.dim - 1 do
+      if i <> j then
+        match t.m.(i).(j) with
+        | Bound.Inf -> ()
+        | Bound.Bound (v, _) ->
+            if i > 0 && v > bound_for i then begin
+              t.m.(i).(j) <- Bound.infinity_;
+              changed := true
+            end
+            else if j > 0 && v < -.bound_for j then begin
+              t.m.(i).(j) <- Bound.lt (-.bound_for j);
+              changed := true
+            end
+    done
+  done;
+  if !changed then canonicalize t
+
+(** Extrapolation (k-normalization) w.r.t. a maximal constant, to
+    guarantee termination of reachability on unbounded clocks. *)
+let normalize t ~max_const =
+  let big = Bound.le max_const in
+  let changed = ref false in
+  for i = 0 to t.dim - 1 do
+    for j = 0 to t.dim - 1 do
+      if i <> j then begin
+        (match t.m.(i).(j) with
+        | Bound.Inf -> ()
+        | Bound.Bound (v, _) ->
+            if v > max_const then begin
+              t.m.(i).(j) <- Bound.infinity_;
+              changed := true
+            end
+            else if v < -.max_const then begin
+              t.m.(i).(j) <- Bound.lt (-.max_const);
+              changed := true
+            end);
+        ignore big
+      end
+    done
+  done;
+  if !changed then canonicalize t
+
+let pp ?names ppf t =
+  let name i =
+    if i = 0 then "0"
+    else
+      match names with
+      | Some ns when i - 1 < Array.length ns -> ns.(i - 1)
+      | _ -> Printf.sprintf "x%d" i
+  in
+  for i = 0 to t.dim - 1 do
+    for j = 0 to t.dim - 1 do
+      if i <> j && t.m.(i).(j) <> Bound.Inf then
+        Fmt.pf ppf "%s-%s%a; " (name i) (name j) Bound.pp t.m.(i).(j)
+    done
+  done

@@ -1,0 +1,1 @@
+lib/net/crc.ml: Array Char Lazy String

@@ -1,0 +1,1 @@
+lib/net/link.ml: Float Fmt Link_stats Loss Packet Pte_util

@@ -1,0 +1,1 @@
+lib/net/link.mli: Fmt Link_stats Loss Packet Pte_util

@@ -1,0 +1,1 @@
+lib/net/link_stats.ml: Float Fmt Pte_util

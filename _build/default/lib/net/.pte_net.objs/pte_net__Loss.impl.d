@@ -1,0 +1,1 @@
+lib/net/loss.ml: Array Float Fmt Pte_util

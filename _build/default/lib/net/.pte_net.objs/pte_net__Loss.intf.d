@@ -1,0 +1,1 @@
+lib/net/loss.mli: Fmt Pte_util

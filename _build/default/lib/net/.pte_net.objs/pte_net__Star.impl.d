@@ -1,0 +1,1 @@
+lib/net/star.ml: Fmt Link Link_stats List Loss Printf Pte_hybrid Pte_util String

@@ -1,0 +1,1 @@
+lib/net/star.mli: Fmt Link Link_stats Loss Pte_hybrid Pte_util

@@ -1,0 +1,9 @@
+(** CRC-16/CCITT-FALSE, the ITU-T checksum of IEEE 802.15.4 (the ZigBee
+    PHY/MAC of the paper's TMote-Sky motes) — so corrupted packets are
+    discarded through the same code path a real receiver would use. *)
+
+val of_string : string -> int
+(** The check value of ["123456789"] is [0x29B1]. *)
+
+val check : crc:int -> string -> bool
+val update : int -> int -> int

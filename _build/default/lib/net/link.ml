@@ -1,0 +1,74 @@
+(** A unidirectional wireless link (one uplink or downlink of the star).
+
+    Applies the loss model, assigns a propagation + MAC delay, and keeps
+    statistics. Corrupted frames are "delivered" but fail the CRC check
+    and are discarded at the receiver, as the fault model prescribes. *)
+
+type direction = Uplink | Downlink
+
+type t = {
+  name : string;
+  direction : direction;
+  loss : Loss.t;
+  delay_base : float;
+  delay_jitter : float;
+  mac_retries : int;
+  retry_spacing : float;
+  rng : Pte_util.Rng.t;
+  stats : Link_stats.t;
+  mutable seq : int;
+}
+
+let create ~name ~direction ~loss ?(delay_base = 0.01) ?(delay_jitter = 0.02)
+    ?(mac_retries = 0) ?(retry_spacing = 0.005) ~rng () =
+  { name; direction; loss; delay_base; delay_jitter; mac_retries;
+    retry_spacing; rng; stats = Link_stats.create (); seq = 0 }
+
+type verdict =
+  | Deliver of { arrival : float; packet : Packet.t }
+  | Drop of Loss.outcome  (** [Lost_in_air] or [Corrupted] *)
+
+(** Send one event root across the link at [time], with up to
+    [mac_retries] MAC-layer retransmissions (802.15.4-style; each retry
+    adds [retry_spacing] to the delivery delay). The receiver-side CRC
+    check happens here: a corrupted frame arrives but is discarded, so
+    the attempt counts as a drop with outcome [Corrupted]. *)
+let send t ~time ~src ~dst ~root =
+  let packet = Packet.make ~seq:t.seq ~src ~dst ~root ~sent_at:time () in
+  t.seq <- t.seq + 1;
+  Link_stats.on_sent t.stats;
+  let rec attempt n =
+    let now = time +. (Float.of_int n *. t.retry_spacing) in
+    match Loss.decide t.loss ~time:now ~root with
+    | Loss.Lost_in_air when n < t.mac_retries ->
+        Link_stats.on_retransmit t.stats;
+        attempt (n + 1)
+    | Loss.Corrupted when n < t.mac_retries ->
+        Link_stats.on_retransmit t.stats;
+        attempt (n + 1)
+    | Loss.Lost_in_air ->
+        Link_stats.on_lost t.stats;
+        Drop Loss.Lost_in_air
+    | Loss.Corrupted ->
+        (* The frame arrives, the CRC check fails, the receiver discards. *)
+        let damaged = Packet.corrupt ~bit:(Pte_util.Rng.int t.rng 64) packet in
+        assert (not (Packet.intact damaged));
+        Link_stats.on_corrupted t.stats;
+        Drop Loss.Corrupted
+    | Loss.Delivered ->
+        let delay =
+          t.delay_base
+          +. Pte_util.Rng.uniform t.rng ~lo:0.0 ~hi:t.delay_jitter
+          +. (Float.of_int n *. t.retry_spacing)
+        in
+        Link_stats.on_delivered t.stats ~delay;
+        Deliver { arrival = time +. delay; packet }
+  in
+  attempt 0
+
+let stats t = t.stats
+
+let pp ppf t =
+  Fmt.pf ppf "%s (%s): %a" t.name
+    (match t.direction with Uplink -> "uplink" | Downlink -> "downlink")
+    Link_stats.pp t.stats

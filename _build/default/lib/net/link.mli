@@ -1,0 +1,32 @@
+(** A unidirectional wireless link (one uplink or downlink of the star):
+    applies the loss model, assigns propagation + MAC delay, keeps
+    statistics. Corrupted frames fail the receiver-side CRC check and
+    are discarded, per the Section II-B fault model. *)
+
+type direction = Uplink | Downlink
+
+type t
+
+val create :
+  name:string ->
+  direction:direction ->
+  loss:Loss.t ->
+  ?delay_base:float ->
+  ?delay_jitter:float ->
+  ?mac_retries:int ->
+  ?retry_spacing:float ->
+  rng:Pte_util.Rng.t ->
+  unit ->
+  t
+(** Defaults: 10 ms base delay + uniform jitter up to 20 ms; no MAC
+    retransmissions. [mac_retries] > 0 retries a lost/corrupted frame
+    (802.15.4-style), each retry adding [retry_spacing] (default 5 ms)
+    to the delivery delay. *)
+
+type verdict =
+  | Deliver of { arrival : float; packet : Packet.t }
+  | Drop of Loss.outcome
+
+val send : t -> time:float -> src:string -> dst:string -> root:string -> verdict
+val stats : t -> Link_stats.t
+val pp : t Fmt.t

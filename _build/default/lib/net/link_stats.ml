@@ -1,0 +1,47 @@
+(** Per-link delivery statistics, reported alongside trial results so the
+    effective channel conditions of each experiment are visible. *)
+
+type t = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable lost : int;
+  mutable corrupted : int;
+  mutable retransmissions : int;
+  delays : Pte_util.Stats.Online.t;
+}
+
+let create () =
+  {
+    sent = 0;
+    delivered = 0;
+    lost = 0;
+    corrupted = 0;
+    retransmissions = 0;
+    delays = Pte_util.Stats.Online.create ();
+  }
+
+let on_sent t = t.sent <- t.sent + 1
+let on_delivered t ~delay =
+  t.delivered <- t.delivered + 1;
+  Pte_util.Stats.Online.add t.delays delay
+let on_lost t = t.lost <- t.lost + 1
+let on_retransmit t = t.retransmissions <- t.retransmissions + 1
+let on_corrupted t = t.corrupted <- t.corrupted + 1
+
+let loss_rate t =
+  if t.sent = 0 then 0.0
+  else Float.of_int (t.lost + t.corrupted) /. Float.of_int t.sent
+
+let merge a b =
+  {
+    sent = a.sent + b.sent;
+    delivered = a.delivered + b.delivered;
+    lost = a.lost + b.lost;
+    corrupted = a.corrupted + b.corrupted;
+    retransmissions = a.retransmissions + b.retransmissions;
+    delays = a.delays (* delay merge not needed for reports *);
+  }
+
+let pp ppf t =
+  Fmt.pf ppf "sent:%d delivered:%d lost:%d corrupted:%d (loss %.1f%%)" t.sent
+    t.delivered t.lost t.corrupted (100.0 *. loss_rate t)

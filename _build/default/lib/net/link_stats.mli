@@ -1,0 +1,24 @@
+(** Per-link delivery statistics, so each experiment's effective channel
+    conditions are visible next to its results. *)
+
+type t = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable lost : int;
+  mutable corrupted : int;
+  mutable retransmissions : int;
+  delays : Pte_util.Stats.Online.t;
+}
+
+val create : unit -> t
+val on_sent : t -> unit
+val on_delivered : t -> delay:float -> unit
+val on_lost : t -> unit
+val on_retransmit : t -> unit
+val on_corrupted : t -> unit
+
+val loss_rate : t -> float
+(** Fraction of frames ultimately not delivered. *)
+
+val merge : t -> t -> t
+val pp : t Fmt.t

@@ -1,0 +1,48 @@
+(** Packet-loss models. The paper's fault model is {e arbitrary} loss;
+    these are the concrete stochastic/adversarial channels used by the
+    trials and the failure-injection tests. *)
+
+type outcome = Delivered | Lost_in_air | Corrupted
+
+type kind =
+  | Perfect
+  | Bernoulli of float  (** i.i.d. loss probability per packet *)
+  | Gilbert_elliott of {
+      to_bad : float;
+      to_good : float;
+      loss_good : float;
+      loss_bad : float;
+    }  (** two-state Markov channel: bursty, interference-like loss *)
+  | Interferer of {
+      period : float;
+      burst : float;
+      loss_during : float;
+      loss_idle : float;
+    }  (** periodic WiFi-style interference bursts *)
+  | Corrupting of { inner : kind; corrupt_fraction : float }
+      (** some losses arrive as corrupted frames instead (exercising the
+          receiver-side CRC discard path) *)
+  | Adversarial of (int -> string -> bool)
+      (** [f nth root] decides each packet's fate — realizes the
+          "arbitrary loss" quantifier in tests (lose every cancel, lose
+          the k-th message, ...) *)
+  | Trace_driven of bool array
+      (** replay a recorded per-packet loss trace ([true] = lost),
+          cycling when exhausted *)
+
+type t
+
+val create : ?seed:int -> kind -> t
+val create_rng : kind -> Pte_util.Rng.t -> t
+
+val decide : t -> time:float -> root:string -> outcome
+
+val nominal_loss_rate : kind -> float
+(** Long-run loss probability ([nan] for [Adversarial]). *)
+
+val wifi_interference : average_loss:float -> kind
+(** The Table-I channel: constant WiFi interference as a bursty
+    Gilbert–Elliott process with the given average loss rate (bursts of
+    ~5 packets at 90% loss over a 2% residual). *)
+
+val pp_kind : kind Fmt.t

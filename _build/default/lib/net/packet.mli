@@ -1,0 +1,32 @@
+(** Packets carried over wireless links: one synchronization event root
+    per frame, CRC-16 protected (Section II-B fault model). *)
+
+type t = {
+  seq : int;
+  src : string;
+  dst : string;
+  root : string;
+  sent_at : float;
+  payload : string;
+  crc : int;
+}
+
+val make :
+  ?payload:string ->
+  seq:int ->
+  src:string ->
+  dst:string ->
+  root:string ->
+  sent_at:float ->
+  unit ->
+  t
+
+val body : t -> string
+val intact : t -> bool
+(** Receiver-side CRC check. *)
+
+val corrupt : bit:int -> t -> t
+(** A damaged copy that fails {!intact}. *)
+
+val size : t -> int
+val pp : t Fmt.t

@@ -1,0 +1,77 @@
+(** The distributed sink-based wireless topology of Section II-B: one
+    base station ξ0 and N remote entities, an uplink and a downlink per
+    remote, and {e no} direct remote-to-remote links (a send whose
+    source and destination are both remotes is dropped and counted).
+
+    {!router} adapts the topology to the executor's transport hook:
+    messages whose sender or receiver is not a registered node (e.g.
+    physically co-located automata such as the patient model) are
+    delivered reliably with zero delay, i.e. treated as wired. *)
+
+type t = {
+  base : string;
+  uplinks : (string * Link.t) list;  (* remote -> link remote->base *)
+  downlinks : (string * Link.t) list;  (* remote -> link base->remote *)
+  mutable remote_to_remote_dropped : int;
+}
+
+let create ~base ~remotes ~loss_kind ?(delay_base = 0.01)
+    ?(delay_jitter = 0.02) ?(mac_retries = 0) ~rng () =
+  let mk direction remote =
+    let name =
+      match direction with
+      | Link.Uplink -> Printf.sprintf "%s->%s" remote base
+      | Link.Downlink -> Printf.sprintf "%s->%s" base remote
+    in
+    ( remote,
+      Link.create ~name ~direction
+        ~loss:(Loss.create_rng loss_kind (Pte_util.Rng.split rng))
+        ~delay_base ~delay_jitter ~mac_retries
+        ~rng:(Pte_util.Rng.split rng) () )
+  in
+  {
+    base;
+    uplinks = List.map (mk Link.Uplink) remotes;
+    downlinks = List.map (mk Link.Downlink) remotes;
+    remote_to_remote_dropped = 0;
+  }
+
+let is_remote t name = List.mem_assoc name t.uplinks
+let is_node t name = String.equal name t.base || is_remote t name
+
+let link_for t ~sender ~receiver =
+  if String.equal sender t.base && is_remote t receiver then
+    Some (List.assoc receiver t.downlinks)
+  else if is_remote t sender && String.equal receiver t.base then
+    Some (List.assoc sender t.uplinks)
+  else None
+
+(** Executor transport: wireless between registered nodes, wired
+    otherwise. *)
+let router t : Pte_hybrid.Executor.router =
+ fun ~time ~sender ~root ~receiver ->
+  if not (is_node t sender && is_node t receiver) then
+    Pte_hybrid.Executor.Deliver 0.0
+  else
+    match link_for t ~sender ~receiver with
+    | None ->
+        (* two remotes: no direct wireless link exists *)
+        t.remote_to_remote_dropped <- t.remote_to_remote_dropped + 1;
+        Pte_hybrid.Executor.Lose
+    | Some link -> (
+        match Link.send link ~time ~src:sender ~dst:receiver ~root with
+        | Link.Deliver { arrival; _ } ->
+            Pte_hybrid.Executor.Deliver (arrival -. time)
+        | Link.Drop _ -> Pte_hybrid.Executor.Lose)
+
+let all_links t =
+  List.map snd t.uplinks @ List.map snd t.downlinks
+
+let total_stats t =
+  List.fold_left
+    (fun acc link -> Link_stats.merge acc (Link.stats link))
+    (Link_stats.create ()) (all_links t)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>star network (base %s)@,%a@]" t.base
+    (Fmt.list ~sep:Fmt.cut Link.pp) (all_links t)

@@ -1,0 +1,33 @@
+(** The distributed sink-based wireless topology of Section II-B: one
+    base station ξ0, an uplink and a downlink per remote entity, and no
+    direct remote-to-remote links. {!router} adapts the topology to the
+    executor's transport hook; non-node automata (e.g. the patient) are
+    treated as wired. *)
+
+type t = {
+  base : string;
+  uplinks : (string * Link.t) list;
+  downlinks : (string * Link.t) list;
+  mutable remote_to_remote_dropped : int;
+}
+
+val create :
+  base:string ->
+  remotes:string list ->
+  loss_kind:Loss.kind ->
+  ?delay_base:float ->
+  ?delay_jitter:float ->
+  ?mac_retries:int ->
+  rng:Pte_util.Rng.t ->
+  unit ->
+  t
+(** Each link gets an independent loss process and delay stream split
+    from [rng]. *)
+
+val is_remote : t -> string -> bool
+val is_node : t -> string -> bool
+val link_for : t -> sender:string -> receiver:string -> Link.t option
+val router : t -> Pte_hybrid.Executor.router
+val all_links : t -> Link.t list
+val total_stats : t -> Link_stats.t
+val pp : t Fmt.t

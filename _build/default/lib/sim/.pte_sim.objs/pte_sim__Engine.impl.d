@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Executor Float List Pte_hybrid Pte_net Pte_util

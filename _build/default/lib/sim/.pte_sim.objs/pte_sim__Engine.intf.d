@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Pte_hybrid Pte_net Pte_util

@@ -1,0 +1,1 @@
+lib/sim/export.ml: Buffer Char Float Fmt Fun Label List Printf Pte_hybrid String Trace

@@ -1,0 +1,1 @@
+lib/sim/metrics.ml: Label List Pte_hybrid String Trace

@@ -1,0 +1,1 @@
+lib/sim/scenario.ml: Engine Pte_util String

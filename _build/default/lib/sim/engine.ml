@@ -1,0 +1,73 @@
+(** Simulation engine: a hybrid-system executor coupled to the wireless
+    star network and to periodic environment processes.
+
+    This is the emulation testbed of Fig. 7(b) in software. The executor
+    advances the automata; the {!Pte_net.Star} router decides each
+    event's fate on the air; {e processes} model everything outside the
+    automata formalism — the surgeon's random timers, the oximeter wired
+    to the supervisor, the patient's coupling to the ventilator. *)
+
+open Pte_hybrid
+
+type process = {
+  name : string;
+  period : float;
+  mutable next_due : float;
+  action : t -> time:float -> unit;
+}
+
+and t = {
+  exec : Executor.t;
+  net : Pte_net.Star.t option;
+  rng : Pte_util.Rng.t;
+  mutable processes : process list;
+}
+
+let create ?(config = Executor.default_config) ?net ?trace_sink ~seed system =
+  let exec = Executor.create ~config ?trace_sink system in
+  (match net with
+  | Some star -> Executor.set_router exec (Pte_net.Star.router star)
+  | None -> ());
+  { exec; net; rng = Pte_util.Rng.create seed; processes = [] }
+
+let executor t = t.exec
+let network t = t.net
+let time t = Executor.time t.exec
+let rng t = t.rng
+
+(** Derive an independent random stream for one model component. *)
+let fork_rng t = Pte_util.Rng.split t.rng
+
+(** Register a periodic process. [period] defaults to the executor step,
+    i.e. the process observes every simulation instant. *)
+let add_process t ?(period = 0.0) ~name action =
+  t.processes <-
+    t.processes @ [ { name; period; next_due = 0.0; action } ]
+
+let inject t ~receiver ~root =
+  ignore (Executor.inject t.exec ~receiver ~root)
+
+let location_of t name = Executor.location_of t.exec name
+let value_of t name var = Executor.value_of t.exec name var
+let set_value t name var value = Executor.set_value t.exec name var value
+let note t text = Executor.note t.exec text
+
+let run_processes t =
+  let now = time t in
+  List.iter
+    (fun p ->
+      if now >= p.next_due -. 1e-12 then begin
+        p.action t ~time:now;
+        p.next_due <- now +. Float.max p.period 1e-9
+      end)
+    t.processes
+
+(** Run to [until], interleaving processes with executor steps. *)
+let run t ~until =
+  while time t < until -. 1e-12 do
+    run_processes t;
+    Executor.step t.exec
+  done;
+  run_processes t
+
+let trace t = Executor.trace t.exec

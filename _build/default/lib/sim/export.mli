@@ -1,0 +1,11 @@
+(** Trace export: JSON-lines event logs and CSV sample series, so trial
+    results can be plotted or diffed outside OCaml. *)
+
+val to_jsonl : Pte_hybrid.Trace.t -> string
+(** One JSON object per line: [{"time":..., "kind":..., ...}]. *)
+
+val samples_to_csv : Pte_hybrid.Trace.t -> string
+(** Columns [time,automaton.var,...]; samples at the same instant share
+    a row; missing cells are empty. *)
+
+val write_file : string -> string -> unit

@@ -1,0 +1,65 @@
+(** Trace-derived measurements for trial reports (Table I columns and the
+    extension experiments). *)
+
+open Pte_hybrid
+
+(** Number of times [automaton] entered [location] (counting transitions,
+    not the initial state). *)
+let entries trace ~automaton ~location =
+  List.length
+    (List.filter
+       (fun ({ Trace.event; _ } : Trace.entry) ->
+         match event with
+         | Trace.Transition { automaton = a; dst; src; _ } ->
+             String.equal a automaton && String.equal dst location
+             && not (String.equal src location)
+         | _ -> false)
+       trace)
+
+(** Occurrences of an internal marker event (e.g. the paper's evtToStop). *)
+let internal_marks trace ~root =
+  List.length
+    (List.filter
+       (fun ({ Trace.event; _ } : Trace.entry) ->
+         match event with
+         | Trace.Transition { label = Some (Label.Internal r); _ } ->
+             String.equal r root
+         | _ -> false)
+       trace)
+
+let messages_sent trace =
+  List.length
+    (List.filter
+       (fun ({ Trace.event; _ } : Trace.entry) ->
+         match event with Trace.Message_sent _ -> true | _ -> false)
+       trace)
+
+let messages_lost trace =
+  List.length
+    (List.filter
+       (fun ({ Trace.event; _ } : Trace.entry) ->
+         match event with Trace.Message_lost _ -> true | _ -> false)
+       trace)
+
+(** Sampled time series of one variable, for figure-style output. *)
+let series trace ~automaton ~var =
+  List.filter_map
+    (fun ({ Trace.time; event } : Trace.entry) ->
+      match event with
+      | Trace.Sample { automaton = a; var = v; value }
+        when String.equal a automaton && String.equal v var ->
+          Some (time, value)
+      | _ -> None)
+    trace
+
+(** Times at which [automaton] transitioned into [location]. *)
+let entry_times trace ~automaton ~location =
+  List.filter_map
+    (fun ({ Trace.time; event } : Trace.entry) ->
+      match event with
+      | Trace.Transition { automaton = a; dst; src; _ }
+        when String.equal a automaton && String.equal dst location
+             && not (String.equal src location) ->
+          Some time
+      | _ -> None)
+    trace

@@ -1,0 +1,19 @@
+(** Trace-derived measurements for trial reports. *)
+
+val entries : Pte_hybrid.Trace.t -> automaton:string -> location:string -> int
+(** Times the automaton transitioned into the location (self-loops and
+    the initial state excluded). *)
+
+val internal_marks : Pte_hybrid.Trace.t -> root:string -> int
+(** Occurrences of an internal marker event (e.g. the paper's
+    evtToStop). *)
+
+val messages_sent : Pte_hybrid.Trace.t -> int
+val messages_lost : Pte_hybrid.Trace.t -> int
+
+val series :
+  Pte_hybrid.Trace.t -> automaton:string -> var:string -> (float * float) list
+(** Sampled time series of one variable. *)
+
+val entry_times :
+  Pte_hybrid.Trace.t -> automaton:string -> location:string -> float list

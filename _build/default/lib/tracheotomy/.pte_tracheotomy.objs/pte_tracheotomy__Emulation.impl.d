@@ -1,0 +1,1 @@
+lib/tracheotomy/emulation.ml: Array Executor Oximeter Patient Pte_core Pte_hybrid Pte_net Pte_sim Pte_util Surgeon System Ventilator

@@ -1,0 +1,1 @@
+lib/tracheotomy/emulation.mli: Pte_core Pte_hybrid Pte_net Pte_sim Pte_util

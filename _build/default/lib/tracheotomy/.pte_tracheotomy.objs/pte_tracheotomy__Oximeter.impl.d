@@ -1,0 +1,1 @@
+lib/tracheotomy/oximeter.ml: Patient Pte_core Pte_sim Pte_util

@@ -1,0 +1,1 @@
+lib/tracheotomy/oximeter.mli: Pte_sim

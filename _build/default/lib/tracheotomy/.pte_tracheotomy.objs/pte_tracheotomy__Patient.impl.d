@@ -1,0 +1,1 @@
+lib/tracheotomy/patient.ml: Automaton Flow Location Pte_hybrid Pte_sim Valuation Ventilator

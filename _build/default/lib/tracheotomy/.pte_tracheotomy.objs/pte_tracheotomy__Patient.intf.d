@@ -1,0 +1,1 @@
+lib/tracheotomy/patient.mli: Pte_hybrid Pte_sim

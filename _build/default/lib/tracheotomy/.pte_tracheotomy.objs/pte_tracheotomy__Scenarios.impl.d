@@ -1,0 +1,1 @@
+lib/tracheotomy/scenarios.ml: Array Emulation Fmt List Pte_core Pte_hybrid Pte_net Pte_sim

@@ -1,0 +1,1 @@
+lib/tracheotomy/scenarios.mli: Emulation Fmt Pte_core

@@ -1,0 +1,1 @@
+lib/tracheotomy/surgeon.ml: Pte_core Pte_sim

@@ -1,0 +1,1 @@
+lib/tracheotomy/surgeon.mli: Pte_sim

@@ -1,0 +1,1 @@
+lib/tracheotomy/trial.mli: Emulation Fmt Pte_core

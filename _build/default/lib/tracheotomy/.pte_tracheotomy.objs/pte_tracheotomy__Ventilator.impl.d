@@ -1,0 +1,1 @@
+lib/tracheotomy/ventilator.ml: Automaton Edge Elaboration Flow Guard Label List Location Pte_core Pte_hybrid

@@ -1,0 +1,1 @@
+lib/tracheotomy/ventilator.mli: Pte_core Pte_hybrid

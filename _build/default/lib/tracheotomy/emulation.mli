@@ -1,0 +1,42 @@
+(** Assembly of the laser-tracheotomy wireless CPS emulation (Fig. 7):
+    supervisor + wired SpO2 sensor (ξ0), pattern-elaborated ventilator
+    (ξ1), surgeon-operated laser-scalpel (ξ2), patient model, ZigBee-like
+    star network under WiFi-style interference. *)
+
+type config = {
+  params : Pte_core.Params.t;
+  lease : bool;  (** [false] = the paper's "without Lease" baseline. *)
+  loss : Pte_net.Loss.kind;
+  e_ton : float;  (** E(Ton) — paper: 30 s. *)
+  e_toff : float;  (** E(Toff) — paper: 18 s or 6 s. *)
+  horizon : float;  (** trial length — paper: 30 minutes. *)
+  dwell_bound : float;  (** Rule 1 bound for the trial — paper: 60 s. *)
+  spo2_threshold : float;  (** Θ_SpO2 — paper: 92%. *)
+  seed : int;
+  dt : float;  (** executor step. *)
+  mac_retries : int;
+      (** 802.15.4 MAC retransmissions per frame (0 disables). *)
+}
+
+val default : config
+(** The paper's trial setup: case-study constants, lease on, 25% bursty
+    loss, E(Ton)=30 s, E(Toff)=18 s, 1800 s, 60 s bound, Θ=92%, 10 ms
+    step. *)
+
+type built = {
+  config : config;
+  engine : Pte_sim.Engine.t;
+  system : Pte_hybrid.System.t;
+  net : Pte_net.Star.t;
+  spec : Pte_core.Rules.t;
+  laser : string;
+  ventilator : string;
+  spo2_stats : Pte_util.Stats.Online.t;
+}
+
+val build : config -> built
+(** Assemble automata, network, couplings (lungs, oximeter) and surgeon
+    timers. *)
+
+val run : built -> Pte_hybrid.Trace.t
+(** Run to the horizon and return the trace. *)

@@ -1,0 +1,21 @@
+(** The oximeter wired to the supervisor (the paper's Nonin 9843).
+
+    Samples the patient's SpO2 once a second with bounded sensor noise
+    and writes the ApprovalCondition — SpO2(t) > Θ_SpO2 — into the
+    supervisor's [approval] data state variable. Wired, hence lossless:
+    the SpO2 sensor is part of entity ξ0 in the case study. *)
+
+let sample_period = 1.0
+let noise_amplitude = 0.4  (* uniform ±, in SpO2 percentage points *)
+let default_threshold = 92.0
+
+let connect engine ~supervisor ?(threshold = default_threshold) () =
+  Pte_sim.Scenario.wired_sensor engine ~period:sample_period
+    ~from:(Patient.name, Patient.spo2_var)
+    ~to_:(supervisor, Pte_core.Pattern.approval_var)
+    ~transform:(fun rng raw ->
+      let reading =
+        raw +. Pte_util.Rng.uniform rng ~lo:(-.noise_amplitude) ~hi:noise_amplitude
+      in
+      if reading > threshold then 1.0 else 0.0)
+    ()

@@ -1,0 +1,12 @@
+(** The oximeter wired to the supervisor (the paper's Nonin 9843):
+    samples SpO2 once a second with bounded noise and writes the
+    ApprovalCondition — SpO2 > Θ — into the supervisor's data state. *)
+
+val sample_period : float
+val noise_amplitude : float
+
+val default_threshold : float
+(** Θ_SpO2 = 92%. *)
+
+val connect :
+  Pte_sim.Engine.t -> supervisor:string -> ?threshold:float -> unit -> unit

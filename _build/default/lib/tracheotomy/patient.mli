@@ -1,0 +1,18 @@
+(** The patient's blood-oxygen dynamics: first-order desaturation while
+    ventilation is paused, relaxation toward a healthy baseline while
+    ventilated. Substitutes the paper's human subject; see DESIGN.md §2. *)
+
+val name : string
+val spo2_var : string
+val vent_ok_var : string
+
+val healthy_spo2 : float
+val recovery_rate : float
+val decay_rate : float
+
+val automaton : Pte_hybrid.Automaton.t
+(** Single-location ODE automaton; not a node of the wireless star. *)
+
+val couple_to_ventilator : Pte_sim.Engine.t -> ventilator:string -> unit
+(** Register the lung coupling: [vent_ok] reflects whether the
+    ventilator dwells in a ventilating location. *)

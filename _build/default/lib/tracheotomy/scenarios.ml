@@ -1,0 +1,173 @@
+(** The failure scenarios discussed in Section V, reproduced as
+    deterministic single-episode experiments. Each returns enough
+    measurements to see {e why} the lease pattern (and the c1–c7
+    configuration constraints) matter. *)
+
+type episode = {
+  lease : bool;
+  emission_duration : float;  (** laser's continuous risky dwell *)
+  pause_duration : float;  (** ventilator's continuous risky dwell *)
+  failures : int;
+  violations : Pte_core.Monitor.violation list;
+  evt_to_stop : int;
+  aborts : int;
+}
+
+let base_config =
+  {
+    Emulation.default with
+    horizon = 150.0;
+    e_ton = 1e9;  (* surgeon acts through one-shots below, not Ton *)
+    e_toff = 1e9;
+    loss = Pte_net.Loss.Perfect;
+  }
+
+(* Run a single leased episode: the surgeon requests at t=15 (after the
+   supervisor's T^min_fb,0 Fall-Back cool-down has elapsed) and, if
+   [cancel_at] is given, cancels that many seconds into the emission.
+   Returns the episode measurements together with the full monitor
+   report. *)
+let run_episode_full ?(config = base_config) ?cancel_at ~lease () =
+  let config = { config with Emulation.lease } in
+  let built = Emulation.build config in
+  let engine = built.Emulation.engine in
+  let laser = built.Emulation.laser in
+  let request_at = config.Emulation.params.Pte_core.Params.t_fb_min +. 2.0 in
+  Pte_sim.Scenario.one_shot engine ~at:request_at ~automaton:laser
+    ~armed_in:"Fall-Back"
+    ~root:(Pte_core.Events.stim_request ~initializer_:laser);
+  (match cancel_at with
+  | Some delay ->
+      (* [delay] counts from the expected start of the emission (the
+         grant handshake is sub-second; "Entering" dwells T^max_enter,N) *)
+      let emission_start =
+        request_at
+        +. (Pte_core.Params.initializer_ config.Emulation.params)
+             .Pte_core.Params.t_enter_max
+      in
+      Pte_sim.Scenario.one_shot engine ~at:(emission_start +. delay)
+        ~automaton:laser ~armed_in:"Risky Core"
+        ~root:(Pte_core.Events.stim_cancel ~initializer_:laser)
+  | None -> ());
+  let trace = Emulation.run built in
+  let report =
+    Pte_core.Monitor.analyze_system trace built.Emulation.system
+      built.Emulation.spec ~horizon:config.Emulation.horizon
+  in
+  let dwell entity =
+    match List.assoc_opt entity report.Pte_core.Monitor.intervals with
+    | Some spans -> Pte_hybrid.Trace.longest_dwell spans
+    | None -> 0.0
+  in
+  ( {
+      lease;
+      emission_duration = dwell laser;
+      pause_duration = dwell built.Emulation.ventilator;
+      failures = Pte_core.Monitor.episodes report;
+      violations = report.Pte_core.Monitor.violations;
+      evt_to_stop =
+        Pte_sim.Metrics.internal_marks trace
+          ~root:(Pte_core.Events.to_stop ~entity:laser);
+      aborts =
+        Pte_sim.Metrics.entries trace
+          ~automaton:config.Emulation.params.Pte_core.Params.supervisor
+          ~location:(Pte_core.Pattern.send_abort_loc laser);
+    },
+    report )
+
+let run_episode ?config ?cancel_at ~lease () =
+  fst (run_episode_full ?config ?cancel_at ~lease ())
+
+(** The measured Fig. 1 timeline of one clean leased episode:
+    t1 = enter-risky spacing (ventilator pause → laser emission),
+    t2 = exit-risky spacing (laser off → ventilator resume),
+    t3 = ventilator pause duration, t4 = laser emission duration. *)
+type timeline = { t1 : float; t2 : float; t3 : float; t4 : float }
+
+let fig1_timeline ?(cancel_at = 10.0) () =
+  let _, report = run_episode_full ~cancel_at ~lease:true () in
+  let span entity =
+    match List.assoc_opt entity report.Pte_core.Monitor.intervals with
+    | Some [ span ] -> span
+    | Some spans ->
+        Fmt.invalid_arg "fig1: expected one %s interval, got %d" entity
+          (List.length spans)
+    | None -> Fmt.invalid_arg "fig1: no intervals for %s" entity
+  in
+  let a, b = span "ventilator" in
+  let s, e = span "laser" in
+  { t1 = s -. a; t2 = b -. e; t3 = b -. a; t4 = e -. s }
+
+(** S1 — "the surgeon may forget to cancel laser emission until too late
+    (e.g. Toff is set to 1 hour)". The surgeon never cancels. With the
+    lease, the laser stops itself after T^max_run,2 = 20 s (an evtToStop);
+    without it, only the supervisor's SpO2 abort can stop the emission.
+    [abort_blackout] additionally loses every abort message — the case
+    where, without a lease, nothing can stop the emission in bounded
+    time. *)
+let s1_forgotten_cancel ?(abort_blackout = false) ~lease () =
+  let config =
+    if abort_blackout then
+      {
+        base_config with
+        Emulation.loss =
+          Pte_net.Loss.Adversarial
+            (fun _ root ->
+              root = Pte_core.Events.abort_down ~entity:"laser"
+              || root = Pte_core.Events.abort_down ~entity:"ventilator"
+              || root = Pte_core.Events.cancel_down ~entity:"ventilator");
+      }
+    else base_config
+  in
+  run_episode ~config ~lease ()
+
+(** S2 — "the surgeon remembers to cancel laser emission, but his/her
+    cancelling request is not received at the supervisor". The surgeon
+    cancels 8 s into the emission; every evtξ2→ξ0Cancel is lost. The
+    laser still stops (its own transition), but the supervisor never
+    learns: without the lease the ventilator keeps pausing. *)
+let s2_lost_cancel ~lease () =
+  let config =
+    {
+      base_config with
+      Emulation.loss =
+        Pte_net.Loss.Adversarial
+          (fun _ root -> root = Pte_core.Events.cancel_up ~initializer_:"laser");
+    }
+  in
+  run_episode ~config ~cancel_at:8.0 ~lease ()
+
+(** S3 — "suppose we set T^max_enter,2 = T^max_enter,1 … condition c5 of
+    Theorem 1 is violated. Under such design, immediately after the
+    ventilator is paused, the laser-scalpel can emit laser". Returns the
+    constraint report alongside the run: the checker flags c5 and the
+    monitor observes the enter-safeguard breach. *)
+let s3_c5_violated () =
+  let params = Pte_core.Params.case_study in
+  let bad =
+    {
+      params with
+      Pte_core.Params.entities =
+        [|
+          params.Pte_core.Params.entities.(0);
+          {
+            (params.Pte_core.Params.entities.(1)) with
+            Pte_core.Params.t_enter_max =
+              params.Pte_core.Params.entities.(0).Pte_core.Params.t_enter_max;
+          };
+        |];
+    }
+  in
+  let outcomes = Pte_core.Constraints.check bad in
+  let episode =
+    run_episode
+      ~config:{ base_config with Emulation.params = bad }
+      ~cancel_at:8.0 ~lease:true ()
+  in
+  (outcomes, episode)
+
+let pp_episode ppf e =
+  Fmt.pf ppf
+    "lease=%b emission=%.1fs pause=%.1fs failures=%d evtToStop=%d aborts=%d"
+    e.lease e.emission_duration e.pause_duration e.failures e.evt_to_stop
+    e.aborts

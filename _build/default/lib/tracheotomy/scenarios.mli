@@ -1,0 +1,47 @@
+(** The failure scenarios discussed in Section V, as deterministic
+    single-episode experiments, plus the measured Fig. 1 timeline. *)
+
+type episode = {
+  lease : bool;
+  emission_duration : float;
+  pause_duration : float;
+  failures : int;
+  violations : Pte_core.Monitor.violation list;
+  evt_to_stop : int;
+  aborts : int;
+}
+
+val base_config : Emulation.config
+(** 150 s horizon, perfect channel, surgeon driven by one-shots. *)
+
+val run_episode_full :
+  ?config:Emulation.config ->
+  ?cancel_at:float ->
+  lease:bool ->
+  unit ->
+  episode * Pte_core.Monitor.report
+(** One leased episode: the surgeon requests after the supervisor's
+    Fall-Back cool-down and optionally cancels [cancel_at] seconds into
+    the emission. *)
+
+val run_episode :
+  ?config:Emulation.config -> ?cancel_at:float -> lease:bool -> unit -> episode
+
+(** Measured Fig. 1 quantities of one clean episode. *)
+type timeline = { t1 : float; t2 : float; t3 : float; t4 : float }
+
+val fig1_timeline : ?cancel_at:float -> unit -> timeline
+
+val s1_forgotten_cancel : ?abort_blackout:bool -> lease:bool -> unit -> episode
+(** §V: "the surgeon may forget to cancel laser emission until too
+    late". [abort_blackout] also loses every abort/cancel downlink — the
+    "no one can terminate" case. *)
+
+val s2_lost_cancel : lease:bool -> unit -> episode
+(** §V: the surgeon cancels but every evtξ2→ξ0Cancel is lost. *)
+
+val s3_c5_violated : unit -> Pte_core.Constraints.outcome list * episode
+(** §V: T^max_enter,2 = T^max_enter,1 breaks condition c5; returns the
+    checker report and the violating run. *)
+
+val pp_episode : episode Fmt.t

@@ -1,0 +1,20 @@
+(** The surgeon's behaviour, emulated exactly as in the paper's trials:
+
+    - Ton (exponential, mean E(Ton)): armed whenever the laser-scalpel
+      dwells in "Fall-Back"; on firing, the surgeon requests laser
+      emission (stimulus → the Initializer's request transition).
+    - Toff (exponential, mean E(Toff)): armed whenever the laser-scalpel
+      is emitting ("Risky Core"); on firing, the surgeon cancels.
+
+    Both timers are destroyed when the laser leaves the arming location,
+    matching Section V's emulation setup. *)
+
+let connect engine ~laser ~e_ton ~e_toff =
+  Pte_sim.Scenario.exponential_stimulus engine ~mean:e_ton ~automaton:laser
+    ~armed_in:"Fall-Back"
+    ~root:(Pte_core.Events.stim_request ~initializer_:laser)
+    ();
+  Pte_sim.Scenario.exponential_stimulus engine ~mean:e_toff ~automaton:laser
+    ~armed_in:"Risky Core"
+    ~root:(Pte_core.Events.stim_cancel ~initializer_:laser)
+    ()

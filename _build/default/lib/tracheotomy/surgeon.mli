@@ -1,0 +1,7 @@
+(** The surgeon's behaviour, emulated exactly as in the paper's trials:
+    an exponential request timer Ton armed in "Fall-Back" and an
+    exponential cancel timer Toff armed while emitting, both destroyed on
+    leaving the arming location. *)
+
+val connect :
+  Pte_sim.Engine.t -> laser:string -> e_ton:float -> e_toff:float -> unit

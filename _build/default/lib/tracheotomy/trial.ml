@@ -1,0 +1,82 @@
+(** Trial runner: executes emulation trials and extracts the Table-I
+    statistics (plus channel and SpO2 diagnostics the paper reports in
+    prose). *)
+
+type result = {
+  config : Emulation.config;
+  emissions : int;  (** # of laser emissions (entries into "Risky Core"). *)
+  failures : int;  (** # of PTE safety-rule violation episodes. *)
+  evt_to_stop : int;
+      (** # of evtToStop: lease expiry forced the laser to stop. *)
+  vent_lease_expiries : int;
+      (** # of times the ventilator's lease expired in "Risky Core". *)
+  aborts : int;  (** supervisor abort chains started (SpO2 below Θ). *)
+  requests : int;  (** surgeon requests issued. *)
+  violations : Pte_core.Monitor.violation list;
+  longest_pause : float;  (** longest continuous risky dwell, ventilator. *)
+  longest_emission : float;  (** longest continuous risky dwell, laser. *)
+  min_spo2 : float;
+  messages_sent : int;
+  effective_loss_rate : float;
+}
+
+let run (config : Emulation.config) : result =
+  let built = Emulation.build config in
+  let trace = Emulation.run built in
+  let report =
+    Pte_core.Monitor.analyze_system trace built.Emulation.system
+      built.Emulation.spec ~horizon:config.Emulation.horizon
+  in
+  let laser = built.Emulation.laser in
+  let ventilator = built.Emulation.ventilator in
+  let dwell entity =
+    match List.assoc_opt entity report.Pte_core.Monitor.intervals with
+    | Some spans -> Pte_hybrid.Trace.longest_dwell spans
+    | None -> 0.0
+  in
+  let net_stats = Pte_net.Star.total_stats built.Emulation.net in
+  {
+    config;
+    emissions =
+      Pte_sim.Metrics.entries trace ~automaton:laser ~location:"Risky Core";
+    failures = Pte_core.Monitor.episodes report;
+    evt_to_stop =
+      Pte_sim.Metrics.internal_marks trace
+        ~root:(Pte_core.Events.to_stop ~entity:laser);
+    vent_lease_expiries =
+      Pte_sim.Metrics.internal_marks trace
+        ~root:(Pte_core.Events.lease_expired ~entity:ventilator);
+    aborts =
+      Pte_sim.Metrics.entries trace
+        ~automaton:config.Emulation.params.Pte_core.Params.supervisor
+        ~location:(Pte_core.Pattern.send_abort_loc laser);
+    requests =
+      Pte_sim.Metrics.entries trace ~automaton:laser ~location:"Send Req";
+    violations = report.Pte_core.Monitor.violations;
+    longest_pause = dwell ventilator;
+    longest_emission = dwell laser;
+    min_spo2 = Pte_util.Stats.Online.min built.Emulation.spo2_stats;
+    messages_sent = net_stats.Pte_net.Link_stats.sent;
+    effective_loss_rate = Pte_net.Link_stats.loss_rate net_stats;
+  }
+
+(** One Table-I row: a 30-minute trial at the paper's constants. *)
+let table1_row ~lease ~e_toff ~seed =
+  run { Emulation.default with lease; e_toff; seed }
+
+(** The full Table I: {with, without} lease × E(Toff) ∈ {18 s, 6 s}. *)
+let table1 ?(seed = 2013) () =
+  [
+    ("with Lease", 18.0, table1_row ~lease:true ~e_toff:18.0 ~seed);
+    ("without Lease", 18.0, table1_row ~lease:false ~e_toff:18.0 ~seed:(seed + 1));
+    ("with Lease", 6.0, table1_row ~lease:true ~e_toff:6.0 ~seed:(seed + 2));
+    ("without Lease", 6.0, table1_row ~lease:false ~e_toff:6.0 ~seed:(seed + 3));
+  ]
+
+let pp_result ppf r =
+  Fmt.pf ppf
+    "emissions:%d failures:%d evtToStop:%d aborts:%d requests:%d \
+     longest-pause:%.1fs longest-emission:%.1fs minSpO2:%.1f loss:%.0f%%"
+    r.emissions r.failures r.evt_to_stop r.aborts r.requests r.longest_pause
+    r.longest_emission r.min_spo2
+    (100.0 *. r.effective_loss_rate)

@@ -1,0 +1,31 @@
+(** Trial runner: executes emulation trials and extracts the Table-I
+    statistics plus the channel/SpO2 diagnostics the paper reports in
+    prose. *)
+
+type result = {
+  config : Emulation.config;
+  emissions : int;  (** # of laser emissions (entries into "Risky Core"). *)
+  failures : int;  (** # of PTE safety-rule violation episodes. *)
+  evt_to_stop : int;
+      (** # of evtToStop: lease expiry forced the laser to stop. *)
+  vent_lease_expiries : int;
+  aborts : int;  (** supervisor abort chains started (SpO2 below Θ). *)
+  requests : int;  (** surgeon requests issued. *)
+  violations : Pte_core.Monitor.violation list;
+  longest_pause : float;
+  longest_emission : float;
+  min_spo2 : float;
+  messages_sent : int;
+  effective_loss_rate : float;
+}
+
+val run : Emulation.config -> result
+
+val table1_row : lease:bool -> e_toff:float -> seed:int -> result
+(** One Table-I row: a 30-minute trial at the paper's constants. *)
+
+val table1 :
+  ?seed:int -> unit -> (string * float * result) list
+(** The full Table I: {with, without} lease × E(Toff) ∈ {18 s, 6 s}. *)
+
+val pp_result : result Fmt.t

@@ -1,0 +1,16 @@
+(** Binary min-heap keyed by float priority with FIFO tie-breaking, so
+    discrete-event queues pop deterministically regardless of layout. *)
+
+type 'a t
+
+val create : dummy:'a -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> float -> 'a -> unit
+val peek : 'a t -> (float * 'a) option
+val pop : 'a t -> (float * 'a) option
+
+val pop_until : 'a t -> upto:float -> (float * 'a) list
+(** Every item with priority <= [upto], in priority/FIFO order. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,55 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    SplitMix64 (Steele, Lea & Flood 2014): a 64-bit mixing generator with
+    a trivially splittable state. Simulation trials must be reproducible
+    (so EXPERIMENTS.md numbers can be regenerated exactly) and mutually
+    independent across components (so adding a sampling site in one model
+    does not perturb another); splitting gives both without global
+    state. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Derive an independent stream; deterministic in the parent state. *)
+let split t =
+  let seed = next_int64 t in
+  { state = Int64.mul seed 0xDA942042E4DD58B5L }
+
+(** Uniform in [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+(** Uniform integer in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let f = float t in
+  let i = int_of_float (f *. Float.of_int bound) in
+  if i >= bound then bound - 1 else i
+
+let bool t = float t < 0.5
+
+(** Bernoulli trial with success probability [p]. *)
+let bernoulli t p = float t < p
+
+(** Exponentially distributed variate with the given [mean] — the
+    distribution the paper uses for the surgeon's Ton and Toff timers. *)
+let exponential t ~mean =
+  if mean <= 0.0 then invalid_arg "Rng.exponential: mean must be positive";
+  let u = 1.0 -. float t (* in (0,1] *) in
+  -.mean *. log u
+
+(** Uniform in [lo, hi). *)
+let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)

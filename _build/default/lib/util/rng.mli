@@ -1,0 +1,27 @@
+(** SplitMix64: a deterministic, splittable pseudo-random generator.
+    Trials must be reproducible and components must draw from mutually
+    independent streams; splitting provides both without global state. *)
+
+type t
+
+val create : int -> t
+val copy : t -> t
+
+val split : t -> t
+(** Derive an independent stream (deterministic in the parent state). *)
+
+val next_int64 : t -> int64
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val int : t -> int -> int
+(** Uniform in [0, bound); raises on non-positive bound. *)
+
+val bool : t -> bool
+val bernoulli : t -> float -> bool
+
+val exponential : t -> mean:float -> float
+(** The distribution behind the paper's Ton/Toff surgeon timers. *)
+
+val uniform : t -> lo:float -> hi:float -> float

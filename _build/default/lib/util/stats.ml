@@ -1,0 +1,61 @@
+(** Small descriptive-statistics helpers for trial reports. *)
+
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0.0 xs /. Float.of_int (List.length xs)
+
+let variance xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let n = Float.of_int (List.length xs) in
+      List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs /. (n -. 1.0)
+
+let stddev xs = sqrt (variance xs)
+
+let minimum = function [] -> nan | x :: xs -> List.fold_left Float.min x xs
+let maximum = function [] -> nan | x :: xs -> List.fold_left Float.max x xs
+
+let sum = List.fold_left ( +. ) 0.0
+
+let percentile xs p =
+  match List.sort Float.compare xs with
+  | [] -> nan
+  | sorted ->
+      let n = List.length sorted in
+      let rank = p /. 100.0 *. Float.of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = min (n - 1) (lo + 1) in
+      let frac = rank -. Float.of_int lo in
+      let nth i = List.nth sorted i in
+      nth lo +. (frac *. (nth hi -. nth lo))
+
+(** Online accumulator (Welford) for long streams. *)
+module Online = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. Float.of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.n
+  let mean t = if t.n = 0 then nan else t.mean
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. Float.of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+  let min t = if t.n = 0 then nan else t.min
+  let max t = if t.n = 0 then nan else t.max
+end

@@ -1,0 +1,29 @@
+(** Descriptive statistics for trial reports. *)
+
+val mean : float list -> float
+(** [nan] on empty input. *)
+
+val variance : float list -> float
+(** Sample variance (n−1 denominator); 0 for fewer than two points. *)
+
+val stddev : float list -> float
+val minimum : float list -> float
+val maximum : float list -> float
+val sum : float list -> float
+
+val percentile : float list -> float -> float
+(** Linear interpolation between closest ranks. *)
+
+(** Online accumulator (Welford) for long streams. *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+end

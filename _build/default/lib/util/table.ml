@@ -1,0 +1,80 @@
+(** Plain-text table rendering for the benchmark harness: every
+    reproduced paper table/figure prints through this module so
+    `bench_output.txt` has a uniform, diffable format. *)
+
+type align = Left | Right
+
+type t = {
+  title : string;
+  header : string list;
+  aligns : align list;
+  mutable rows : string list list;  (* reversed *)
+  mutable notes : string list;      (* reversed *)
+}
+
+let create ~title ~header ?aligns () =
+  let aligns =
+    match aligns with
+    | Some a -> a
+    | None -> List.map (fun _ -> Left) header
+  in
+  { title; header; aligns; rows = []; notes = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let add_note t note = t.notes <- note :: t.notes
+
+let cell_width rows col =
+  List.fold_left
+    (fun acc row ->
+      match List.nth_opt row col with
+      | Some s -> max acc (String.length s)
+      | None -> acc)
+    0 rows
+
+let pad align width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make n ' '
+    | Right -> String.make n ' ' ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let columns = List.length t.header in
+  let widths = List.init columns (cell_width all) in
+  let align_of i =
+    match List.nth_opt t.aligns i with Some a -> a | None -> Left
+  in
+  let line row =
+    "| "
+    ^ String.concat " | "
+        (List.mapi (fun i s -> pad (align_of i) (List.nth widths i) s) row)
+    ^ " |"
+  in
+  let rule =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "+"
+  in
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buffer (rule ^ "\n");
+  Buffer.add_string buffer (line t.header ^ "\n");
+  Buffer.add_string buffer (rule ^ "\n");
+  List.iter (fun row -> Buffer.add_string buffer (line row ^ "\n")) rows;
+  Buffer.add_string buffer (rule ^ "\n");
+  List.iter
+    (fun note -> Buffer.add_string buffer ("  note: " ^ note ^ "\n"))
+    (List.rev t.notes);
+  Buffer.contents buffer
+
+let print t = print_string (render t); print_newline ()
+
+let fmt_float ?(decimals = 2) x =
+  if Float.is_nan x then "-" else Printf.sprintf "%.*f" decimals x
+
+let fmt_int = string_of_int
+
+let fmt_bool b = if b then "yes" else "no"

@@ -1,0 +1,21 @@
+(** Plain-text table rendering: every reproduced paper table/figure
+    prints through this module so `bench_output.txt` is uniform and
+    diffable. *)
+
+type align = Left | Right
+
+type t
+
+val create :
+  title:string -> header:string list -> ?aligns:align list -> unit -> t
+
+val add_row : t -> string list -> unit
+val add_note : t -> string -> unit
+val render : t -> string
+val print : t -> unit
+
+val fmt_float : ?decimals:int -> float -> string
+(** ["-"] for NaN. *)
+
+val fmt_int : int -> string
+val fmt_bool : bool -> string

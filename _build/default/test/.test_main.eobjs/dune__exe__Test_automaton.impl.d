@@ -1,0 +1,1 @@
+test/test_automaton.ml: Alcotest Automaton Edge Flow Guard Label List Location Pte_hybrid Pte_tracheotomy Reset Result String System Valuation Var

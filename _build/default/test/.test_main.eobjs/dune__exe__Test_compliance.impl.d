@@ -1,0 +1,1 @@
+test/test_compliance.ml: Alcotest Automaton Compliance Executor Fmt Guard List Location Params Pte_core Pte_hybrid Pte_tracheotomy Result System

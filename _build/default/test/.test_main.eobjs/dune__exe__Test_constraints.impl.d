@@ -1,0 +1,1 @@
+test/test_constraints.ml: Alcotest Array Constraints Fmt Fun List Params Pte_core String

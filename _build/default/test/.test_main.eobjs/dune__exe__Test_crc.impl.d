@@ -1,0 +1,1 @@
+test/test_crc.ml: Alcotest Bytes Char Crc Packet Pte_net QCheck QCheck_alcotest

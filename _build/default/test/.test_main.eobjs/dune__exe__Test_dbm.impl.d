@@ -1,0 +1,1 @@
+test/test_dbm.ml: Alcotest Bound Dbm List Pte_mc QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_elaboration.ml: Alcotest Automaton Edge Elaboration Executor Float Flow Guard List Location Pte_hybrid Pte_tracheotomy Reset String System Valuation

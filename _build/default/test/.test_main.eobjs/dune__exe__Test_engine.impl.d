@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Automaton Edge Executor Float Flow Fmt Label List Location Pte_hybrid Pte_sim Pte_util System

@@ -1,0 +1,1 @@
+test/test_executor.ml: Alcotest Automaton Edge Executor Float Flow Guard Label List Location Pte_hybrid Pte_tracheotomy Reset System Trace Valuation

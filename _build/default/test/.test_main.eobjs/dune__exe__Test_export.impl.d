@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Automaton Executor Flow Label List Location Pte_hybrid Pte_sim String System Trace

@@ -1,0 +1,1 @@
+test/test_flow_reset.ml: Alcotest Flow List Pte_hybrid Reset Valuation Var

@@ -1,0 +1,1 @@
+test/test_guard.ml: Alcotest Float Fmt Guard List Pte_hybrid QCheck QCheck_alcotest Valuation

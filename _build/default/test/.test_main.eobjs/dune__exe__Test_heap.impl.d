@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Float Heap List Option Pte_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Events Fmt List Monitor Params Pattern Pte_core Pte_hybrid Pte_net Pte_sim Pte_tracheotomy Pte_util QCheck QCheck_alcotest Rules String Synthesis

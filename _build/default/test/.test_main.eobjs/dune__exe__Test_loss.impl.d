@@ -1,0 +1,1 @@
+test/test_loss.ml: Alcotest Array Float List Loss Pte_net

@@ -1,0 +1,1 @@
+test/test_mc.ml: Alcotest Array List Params Pattern Pte_core Pte_mc Pte_tracheotomy String

@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Float Fmt List Monitor Params Pte_core Pte_hybrid Rules String Trace

@@ -1,0 +1,1 @@
+test/test_monitor_reference.ml: Float Fmt List Monitor Params Pte_core Pte_hybrid QCheck QCheck_alcotest Rules String Trace

@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Float Fmt Link Link_stats Loss Packet Pte_hybrid Pte_net Pte_util Star

@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest Automaton Dot Edge Events Label List Params Pattern Pte_core Pte_hybrid String Synthesis System Var

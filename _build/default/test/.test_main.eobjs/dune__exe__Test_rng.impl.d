@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Float List Pte_util Rng

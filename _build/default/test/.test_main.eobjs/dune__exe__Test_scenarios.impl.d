@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Fmt List Pte_core Pte_tracheotomy

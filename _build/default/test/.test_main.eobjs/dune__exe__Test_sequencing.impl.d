@@ -1,0 +1,1 @@
+test/test_sequencing.ml: Alcotest Events Executor Fmt List Monitor Params Pattern Pte_core Pte_hybrid Pte_sim Rules Synthesis

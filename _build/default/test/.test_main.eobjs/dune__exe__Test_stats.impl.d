@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Float List Pte_util QCheck QCheck_alcotest Stats

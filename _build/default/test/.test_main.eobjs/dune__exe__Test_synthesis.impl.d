@@ -1,0 +1,1 @@
+test/test_synthesis.ml: Alcotest Constraints List Params Printf Pte_core QCheck QCheck_alcotest Synthesis

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Float Fmt List Pte_hybrid Trace

@@ -1,0 +1,1 @@
+test/test_tracheotomy.ml: Alcotest Automaton Float Fmt List Pte_core Pte_hybrid Pte_net Pte_sim Pte_tracheotomy String System

@@ -1,0 +1,1 @@
+test/test_valuation.ml: Alcotest Float Pte_hybrid QCheck QCheck_alcotest Valuation

@@ -1,0 +1,1 @@
+test/test_wellformed.ml: Alcotest Automaton Edge Flow Fmt Guard Label List Location Pte_core Pte_hybrid Pte_tracheotomy Reset Wellformed

@@ -1,0 +1,4 @@
+  $ ../../bin/pte_check.exe | tail -7
+  $ ../../bin/pte_check.exe --t-enter-2 3 > /dev/null 2>&1
+  $ ../../bin/pte_dot.exe ventilator-standalone | head -3
+  $ ../../bin/pte_dot.exe nonsense

@@ -1,0 +1,28 @@
+The constraint checker accepts the paper's case-study configuration:
+
+  $ ../../bin/pte_check.exe | tail -7
+  [ok] c1: all configuration time constants are positive — all 9 constants positive
+  [ok] c2: T_LS1 = T_enter,1 + T_run,1 + T_exit,1 > N * T_wait — T_LS1 = 44 > 6 = N*T_wait
+  [ok] c3: (N-1) * T_wait < T_req,N < T_LS1 — 3 < T_req,N = 5 < 44
+  [ok] c4: forall i: (i-1)*T_wait + T_enter,i + T_run,i + T_exit,i <= T_LS1 — holds for i=1..2
+  [ok] c5: forall i<N: T_enter,i + T_risky:i->i+1 < T_enter,i+1 — holds for i=1..1
+  [ok] c6: forall i<N: T_enter,i + T_run,i > T_wait + T_enter,i+1 + T_run,i+1 + T_exit,i+1 — holds for i=1..1
+  [ok] c7: forall i<N: T_exit,i > T_safe:i+1->i — holds for i=1..1
+
+and rejects the paper's c5-violation scenario with exit code 1:
+
+  $ ../../bin/pte_check.exe --t-enter-2 3 > /dev/null 2>&1
+  [1]
+
+The Graphviz exporter emits a digraph for the stand-alone ventilator:
+
+  $ ../../bin/pte_dot.exe ventilator-standalone | head -3
+  digraph "vent-standalone" {
+    rankdir=LR;
+    node [shape=box, style=rounded];
+
+and lists the known automata on a bad name:
+
+  $ ../../bin/pte_dot.exe nonsense
+  unknown automaton "nonsense"; choose from: supervisor, initializer, participant, ventilator-standalone, ventilator-elaborated, patient
+  [2]

@@ -1,0 +1,153 @@
+(* Theorem 2 compliance: building designs by elaboration with all
+   premises checked. *)
+
+open Pte_core
+open Pte_hybrid
+
+let p = Params.case_study
+
+let vent_child = Pte_tracheotomy.Ventilator.stand_alone
+
+let plan =
+  {
+    Compliance.params = p;
+    lease = true;
+    children = [ ("ventilator", [ ("Fall-Back", vent_child) ]) ];
+  }
+
+let test_build_ok () =
+  match Compliance.build plan with
+  | Ok system ->
+      Alcotest.(check int) "members" 3 (List.length system.System.automata);
+      let vent = System.find_exn system "ventilator" in
+      Alcotest.(check bool) "elaborated" true
+        (List.mem "PumpOut" (Automaton.location_names vent))
+  | Error errs ->
+      Alcotest.failf "build failed: %a"
+        Fmt.(list ~sep:(any "; ") Compliance.pp_error)
+        errs
+
+let test_build_rejects_bad_constants () =
+  let bad_params =
+    { p with Params.t_req_max = 100.0 (* violates c3 *) }
+  in
+  match Compliance.build { plan with Compliance.params = bad_params } with
+  | Error errs ->
+      Alcotest.(check bool) "mentions constraints" true
+        (List.exists
+           (function Compliance.Constraints_violated _ -> true | _ -> false)
+           errs)
+  | Ok _ -> Alcotest.fail "expected constraint rejection"
+
+let test_build_rejects_unknown_member () =
+  match
+    Compliance.build
+      { plan with Compliance.children = [ ("ghost", [ ("Fall-Back", vent_child) ]) ] }
+  with
+  | Error errs ->
+      Alcotest.(check bool) "unknown member" true
+        (List.exists
+           (function Compliance.Unknown_member "ghost" -> true | _ -> false)
+           errs)
+  | Ok _ -> Alcotest.fail "expected rejection"
+
+let test_build_rejects_non_simple_child () =
+  let not_simple =
+    Automaton.make ~name:"ns" ~vars:[ "q" ]
+      ~locations:
+        [ Location.make ~invariant:[ Guard.atom "q" Guard.Le 1.0 ] "Q1";
+          Location.make "Q2" ]
+      ~edges:[] ~initial_location:"Q1" ()
+  in
+  match
+    Compliance.build
+      { plan with Compliance.children = [ ("ventilator", [ ("Fall-Back", not_simple) ]) ] }
+  with
+  | Error errs ->
+      Alcotest.(check bool) "elaboration failure" true
+        (List.exists
+           (function Compliance.Elaboration_failed _ -> true | _ -> false)
+           errs)
+  | Ok _ -> Alcotest.fail "expected rejection"
+
+let test_build_rejects_dependent_children () =
+  (* two children sharing a variable are not mutually independent
+     (Theorem 2, premise 4) *)
+  let child name =
+    Automaton.make ~name ~vars:[ "shared" ]
+      ~locations:[ Location.make (name ^ "-L") ]
+      ~edges:[] ~initial_location:(name ^ "-L") ()
+  in
+  match
+    Compliance.build
+      {
+        plan with
+        Compliance.children =
+          [
+            ("ventilator", [ ("Fall-Back", child "k1") ]);
+            ("laser", [ ("Fall-Back", child "k2") ]);
+          ];
+      }
+  with
+  | Error errs ->
+      Alcotest.(check bool) "mutual independence" true
+        (List.exists
+           (function
+             | Compliance.Children_not_mutually_independent _ -> true
+             | _ -> false)
+           errs)
+  | Ok _ -> Alcotest.fail "expected rejection"
+
+let test_audit_accepts_built_design () =
+  let design = Compliance.build_exn plan in
+  match Compliance.audit plan ~design with
+  | Ok () -> ()
+  | Error errs ->
+      Alcotest.failf "audit failed: %a"
+        Fmt.(list ~sep:(any "; ") Compliance.pp_error)
+        errs
+
+let test_audit_rejects_mangled_design () =
+  let design = Compliance.build_exn plan in
+  (* drop the supervisor's variables: the pattern audit must fail *)
+  let mangled =
+    System.make ~name:"mangled"
+      (List.map
+         (fun (a : Automaton.t) ->
+           if a.Automaton.name = "supervisor" then { a with Automaton.vars = [] }
+           else a)
+         design.System.automata)
+  in
+  Alcotest.(check bool) "rejected" true
+    (Result.is_error (Compliance.audit plan ~design:mangled))
+
+let test_built_design_runs () =
+  (* the compliant design is executable and stays in safe locations while
+     nothing requests a lease *)
+  let design = Compliance.build_exn plan in
+  let exec = Executor.create (System.make ~name:"d" design.System.automata) in
+  Executor.run exec ~until:10.0;
+  Alcotest.(check string) "laser idle" "Fall-Back" (Executor.location_of exec "laser");
+  Alcotest.(check bool) "ventilator pumping" true
+    (List.mem (Executor.location_of exec "ventilator") [ "PumpOut"; "PumpIn" ])
+
+let suite =
+  [
+    ( "core.compliance",
+      [
+        Alcotest.test_case "build ok" `Quick test_build_ok;
+        Alcotest.test_case "rejects bad constants" `Quick
+          test_build_rejects_bad_constants;
+        Alcotest.test_case "rejects unknown member" `Quick
+          test_build_rejects_unknown_member;
+        Alcotest.test_case "rejects non-simple child" `Quick
+          test_build_rejects_non_simple_child;
+        Alcotest.test_case "rejects dependent children" `Quick
+          test_build_rejects_dependent_children;
+        Alcotest.test_case "audit accepts built design" `Quick
+          test_audit_accepts_built_design;
+        Alcotest.test_case "audit rejects mangled design" `Quick
+          test_audit_rejects_mangled_design;
+        Alcotest.test_case "built design runs" `Quick test_built_design_runs;
+      ] );
+  ]

@@ -1,0 +1,113 @@
+(* Theorem 1's conditions c1–c7: the paper's case-study configuration
+   satisfies all; targeted mutations break exactly the expected ones. *)
+
+open Pte_core
+
+let case = Params.case_study
+
+let with_entity i f =
+  let entities = Array.map Fun.id case.Params.entities in
+  entities.(i) <- f entities.(i);
+  { case with Params.entities }
+
+let violated params = Constraints.violated (Constraints.check params)
+
+let check_violates name params condition =
+  let vs = violated params in
+  if not (List.mem condition vs) then
+    Alcotest.failf "%s: expected %s among violations {%s}" name
+      (Constraints.condition_name condition)
+      (String.concat "," (List.map Constraints.condition_name vs))
+
+let test_case_study_ok () =
+  let outcomes = Constraints.check case in
+  Alcotest.(check bool)
+    (Fmt.str "%a" Constraints.pp_report outcomes)
+    true (Constraints.all_ok outcomes);
+  Alcotest.(check bool) "satisfies" true (Constraints.satisfies case)
+
+let test_t_ls1 () =
+  Alcotest.(check (float 1e-9)) "T_LS1 = 44" 44.0 (Params.t_ls1 case)
+
+let test_dwell_bound () =
+  Alcotest.(check (float 1e-9)) "T_wait + T_LS1 = 47" 47.0
+    (Params.risky_dwell_bound case)
+
+let test_c1_negative_constant () =
+  check_violates "negative exit"
+    (with_entity 0 (fun e -> { e with Params.t_exit = -1.0 }))
+    Constraints.C1
+
+let test_c2_violated () =
+  (* shrink participant 1's lease span below N*T_wait *)
+  let p =
+    with_entity 0 (fun e ->
+        { e with Params.t_enter_max = 1.0; t_run_max = 2.0; t_exit = 2.0 })
+  in
+  check_violates "tiny T_LS1" p Constraints.C2
+
+let test_c3_req_too_small () =
+  check_violates "T_req too small"
+    { case with Params.t_req_max = 2.0 }
+    Constraints.C3
+
+let test_c3_req_too_large () =
+  check_violates "T_req too large"
+    { case with Params.t_req_max = 50.0 }
+    Constraints.C3
+
+let test_c4_violated () =
+  (* inflate the initializer's lease beyond T_LS1 *)
+  check_violates "long initializer lease"
+    (with_entity 1 (fun e -> { e with Params.t_run_max = 60.0 }))
+    Constraints.C4
+
+let test_c5_violated () =
+  (* the paper's own failure scenario: T_enter,2 = T_enter,1 *)
+  check_violates "equal entering times"
+    (with_entity 1 (fun e -> { e with Params.t_enter_max = 3.0 }))
+    Constraints.C5
+
+let test_c6_violated () =
+  check_violates "outer lease too short"
+    (with_entity 0 (fun e -> { e with Params.t_run_max = 20.0 }))
+    Constraints.C6
+
+let test_c7_violated () =
+  check_violates "exit below safeguard"
+    (with_entity 0 (fun e -> { e with Params.t_exit = 1.0 }))
+    Constraints.C7
+
+let test_n1_rejected () =
+  let p = { case with Params.entities = [| case.Params.entities.(0) |] } in
+  Alcotest.check_raises "N >= 2"
+    (Invalid_argument "Theorem 1 requires N >= 2 remote entities") (fun () ->
+      ignore (Constraints.check p))
+
+let test_accessors () =
+  Alcotest.(check int) "N" 2 (Params.n case);
+  Alcotest.(check string) "initializer" "laser" (Params.initializer_ case).Params.name;
+  Alcotest.(check int) "participants" 1 (Array.length (Params.participants case));
+  Alcotest.(check string) "lookup" "ventilator" (Params.entity case "ventilator").Params.name;
+  Alcotest.check_raises "unknown entity" (Invalid_argument "no entity named ghost")
+    (fun () -> ignore (Params.entity case "ghost"))
+
+let suite =
+  [
+    ( "core.constraints",
+      [
+        Alcotest.test_case "case study satisfies c1-c7" `Quick test_case_study_ok;
+        Alcotest.test_case "T_LS1 value" `Quick test_t_ls1;
+        Alcotest.test_case "dwelling bound" `Quick test_dwell_bound;
+        Alcotest.test_case "c1 catches negatives" `Quick test_c1_negative_constant;
+        Alcotest.test_case "c2 violation" `Quick test_c2_violated;
+        Alcotest.test_case "c3 lower violation" `Quick test_c3_req_too_small;
+        Alcotest.test_case "c3 upper violation" `Quick test_c3_req_too_large;
+        Alcotest.test_case "c4 violation" `Quick test_c4_violated;
+        Alcotest.test_case "c5 violation (paper scenario)" `Quick test_c5_violated;
+        Alcotest.test_case "c6 violation" `Quick test_c6_violated;
+        Alcotest.test_case "c7 violation" `Quick test_c7_violated;
+        Alcotest.test_case "N=1 rejected" `Quick test_n1_rejected;
+        Alcotest.test_case "param accessors" `Quick test_accessors;
+      ] );
+  ]

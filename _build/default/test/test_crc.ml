@@ -1,0 +1,59 @@
+(* CRC-16/CCITT-FALSE and packet framing. *)
+
+open Pte_net
+
+let test_known_value () =
+  (* the standard check value for CRC-16/CCITT-FALSE *)
+  Alcotest.(check int) "123456789" 0x29B1 (Crc.of_string "123456789")
+
+let test_empty_string () =
+  Alcotest.(check int) "empty = initial" 0xFFFF (Crc.of_string "")
+
+let test_check () =
+  let s = "hello world" in
+  Alcotest.(check bool) "matches" true (Crc.check ~crc:(Crc.of_string s) s);
+  Alcotest.(check bool) "mismatch" false (Crc.check ~crc:(Crc.of_string s) "hello worle")
+
+let prop_detects_single_bit_flip =
+  QCheck.Test.make ~name:"crc detects any single bit flip" ~count:300
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 1 64)) small_nat)
+    (fun (s, bit) ->
+      let crc = Crc.of_string s in
+      let bytes = Bytes.of_string s in
+      let i = bit / 8 mod Bytes.length bytes in
+      let mask = 1 lsl (bit mod 8) in
+      Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor mask));
+      let mutated = Bytes.to_string bytes in
+      mutated = s || Crc.of_string mutated <> crc)
+
+let prop_crc_deterministic =
+  QCheck.Test.make ~name:"crc is a function" ~count:100 QCheck.string (fun s ->
+      Crc.of_string s = Crc.of_string s)
+
+let test_packet_intact () =
+  let p = Packet.make ~seq:1 ~src:"a" ~dst:"b" ~root:"evt" ~sent_at:1.5 () in
+  Alcotest.(check bool) "fresh packet intact" true (Packet.intact p)
+
+let test_packet_corrupt () =
+  let p = Packet.make ~seq:2 ~src:"a" ~dst:"b" ~root:"evt" ~sent_at:0.0 () in
+  let damaged = Packet.corrupt ~bit:13 p in
+  Alcotest.(check bool) "corrupted fails CRC" false (Packet.intact damaged)
+
+let test_packet_size_positive () =
+  let p = Packet.make ~seq:0 ~src:"x" ~dst:"y" ~root:"r" ~sent_at:0.0 () in
+  Alcotest.(check bool) "frame + trailer" true (Packet.size p > 2)
+
+let suite =
+  [
+    ( "net.crc+packet",
+      [
+        Alcotest.test_case "known value" `Quick test_known_value;
+        Alcotest.test_case "empty string" `Quick test_empty_string;
+        Alcotest.test_case "check" `Quick test_check;
+        QCheck_alcotest.to_alcotest prop_detects_single_bit_flip;
+        QCheck_alcotest.to_alcotest prop_crc_deterministic;
+        Alcotest.test_case "packet intact" `Quick test_packet_intact;
+        Alcotest.test_case "packet corrupt" `Quick test_packet_corrupt;
+        Alcotest.test_case "packet size" `Quick test_packet_size_positive;
+      ] );
+  ]

@@ -1,0 +1,183 @@
+(* Difference Bound Matrices: the zone algebra under the model checker. *)
+
+open Pte_mc
+
+let test_bound_ordering () =
+  Alcotest.(check bool) "strict tighter" true
+    (Bound.compare (Bound.lt 5.0) (Bound.le 5.0) < 0);
+  Alcotest.(check bool) "smaller tighter" true
+    (Bound.compare (Bound.le 3.0) (Bound.le 5.0) < 0);
+  Alcotest.(check bool) "inf loosest" true
+    (Bound.compare Bound.infinity_ (Bound.le 1e9) > 0);
+  Alcotest.(check bool) "min" true
+    (Bound.equal (Bound.min (Bound.le 2.0) (Bound.lt 2.0)) (Bound.lt 2.0))
+
+let test_bound_add () =
+  Alcotest.(check bool) "le+le" true
+    (Bound.equal (Bound.add (Bound.le 2.0) (Bound.le 3.0)) (Bound.le 5.0));
+  Alcotest.(check bool) "le+lt strict" true
+    (Bound.equal (Bound.add (Bound.le 2.0) (Bound.lt 3.0)) (Bound.lt 5.0));
+  Alcotest.(check bool) "inf absorbs" true
+    (Bound.equal (Bound.add Bound.infinity_ (Bound.le 1.0)) Bound.infinity_)
+
+let test_bound_consistency () =
+  Alcotest.(check bool) "x<=3 & x>=3 ok" true
+    (Bound.consistent (Bound.le 3.0) (Bound.le (-3.0)));
+  Alcotest.(check bool) "x<3 & x>=3 empty" false
+    (Bound.consistent (Bound.lt 3.0) (Bound.le (-3.0)));
+  Alcotest.(check bool) "x<=2 & x>=3 empty" false
+    (Bound.consistent (Bound.le 2.0) (Bound.le (-3.0)))
+
+let test_zero_zone () =
+  let z = Dbm.zero ~clocks:3 in
+  Alcotest.(check bool) "not empty" false (Dbm.is_empty z);
+  for i = 1 to 3 do
+    Alcotest.(check bool) "sup 0" true (Bound.equal (Dbm.sup z i) (Bound.le 0.0));
+    Alcotest.(check (float 0.0)) "inf 0" 0.0 (Dbm.inf z i)
+  done
+
+let test_up_and_constrain () =
+  let z = Dbm.zero ~clocks:2 in
+  Dbm.up z;
+  Alcotest.(check bool) "unbounded above" true
+    (Bound.equal (Dbm.sup z 1) Bound.infinity_);
+  (* clocks advance together: x1 - x2 stays 0 *)
+  Alcotest.(check bool) "diff preserved" true
+    (Bound.equal (Dbm.get z 1 2) (Bound.le 0.0));
+  (* constrain x1 <= 5: x2 also <= 5 via the diff *)
+  Alcotest.(check bool) "still nonempty" true
+    (Dbm.constrain_atom z ~clock:1 ~cmp:Dbm.Le ~const:5.0);
+  Alcotest.(check bool) "x2 bounded too" true
+    (Bound.compare (Dbm.sup z 2) (Bound.le 5.0) <= 0)
+
+let test_empty_after_contradiction () =
+  let z = Dbm.zero ~clocks:1 in
+  Dbm.up z;
+  Alcotest.(check bool) "x >= 5 fine" true
+    (Dbm.constrain_atom z ~clock:1 ~cmp:Dbm.Ge ~const:5.0);
+  Alcotest.(check bool) "x < 3 contradicts" false
+    (Dbm.constrain_atom z ~clock:1 ~cmp:Dbm.Lt ~const:3.0)
+
+let test_reset () =
+  let z = Dbm.zero ~clocks:2 in
+  Dbm.up z;
+  ignore (Dbm.constrain_atom z ~clock:1 ~cmp:Dbm.Ge ~const:4.0);
+  ignore (Dbm.constrain_atom z ~clock:1 ~cmp:Dbm.Le ~const:6.0);
+  Dbm.reset z 2;
+  Alcotest.(check bool) "x2 = 0" true (Bound.equal (Dbm.sup z 2) (Bound.le 0.0));
+  (* x1 retains its bounds *)
+  Alcotest.(check bool) "x1 kept" true
+    (Bound.equal (Dbm.sup z 1) (Bound.le 6.0) && Dbm.inf z 1 = 4.0);
+  (* and the diff x1 - x2 now mirrors x1 *)
+  Alcotest.(check bool) "diff x1-x2" true
+    (Bound.equal (Dbm.get z 1 2) (Bound.le 6.0))
+
+let test_free () =
+  let z = Dbm.zero ~clocks:2 in
+  Dbm.up z;
+  ignore (Dbm.constrain_atom z ~clock:1 ~cmp:Dbm.Le ~const:3.0);
+  ignore (Dbm.constrain_atom z ~clock:2 ~cmp:Dbm.Le ~const:3.0);
+  Dbm.free z 2;
+  Alcotest.(check bool) "x2 unbounded" true
+    (Bound.equal (Dbm.sup z 2) Bound.infinity_);
+  Alcotest.(check (float 0.0)) "x2 >= 0" 0.0 (Dbm.inf z 2);
+  Alcotest.(check bool) "x1 untouched" true
+    (Bound.equal (Dbm.sup z 1) (Bound.le 3.0));
+  Alcotest.(check bool) "no stale diff" true
+    (Bound.equal (Dbm.get z 2 1) Bound.infinity_);
+  Alcotest.(check bool) "still canonical-consistent" false (Dbm.is_empty z)
+
+let test_includes () =
+  let big = Dbm.zero ~clocks:1 in
+  Dbm.up big;
+  ignore (Dbm.constrain_atom big ~clock:1 ~cmp:Dbm.Le ~const:10.0);
+  let small = Dbm.copy big in
+  ignore (Dbm.constrain_atom small ~clock:1 ~cmp:Dbm.Le ~const:5.0);
+  Alcotest.(check bool) "big includes small" true (Dbm.includes big small);
+  Alcotest.(check bool) "small excludes big" false (Dbm.includes small big);
+  Alcotest.(check bool) "reflexive" true (Dbm.includes big big)
+
+let test_eq_atom () =
+  let z = Dbm.zero ~clocks:1 in
+  Dbm.up z;
+  Alcotest.(check bool) "pin to 7" true
+    (Dbm.constrain_atom z ~clock:1 ~cmp:Dbm.Eq ~const:7.0);
+  Alcotest.(check bool) "sup 7" true (Bound.equal (Dbm.sup z 1) (Bound.le 7.0));
+  Alcotest.(check (float 0.0)) "inf 7" 7.0 (Dbm.inf z 1)
+
+let test_per_clock_normalization () =
+  let z = Dbm.zero ~clocks:1 in
+  Dbm.up z;
+  ignore (Dbm.constrain_atom z ~clock:1 ~cmp:Dbm.Le ~const:100.0);
+  ignore (Dbm.constrain_atom z ~clock:1 ~cmp:Dbm.Ge ~const:90.0);
+  (* clock 1's relevant constants stop at 5: its bounds must blur *)
+  Dbm.normalize_per_clock z ~k:[| 0.0; 5.0 |];
+  Alcotest.(check bool) "upper blurred" true
+    (Bound.equal (Dbm.sup z 1) Bound.infinity_);
+  Alcotest.(check bool) "lower blurred to >5" true (Dbm.inf z 1 <= 5.0 +. 1e-9);
+  (* the blurred zone contains the original *)
+  let original = Dbm.zero ~clocks:1 in
+  Dbm.up original;
+  ignore (Dbm.constrain_atom original ~clock:1 ~cmp:Dbm.Le ~const:100.0);
+  ignore (Dbm.constrain_atom original ~clock:1 ~cmp:Dbm.Ge ~const:90.0);
+  Alcotest.(check bool) "over-approximation" true (Dbm.includes z original)
+
+let prop_canonical_idempotent =
+  (* canonicalize twice = canonicalize once, on randomly constrained zones *)
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 0 6)
+        (triple (int_range 1 3) (int_range 0 1) (float_range 0.0 20.0)))
+  in
+  QCheck.Test.make ~name:"canonicalization idempotent" ~count:200 (QCheck.make gen)
+    (fun atoms ->
+      let z = Dbm.zero ~clocks:3 in
+      Dbm.up z;
+      let alive =
+        List.for_all
+          (fun (clock, dir, const) ->
+            let cmp = if dir = 0 then Dbm.Le else Dbm.Ge in
+            Dbm.constrain_atom z ~clock ~cmp ~const)
+          atoms
+      in
+      if not alive then true
+      else begin
+        let once = Dbm.copy z in
+        Dbm.canonicalize once;
+        let twice = Dbm.copy once in
+        Dbm.canonicalize twice;
+        Dbm.equal once twice
+      end)
+
+let prop_constrain_shrinks =
+  QCheck.Test.make ~name:"constraining never grows a zone" ~count:200
+    QCheck.(pair (QCheck.make (QCheck.Gen.int_range 1 3)) (float_range 0.0 20.0))
+    (fun (clock, const) ->
+      let z = Dbm.zero ~clocks:3 in
+      Dbm.up z;
+      let before = Dbm.copy z in
+      if Dbm.constrain_atom z ~clock ~cmp:Dbm.Le ~const then
+        Dbm.includes before z
+      else true)
+
+let suite =
+  [
+    ( "mc.dbm",
+      [
+        Alcotest.test_case "bound ordering" `Quick test_bound_ordering;
+        Alcotest.test_case "bound addition" `Quick test_bound_add;
+        Alcotest.test_case "bound consistency" `Quick test_bound_consistency;
+        Alcotest.test_case "zero zone" `Quick test_zero_zone;
+        Alcotest.test_case "up + constrain" `Quick test_up_and_constrain;
+        Alcotest.test_case "contradiction empties" `Quick
+          test_empty_after_contradiction;
+        Alcotest.test_case "reset" `Quick test_reset;
+        Alcotest.test_case "free" `Quick test_free;
+        Alcotest.test_case "includes" `Quick test_includes;
+        Alcotest.test_case "eq atom" `Quick test_eq_atom;
+        Alcotest.test_case "per-clock normalization" `Quick
+          test_per_clock_normalization;
+        QCheck_alcotest.to_alcotest prop_canonical_idempotent;
+        QCheck_alcotest.to_alcotest prop_constrain_shrinks;
+      ] );
+  ]

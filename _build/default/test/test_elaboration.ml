@@ -1,0 +1,184 @@
+(* Elaboration methodology (Section IV-C), including the Fig. 6 example:
+   elaborate a two-location automaton at "Fall-Back" with A'vent. *)
+
+open Pte_hybrid
+
+(* Fig. 6(a): one data state variable x; locations Fall-Back and Risky. *)
+let fig6_parent =
+  Automaton.make ~name:"fig6" ~vars:[ "x" ]
+    ~locations:
+      [
+        Location.make ~flow:(Flow.Rates [ ("x", 1.0) ]) "Fall-Back";
+        Location.make ~kind:Location.Risky ~flow:(Flow.Rates [ ("x", 1.0) ]) "Risky";
+      ]
+    ~edges:
+      [
+        Edge.make ~guard:[ Guard.atom "x" Guard.Ge 5.0 ]
+          ~reset:(Reset.set "x" 0.0) ~src:"Fall-Back" ~dst:"Risky" ();
+        Edge.make ~guard:[ Guard.atom "x" Guard.Ge 2.0 ]
+          ~reset:(Reset.set "x" 0.0) ~src:"Risky" ~dst:"Fall-Back" ();
+      ]
+    ~initial_location:"Fall-Back" ()
+
+let vent = Pte_tracheotomy.Ventilator.stand_alone
+
+let elaborated () = Elaboration.atomic_exn fig6_parent "Fall-Back" vent
+
+let test_fig6_structure () =
+  let a'' = elaborated () in
+  let names = Automaton.location_names a'' in
+  Alcotest.(check bool) "Fall-Back gone" false (List.mem "Fall-Back" names);
+  Alcotest.(check bool) "PumpOut present" true (List.mem "PumpOut" names);
+  Alcotest.(check bool) "PumpIn present" true (List.mem "PumpIn" names);
+  Alcotest.(check bool) "Risky kept" true (List.mem "Risky" names);
+  Alcotest.(check int) "3 locations" 3 (List.length names)
+
+let test_fig6_edges () =
+  let a'' = elaborated () in
+  let has ~src ~dst =
+    List.exists
+      (fun (e : Edge.t) -> e.Edge.src = src && e.Edge.dst = dst)
+      a''.Automaton.edges
+  in
+  (* egress to Risky duplicated from every child location *)
+  Alcotest.(check bool) "PumpOut->Risky" true (has ~src:"PumpOut" ~dst:"Risky");
+  Alcotest.(check bool) "PumpIn->Risky" true (has ~src:"PumpIn" ~dst:"Risky");
+  (* ingress goes to the child's initial location only — the paper notes
+     there is no edge from Risky to PumpIn *)
+  Alcotest.(check bool) "Risky->PumpOut" true (has ~src:"Risky" ~dst:"PumpOut");
+  Alcotest.(check bool) "no Risky->PumpIn" false (has ~src:"Risky" ~dst:"PumpIn");
+  (* child's own edges survive *)
+  Alcotest.(check bool) "PumpOut->PumpIn" true (has ~src:"PumpOut" ~dst:"PumpIn")
+
+let test_fig6_initial_retargeted () =
+  let a'' = elaborated () in
+  Alcotest.(check string) "initial" "PumpOut" a''.Automaton.initial_location
+
+let test_fig6_vars_merged () =
+  let a'' = elaborated () in
+  Alcotest.(check bool) "x kept" true (List.mem "x" a''.Automaton.vars);
+  Alcotest.(check bool) "Hvent added" true (List.mem "Hvent" a''.Automaton.vars)
+
+let test_child_inherits_kind () =
+  (* elaborate the Risky location instead: children become risky *)
+  let a'' = Elaboration.atomic_exn fig6_parent "Risky" vent in
+  Alcotest.(check bool) "PumpOut risky" true (Automaton.is_risky a'' "PumpOut");
+  Alcotest.(check bool) "PumpIn risky" true (Automaton.is_risky a'' "PumpIn")
+
+let test_parent_flow_continues_in_child () =
+  (* x keeps its Fall-Back dynamics inside the child locations *)
+  let a'' = elaborated () in
+  let pump_out = Automaton.location_exn a'' "PumpOut" in
+  let rates =
+    Flow.derivatives pump_out.Location.flow ~time:0.0 (Valuation.zero [ "x"; "Hvent" ])
+  in
+  Alcotest.(check (float 0.0)) "x rate 1" 1.0 (List.assoc "x" rates);
+  Alcotest.(check (float 0.0)) "H rate -0.1" (-0.1) (List.assoc "Hvent" rates)
+
+let test_elaborated_validates () =
+  match Automaton.validate (elaborated ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid: %s" (String.concat "; " e)
+
+let test_behaviour () =
+  (* the composite behaves: pumps for 5 s, jumps to Risky for 2 s (child
+     vars frozen), then pumps again from PumpOut with Hvent preserved *)
+  let a'' = elaborated () in
+  let exec = Executor.create (System.make ~name:"s" [ a'' ]) in
+  Executor.run exec ~until:4.9;
+  Alcotest.(check bool) "pumping" true
+    (List.mem (Executor.location_of exec "fig6") [ "PumpOut"; "PumpIn" ]);
+  Executor.run exec ~until:5.5;
+  Alcotest.(check string) "risky" "Risky" (Executor.location_of exec "fig6");
+  let h_at_freeze = Executor.value_of exec "fig6" "Hvent" in
+  Executor.run exec ~until:6.9;
+  Alcotest.(check bool) "child frozen outside" true
+    (Float.abs (Executor.value_of exec "fig6" "Hvent" -. h_at_freeze) < 1e-9);
+  Executor.run exec ~until:7.5;
+  Alcotest.(check string) "back in child" "PumpOut"
+    (Executor.location_of exec "fig6")
+
+let test_rejects_non_independent () =
+  (* child sharing the parent's variable x *)
+  let clash =
+    Automaton.make ~name:"clash" ~vars:[ "x" ]
+      ~locations:[ Location.make "C" ]
+      ~edges:[] ~initial_location:"C" ()
+  in
+  match Elaboration.atomic fig6_parent "Fall-Back" clash with
+  | Error (Elaboration.Not_independent _) -> ()
+  | _ -> Alcotest.fail "expected Not_independent"
+
+let test_rejects_non_simple () =
+  let not_simple =
+    Automaton.make ~name:"ns" ~vars:[ "y" ]
+      ~locations:
+        [
+          Location.make ~invariant:[ Guard.atom "y" Guard.Le 1.0 ] "N1";
+          Location.make "N2";
+        ]
+      ~edges:[] ~initial_location:"N1" ()
+  in
+  match Elaboration.atomic fig6_parent "Fall-Back" not_simple with
+  | Error (Elaboration.Not_simple _) -> ()
+  | _ -> Alcotest.fail "expected Not_simple"
+
+let test_rejects_unknown_location () =
+  match Elaboration.atomic fig6_parent "Nowhere" vent with
+  | Error (Elaboration.No_such_location _) -> ()
+  | _ -> Alcotest.fail "expected No_such_location"
+
+let test_parallel_rejects_duplicates () =
+  match Elaboration.parallel fig6_parent [ ("Fall-Back", vent); ("Fall-Back", vent) ] with
+  | Error (Elaboration.Duplicate_target _) -> ()
+  | _ -> Alcotest.fail "expected Duplicate_target"
+
+let test_parallel_two_targets () =
+  let child2 =
+    Automaton.make ~name:"child2" ~vars:[ "z" ]
+      ~locations:[ Location.make ~flow:(Flow.Rates [ ("z", 1.0) ]) "Z0" ]
+      ~edges:[] ~initial_location:"Z0" ()
+  in
+  let a'' =
+    Elaboration.parallel_exn fig6_parent
+      [ ("Fall-Back", vent); ("Risky", child2) ]
+  in
+  let names = Automaton.location_names a'' in
+  Alcotest.(check bool) "both elaborated" true
+    (List.mem "PumpOut" names && List.mem "Z0" names
+    && (not (List.mem "Fall-Back" names))
+    && not (List.mem "Risky" names))
+
+let test_elaborates_audit () =
+  let design = elaborated () in
+  Alcotest.(check bool) "audit passes" true
+    (Elaboration.elaborates ~pattern:fig6_parent ~design);
+  (* removing a pattern variable must fail the audit *)
+  let broken = { design with Automaton.vars = [ "Hvent" ] } in
+  Alcotest.(check bool) "audit fails" false
+    (Elaboration.elaborates ~pattern:fig6_parent ~design:broken)
+
+let suite =
+  [
+    ( "hybrid.elaboration",
+      [
+        Alcotest.test_case "Fig 6 structure" `Quick test_fig6_structure;
+        Alcotest.test_case "Fig 6 edges" `Quick test_fig6_edges;
+        Alcotest.test_case "initial retargeted" `Quick test_fig6_initial_retargeted;
+        Alcotest.test_case "vars merged" `Quick test_fig6_vars_merged;
+        Alcotest.test_case "child inherits kind" `Quick test_child_inherits_kind;
+        Alcotest.test_case "parent flow continues" `Quick
+          test_parent_flow_continues_in_child;
+        Alcotest.test_case "elaborated validates" `Quick test_elaborated_validates;
+        Alcotest.test_case "composite behaviour" `Quick test_behaviour;
+        Alcotest.test_case "rejects non-independent" `Quick
+          test_rejects_non_independent;
+        Alcotest.test_case "rejects non-simple" `Quick test_rejects_non_simple;
+        Alcotest.test_case "rejects unknown location" `Quick
+          test_rejects_unknown_location;
+        Alcotest.test_case "parallel rejects duplicates" `Quick
+          test_parallel_rejects_duplicates;
+        Alcotest.test_case "parallel two targets" `Quick test_parallel_two_targets;
+        Alcotest.test_case "structural audit" `Quick test_elaborates_audit;
+      ] );
+  ]

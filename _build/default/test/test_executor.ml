@@ -1,0 +1,263 @@
+(* Executor semantics: continuous evolution, forced (invariant-boundary)
+   transitions, eager urgency, event transport, time-block and zeno
+   detection. The ventilator of Fig. 2 doubles as the acceptance test for
+   boundary handling. *)
+
+open Pte_hybrid
+
+let system_of automata = System.make ~name:"test" automata
+
+let test_ventilator_period () =
+  (* Fig. 2: 0.3 m of travel at 0.1 m/s = 3 s per stroke *)
+  let vent = Pte_tracheotomy.Ventilator.stand_alone in
+  let exec = Executor.create (system_of [ vent ]) in
+  Executor.run exec ~until:12.5;
+  let transitions =
+    Trace.transitions_of (Executor.trace exec) ~automaton:"vent-standalone"
+  in
+  (* H starts at 0 in PumpOut: immediate flip, then flips every 3 s:
+     ~0, 3, 6, 9, 12 -> 5 transitions by t=12.5 *)
+  Alcotest.(check int) "stroke count" 5 (List.length transitions);
+  List.iteri
+    (fun i (time, _, _, _) ->
+      let expected = 3.0 *. Float.of_int i in
+      if Float.abs (time -. expected) > 0.01 then
+        Alcotest.failf "stroke %d at %.4f, expected %.1f" i time expected)
+    transitions
+
+let test_ventilator_height_bounds () =
+  let vent = Pte_tracheotomy.Ventilator.stand_alone in
+  let exec = Executor.create (system_of [ vent ]) in
+  for _ = 1 to 8000 do
+    Executor.step exec;
+    let h = Executor.value_of exec "vent-standalone" "Hvent" in
+    if h < -1e-6 || h > 0.3 +. 1e-6 then
+      Alcotest.failf "height out of bounds: %g at t=%g" h (Executor.time exec)
+  done
+
+let test_eager_fires_at_guard () =
+  let a =
+    Automaton.make ~name:"timer" ~vars:[ "c" ]
+      ~locations:
+        [ Location.make ~flow:(Flow.clocks [ "c" ]) "Wait";
+          Location.make ~flow:(Flow.clocks [ "c" ]) "Done" ]
+      ~edges:
+        [ Edge.make ~guard:[ Guard.atom "c" Guard.Ge 2.0 ]
+            ~reset:(Reset.set "c" 0.0) ~src:"Wait" ~dst:"Done" () ]
+      ~initial_location:"Wait" ()
+  in
+  let exec = Executor.create (system_of [ a ]) in
+  Executor.run exec ~until:1.9;
+  Alcotest.(check string) "still waiting" "Wait" (Executor.location_of exec "timer");
+  Executor.run exec ~until:2.1;
+  Alcotest.(check string) "fired" "Done" (Executor.location_of exec "timer")
+
+let test_instant_chain () =
+  (* zero-dwell dispatch locations collapse within one instant *)
+  let a =
+    Automaton.make ~name:"chain" ~vars:[]
+      ~locations:[ Location.make "A"; Location.make "B"; Location.make "C" ]
+      ~edges:
+        [ Edge.make ~src:"A" ~dst:"B" (); Edge.make ~src:"B" ~dst:"C" () ]
+      ~initial_location:"A" ()
+  in
+  let exec = Executor.create (system_of [ a ]) in
+  Executor.step exec;
+  Alcotest.(check string) "chained to C" "C" (Executor.location_of exec "chain")
+
+let test_time_block_detected () =
+  (* invariant hits its boundary with no enabled egress *)
+  let a =
+    Automaton.make ~name:"stuck" ~vars:[ "c" ]
+      ~locations:
+        [ Location.make ~flow:(Flow.clocks [ "c" ])
+            ~invariant:[ Guard.atom "c" Guard.Le 1.0 ] "Trap" ]
+      ~edges:[] ~initial_location:"Trap" ()
+  in
+  let exec = Executor.create (system_of [ a ]) in
+  match Executor.run exec ~until:2.0 with
+  | () -> Alcotest.fail "expected Time_block"
+  | exception Executor.Time_block { automaton = "stuck"; _ } -> ()
+
+let test_zeno_detected () =
+  let a =
+    Automaton.make ~name:"zeno" ~vars:[]
+      ~locations:[ Location.make "A"; Location.make "B" ]
+      ~edges:[ Edge.make ~src:"A" ~dst:"B" (); Edge.make ~src:"B" ~dst:"A" () ]
+      ~initial_location:"A" ()
+  in
+  let exec = Executor.create (system_of [ a ]) in
+  match Executor.step exec with
+  | () -> Alcotest.fail "expected Zeno"
+  | exception Executor.Zeno _ -> ()
+
+let talker_listener () =
+  let talker =
+    Automaton.make ~name:"talker" ~vars:[ "c" ]
+      ~locations:
+        [ Location.make ~flow:(Flow.clocks [ "c" ]) "Idle";
+          Location.make ~flow:(Flow.clocks [ "c" ]) "Sent" ]
+      ~edges:
+        [ Edge.make ~guard:[ Guard.atom "c" Guard.Ge 1.0 ]
+            ~label:(Label.Send "go") ~src:"Idle" ~dst:"Sent" () ]
+      ~initial_location:"Idle" ()
+  in
+  let listener =
+    Automaton.make ~name:"listener" ~vars:[]
+      ~locations:[ Location.make "Waiting"; Location.make "Got"; Location.make "Deaf" ]
+      ~edges:
+        [ Edge.make ~label:(Label.Recv_lossy "go") ~src:"Waiting" ~dst:"Got" () ]
+      ~initial_location:"Waiting" ()
+  in
+  (talker, listener)
+
+let test_event_delivery () =
+  let talker, listener = talker_listener () in
+  let exec = Executor.create (system_of [ talker; listener ]) in
+  Executor.run exec ~until:1.5;
+  Alcotest.(check string) "delivered" "Got" (Executor.location_of exec "listener")
+
+let test_event_loss_via_router () =
+  let talker, listener = talker_listener () in
+  let exec = Executor.create (system_of [ talker; listener ]) in
+  Executor.set_router exec (fun ~time:_ ~sender:_ ~root:_ ~receiver:_ ->
+      Executor.Lose);
+  Executor.run exec ~until:1.5;
+  Alcotest.(check string) "lost" "Waiting" (Executor.location_of exec "listener");
+  let lost =
+    Trace.count (Executor.trace exec) (fun e ->
+        match e.Trace.event with Trace.Message_lost _ -> true | _ -> false)
+  in
+  Alcotest.(check int) "loss recorded" 1 lost
+
+let test_event_delayed_delivery () =
+  let talker, listener = talker_listener () in
+  let exec = Executor.create (system_of [ talker; listener ]) in
+  Executor.set_router exec (fun ~time:_ ~sender:_ ~root:_ ~receiver:_ ->
+      Executor.Deliver 0.5);
+  Executor.run exec ~until:1.3;
+  Alcotest.(check string) "in flight" "Waiting" (Executor.location_of exec "listener");
+  Executor.run exec ~until:1.6;
+  Alcotest.(check string) "arrived" "Got" (Executor.location_of exec "listener")
+
+let test_event_ignored_when_not_listening () =
+  let talker, listener = talker_listener () in
+  (* move the listener into a location with no matching receive edge *)
+  let listener = { listener with Automaton.initial_location = "Deaf" } in
+  let exec = Executor.create (system_of [ talker; listener ]) in
+  Executor.run exec ~until:1.5;
+  Alcotest.(check string) "ignored" "Deaf" (Executor.location_of exec "listener");
+  let ignored =
+    Trace.count (Executor.trace exec) (fun e ->
+        match e.Trace.event with
+        | Trace.Message_delivered { consumed = false; _ } -> true
+        | _ -> false)
+  in
+  Alcotest.(check int) "drop recorded" 1 ignored
+
+let test_inject_stimulus () =
+  let _, listener = talker_listener () in
+  let exec = Executor.create (system_of [ listener ]) in
+  let consumed = Executor.inject exec ~receiver:"listener" ~root:"go" in
+  Alcotest.(check bool) "consumed" true consumed;
+  Alcotest.(check string) "moved" "Got" (Executor.location_of exec "listener")
+
+let test_dwell_time_and_set_value () =
+  let a =
+    Automaton.make ~name:"plain" ~vars:[ "x" ]
+      ~locations:[ Location.make "L" ]
+      ~edges:[] ~initial_location:"L" ()
+  in
+  let exec = Executor.create (system_of [ a ]) in
+  Executor.run exec ~until:0.5;
+  Alcotest.(check bool) "dwell ~0.5" true
+    (Float.abs (Executor.dwell_time exec "plain" -. 0.5) < 1e-6);
+  Executor.set_value exec "plain" "x" 42.0;
+  Alcotest.(check (float 0.0)) "set_value" 42.0
+    (Executor.value_of exec "plain" "x")
+
+let test_forced_transition_flag () =
+  (* a Delayed edge never fires on its own; only the invariant boundary
+     forces it, and the executor must flag that *)
+  let a =
+    Automaton.make ~name:"delayed" ~vars:[ "c" ]
+      ~locations:
+        [ Location.make ~flow:(Flow.clocks [ "c" ])
+            ~invariant:[ Guard.atom "c" Guard.Le 1.0 ] "Hold";
+          Location.make ~flow:(Flow.clocks [ "c" ]) "Out" ]
+      ~edges:
+        [ Edge.make ~urgency:Edge.Delayed
+            ~guard:[ Guard.atom "c" Guard.Ge 0.5 ] ~src:"Hold" ~dst:"Out" () ]
+      ~initial_location:"Hold" ()
+  in
+  let exec = Executor.create (system_of [ a ]) in
+  Executor.run exec ~until:2.0;
+  Alcotest.(check string) "left at boundary" "Out" (Executor.location_of exec "delayed");
+  let forced_at =
+    List.filter_map
+      (fun (e : Trace.entry) ->
+        match e.Trace.event with
+        | Trace.Transition { forced = true; _ } -> Some e.Trace.time
+        | _ -> None)
+      (Executor.trace exec)
+  in
+  match forced_at with
+  | [ t ] -> Alcotest.(check bool) "at c=1" true (Float.abs (t -. 1.0) < 0.01)
+  | _ -> Alcotest.failf "expected exactly one forced transition"
+
+let test_ode_integration_accuracy () =
+  (* exponential decay x' = -x from 1: after 2 s, x = e^-2; Euler at 1 ms
+     should land within 0.2% *)
+  let a =
+    Automaton.make ~name:"decay" ~vars:[ "x" ]
+      ~locations:
+        [ Location.make
+            ~flow:(Flow.Ode (fun _t v -> [ ("x", -.Valuation.get v "x") ]))
+            "Run" ]
+      ~edges:[] ~initial_location:"Run" ~initial_values:[ ("x", 1.0) ] ()
+  in
+  let exec = Executor.create (system_of [ a ]) in
+  Executor.run exec ~until:2.0;
+  let x = Executor.value_of exec "decay" "x" in
+  let exact = exp (-2.0) in
+  if Float.abs (x -. exact) /. exact > 2e-3 then
+    Alcotest.failf "Euler drift: %.6f vs %.6f" x exact
+
+let test_trace_sink_streams () =
+  let seen = ref 0 in
+  let vent = Pte_tracheotomy.Ventilator.stand_alone in
+  let exec =
+    Executor.create ~trace_sink:(fun _ -> incr seen) (system_of [ vent ])
+  in
+  Executor.run exec ~until:7.0;
+  Alcotest.(check bool) "sink saw entries" true (!seen >= 3);
+  Alcotest.(check int) "sink count = trace length" !seen
+    (List.length (Executor.trace exec))
+
+let suite =
+  [
+    ( "hybrid.executor",
+      [
+        Alcotest.test_case "ventilator 3s strokes (Fig 2)" `Quick
+          test_ventilator_period;
+        Alcotest.test_case "ventilator height bounded" `Quick
+          test_ventilator_height_bounds;
+        Alcotest.test_case "eager fires at guard" `Quick test_eager_fires_at_guard;
+        Alcotest.test_case "instant chains" `Quick test_instant_chain;
+        Alcotest.test_case "time-block detected" `Quick test_time_block_detected;
+        Alcotest.test_case "zeno detected" `Quick test_zeno_detected;
+        Alcotest.test_case "event delivery" `Quick test_event_delivery;
+        Alcotest.test_case "event loss via router" `Quick test_event_loss_via_router;
+        Alcotest.test_case "delayed delivery" `Quick test_event_delayed_delivery;
+        Alcotest.test_case "ignored when not listening" `Quick
+          test_event_ignored_when_not_listening;
+        Alcotest.test_case "inject stimulus" `Quick test_inject_stimulus;
+        Alcotest.test_case "dwell time / set_value" `Quick
+          test_dwell_time_and_set_value;
+        Alcotest.test_case "forced transitions flagged" `Quick
+          test_forced_transition_flag;
+        Alcotest.test_case "ODE integration accuracy" `Quick
+          test_ode_integration_accuracy;
+        Alcotest.test_case "trace sink streams" `Quick test_trace_sink_streams;
+      ] );
+  ]

@@ -1,0 +1,125 @@
+(* Guard atoms and conjunctions: evaluation and analytic crossing times. *)
+
+open Pte_hybrid
+
+let v bindings = Valuation.of_list bindings
+
+let test_always () =
+  Alcotest.(check bool) "true guard" true (Guard.holds Guard.always (v []))
+
+let test_atom_holds () =
+  let checks =
+    [
+      (Guard.atom "x" Guard.Lt 5.0, 4.9, true);
+      (Guard.atom "x" Guard.Lt 5.0, 5.1, false);
+      (Guard.atom "x" Guard.Le 5.0, 5.0, true);
+      (Guard.atom "x" Guard.Gt 5.0, 5.1, true);
+      (Guard.atom "x" Guard.Gt 5.0, 4.9, false);
+      (Guard.atom "x" Guard.Ge 5.0, 5.0, true);
+      (Guard.atom "x" Guard.Eq 5.0, 5.0, true);
+      (Guard.atom "x" Guard.Eq 5.0, 5.0001, false);
+    ]
+  in
+  List.iter
+    (fun (atom, value, expect) ->
+      Alcotest.(check bool)
+        (Fmt.str "%a at %g" Guard.pp_atom atom value)
+        expect
+        (Guard.atom_holds atom value))
+    checks
+
+let test_eps_slack () =
+  (* a clock landing epsilon short of its threshold still enables the
+     guard — required for the fixed-step executor *)
+  let atom = Guard.atom "c" Guard.Ge 3.0 in
+  Alcotest.(check bool) "within eps" true (Guard.atom_holds atom (3.0 -. 1e-12))
+
+let test_conjunction () =
+  let g = [ Guard.atom "x" Guard.Ge 1.0; Guard.atom "y" Guard.Lt 2.0 ] in
+  Alcotest.(check bool) "both hold" true (Guard.holds g (v [ ("x", 1.5); ("y", 0.0) ]));
+  Alcotest.(check bool) "one fails" false (Guard.holds g (v [ ("x", 0.5); ("y", 0.0) ]));
+  Alcotest.(check bool) "other fails" false
+    (Guard.holds g (v [ ("x", 1.5); ("y", 2.5) ]))
+
+let test_missing_var_is_zero () =
+  let g = [ Guard.atom "unset" Guard.Ge 0.0 ] in
+  Alcotest.(check bool) "defaults to 0" true (Guard.holds g (v []))
+
+let check_opt_float name expect actual =
+  match (expect, actual) with
+  | None, None -> ()
+  | Some e, Some a when Float.abs (e -. a) < 1e-9 -> ()
+  | _ ->
+      Alcotest.failf "%s: expected %a, got %a" name
+        Fmt.(option ~none:(any "none") float)
+        expect
+        Fmt.(option ~none:(any "none") float)
+        actual
+
+let test_time_to_satisfy () =
+  let atom = Guard.atom "c" Guard.Ge 10.0 in
+  check_opt_float "already true" (Some 0.0)
+    (Guard.time_to_satisfy atom ~value:11.0 ~rate:1.0);
+  check_opt_float "reaches in 4s" (Some 4.0)
+    (Guard.time_to_satisfy atom ~value:6.0 ~rate:1.0);
+  check_opt_float "wrong direction" None
+    (Guard.time_to_satisfy atom ~value:6.0 ~rate:(-1.0));
+  check_opt_float "frozen" None (Guard.time_to_satisfy atom ~value:6.0 ~rate:0.0);
+  let down = Guard.atom "h" Guard.Le 0.0 in
+  check_opt_float "descending" (Some 3.0)
+    (Guard.time_to_satisfy down ~value:0.3 ~rate:(-0.1))
+
+let test_time_to_violate () =
+  let atom = Guard.atom "h" Guard.Le 0.3 in
+  check_opt_float "hits ceiling" (Some 2.0)
+    (Guard.time_to_violate atom ~value:0.1 ~rate:0.1);
+  check_opt_float "moving away" None
+    (Guard.time_to_violate atom ~value:0.1 ~rate:(-0.1));
+  check_opt_float "already violated" (Some 0.0)
+    (Guard.time_to_violate atom ~value:0.5 ~rate:0.1)
+
+let test_invariant_horizon () =
+  let invariant =
+    [ Guard.atom "h" Guard.Ge 0.0; Guard.atom "h" Guard.Le 0.3 ]
+  in
+  let rate_of _ = -0.1 in
+  match Guard.invariant_horizon invariant (v [ ("h", 0.2) ]) rate_of with
+  | Some d -> Alcotest.(check bool) "2s to floor" true (Float.abs (d -. 2.0) < 1e-9)
+  | None -> Alcotest.fail "expected finite horizon"
+
+let prop_time_to_satisfy_correct =
+  QCheck.Test.make ~name:"time_to_satisfy lands on a satisfying value"
+    ~count:500
+    QCheck.(triple (float_range (-50.) 50.) (float_range (-5.) 5.) (float_range (-50.) 50.))
+    (fun (value, rate, bound) ->
+      let atom = Guard.atom "x" Guard.Ge bound in
+      match Guard.time_to_satisfy atom ~value ~rate with
+      | None -> true
+      | Some d ->
+          d >= 0.0 && Guard.atom_holds atom (value +. (rate *. d)))
+
+let prop_conjunction_monotone =
+  QCheck.Test.make ~name:"adding atoms only shrinks the guard set" ~count:300
+    QCheck.(pair (float_range (-10.) 10.) (float_range (-10.) 10.))
+    (fun (x, bound) ->
+      let base = [ Guard.atom "x" Guard.Ge (-20.0) ] in
+      let narrowed = Guard.atom "x" Guard.Le bound :: base in
+      let valuation = v [ ("x", x) ] in
+      (not (Guard.holds narrowed valuation)) || Guard.holds base valuation)
+
+let suite =
+  [
+    ( "hybrid.guard",
+      [
+        Alcotest.test_case "always" `Quick test_always;
+        Alcotest.test_case "atom evaluation" `Quick test_atom_holds;
+        Alcotest.test_case "epsilon slack" `Quick test_eps_slack;
+        Alcotest.test_case "conjunction" `Quick test_conjunction;
+        Alcotest.test_case "missing var is zero" `Quick test_missing_var_is_zero;
+        Alcotest.test_case "time_to_satisfy" `Quick test_time_to_satisfy;
+        Alcotest.test_case "time_to_violate" `Quick test_time_to_violate;
+        Alcotest.test_case "invariant horizon" `Quick test_invariant_horizon;
+        QCheck_alcotest.to_alcotest prop_time_to_satisfy_correct;
+        QCheck_alcotest.to_alcotest prop_conjunction_monotone;
+      ] );
+  ]

@@ -1,0 +1,83 @@
+(* Event-queue heap: ordering, FIFO tie-breaking, growth, pop_until. *)
+
+open Pte_util
+
+let test_empty () =
+  let h = Heap.create ~dummy:"" in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check int) "length" 0 (Heap.length h);
+  Alcotest.(check bool) "peek none" true (Heap.peek h = None);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None)
+
+let test_ordering () =
+  let h = Heap.create ~dummy:"" in
+  List.iter (fun (p, v) -> Heap.push h p v)
+    [ (3.0, "c"); (1.0, "a"); (2.0, "b"); (0.5, "z") ];
+  let order = List.init 4 (fun _ -> snd (Option.get (Heap.pop h))) in
+  Alcotest.(check (list string)) "priority order" [ "z"; "a"; "b"; "c" ] order
+
+let test_fifo_ties () =
+  let h = Heap.create ~dummy:"" in
+  List.iter (fun v -> Heap.push h 1.0 v) [ "first"; "second"; "third" ];
+  let order = List.init 3 (fun _ -> snd (Option.get (Heap.pop h))) in
+  Alcotest.(check (list string))
+    "insertion order on equal priority"
+    [ "first"; "second"; "third" ] order
+
+let test_growth () =
+  let h = Heap.create ~dummy:0 in
+  for i = 1000 downto 1 do
+    Heap.push h (Float.of_int i) i
+  done;
+  Alcotest.(check int) "length" 1000 (Heap.length h);
+  let prev = ref 0 in
+  for _ = 1 to 1000 do
+    let _, v = Option.get (Heap.pop h) in
+    if v <= !prev then Alcotest.failf "out of order: %d after %d" v !prev;
+    prev := v
+  done
+
+let test_pop_until () =
+  let h = Heap.create ~dummy:"" in
+  List.iter (fun (p, v) -> Heap.push h p v)
+    [ (1.0, "a"); (2.0, "b"); (3.0, "c"); (4.0, "d") ];
+  let due = Heap.pop_until h ~upto:2.5 in
+  Alcotest.(check (list string)) "due items" [ "a"; "b" ] (List.map snd due);
+  Alcotest.(check int) "remaining" 2 (Heap.length h)
+
+let test_clear () =
+  let h = Heap.create ~dummy:"" in
+  Heap.push h 1.0 "a";
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun priorities ->
+      let h = Heap.create ~dummy:0.0 in
+      List.iter (fun p -> Heap.push h p p) priorities;
+      let popped = ref [] in
+      let rec drain () =
+        match Heap.pop h with
+        | Some (_, v) ->
+            popped := v :: !popped;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      List.rev !popped = List.sort Float.compare priorities)
+
+let suite =
+  [
+    ( "util.heap",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "ordering" `Quick test_ordering;
+        Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
+        Alcotest.test_case "growth + 1000 elements" `Quick test_growth;
+        Alcotest.test_case "pop_until" `Quick test_pop_until;
+        Alcotest.test_case "clear" `Quick test_clear;
+        QCheck_alcotest.to_alcotest prop_heap_sorts;
+      ] );
+  ]

@@ -1,0 +1,145 @@
+(* Loss models: empirical rates match nominal ones; burstiness; the
+   adversarial model realizes exact loss scripts. *)
+
+open Pte_net
+
+let empirical kind ~n =
+  let model = Loss.create ~seed:77 kind in
+  let lost = ref 0 in
+  for i = 1 to n do
+    match Loss.decide model ~time:(Float.of_int i *. 0.1) ~root:"evt" with
+    | Loss.Delivered -> ()
+    | Loss.Lost_in_air | Loss.Corrupted -> incr lost
+  done;
+  Float.of_int !lost /. Float.of_int n
+
+let check_rate name kind expected tolerance =
+  let rate = empirical kind ~n:40_000 in
+  if Float.abs (rate -. expected) > tolerance then
+    Alcotest.failf "%s: rate %.3f, expected %.3f +/- %.3f" name rate expected
+      tolerance
+
+let test_perfect () = check_rate "perfect" Loss.Perfect 0.0 1e-9
+
+let test_bernoulli () =
+  check_rate "bernoulli" (Loss.Bernoulli 0.25) 0.25 0.02
+
+let test_gilbert_elliott_rate () =
+  let kind =
+    Loss.Gilbert_elliott
+      { to_bad = 0.05; to_good = 0.2; loss_good = 0.02; loss_bad = 0.9 }
+  in
+  check_rate "gilbert-elliott" kind (Loss.nominal_loss_rate kind) 0.03
+
+let test_gilbert_elliott_bursty () =
+  (* consecutive losses should be far more common than under i.i.d. loss
+     of the same average rate *)
+  let kind = Loss.wifi_interference ~average_loss:0.25 in
+  let model = Loss.create ~seed:5 kind in
+  let n = 40_000 in
+  let outcomes =
+    Array.init n (fun i ->
+        Loss.decide model ~time:(Float.of_int i *. 0.1) ~root:"e" <> Loss.Delivered)
+  in
+  let losses = Array.fold_left (fun acc l -> if l then acc + 1 else acc) 0 outcomes in
+  let pairs = ref 0 and pair_total = ref 0 in
+  for i = 0 to n - 2 do
+    if outcomes.(i) then begin
+      incr pair_total;
+      if outcomes.(i + 1) then incr pairs
+    end
+  done;
+  let p_loss = Float.of_int losses /. Float.of_int n in
+  let p_loss_given_loss = Float.of_int !pairs /. Float.of_int !pair_total in
+  if p_loss_given_loss < p_loss *. 1.8 then
+    Alcotest.failf "not bursty: P(loss|loss)=%.3f vs P(loss)=%.3f"
+      p_loss_given_loss p_loss
+
+let test_interferer_duty () =
+  let kind =
+    Loss.Interferer { period = 1.0; burst = 0.3; loss_during = 1.0; loss_idle = 0.0 }
+  in
+  let model = Loss.create kind in
+  (* during the burst every packet dies; outside none does *)
+  Alcotest.(check bool) "in burst" true
+    (Loss.decide model ~time:10.1 ~root:"e" = Loss.Lost_in_air);
+  Alcotest.(check bool) "outside burst" true
+    (Loss.decide model ~time:10.7 ~root:"e" = Loss.Delivered);
+  Alcotest.(check bool) "nominal = duty" true
+    (Float.abs (Loss.nominal_loss_rate kind -. 0.3) < 1e-9)
+
+let test_corrupting_split () =
+  let kind =
+    Loss.Corrupting { inner = Loss.Bernoulli 0.5; corrupt_fraction = 1.0 }
+  in
+  let model = Loss.create ~seed:3 kind in
+  let corrupted = ref 0 and lost = ref 0 in
+  for i = 1 to 10_000 do
+    match Loss.decide model ~time:(Float.of_int i) ~root:"e" with
+    | Loss.Corrupted -> incr corrupted
+    | Loss.Lost_in_air -> incr lost
+    | Loss.Delivered -> ()
+  done;
+  Alcotest.(check int) "all losses corrupt" 0 !lost;
+  Alcotest.(check bool) "about half corrupted" true
+    (!corrupted > 4_500 && !corrupted < 5_500)
+
+let test_adversarial_script () =
+  (* lose exactly packets #2 and #4 *)
+  let kind = Loss.Adversarial (fun nth _root -> nth = 2 || nth = 4) in
+  let model = Loss.create kind in
+  let outcomes =
+    List.init 6 (fun _ -> Loss.decide model ~time:0.0 ~root:"e" = Loss.Delivered)
+  in
+  Alcotest.(check (list bool)) "script honoured"
+    [ true; true; false; true; false; true ] outcomes
+
+let test_adversarial_by_root () =
+  let kind = Loss.Adversarial (fun _ root -> root = "evt_cancel") in
+  let model = Loss.create kind in
+  Alcotest.(check bool) "cancel lost" true
+    (Loss.decide model ~time:0.0 ~root:"evt_cancel" = Loss.Lost_in_air);
+  Alcotest.(check bool) "others pass" true
+    (Loss.decide model ~time:0.0 ~root:"evt_req" = Loss.Delivered)
+
+let test_trace_driven () =
+  let kind = Loss.Trace_driven [| false; true; false |] in
+  let model = Loss.create kind in
+  let outcomes =
+    List.init 6 (fun _ -> Loss.decide model ~time:0.0 ~root:"e" = Loss.Delivered)
+  in
+  Alcotest.(check (list bool)) "cycles the trace"
+    [ true; false; true; true; false; true ] outcomes;
+  Alcotest.(check bool) "nominal = trace fraction" true
+    (Float.abs (Loss.nominal_loss_rate kind -. (1.0 /. 3.0)) < 1e-9);
+  Alcotest.(check bool) "empty trace delivers" true
+    (Loss.decide (Loss.create (Loss.Trace_driven [||])) ~time:0.0 ~root:"e"
+    = Loss.Delivered)
+
+let test_wifi_interference_targets_average () =
+  List.iter
+    (fun target ->
+      let kind = Loss.wifi_interference ~average_loss:target in
+      let nominal = Loss.nominal_loss_rate kind in
+      if Float.abs (nominal -. target) > 0.01 then
+        Alcotest.failf "average %.2f -> nominal %.3f" target nominal)
+    [ 0.1; 0.25; 0.5; 0.7 ]
+
+let suite =
+  [
+    ( "net.loss",
+      [
+        Alcotest.test_case "perfect" `Quick test_perfect;
+        Alcotest.test_case "bernoulli rate" `Quick test_bernoulli;
+        Alcotest.test_case "gilbert-elliott rate" `Quick test_gilbert_elliott_rate;
+        Alcotest.test_case "gilbert-elliott bursty" `Quick
+          test_gilbert_elliott_bursty;
+        Alcotest.test_case "interferer duty cycle" `Quick test_interferer_duty;
+        Alcotest.test_case "corrupting split" `Quick test_corrupting_split;
+        Alcotest.test_case "adversarial script" `Quick test_adversarial_script;
+        Alcotest.test_case "adversarial by root" `Quick test_adversarial_by_root;
+        Alcotest.test_case "trace-driven replay" `Quick test_trace_driven;
+        Alcotest.test_case "wifi targets average" `Quick
+          test_wifi_interference_targets_average;
+      ] );
+  ]

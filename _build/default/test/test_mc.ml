@@ -1,0 +1,175 @@
+(* The zone-reachability model checker: translation rules, lossy product
+   semantics, and the Theorem 1 verdicts on the pattern. *)
+
+open Pte_core
+
+let p = Params.case_study
+
+let budget = { Pte_mc.Reach.default_config with max_states = 60_000 }
+
+let kinds result =
+  List.sort_uniq compare
+    (List.map
+       (fun (v : Pte_mc.Reach.violation) ->
+         match v.Pte_mc.Reach.kind with
+         | Pte_mc.Reach.Rule1_dwell { entity; _ } -> "rule1:" ^ entity
+         | Pte_mc.Reach.P1_enter_safeguard { inner; _ } -> "p1:" ^ inner
+         | Pte_mc.Reach.P2_not_embedded { inner; _ } -> "p2:" ^ inner
+         | Pte_mc.Reach.P3_exit_safeguard { outer; _ } -> "p3:" ^ outer)
+       result.Pte_mc.Reach.violations)
+
+let test_translate_clock_classification () =
+  let counter = ref 0 in
+  let alloc _ = incr counter; !counter in
+  let sup = Pattern.supervisor p in
+  let ta = Pte_mc.Ta.translate sup ~alloc ~is_system_root:(fun _ -> true) in
+  (* c, ls, fb are clocks; approval is an environment variable *)
+  Alcotest.(check int) "3 clocks" 3 (List.length ta.Pte_mc.Ta.clock_of_var);
+  Alcotest.(check bool) "approval not a clock" true
+    (not (List.mem_assoc "approval" ta.Pte_mc.Ta.clock_of_var))
+
+let test_translate_rejects_ode () =
+  let counter = ref 0 in
+  let alloc _ = incr counter; !counter in
+  match
+    Pte_mc.Ta.translate Pte_tracheotomy.Patient.automaton ~alloc
+      ~is_system_root:(fun _ -> true)
+  with
+  | exception Pte_mc.Ta.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Unsupported for ODE flows"
+
+let test_translate_urgency () =
+  let counter = ref 0 in
+  let alloc _ = incr counter; !counter in
+  let init = Pattern.initializer_ p in
+  let ta = Pte_mc.Ta.translate init ~alloc ~is_system_root:(fun r ->
+      (* only the stimuli have no sender *)
+      not (String.length r >= 4 && String.sub r 0 4 = "stim"))
+  in
+  let loc name =
+    let rec go i =
+      if ta.Pte_mc.Ta.locations.(i).Pte_mc.Ta.name = name then
+        ta.Pte_mc.Ta.locations.(i)
+      else go (i + 1)
+    in
+    go 0
+  in
+  (* dispatch locations are urgent; timed locations get derived invariants *)
+  Alcotest.(check bool) "Send Req urgent" true (loc "Send Req").Pte_mc.Ta.urgent;
+  Alcotest.(check bool) "Risky Core not urgent" false
+    (loc "Risky Core").Pte_mc.Ta.urgent;
+  Alcotest.(check bool) "Risky Core capped by lease" true
+    (List.exists
+       (fun (a : Pte_mc.Ta.clock_atom) ->
+         a.Pte_mc.Ta.cmp = Pte_mc.Dbm.Le && a.Pte_mc.Ta.const = 20.0)
+       (loc "Risky Core").Pte_mc.Ta.invariant)
+
+let test_active_clock_analysis () =
+  let counter = ref 0 in
+  let alloc _ = incr counter; !counter in
+  let init = Pattern.initializer_ p in
+  let ta = Pte_mc.Ta.translate init ~alloc ~is_system_root:(fun _ -> true) in
+  let active = Pte_mc.Ta.active_clocks ta in
+  let c = List.assoc "c" ta.Pte_mc.Ta.clock_of_var in
+  let index_of name =
+    let rec go i =
+      if ta.Pte_mc.Ta.locations.(i).Pte_mc.Ta.name = name then i else go (i + 1)
+    in
+    go 0
+  in
+  (* c is read by Risky Core's lease guard *)
+  Alcotest.(check bool) "c active in Risky Core" true
+    (Pte_mc.Ta.Int_set.mem c active.(index_of "Risky Core"));
+  (* in Fall-Back, every outgoing path resets c before reading it *)
+  Alcotest.(check bool) "c inactive in Fall-Back" false
+    (Pte_mc.Ta.Int_set.mem c active.(index_of "Fall-Back"))
+
+let test_with_lease_no_violation_in_budget () =
+  (* bounded sweep of the valid configuration: no violation may surface
+     (the full exhaustive proof runs in the benchmark harness) *)
+  let r = Pte_mc.Reach.check_pattern ~config:budget p in
+  Alcotest.(check (list string)) "no violations" [] (kinds r);
+  Alcotest.(check bool) "explored something" true (r.Pte_mc.Reach.states > 1000)
+
+let test_no_lease_rule1 () =
+  let r =
+    Pte_mc.Reach.check_pattern ~lease:false
+      ~config:{ budget with stop_at_first = true }
+      p
+  in
+  Alcotest.(check bool) "found" true
+    (List.mem "rule1:ventilator" (kinds r) || List.mem "rule1:laser" (kinds r))
+
+let test_c5_violation_found () =
+  let bad =
+    {
+      p with
+      Params.entities =
+        [|
+          p.Params.entities.(0);
+          { (p.Params.entities.(1)) with Params.t_enter_max = 3.0 };
+        |];
+    }
+  in
+  let r =
+    Pte_mc.Reach.check_pattern ~config:{ budget with stop_at_first = true } bad
+  in
+  Alcotest.(check bool) "safeguard breach found" true
+    (List.exists
+       (fun k -> k = "p1:laser" || k = "p2:laser")
+       (kinds r))
+
+let test_counterexample_trace () =
+  let r =
+    Pte_mc.Reach.check_pattern ~lease:false
+      ~config:{ budget with stop_at_first = true }
+      p
+  in
+  match r.Pte_mc.Reach.violations with
+  | [] -> Alcotest.fail "expected a violation"
+  | v :: _ ->
+      let trace = r.Pte_mc.Reach.trace v.Pte_mc.Reach.state in
+      Alcotest.(check bool) "non-trivial trace" true (List.length trace > 3);
+      Alcotest.(check string) "starts at init" "init" (List.hd trace)
+
+let test_tight_dwell_bound_violated () =
+  (* demanding a dwell bound below what the pattern guarantees must
+     produce a Rule 1 counterexample: the guarantee is T_wait + T_LS1,
+     and the ventilator really can dwell T_run,1 + T_exit,1 = 41 s *)
+  let r =
+    Pte_mc.Reach.check_pattern ~dwell_bound:30.0
+      ~config:{ budget with stop_at_first = true }
+      p
+  in
+  Alcotest.(check bool) "rule1 found" true
+    (List.exists (fun k -> String.length k >= 5 && String.sub k 0 5 = "rule1") (kinds r))
+
+let test_generous_dwell_bound_ok () =
+  let r =
+    Pte_mc.Reach.check_pattern ~dwell_bound:60.0 ~config:budget p
+  in
+  Alcotest.(check (list string)) "no violations at 60s" [] (kinds r)
+
+let suite =
+  [
+    ( "mc.reach",
+      [
+        Alcotest.test_case "clock classification" `Quick
+          test_translate_clock_classification;
+        Alcotest.test_case "rejects ODE flows" `Quick test_translate_rejects_ode;
+        Alcotest.test_case "urgency derivation" `Quick test_translate_urgency;
+        Alcotest.test_case "active-clock analysis" `Quick
+          test_active_clock_analysis;
+        Alcotest.test_case "with-lease: clean in budget" `Slow
+          test_with_lease_no_violation_in_budget;
+        Alcotest.test_case "no-lease: Rule 1 counterexample" `Quick
+          test_no_lease_rule1;
+        Alcotest.test_case "c5 break: safeguard counterexample" `Quick
+          test_c5_violation_found;
+        Alcotest.test_case "counterexample trace" `Quick test_counterexample_trace;
+        Alcotest.test_case "tight dwell bound refuted" `Quick
+          test_tight_dwell_bound_violated;
+        Alcotest.test_case "60s dwell bound verified in budget" `Slow
+          test_generous_dwell_bound_ok;
+      ] );
+  ]

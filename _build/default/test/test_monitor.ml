@@ -1,0 +1,225 @@
+(* The PTE trace monitor: Rule 1 bounds and Definition 1 p1-p3 on
+   synthetic traces with known violations. *)
+
+open Pte_core
+open Pte_hybrid
+
+let transition ~time automaton src dst =
+  {
+    Trace.time;
+    event = Trace.Transition { automaton; src; dst; label = None; forced = false };
+  }
+
+(* two entities; risky location is "R", safe is "S" *)
+let risky _entity location = String.equal location "R"
+let initial _entity = "S"
+
+let spec ?(bound = 60.0) () =
+  Rules.make ~order:[ "outer"; "inner" ]
+    ~dwell_bounds:[ ("outer", bound); ("inner", bound) ]
+    ~safeguards:[ { Params.enter_risky_min = 3.0; exit_safe_min = 1.5 } ]
+
+(* a fully compliant episode: outer risky 10..30, inner risky 14..25 *)
+let good_trace =
+  [
+    transition ~time:10.0 "outer" "S" "R";
+    transition ~time:14.0 "inner" "S" "R";
+    transition ~time:25.0 "inner" "R" "S";
+    transition ~time:30.0 "outer" "R" "S";
+  ]
+
+let analyze ?(spec = spec ()) trace =
+  Monitor.analyze trace spec ~risky ~initial ~horizon:100.0
+
+let test_compliant () =
+  let report = analyze good_trace in
+  Alcotest.(check bool)
+    (Fmt.str "%a" Monitor.pp_report report)
+    true (Monitor.ok report);
+  Alcotest.(check int) "no episodes" 0 (Monitor.episodes report)
+
+let test_rule1_violation () =
+  let report = analyze ~spec:(spec ~bound:15.0 ()) good_trace in
+  (* outer dwells 20s > 15s *)
+  let has_dwell =
+    List.exists
+      (function Monitor.Dwell_exceeded { entity = "outer"; _ } -> true | _ -> false)
+      report.Monitor.violations
+  in
+  Alcotest.(check bool) "dwell flagged" true has_dwell
+
+let test_not_embedded () =
+  (* inner risky with outer never risky *)
+  let trace =
+    [ transition ~time:5.0 "inner" "S" "R"; transition ~time:8.0 "inner" "R" "S" ]
+  in
+  let report = analyze trace in
+  let has =
+    List.exists
+      (function Monitor.Not_embedded _ -> true | _ -> false)
+      report.Monitor.violations
+  in
+  Alcotest.(check bool) "p2 flagged" true has
+
+let test_inner_outlives_outer () =
+  let trace =
+    [
+      transition ~time:5.0 "outer" "S" "R";
+      transition ~time:9.0 "inner" "S" "R";
+      transition ~time:20.0 "outer" "R" "S";
+      transition ~time:22.0 "inner" "R" "S";
+    ]
+  in
+  let report = analyze trace in
+  Alcotest.(check bool) "containment broken" false (Monitor.ok report)
+
+let test_enter_safeguard () =
+  (* inner enters only 1s after outer (needs 3s) *)
+  let trace =
+    [
+      transition ~time:10.0 "outer" "S" "R";
+      transition ~time:11.0 "inner" "S" "R";
+      transition ~time:20.0 "inner" "R" "S";
+      transition ~time:30.0 "outer" "R" "S";
+    ]
+  in
+  let report = analyze trace in
+  let has =
+    List.exists
+      (function
+        | Monitor.Enter_safeguard { inner_start = 11.0; _ } -> true | _ -> false)
+      report.Monitor.violations
+  in
+  Alcotest.(check bool) "p1 flagged" true has
+
+let test_exit_safeguard () =
+  (* outer exits 0.5s after inner (needs 1.5s) *)
+  let trace =
+    [
+      transition ~time:10.0 "outer" "S" "R";
+      transition ~time:14.0 "inner" "S" "R";
+      transition ~time:25.0 "inner" "R" "S";
+      transition ~time:25.5 "outer" "R" "S";
+    ]
+  in
+  let report = analyze trace in
+  let has =
+    List.exists
+      (function Monitor.Exit_safeguard _ -> true | _ -> false)
+      report.Monitor.violations
+  in
+  Alcotest.(check bool) "p3 flagged" true has
+
+let test_open_at_horizon_not_flagged () =
+  (* both still risky at a near horizon: p3 unresolved, not a violation
+     (and the dwells are still below the Rule 1 bound) *)
+  let trace =
+    [ transition ~time:10.0 "outer" "S" "R"; transition ~time:14.0 "inner" "S" "R" ]
+  in
+  let report =
+    Monitor.analyze trace (spec ()) ~risky ~initial ~horizon:40.0
+  in
+  Alcotest.(check bool)
+    (Fmt.str "%a" Monitor.pp_report report)
+    true (Monitor.ok report)
+
+let test_zero_gap_merged () =
+  (* an instantaneous dispatch location splitting the risky dwell must
+     not create a spurious containment break *)
+  let trace =
+    [
+      transition ~time:10.0 "outer" "S" "R";
+      transition ~time:14.0 "inner" "S" "R";
+      (* outer passes through a dispatch at t=20 within the risky set:
+         R -> S -> R at the same instant *)
+      transition ~time:20.0 "outer" "R" "S";
+      transition ~time:20.0 "outer" "S" "R";
+      transition ~time:25.0 "inner" "R" "S";
+      transition ~time:30.0 "outer" "R" "S";
+    ]
+  in
+  let report = analyze trace in
+  Alcotest.(check bool)
+    (Fmt.str "%a" Monitor.pp_report report)
+    true (Monitor.ok report)
+
+let test_episode_grouping () =
+  (* one inner interval violating both p1 and p3 counts as one episode *)
+  let trace =
+    [
+      transition ~time:10.0 "outer" "S" "R";
+      transition ~time:10.5 "inner" "S" "R";
+      transition ~time:20.0 "inner" "R" "S";
+      transition ~time:20.2 "outer" "R" "S";
+    ]
+  in
+  let report = analyze trace in
+  Alcotest.(check bool) "two violations" true
+    (List.length report.Monitor.violations >= 2);
+  Alcotest.(check int) "one episode" 1 (Monitor.episodes report)
+
+let test_three_entity_chain () =
+  let spec3 =
+    Rules.make ~order:[ "a"; "b"; "c" ]
+      ~dwell_bounds:[ ("a", 100.0); ("b", 100.0); ("c", 100.0) ]
+      ~safeguards:
+        [
+          { Params.enter_risky_min = 2.0; exit_safe_min = 1.0 };
+          { Params.enter_risky_min = 2.0; exit_safe_min = 1.0 };
+        ]
+  in
+  let trace =
+    [
+      transition ~time:0.0 "a" "S" "R";
+      transition ~time:3.0 "b" "S" "R";
+      transition ~time:6.0 "c" "S" "R";
+      transition ~time:10.0 "c" "R" "S";
+      transition ~time:12.0 "b" "R" "S";
+      transition ~time:14.0 "a" "R" "S";
+    ]
+  in
+  let report = Monitor.analyze trace spec3 ~risky ~initial ~horizon:50.0 in
+  Alcotest.(check bool) "nested chain ok" true (Monitor.ok report);
+  (* now make the middle exit too early w.r.t. the inner pair *)
+  let bad =
+    List.map
+      (fun ({ Trace.time; event } as entry) ->
+        match event with
+        | Trace.Transition { automaton = "b"; src = "R"; dst = "S"; _ } ->
+            { entry with Trace.time = time -. 1.5 }
+        | _ -> entry)
+      trace
+  in
+  let sorted = List.sort (fun a b -> Float.compare a.Trace.time b.Trace.time) bad in
+  let report = Monitor.analyze sorted spec3 ~risky ~initial ~horizon:50.0 in
+  Alcotest.(check bool) "early middle exit flagged" false (Monitor.ok report)
+
+let test_rules_of_params () =
+  let spec = Rules.of_params Params.case_study in
+  Alcotest.(check (list string)) "order" [ "ventilator"; "laser" ] spec.Rules.order;
+  Alcotest.(check (float 1e-9)) "bound = theorem bound" 47.0
+    (Rules.dwell_bound spec "ventilator");
+  let spec60 = Rules.of_params_with_bounds Params.case_study ~dwell_bound:60.0 in
+  Alcotest.(check (float 1e-9)) "explicit bound" 60.0
+    (Rules.dwell_bound spec60 "laser");
+  Alcotest.(check bool) "unknown entity unbounded" true
+    (Rules.dwell_bound spec "ghost" = infinity)
+
+let suite =
+  [
+    ( "core.monitor",
+      [
+        Alcotest.test_case "compliant episode" `Quick test_compliant;
+        Alcotest.test_case "rule 1 violation" `Quick test_rule1_violation;
+        Alcotest.test_case "p2 not embedded" `Quick test_not_embedded;
+        Alcotest.test_case "inner outlives outer" `Quick test_inner_outlives_outer;
+        Alcotest.test_case "p1 enter safeguard" `Quick test_enter_safeguard;
+        Alcotest.test_case "p3 exit safeguard" `Quick test_exit_safeguard;
+        Alcotest.test_case "open at horizon unresolved" `Quick
+          test_open_at_horizon_not_flagged;
+        Alcotest.test_case "zero gaps merged" `Quick test_zero_gap_merged;
+        Alcotest.test_case "episode grouping" `Quick test_episode_grouping;
+        Alcotest.test_case "three-entity chain" `Quick test_three_entity_chain;
+        Alcotest.test_case "spec from params" `Quick test_rules_of_params;
+      ] );
+  ]

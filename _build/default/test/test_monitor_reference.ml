@@ -1,0 +1,116 @@
+(* Differential testing of the PTE monitor against a brute-force
+   reference: random two-entity timelines are checked both by the
+   interval-based monitor and by dense time-sampling of the rule
+   definitions. The two verdicts must agree. *)
+
+open Pte_core
+open Pte_hybrid
+
+let horizon = 100.0
+let bound = 25.0
+let t_risky = 3.0
+let t_safe = 1.5
+
+let spec =
+  Rules.make ~order:[ "outer"; "inner" ]
+    ~dwell_bounds:[ ("outer", bound); ("inner", bound) ]
+    ~safeguards:[ { Params.enter_risky_min = t_risky; exit_safe_min = t_safe } ]
+
+(* A timeline is a list of disjoint risky intervals within [0, horizon). *)
+let timeline_gen =
+  QCheck.Gen.(
+    let* n = int_range 0 3 in
+    let* points = list_repeat (2 * n) (float_range 0.5 (horizon -. 1.0)) in
+    let sorted = List.sort Float.compare points in
+    let rec pair = function
+      | a :: b :: rest -> (a, b) :: pair rest
+      | _ -> []
+    in
+    (* drop degenerate/touching intervals to keep the reference simple *)
+    let rec well_separated = function
+      | (a1, b1) :: ((a2, _) :: _ as rest) ->
+          b1 -. a1 > 0.2 && a2 -. b1 > 0.2 && well_separated rest
+      | [ (a, b) ] -> b -. a > 0.2
+      | [] -> true
+    in
+    let intervals = pair sorted in
+    return (if well_separated intervals then intervals else []))
+
+let trace_of_timelines outer inner =
+  let events entity spans =
+    List.concat_map
+      (fun (a, b) ->
+        [
+          { Trace.time = a;
+            event =
+              Trace.Transition
+                { automaton = entity; src = "S"; dst = "R"; label = None;
+                  forced = false } };
+          { Trace.time = b;
+            event =
+              Trace.Transition
+                { automaton = entity; src = "R"; dst = "S"; label = None;
+                  forced = false } };
+        ])
+      spans
+  in
+  List.sort
+    (fun a b -> Float.compare a.Trace.time b.Trace.time)
+    (events "outer" outer @ events "inner" inner)
+
+(* Reference: dense sampling + direct event checks. *)
+let reference_ok outer inner =
+  let inside spans t = List.exists (fun (a, b) -> a <= t && t < b) spans in
+  let dt = 0.05 in
+  let steps = int_of_float (horizon /. dt) in
+  let p2 = ref true in
+  for i = 0 to steps - 1 do
+    let t = Float.of_int i *. dt in
+    if inside inner t && not (inside outer t) then p2 := false
+  done;
+  let dwell_ok spans =
+    List.for_all (fun (a, b) -> b -. a <= bound +. 1e-9) spans
+  in
+  (* p1: at each inner start, outer must have been risky throughout
+     [s - t_risky, s] *)
+  let p1 =
+    List.for_all
+      (fun (s, _) ->
+        List.exists (fun (a, b) -> a <= s -. t_risky +. 1e-9 && b >= s) outer)
+      inner
+  in
+  (* p3: at each inner end, outer must stay risky until e + t_safe *)
+  let p3 =
+    List.for_all
+      (fun (_, e) ->
+        List.exists (fun (a, b) -> a <= e && b >= e +. t_safe -. 1e-9) outer)
+      inner
+  in
+  !p2 && dwell_ok outer && dwell_ok inner && p1 && p3
+
+let prop_monitor_agrees_with_reference =
+  QCheck.Test.make ~name:"monitor = brute-force reference on random timelines"
+    ~count:500
+    (QCheck.make
+       QCheck.Gen.(pair timeline_gen timeline_gen)
+       ~print:(fun (o, i) ->
+         Fmt.str "outer=%a inner=%a"
+           Fmt.(list ~sep:comma (pair ~sep:(any "..") float float))
+           o
+           Fmt.(list ~sep:comma (pair ~sep:(any "..") float float))
+           i))
+    (fun (outer, inner) ->
+      let trace = trace_of_timelines outer inner in
+      let report =
+        Monitor.analyze trace spec
+          ~risky:(fun _ l -> String.equal l "R")
+          ~initial:(fun _ -> "S")
+          ~horizon
+      in
+      Monitor.ok report = reference_ok outer inner)
+
+let suite =
+  [
+    ( "core.monitor-reference",
+      [ QCheck_alcotest.to_alcotest prop_monitor_agrees_with_reference ] );
+  ]

@@ -1,0 +1,131 @@
+(* SplitMix64 PRNG: determinism, stream independence, distribution
+   sanity. Reproducible trials depend on these properties. *)
+
+open Pte_util
+
+let test_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check (float 0.0)) "same stream" (Rng.float a) (Rng.float b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xs = List.init 16 (fun _ -> Rng.float a) in
+  let ys = List.init 16 (fun _ -> Rng.float b) in
+  Alcotest.(check bool) "different seeds differ" false (xs = ys)
+
+let test_copy_forks_state () =
+  let a = Rng.create 7 in
+  ignore (Rng.float a);
+  let b = Rng.copy a in
+  Alcotest.(check (float 0.0)) "copy continues identically" (Rng.float a)
+    (Rng.float b)
+
+let test_split_independent () =
+  let parent = Rng.create 99 in
+  let child1 = Rng.split parent in
+  let child2 = Rng.split parent in
+  let xs = List.init 16 (fun _ -> Rng.float child1) in
+  let ys = List.init 16 (fun _ -> Rng.float child2) in
+  Alcotest.(check bool) "split streams differ" false (xs = ys)
+
+let test_float_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float out of range: %g" x
+  done
+
+let test_float_mean () =
+  let rng = Rng.create 5 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float rng
+  done;
+  let mean = !sum /. Float.of_int n in
+  if Float.abs (mean -. 0.5) > 0.01 then
+    Alcotest.failf "uniform mean drifted: %g" mean
+
+let test_int_bounds () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 7 in
+    if x < 0 || x >= 7 then Alcotest.failf "int out of range: %d" x
+  done
+
+let test_int_rejects_bad_bound () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_bernoulli_rate () =
+  let rng = Rng.create 13 in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = Float.of_int !hits /. Float.of_int n in
+  if Float.abs (rate -. 0.3) > 0.01 then
+    Alcotest.failf "bernoulli rate drifted: %g" rate
+
+let test_exponential_mean () =
+  (* the distribution behind the surgeon's Ton/Toff timers *)
+  let rng = Rng.create 17 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:18.0
+  done;
+  let mean = !sum /. Float.of_int n in
+  if Float.abs (mean -. 18.0) > 0.5 then
+    Alcotest.failf "exponential mean drifted: %g" mean
+
+let test_exponential_positive () =
+  let rng = Rng.create 19 in
+  for _ = 1 to 10_000 do
+    let x = Rng.exponential rng ~mean:1.0 in
+    if x < 0.0 || not (Float.is_finite x) then
+      Alcotest.failf "exponential out of range: %g" x
+  done
+
+let test_exponential_tail () =
+  (* P(X > mean) should be about e^-1 ~ 0.368 *)
+  let rng = Rng.create 23 in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.exponential rng ~mean:6.0 > 6.0 then incr hits
+  done;
+  let rate = Float.of_int !hits /. Float.of_int n in
+  if Float.abs (rate -. exp (-1.0)) > 0.02 then
+    Alcotest.failf "exponential tail drifted: %g" rate
+
+let test_uniform_range () =
+  let rng = Rng.create 29 in
+  for _ = 1 to 10_000 do
+    let x = Rng.uniform rng ~lo:(-2.0) ~hi:3.0 in
+    if x < -2.0 || x >= 3.0 then Alcotest.failf "uniform out of range: %g" x
+  done
+
+let suite =
+  [
+    ( "util.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+        Alcotest.test_case "copy forks state" `Quick test_copy_forks_state;
+        Alcotest.test_case "split independence" `Quick test_split_independent;
+        Alcotest.test_case "float in [0,1)" `Quick test_float_range;
+        Alcotest.test_case "float mean" `Quick test_float_mean;
+        Alcotest.test_case "int bounds" `Quick test_int_bounds;
+        Alcotest.test_case "int bad bound" `Quick test_int_rejects_bad_bound;
+        Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+        Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+        Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
+        Alcotest.test_case "exponential tail" `Quick test_exponential_tail;
+        Alcotest.test_case "uniform range" `Quick test_uniform_range;
+      ] );
+  ]

@@ -1,0 +1,91 @@
+(* The §V scenario experiments as regression tests: each must keep
+   telling the paper's story deterministically. *)
+
+let check_episode name ~lease ~max_pause ~failures
+    (e : Pte_tracheotomy.Scenarios.episode) =
+  Alcotest.(check bool) (name ^ ": lease flag") lease
+    e.Pte_tracheotomy.Scenarios.lease;
+  Alcotest.(check int)
+    (Fmt.str "%s: failures (pause %.1fs, emission %.1fs)" name
+       e.Pte_tracheotomy.Scenarios.pause_duration
+       e.Pte_tracheotomy.Scenarios.emission_duration)
+    failures e.Pte_tracheotomy.Scenarios.failures;
+  if e.Pte_tracheotomy.Scenarios.pause_duration > max_pause then
+    Alcotest.failf "%s: pause %.1fs exceeds %.1fs" name
+      e.Pte_tracheotomy.Scenarios.pause_duration max_pause
+
+let test_fig1_timeline () =
+  let tl = Pte_tracheotomy.Scenarios.fig1_timeline ~cancel_at:10.0 () in
+  Alcotest.(check bool) "t1 >= 3" true (tl.Pte_tracheotomy.Scenarios.t1 >= 3.0);
+  Alcotest.(check bool) "t2 >= 1.5" true (tl.Pte_tracheotomy.Scenarios.t2 >= 1.5);
+  Alcotest.(check bool) "t3 <= 60" true (tl.Pte_tracheotomy.Scenarios.t3 <= 60.0);
+  Alcotest.(check bool) "t4 <= 60" true (tl.Pte_tracheotomy.Scenarios.t4 <= 60.0);
+  (* the emission sits strictly inside the pause *)
+  Alcotest.(check bool) "embedding" true
+    (tl.Pte_tracheotomy.Scenarios.t3
+    > tl.Pte_tracheotomy.Scenarios.t1 +. tl.Pte_tracheotomy.Scenarios.t4)
+
+let test_s1_clean () =
+  check_episode "S1 lease" ~lease:true ~max_pause:47.0 ~failures:0
+    (Pte_tracheotomy.Scenarios.s1_forgotten_cancel ~lease:true ());
+  (* without the lease the SpO2 abort still rescues on a clean channel *)
+  check_episode "S1 no-lease" ~lease:false ~max_pause:60.0 ~failures:0
+    (Pte_tracheotomy.Scenarios.s1_forgotten_cancel ~lease:false ())
+
+let test_s1_lease_rescue_is_evt_to_stop () =
+  let e = Pte_tracheotomy.Scenarios.s1_forgotten_cancel ~lease:true () in
+  Alcotest.(check int) "one evtToStop" 1 e.Pte_tracheotomy.Scenarios.evt_to_stop;
+  Alcotest.(check bool) "emission bounded by lease" true
+    (e.Pte_tracheotomy.Scenarios.emission_duration <= 20.0 +. 2.0)
+
+let test_s1_blackout () =
+  check_episode "S1 blackout lease" ~lease:true ~max_pause:47.0 ~failures:0
+    (Pte_tracheotomy.Scenarios.s1_forgotten_cancel ~abort_blackout:true
+       ~lease:true ());
+  let e =
+    Pte_tracheotomy.Scenarios.s1_forgotten_cancel ~abort_blackout:true
+      ~lease:false ()
+  in
+  Alcotest.(check bool) "no-lease blackout fails" true
+    (e.Pte_tracheotomy.Scenarios.failures >= 1);
+  Alcotest.(check bool) "pause ran long" true
+    (e.Pte_tracheotomy.Scenarios.pause_duration > 100.0)
+
+let test_s2 () =
+  check_episode "S2 lease" ~lease:true ~max_pause:47.0 ~failures:0
+    (Pte_tracheotomy.Scenarios.s2_lost_cancel ~lease:true ());
+  let e = Pte_tracheotomy.Scenarios.s2_lost_cancel ~lease:false () in
+  Alcotest.(check int) "no-lease fails once" 1
+    e.Pte_tracheotomy.Scenarios.failures;
+  Alcotest.(check bool) "pause just over the bound" true
+    (e.Pte_tracheotomy.Scenarios.pause_duration > 60.0
+    && e.Pte_tracheotomy.Scenarios.pause_duration < 80.0)
+
+let test_s3 () =
+  let outcomes, episode = Pte_tracheotomy.Scenarios.s3_c5_violated () in
+  Alcotest.(check (list string)) "only c5 flagged" [ "c5" ]
+    (List.map Pte_core.Constraints.condition_name
+       (Pte_core.Constraints.violated outcomes));
+  Alcotest.(check bool) "episode violates" true
+    (episode.Pte_tracheotomy.Scenarios.failures >= 1);
+  Alcotest.(check bool) "specifically an enter-safeguard breach" true
+    (List.exists
+       (function
+         | Pte_core.Monitor.Enter_safeguard _ | Pte_core.Monitor.Not_embedded _ ->
+             true
+         | _ -> false)
+       episode.Pte_tracheotomy.Scenarios.violations)
+
+let suite =
+  [
+    ( "tracheotomy.scenarios",
+      [
+        Alcotest.test_case "Fig 1 timeline" `Quick test_fig1_timeline;
+        Alcotest.test_case "S1 clean channel" `Quick test_s1_clean;
+        Alcotest.test_case "S1 lease rescue = evtToStop" `Quick
+          test_s1_lease_rescue_is_evt_to_stop;
+        Alcotest.test_case "S1 abort blackout" `Quick test_s1_blackout;
+        Alcotest.test_case "S2 lost cancel" `Quick test_s2;
+        Alcotest.test_case "S3 c5 violated" `Quick test_s3;
+      ] );
+  ]

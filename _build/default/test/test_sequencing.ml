@@ -1,0 +1,105 @@
+(* Direct validation of the leasing chain's temporal structure on a
+   perfect channel, N = 3: risky entries happen in PTE order with the
+   required spacing, exits in exactly reverse order with the exit
+   safeguards — both for a surgeon-cancelled session and for a session
+   that ends purely by lease expiry. *)
+
+open Pte_core
+open Pte_hybrid
+
+let sg_enter = [ 2.0; 1.5 ]
+let sg_exit = [ 1.0; 0.8 ]
+
+let params =
+  Synthesis.synthesize_exn
+    (Synthesis.default_requirements ~entity_names:[ "e1"; "e2"; "e3" ]
+       ~safeguards:
+         (List.map2
+            (fun enter exit -> { Params.enter_risky_min = enter; exit_safe_min = exit })
+            sg_enter sg_exit))
+
+let run ~cancel_after =
+  let system = Pattern.system params in
+  let engine =
+    Pte_sim.Engine.create
+      ~config:{ Executor.default_config with dt = 0.005 }
+      ~seed:1 system
+  in
+  let request_at = params.Params.t_fb_min +. 1.0 in
+  Pte_sim.Scenario.one_shot engine ~at:request_at ~automaton:"e3"
+    ~armed_in:"Fall-Back"
+    ~root:(Events.stim_request ~initializer_:"e3");
+  (match cancel_after with
+  | Some delay ->
+      Pte_sim.Scenario.one_shot engine ~at:(request_at +. delay) ~automaton:"e3"
+        ~armed_in:"Risky Core"
+        ~root:(Events.stim_cancel ~initializer_:"e3")
+  | None -> ());
+  let horizon = 120.0 in
+  Pte_sim.Engine.run engine ~until:horizon;
+  let trace = Pte_sim.Engine.trace engine in
+  let spec = Rules.of_params params in
+  let report = Monitor.analyze_system trace system spec ~horizon in
+  Alcotest.(check int)
+    (Fmt.str "%a" Monitor.pp_report report)
+    0 (Monitor.episodes report);
+  List.map
+    (fun entity ->
+      match List.assoc_opt entity report.Monitor.intervals with
+      | Some [ span ] -> span
+      | Some spans ->
+          Alcotest.failf "%s: expected one risky span, got %d" entity
+            (List.length spans)
+      | None -> Alcotest.failf "%s: no intervals" entity)
+    [ "e1"; "e2"; "e3" ]
+
+let check_nesting spans =
+  match spans with
+  | [ (a1, b1); (a2, b2); (a3, b3) ] ->
+      (* entries in PTE order with enter safeguards *)
+      Alcotest.(check bool)
+        (Fmt.str "e2 enters %.2fs after e1 (need %.1f)" (a2 -. a1)
+           (List.nth sg_enter 0))
+        true
+        (a2 -. a1 >= List.nth sg_enter 0 -. 0.01);
+      Alcotest.(check bool)
+        (Fmt.str "e3 enters %.2fs after e2 (need %.1f)" (a3 -. a2)
+           (List.nth sg_enter 1))
+        true
+        (a3 -. a2 >= List.nth sg_enter 1 -. 0.01);
+      (* exits in reverse order with exit safeguards *)
+      Alcotest.(check bool)
+        (Fmt.str "e2 outlasts e3 by %.2fs (need %.1f)" (b2 -. b3)
+           (List.nth sg_exit 1))
+        true
+        (b2 -. b3 >= List.nth sg_exit 1 -. 0.01);
+      Alcotest.(check bool)
+        (Fmt.str "e1 outlasts e2 by %.2fs (need %.1f)" (b1 -. b2)
+           (List.nth sg_exit 0))
+        true
+        (b1 -. b2 >= List.nth sg_exit 0 -. 0.01)
+  | _ -> Alcotest.fail "expected three spans"
+
+let test_cancelled_session () = check_nesting (run ~cancel_after:(Some 12.0))
+let test_lease_expiry_session () = check_nesting (run ~cancel_after:None)
+
+let test_dwell_bounds () =
+  let spans = run ~cancel_after:None in
+  let bound = Params.risky_dwell_bound params in
+  List.iteri
+    (fun i (a, b) ->
+      if b -. a > bound then
+        Alcotest.failf "e%d dwelt %.1fs > bound %.1fs" (i + 1) (b -. a) bound)
+    spans
+
+let suite =
+  [
+    ( "core.sequencing",
+      [
+        Alcotest.test_case "N=3 nesting, surgeon cancels" `Quick
+          test_cancelled_session;
+        Alcotest.test_case "N=3 nesting, pure lease expiry" `Quick
+          test_lease_expiry_session;
+        Alcotest.test_case "N=3 dwell bounds" `Quick test_dwell_bounds;
+      ] );
+  ]

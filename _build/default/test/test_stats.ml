@@ -1,0 +1,66 @@
+(* Descriptive statistics used by trial reports. *)
+
+open Pte_util
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let test_mean () =
+  Alcotest.(check bool) "mean" true (feq (Stats.mean [ 1.0; 2.0; 3.0 ]) 2.0);
+  Alcotest.(check bool) "empty is nan" true (Float.is_nan (Stats.mean []))
+
+let test_variance_stddev () =
+  let xs = [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  (* sample variance of this classic set is 32/7 *)
+  Alcotest.(check bool) "variance" true
+    (feq ~eps:1e-9 (Stats.variance xs) (32.0 /. 7.0));
+  Alcotest.(check bool) "stddev" true
+    (feq ~eps:1e-9 (Stats.stddev xs) (sqrt (32.0 /. 7.0)));
+  Alcotest.(check bool) "singleton variance" true (feq (Stats.variance [ 5.0 ]) 0.0)
+
+let test_min_max_sum () =
+  let xs = [ 3.0; -1.0; 7.0 ] in
+  Alcotest.(check bool) "min" true (feq (Stats.minimum xs) (-1.0));
+  Alcotest.(check bool) "max" true (feq (Stats.maximum xs) 7.0);
+  Alcotest.(check bool) "sum" true (feq (Stats.sum xs) 9.0)
+
+let test_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  Alcotest.(check bool) "p0" true (feq (Stats.percentile xs 0.0) 1.0);
+  Alcotest.(check bool) "p50" true (feq (Stats.percentile xs 50.0) 3.0);
+  Alcotest.(check bool) "p100" true (feq (Stats.percentile xs 100.0) 5.0);
+  Alcotest.(check bool) "p25" true (feq (Stats.percentile xs 25.0) 2.0)
+
+let test_online_matches_batch () =
+  let xs = List.init 100 (fun i -> sin (Float.of_int i) *. 10.0) in
+  let online = Stats.Online.create () in
+  List.iter (Stats.Online.add online) xs;
+  Alcotest.(check int) "count" 100 (Stats.Online.count online);
+  Alcotest.(check bool) "mean" true
+    (feq ~eps:1e-9 (Stats.Online.mean online) (Stats.mean xs));
+  Alcotest.(check bool) "variance" true
+    (feq ~eps:1e-6 (Stats.Online.variance online) (Stats.variance xs));
+  Alcotest.(check bool) "min" true
+    (feq (Stats.Online.min online) (Stats.minimum xs));
+  Alcotest.(check bool) "max" true
+    (feq (Stats.Online.max online) (Stats.maximum xs))
+
+let prop_online_mean =
+  QCheck.Test.make ~name:"online mean = batch mean" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (float_bound_exclusive 100.0))
+    (fun xs ->
+      let online = Stats.Online.create () in
+      List.iter (Stats.Online.add online) xs;
+      Float.abs (Stats.Online.mean online -. Stats.mean xs) < 1e-6)
+
+let suite =
+  [
+    ( "util.stats",
+      [
+        Alcotest.test_case "mean" `Quick test_mean;
+        Alcotest.test_case "variance/stddev" `Quick test_variance_stddev;
+        Alcotest.test_case "min/max/sum" `Quick test_min_max_sum;
+        Alcotest.test_case "percentile" `Quick test_percentile;
+        Alcotest.test_case "online = batch" `Quick test_online_matches_batch;
+        QCheck_alcotest.to_alcotest prop_online_mean;
+      ] );
+  ]

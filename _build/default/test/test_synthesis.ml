@@ -1,0 +1,130 @@
+(* Constructive parameter synthesis: everything it produces must satisfy
+   Theorem 1, across chain lengths and safeguard profiles. *)
+
+open Pte_core
+
+let names n = List.init n (fun i -> Printf.sprintf "xi%d" (i + 1))
+
+let safeguards n values =
+  List.init (n - 1) (fun i ->
+      let enter, exit = List.nth values (i mod List.length values) in
+      { Params.enter_risky_min = enter; exit_safe_min = exit })
+
+let test_n2_defaults () =
+  let r =
+    Synthesis.default_requirements ~entity_names:(names 2)
+      ~safeguards:(safeguards 2 [ (3.0, 1.5) ])
+  in
+  let p = Synthesis.synthesize_exn r in
+  Alcotest.(check bool) "satisfies c1-c7" true (Constraints.satisfies p);
+  Alcotest.(check int) "N" 2 (Params.n p)
+
+let test_long_chains () =
+  List.iter
+    (fun n ->
+      let r =
+        Synthesis.default_requirements ~entity_names:(names n)
+          ~safeguards:(safeguards n [ (2.0, 1.0); (4.0, 0.5); (1.0, 2.0) ])
+      in
+      match Synthesis.synthesize r with
+      | Ok p ->
+          if not (Constraints.satisfies p) then
+            Alcotest.failf "N=%d: synthesized constants violate Theorem 1" n
+      | Error e -> Alcotest.failf "N=%d: %a" n Synthesis.pp_error e)
+    [ 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_rejects_n1 () =
+  let r = Synthesis.default_requirements ~entity_names:[ "solo" ] ~safeguards:[] in
+  match Synthesis.synthesize r with
+  | Error (Synthesis.Too_few_entities 1) -> ()
+  | _ -> Alcotest.fail "expected Too_few_entities"
+
+let test_rejects_safeguard_mismatch () =
+  let r = Synthesis.default_requirements ~entity_names:(names 3) ~safeguards:[] in
+  match Synthesis.synthesize r with
+  | Error (Synthesis.Bad_safeguard_count { expected = 2; got = 0 }) -> ()
+  | _ -> Alcotest.fail "expected Bad_safeguard_count"
+
+let test_rejects_nonpositive () =
+  let r =
+    {
+      (Synthesis.default_requirements ~entity_names:(names 2)
+         ~safeguards:(safeguards 2 [ (1.0, 1.0) ]))
+      with
+      Synthesis.initializer_run = 0.0;
+    }
+  in
+  match Synthesis.synthesize r with
+  | Error (Synthesis.Nonpositive _) -> ()
+  | _ -> Alcotest.fail "expected Nonpositive"
+
+let test_case_study_like_requirements () =
+  (* requirements mirroring the paper's case study should give a valid,
+     comparable configuration *)
+  let r =
+    {
+      (Synthesis.default_requirements
+         ~entity_names:[ "ventilator"; "laser" ]
+         ~safeguards:[ { Params.enter_risky_min = 3.0; exit_safe_min = 1.5 } ])
+      with
+      Synthesis.initializer_run = 20.0;
+      t_wait_max = 3.0;
+    }
+  in
+  let p = Synthesis.synthesize_exn r in
+  Alcotest.(check bool) "valid" true (Constraints.satisfies p);
+  let laser = Params.initializer_ p in
+  Alcotest.(check (float 1e-9)) "requested run time honoured" 20.0
+    laser.Params.t_run_max
+
+let prop_synthesis_sound =
+  (* random requirements: synthesis either refuses with a typed error or
+     produces constants satisfying all of c1-c7 *)
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 2 6 in
+      let* run = float_range 1.0 60.0 in
+      let* wait = float_range 0.5 5.0 in
+      let* margin = float_range 0.1 3.0 in
+      let* sg =
+        list_repeat (n - 1)
+          (pair (float_range 0.1 6.0) (float_range 0.1 6.0))
+      in
+      return (n, run, wait, margin, sg))
+  in
+  QCheck.Test.make ~name:"synthesized params satisfy Theorem 1" ~count:300
+    (QCheck.make gen) (fun (n, run, wait, margin, sg) ->
+      let r =
+        {
+          Synthesis.supervisor = "s";
+          entity_names = names n;
+          safeguards =
+            List.map
+              (fun (enter, exit) ->
+                { Params.enter_risky_min = enter; exit_safe_min = exit })
+              sg;
+          initializer_run = run;
+          t_wait_max = wait;
+          margin;
+        }
+      in
+      match Synthesis.synthesize r with
+      | Ok p -> Constraints.satisfies p
+      | Error (Synthesis.Infeasible _) -> true
+      | Error _ -> false)
+
+let suite =
+  [
+    ( "core.synthesis",
+      [
+        Alcotest.test_case "N=2 defaults" `Quick test_n2_defaults;
+        Alcotest.test_case "chains up to N=8" `Quick test_long_chains;
+        Alcotest.test_case "rejects N=1" `Quick test_rejects_n1;
+        Alcotest.test_case "rejects safeguard mismatch" `Quick
+          test_rejects_safeguard_mismatch;
+        Alcotest.test_case "rejects nonpositive" `Quick test_rejects_nonpositive;
+        Alcotest.test_case "case-study-like requirements" `Quick
+          test_case_study_like_requirements;
+        QCheck_alcotest.to_alcotest prop_synthesis_sound;
+      ] );
+  ]

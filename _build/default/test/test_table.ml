@@ -1,0 +1,55 @@
+(* Table renderer used by the benchmark harness output. *)
+
+open Pte_util
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_render_shape () =
+  let t =
+    Table.create ~title:"Demo" ~header:[ "name"; "value" ]
+      ~aligns:[ Table.Left; Table.Right ] ()
+  in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  Table.add_note t "a note";
+  let out = Table.render t in
+  Alcotest.(check bool) "has title" true
+    (String.length out > 0 && String.sub out 0 11 = "== Demo ==\n");
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check bool) "note present" true
+    (List.exists (fun l -> l = "  note: a note") lines);
+  (* all table body lines share the same width *)
+  let body =
+    List.filter (fun l -> String.length l > 0 && (l.[0] = '|' || l.[0] = '+')) lines
+  in
+  let widths = List.map String.length body in
+  Alcotest.(check bool) "uniform width" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_alignment () =
+  let t =
+    Table.create ~title:"T" ~header:[ "n" ] ~aligns:[ Table.Right ] ()
+  in
+  Table.add_row t [ "7" ];
+  Table.add_row t [ "123" ];
+  let out = Table.render t in
+  Alcotest.(check bool) "right aligned" true (contains out "|   7 |")
+
+let test_fmt_helpers () =
+  Alcotest.(check string) "float" "3.14" (Table.fmt_float ~decimals:2 3.14159);
+  Alcotest.(check string) "nan" "-" (Table.fmt_float nan);
+  Alcotest.(check string) "int" "42" (Table.fmt_int 42);
+  Alcotest.(check string) "bool" "yes" (Table.fmt_bool true)
+
+let suite =
+  [
+    ( "util.table",
+      [
+        Alcotest.test_case "render shape" `Quick test_render_shape;
+        Alcotest.test_case "alignment" `Quick test_alignment;
+        Alcotest.test_case "formatters" `Quick test_fmt_helpers;
+      ] );
+  ]

@@ -1,0 +1,124 @@
+(* Trace recording and risky-interval extraction — the primitive under
+   the PTE monitor. *)
+
+open Pte_hybrid
+
+let transition ~time automaton src dst =
+  {
+    Trace.time;
+    event = Trace.Transition { automaton; src; dst; label = None; forced = false };
+  }
+
+let risky_locations = [ "R1"; "R2" ]
+let member location = List.mem location risky_locations
+
+let test_recorder () =
+  let r = Trace.Recorder.create () in
+  Trace.Recorder.record r ~time:1.0 (Trace.Note "one");
+  Trace.Recorder.record r ~time:2.0 (Trace.Note "two");
+  Alcotest.(check int) "length" 2 (Trace.Recorder.length r);
+  match Trace.Recorder.entries r with
+  | [ { Trace.time = 1.0; _ }; { Trace.time = 2.0; _ } ] -> ()
+  | _ -> Alcotest.fail "entries out of order"
+
+let test_recorder_sink () =
+  let seen = ref 0 in
+  let r = Trace.Recorder.create ~sink:(fun _ -> incr seen) () in
+  Trace.Recorder.record r ~time:0.0 (Trace.Note "x");
+  Alcotest.(check int) "sink called" 1 !seen
+
+let check_intervals name expected actual =
+  let pp = Fmt.(list ~sep:comma (pair ~sep:(any "..") float float)) in
+  if
+    List.length expected <> List.length actual
+    || not
+         (List.for_all2
+            (fun (a, b) (c, d) -> Float.abs (a -. c) < 1e-9 && Float.abs (b -. d) < 1e-9)
+            expected actual)
+  then Alcotest.failf "%s: expected %a, got %a" name pp expected pp actual
+
+let test_single_interval () =
+  let trace =
+    [ transition ~time:5.0 "e" "Safe" "R1"; transition ~time:9.0 "e" "R1" "Safe" ]
+  in
+  let intervals =
+    Trace.intervals trace ~automaton:"e" ~member ~initial:"Safe" ~horizon:20.0
+  in
+  check_intervals "one dwell" [ (5.0, 9.0) ] intervals
+
+let test_interval_across_risky_locations () =
+  (* R1 -> R2 is continuous dwelling in the risky set *)
+  let trace =
+    [
+      transition ~time:2.0 "e" "Safe" "R1";
+      transition ~time:4.0 "e" "R1" "R2";
+      transition ~time:7.0 "e" "R2" "Safe";
+    ]
+  in
+  let intervals =
+    Trace.intervals trace ~automaton:"e" ~member ~initial:"Safe" ~horizon:10.0
+  in
+  check_intervals "merged dwell" [ (2.0, 7.0) ] intervals
+
+let test_open_interval_at_horizon () =
+  let trace = [ transition ~time:3.0 "e" "Safe" "R1" ] in
+  let intervals =
+    Trace.intervals trace ~automaton:"e" ~member ~initial:"Safe" ~horizon:10.0
+  in
+  check_intervals "truncated" [ (3.0, 10.0) ] intervals
+
+let test_initial_in_member () =
+  let trace = [ transition ~time:4.0 "e" "R1" "Safe" ] in
+  let intervals =
+    Trace.intervals trace ~automaton:"e" ~member ~initial:"R1" ~horizon:10.0
+  in
+  check_intervals "starts at 0" [ (0.0, 4.0) ] intervals
+
+let test_other_automata_ignored () =
+  let trace =
+    [
+      transition ~time:1.0 "other" "Safe" "R1";
+      transition ~time:2.0 "e" "Safe" "R1";
+      transition ~time:3.0 "e" "R1" "Safe";
+    ]
+  in
+  let intervals =
+    Trace.intervals trace ~automaton:"e" ~member ~initial:"Safe" ~horizon:10.0
+  in
+  check_intervals "only e" [ (2.0, 3.0) ] intervals
+
+let test_multiple_intervals () =
+  let trace =
+    [
+      transition ~time:1.0 "e" "Safe" "R1";
+      transition ~time:2.0 "e" "R1" "Safe";
+      transition ~time:5.0 "e" "Safe" "R2";
+      transition ~time:6.5 "e" "R2" "Safe";
+    ]
+  in
+  let intervals =
+    Trace.intervals trace ~automaton:"e" ~member ~initial:"Safe" ~horizon:10.0
+  in
+  check_intervals "two dwells" [ (1.0, 2.0); (5.0, 6.5) ] intervals
+
+let test_longest_dwell () =
+  Alcotest.(check (float 1e-9)) "longest" 4.0
+    (Trace.longest_dwell [ (0.0, 1.0); (2.0, 6.0); (7.0, 8.0) ])
+
+let suite =
+  [
+    ( "hybrid.trace",
+      [
+        Alcotest.test_case "recorder" `Quick test_recorder;
+        Alcotest.test_case "recorder sink" `Quick test_recorder_sink;
+        Alcotest.test_case "single interval" `Quick test_single_interval;
+        Alcotest.test_case "across risky locations" `Quick
+          test_interval_across_risky_locations;
+        Alcotest.test_case "open at horizon" `Quick test_open_interval_at_horizon;
+        Alcotest.test_case "initial in member" `Quick test_initial_in_member;
+        Alcotest.test_case "other automata ignored" `Quick
+          test_other_automata_ignored;
+        Alcotest.test_case "multiple intervals" `Quick test_multiple_intervals;
+        Alcotest.test_case "longest dwell" `Quick test_longest_dwell;
+      ] );
+  ]

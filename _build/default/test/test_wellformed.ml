@@ -1,0 +1,133 @@
+(* Static time-block-freedom / non-zeno checks (the paper's footnote-3
+   assumptions, mechanized conservatively). *)
+
+open Pte_hybrid
+
+let params = Pte_core.Params.case_study
+
+let test_pattern_automata_clean () =
+  List.iter
+    (fun (a : Automaton.t) ->
+      match Wellformed.check a with
+      | [] -> ()
+      | issues ->
+          Alcotest.failf "%s: %a" a.Automaton.name
+            Fmt.(list ~sep:(any "; ") Wellformed.pp_issue)
+            issues)
+    [
+      Pte_core.Pattern.supervisor params;
+      Pte_core.Pattern.initializer_ params;
+      Pte_core.Pattern.participant params ~index:1;
+      Pte_tracheotomy.Ventilator.stand_alone;
+      Pte_tracheotomy.Ventilator.participant params;
+      Pte_tracheotomy.Patient.automaton;
+    ]
+
+let test_detects_time_block () =
+  let trap =
+    Automaton.make ~name:"trap" ~vars:[ "c" ]
+      ~locations:
+        [ Location.make ~flow:(Flow.clocks [ "c" ])
+            ~invariant:[ Guard.atom "c" Guard.Le 1.0 ] "Trap" ]
+      ~edges:[] ~initial_location:"Trap" ()
+  in
+  match Wellformed.check trap with
+  | [ Wellformed.Possible_time_block { location = "Trap"; _ } ] -> ()
+  | issues ->
+      Alcotest.failf "expected one time-block, got %a"
+        Fmt.(list ~sep:comma Wellformed.pp_issue)
+        issues
+
+let test_egress_at_boundary_clears () =
+  (* same trap, but with an egress enabled exactly at the boundary *)
+  let ok =
+    Automaton.make ~name:"ok" ~vars:[ "c" ]
+      ~locations:
+        [ Location.make ~flow:(Flow.clocks [ "c" ])
+            ~invariant:[ Guard.atom "c" Guard.Le 1.0 ] "Hold";
+          Location.make ~flow:(Flow.clocks [ "c" ]) "Out" ]
+      ~edges:
+        [ Edge.make ~guard:[ Guard.atom "c" Guard.Ge 1.0 ]
+            ~reset:(Reset.set "c" 0.0) ~src:"Hold" ~dst:"Out" () ]
+      ~initial_location:"Hold" ()
+  in
+  Alcotest.(check int) "clean" 0 (List.length (Wellformed.check ok))
+
+let test_guard_above_invariant_flagged () =
+  (* egress guard c >= 2 can never enable inside invariant c <= 1 *)
+  let bad =
+    Automaton.make ~name:"bad" ~vars:[ "c" ]
+      ~locations:
+        [ Location.make ~flow:(Flow.clocks [ "c" ])
+            ~invariant:[ Guard.atom "c" Guard.Le 1.0 ] "Hold";
+          Location.make ~flow:(Flow.clocks [ "c" ]) "Out" ]
+      ~edges:
+        [ Edge.make ~guard:[ Guard.atom "c" Guard.Ge 2.0 ] ~src:"Hold"
+            ~dst:"Out" () ]
+      ~initial_location:"Hold" ()
+  in
+  Alcotest.(check bool) "flagged" true
+    (List.exists
+       (function Wellformed.Possible_time_block _ -> true | _ -> false)
+       (Wellformed.check bad))
+
+let test_detects_zeno_cycle () =
+  let spin =
+    Automaton.make ~name:"spin" ~vars:[]
+      ~locations:[ Location.make "A"; Location.make "B" ]
+      ~edges:[ Edge.make ~src:"A" ~dst:"B" (); Edge.make ~src:"B" ~dst:"A" () ]
+      ~initial_location:"A" ()
+  in
+  Alcotest.(check bool) "flagged" true
+    (List.exists
+       (function Wellformed.Possible_zeno_cycle _ -> true | _ -> false)
+       (Wellformed.check spin))
+
+let test_timed_cycle_not_flagged () =
+  let tick =
+    Automaton.make ~name:"tick" ~vars:[ "c" ]
+      ~locations:
+        [ Location.make ~flow:(Flow.clocks [ "c" ]) "A";
+          Location.make ~flow:(Flow.clocks [ "c" ]) "B" ]
+      ~edges:
+        [ Edge.make ~guard:[ Guard.atom "c" Guard.Ge 1.0 ]
+            ~reset:(Reset.set "c" 0.0) ~src:"A" ~dst:"B" ();
+          Edge.make ~guard:[ Guard.atom "c" Guard.Ge 1.0 ]
+            ~reset:(Reset.set "c" 0.0) ~src:"B" ~dst:"A" () ]
+      ~initial_location:"A" ()
+  in
+  Alcotest.(check bool) "no zeno" true
+    (not
+       (List.exists
+          (function Wellformed.Possible_zeno_cycle _ -> true | _ -> false)
+          (Wellformed.check tick)))
+
+let test_triggered_cycles_excluded () =
+  (* a request/response loop driven by external events is not zeno *)
+  let ping =
+    Automaton.make ~name:"ping" ~vars:[]
+      ~locations:[ Location.make "A"; Location.make "B" ]
+      ~edges:
+        [ Edge.make ~label:(Label.Recv "go") ~src:"A" ~dst:"B" ();
+          Edge.make ~label:(Label.Recv "back") ~src:"B" ~dst:"A" () ]
+      ~initial_location:"A" ()
+  in
+  Alcotest.(check int) "clean" 0 (List.length (Wellformed.check ping))
+
+let suite =
+  [
+    ( "hybrid.wellformed",
+      [
+        Alcotest.test_case "pattern automata clean" `Quick
+          test_pattern_automata_clean;
+        Alcotest.test_case "detects time-block" `Quick test_detects_time_block;
+        Alcotest.test_case "boundary egress clears" `Quick
+          test_egress_at_boundary_clears;
+        Alcotest.test_case "unreachable guard flagged" `Quick
+          test_guard_above_invariant_flagged;
+        Alcotest.test_case "detects zeno cycle" `Quick test_detects_zeno_cycle;
+        Alcotest.test_case "timed cycle ok" `Quick test_timed_cycle_not_flagged;
+        Alcotest.test_case "triggered cycles excluded" `Quick
+          test_triggered_cycles_excluded;
+      ] );
+  ]
