@@ -5,7 +5,7 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe T1 X1      # a subset, by experiment id
 
-   Experiment ids: T1 F1 F2 F3 F6 S1 S2 S3 V1 V2 X1 X2 X3 P1 (see DESIGN.md,
+   Experiment ids: T1 F1 F2 F3 F6 S1 S2 S3 V1 V2 X1 X2 X3 P1 P2 (see DESIGN.md,
    "Per-experiment index"). Output is plain text tables so the run can be
    diffed against EXPERIMENTS.md. *)
 
@@ -32,7 +32,8 @@ let t1 () =
   let paper = [ (19, 0, 5); (11, 4, 0); (19, 0, 3); (12, 3, 0) ] in
   let rows = Pte_tracheotomy.Trial.table1 ~seed:2013 () in
   List.iter2
-    (fun (mode, e_toff, (r : Pte_tracheotomy.Trial.result)) (pe, pf, ps) ->
+    (fun (mode, e_toff, (row : Pte_tracheotomy.Trial.replicated)) (pe, pf, ps) ->
+      let r = row.Pte_tracheotomy.Trial.rep0 in
       Table.add_row table
         [ mode; Table.fmt_float ~decimals:0 e_toff;
           Table.fmt_int r.Pte_tracheotomy.Trial.emissions; Table.fmt_int pe;
@@ -61,8 +62,8 @@ let t1 () =
     (fun seed ->
       let rows = Pte_tracheotomy.Trial.table1 ~seed () in
       let get i =
-        let _, _, r = List.nth rows i in
-        r
+        let _, _, row = List.nth rows i in
+        row.Pte_tracheotomy.Trial.rep0
       in
       Table.add_row robust
         [ Table.fmt_int seed;
@@ -508,20 +509,12 @@ let x1 () =
           Table.Right ]
       ()
   in
-  List.iteri
-    (fun i loss ->
-      let run lease =
-        Pte_tracheotomy.Trial.run
-          {
-            Pte_tracheotomy.Emulation.default with
-            lease;
-            seed = 500 + i;
-            loss =
-              (if loss = 0.0 then Pte_net.Loss.Perfect
-               else Pte_net.Loss.wifi_interference ~average_loss:loss);
-          }
-      in
-      let w = run true and n = run false in
+  let losses = [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7 ] in
+  let rows = Pte_tracheotomy.Trial.loss_sweep ~losses () in
+  List.iter
+    (fun (loss, (w : Pte_tracheotomy.Trial.replicated), n) ->
+      let w = w.Pte_tracheotomy.Trial.rep0
+      and n = n.Pte_tracheotomy.Trial.rep0 in
       Table.add_row table
         [ Fmt.str "%.0f%%" (100.0 *. loss);
           Table.fmt_int w.Pte_tracheotomy.Trial.emissions;
@@ -529,11 +522,44 @@ let x1 () =
           Table.fmt_int n.Pte_tracheotomy.Trial.emissions;
           Table.fmt_int n.Pte_tracheotomy.Trial.failures;
           Table.fmt_float ~decimals:1 n.Pte_tracheotomy.Trial.longest_pause ])
-    [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7 ];
+    rows;
   Table.add_note table
     "with-lease failures stay at 0 at every loss rate (Theorem 1); no-lease \
      failures appear as soon as recovery messages start to vanish";
-  Table.print table
+  Table.print table;
+  (* replicated variant: the campaign engine turns each sweep point into
+     reps independently-seeded trials with 95% CIs *)
+  let reps = 5 in
+  let agg =
+    Table.create
+      ~title:
+        (Fmt.str "X1b: the same sweep at %d replicates per point (mean ±95%% CI)"
+           reps)
+      ~header:
+        [ "avg loss"; "failures (lease)"; "failures (none)";
+          "failing reps (none)"; "longest pause none s" ]
+      ~aligns:[ Table.Right; Table.Left; Table.Left; Table.Right; Table.Left ]
+      ()
+  in
+  List.iter
+    (fun (loss, (w : Pte_tracheotomy.Trial.replicated), n) ->
+      let wa = w.Pte_tracheotomy.Trial.agg and na = n.Pte_tracheotomy.Trial.agg in
+      Table.add_row agg
+        [ Fmt.str "%.0f%%" (100.0 *. loss);
+          Fmt.str "%a" Pte_campaign.Aggregate.pp_summary
+            wa.Pte_tracheotomy.Trial.failures;
+          Fmt.str "%a" Pte_campaign.Aggregate.pp_summary
+            na.Pte_tracheotomy.Trial.failures;
+          Fmt.str "%d/%d" na.Pte_tracheotomy.Trial.failure_reps
+            na.Pte_tracheotomy.Trial.reps;
+          Fmt.str "%a" Pte_campaign.Aggregate.pp_summary
+            na.Pte_tracheotomy.Trial.longest_pause ])
+    (Pte_tracheotomy.Trial.loss_sweep ~losses:[ 0.0; 0.2; 0.4; 0.6 ] ~reps ());
+  Table.add_note agg
+    "replicate 0 of each point reuses the X1 seed; replicates 1+ are split off \
+     the campaign master seed, so the aggregate is reproducible at any worker \
+     count";
+  Table.print agg
 
 (* ------------------------------------------------------------------ *)
 (* X2: synthesis scaling with the chain length                         *)
@@ -767,12 +793,81 @@ let p1 () =
   Table.print table
 
 (* ------------------------------------------------------------------ *)
+(* P2: campaign engine throughput scaling with worker domains          *)
+(* ------------------------------------------------------------------ *)
+
+let p2 () =
+  (* X1-style workload: lease on/off x two loss rates, replicated — big
+     enough to keep several domains busy, small enough to finish fast *)
+  let cells =
+    Array.of_list
+      (List.concat_map
+         (fun loss ->
+           List.map
+             (fun lease ->
+               {
+                 Pte_tracheotomy.Emulation.default with
+                 lease;
+                 horizon = 300.0;
+                 seed = 900 + (if lease then 0 else 1);
+                 loss = Pte_net.Loss.wifi_interference ~average_loss:loss;
+               })
+             [ true; false ])
+         [ 0.25; 0.5 ])
+  in
+  let reps = 6 in
+  let jobs = Array.length cells * reps in
+  let table =
+    Table.create
+      ~title:
+        (Fmt.str
+           "P2: campaign throughput scaling (%d jobs of 300 sim-s, X1-style)"
+           jobs)
+      ~header:[ "workers"; "wall s"; "trials/s"; "speedup"; "aggregate" ]
+      ~aligns:[ Table.Right; Table.Right; Table.Right; Table.Right; Table.Left ]
+      ()
+  in
+  let fingerprint (campaign : _ Pte_campaign.Runner.result) =
+    (* cheap digest of every per-cell mean, to show runs are identical *)
+    Array.fold_left
+      (fun acc (cell : Pte_campaign.Aggregate.cell) ->
+        List.fold_left
+          (fun acc (_, (s : Pte_campaign.Aggregate.summary)) ->
+            acc +. s.Pte_campaign.Aggregate.mean)
+          acc cell.Pte_campaign.Aggregate.metrics)
+      0.0 campaign.Pte_campaign.Runner.cells
+  in
+  let serial_wall = ref None in
+  List.iter
+    (fun workers ->
+      let t0 = Unix.gettimeofday () in
+      let campaign, _ =
+        Pte_tracheotomy.Trial.run_cells ~workers ~reps ~seed:900 cells
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      if !serial_wall = None then serial_wall := Some wall;
+      let base = Option.get !serial_wall in
+      Table.add_row table
+        [ Table.fmt_int workers;
+          Table.fmt_float ~decimals:2 wall;
+          Table.fmt_float ~decimals:1 (Float.of_int jobs /. wall);
+          Fmt.str "%.2fx" (base /. wall);
+          Fmt.str "digest %.6g" (fingerprint campaign) ])
+    [ 1; 2; 4 ];
+  Table.add_note table
+    (Fmt.str
+       "identical digests = identical aggregates at every worker count; \
+        speedup is bounded by the available cores (this host: %d)"
+       (Pte_campaign.Pool.default_workers ()));
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("T1", t1); ("F1", f1); ("F2", f2); ("F3", f3); ("F6", f6); ("S1", s1);
     ("S2", s2); ("S3", s3); ("V1", v1); ("V2", v2); ("X1", x1); ("X2", x2);
-    ("X3", x3); ("P1", p1);
+    ("X3", x3); ("P1", p1); ("P2", p2);
   ]
 
 let () =

@@ -1,0 +1,253 @@
+(* `pte-campaign`: parallel, checkpointable Monte-Carlo trial campaigns.
+
+     dune exec bin/pte_campaign_cli.exe -- table1 --reps 20 --workers 4
+     dune exec bin/pte_campaign_cli.exe -- sweep --losses 0,0.2,0.4 --reps 10
+     dune exec bin/pte_campaign_cli.exe -- table1 --out r.jsonl --resume
+
+   Results are deterministic for a given --seed at any --workers count;
+   --out appends each completed trial to a JSONL checkpoint, and --resume
+   skips trials already recorded there. *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  if verbose then begin
+    let reporter =
+      let report _src level ~over k msgf =
+        msgf (fun ?header:_ ?tags:_ fmt ->
+            let k _ = over (); k () in
+            Format.kfprintf k Format.err_formatter
+              ("[%s] " ^^ fmt ^^ "@.")
+              (match level with
+              | Logs.Error -> "error"
+              | Logs.Warning -> "warn"
+              | _ -> "info"))
+      in
+      { Logs.report }
+    in
+    Logs.set_reporter reporter;
+    Logs.set_level (Some Logs.Info)
+  end
+
+let summary_line (campaign : _ Pte_campaign.Runner.result) =
+  Fmt.pr "campaign: %d jobs — %d ok, %d failed, %d resumed@."
+    (Array.length campaign.Pte_campaign.Runner.outcomes)
+    campaign.Pte_campaign.Runner.ok campaign.Pte_campaign.Runner.failed
+    campaign.Pte_campaign.Runner.resumed
+
+let fmt_summary (s : Pte_campaign.Aggregate.summary) =
+  if s.Pte_campaign.Aggregate.n < 2 then
+    Fmt.str "%.1f" s.Pte_campaign.Aggregate.mean
+  else
+    Fmt.str "%.1f ±%.1f" s.Pte_campaign.Aggregate.mean
+      s.Pte_campaign.Aggregate.ci95
+
+let aggregate_columns (a : Pte_tracheotomy.Trial.aggregate) =
+  [
+    Pte_util.Table.fmt_int a.Pte_tracheotomy.Trial.reps;
+    fmt_summary a.Pte_tracheotomy.Trial.emissions;
+    fmt_summary a.Pte_tracheotomy.Trial.failures;
+    Fmt.str "%d/%d" a.Pte_tracheotomy.Trial.failure_reps
+      a.Pte_tracheotomy.Trial.reps;
+    fmt_summary a.Pte_tracheotomy.Trial.evt_to_stop;
+    fmt_summary a.Pte_tracheotomy.Trial.longest_pause;
+  ]
+
+let aggregate_header = [ "reps"; "emissions"; "failures"; "failing reps"; "evtToStop"; "longest pause s" ]
+
+let aggregate_aligns =
+  Pte_util.Table.[ Right; Right; Right; Right; Right; Right ]
+
+let exit_of_campaign (campaign : _ Pte_campaign.Runner.result) =
+  if campaign.Pte_campaign.Runner.failed > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* table1 subcommand                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_table1 reps seed workers minutes out resume verbose =
+  setup_logs verbose;
+  let cells = Pte_tracheotomy.Trial.table1_cells ~seed in
+  let configs =
+    Array.map
+      (fun (_, _, c) ->
+        { c with Pte_tracheotomy.Emulation.horizon = minutes *. 60.0 })
+      cells
+  in
+  let campaign, _ =
+    Pte_tracheotomy.Trial.run_cells ?workers ?checkpoint:out ~resume ~reps
+      ~seed configs
+  in
+  summary_line campaign;
+  let table =
+    Pte_util.Table.create
+      ~title:
+        (Fmt.str "Table I campaign: %g-minute trials, seed %d, %d replicates"
+           minutes seed reps)
+      ~header:([ "Trial Mode"; "E(Toff) s" ] @ aggregate_header)
+      ~aligns:(Pte_util.Table.[ Left; Right ] @ aggregate_aligns)
+      ()
+  in
+  Array.iteri
+    (fun i (mode, e_toff, _) ->
+      let agg =
+        Pte_tracheotomy.Trial.aggregate_of_cell
+          campaign.Pte_campaign.Runner.cells.(i)
+      in
+      Pte_util.Table.add_row table
+        ([ mode; Pte_util.Table.fmt_float ~decimals:0 e_toff ]
+        @ aggregate_columns agg))
+    cells;
+  Pte_util.Table.print table;
+  exit_of_campaign campaign
+
+(* ------------------------------------------------------------------ *)
+(* sweep subcommand                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_sweep losses reps seed workers minutes out resume verbose =
+  setup_logs verbose;
+  let horizon = minutes *. 60.0 in
+  let cell ~lease i loss =
+    {
+      Pte_tracheotomy.Emulation.default with
+      lease;
+      horizon;
+      seed = seed + i;
+      loss =
+        (if loss = 0.0 then Pte_net.Loss.Perfect
+         else Pte_net.Loss.wifi_interference ~average_loss:loss);
+    }
+  in
+  let configs =
+    Array.of_list
+      (List.concat
+         (List.mapi
+            (fun i loss -> [ cell ~lease:true i loss; cell ~lease:false i loss ])
+            losses))
+  in
+  let campaign, _ =
+    Pte_tracheotomy.Trial.run_cells ?workers ?checkpoint:out ~resume ~reps
+      ~seed configs
+  in
+  summary_line campaign;
+  let table =
+    Pte_util.Table.create
+      ~title:
+        (Fmt.str
+           "Loss sweep campaign: %g-minute trials, seed %d, %d replicates"
+           minutes seed reps)
+      ~header:
+        [ "avg loss"; "failures (lease)"; "failing reps (lease)";
+          "failures (none)"; "failing reps (none)"; "longest pause none s" ]
+      ~aligns:
+        Pte_util.Table.[ Right; Right; Right; Right; Right; Right ]
+      ()
+  in
+  List.iteri
+    (fun i loss ->
+      let agg j =
+        Pte_tracheotomy.Trial.aggregate_of_cell
+          campaign.Pte_campaign.Runner.cells.(j)
+      in
+      let w = agg (2 * i) and n = agg ((2 * i) + 1) in
+      Pte_util.Table.add_row table
+        [ Fmt.str "%.0f%%" (100.0 *. loss);
+          fmt_summary w.Pte_tracheotomy.Trial.failures;
+          Fmt.str "%d/%d" w.Pte_tracheotomy.Trial.failure_reps
+            w.Pte_tracheotomy.Trial.reps;
+          fmt_summary n.Pte_tracheotomy.Trial.failures;
+          Fmt.str "%d/%d" n.Pte_tracheotomy.Trial.failure_reps
+            n.Pte_tracheotomy.Trial.reps;
+          fmt_summary n.Pte_tracheotomy.Trial.longest_pause ])
+    losses;
+  Pte_util.Table.print table;
+  exit_of_campaign campaign
+
+(* ------------------------------------------------------------------ *)
+(* terms                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let pos_int =
+  let parse s =
+    match Arg.conv_parser Arg.int s with
+    | Ok n when n >= 1 -> Ok n
+    | Ok n -> Error (`Msg (Fmt.str "expected a positive number, got %d" n))
+    | Error _ as e -> e
+  in
+  Arg.conv (parse, Arg.conv_printer Arg.int)
+
+let reps =
+  Arg.(
+    value & opt pos_int 5
+    & info [ "reps" ] ~docv:"N" ~doc:"Independently-seeded replicates per cell.")
+
+let seed =
+  Arg.(value & opt int 2013 & info [ "seed" ] ~docv:"N" ~doc:"Campaign master seed.")
+
+let workers =
+  Arg.(
+    value & opt (some pos_int) None
+    & info [ "workers" ] ~docv:"N"
+        ~doc:"Worker domains (default: all available cores).")
+
+let minutes =
+  Arg.(
+    value & opt float 30.0
+    & info [ "minutes" ] ~docv:"MIN" ~doc:"Simulated length of each trial.")
+
+let out =
+  Arg.(
+    value & opt (some string) None
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:"Append each completed trial to this JSONL checkpoint file.")
+
+let resume =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:"Skip jobs already recorded in the $(b,--out) file.")
+
+let verbose =
+  Arg.(
+    value & flag
+    & info [ "verbose"; "v" ] ~doc:"Report progress (trials/s, ETA) on stderr.")
+
+let table1_cmd =
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Run the four Table I cells as a campaign.")
+    Term.(
+      const run_table1 $ reps $ seed $ workers $ minutes $ out $ resume
+      $ verbose)
+
+let losses =
+  Arg.(
+    value
+    & opt (list float) [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7 ]
+    & info [ "losses" ] ~docv:"P,P,..."
+        ~doc:"Average loss rates to sweep (with and without lease each).")
+
+let sweep_cmd =
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Sweep average loss rates, with vs without lease (X1-style).")
+    Term.(
+      const run_sweep $ losses $ reps $ seed $ workers $ minutes $ out $ resume
+      $ verbose)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "pte-campaign"
+       ~doc:"parallel, checkpointable Monte-Carlo emulation campaigns"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs grids of laser-tracheotomy emulation trials on a pool of \
+              worker domains. Per-trial PRNG streams are split off the master \
+              seed by job index, so results are identical at any worker count \
+              and across checkpoint/resume cycles.";
+         ])
+    [ table1_cmd; sweep_cmd ]
+
+let () = exit (Cmd.eval cmd)

@@ -7,14 +7,19 @@
 
 open Cmdliner
 
-let run table1 lease minutes e_ton e_toff loss seed verbose =
+let run table1 lease minutes e_ton e_toff loss seed reps workers verbose =
   if table1 then begin
-    Fmt.pr "Table I reproduction (seed %d):@." seed;
+    if reps > 1 then
+      Fmt.pr "Table I reproduction (seed %d, %d replicates):@." seed reps
+    else Fmt.pr "Table I reproduction (seed %d):@." seed;
     List.iter
-      (fun (mode, e_toff, r) ->
+      (fun (mode, e_toff, (row : Pte_tracheotomy.Trial.replicated)) ->
         Fmt.pr "  %-14s E(Toff)=%4.1fs : %a@." mode e_toff
-          Pte_tracheotomy.Trial.pp_result r)
-      (Pte_tracheotomy.Trial.table1 ~seed ())
+          Pte_tracheotomy.Trial.pp_result row.Pte_tracheotomy.Trial.rep0;
+        if reps > 1 then
+          Fmt.pr "  %-14s %12s : %a@." "" "aggregate"
+            Pte_tracheotomy.Trial.pp_aggregate row.Pte_tracheotomy.Trial.agg)
+      (Pte_tracheotomy.Trial.table1 ~seed ~reps ?workers ())
   end
   else begin
     let config =
@@ -66,10 +71,24 @@ let cmd =
     Arg.(value & opt float 0.25 & info [ "loss" ] ~docv:"P" ~doc:"Average channel loss rate (0 = perfect channel).")
   in
   let seed = Arg.(value & opt int 2013 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.") in
+  let reps =
+    Arg.(
+      value & opt int 1
+      & info [ "reps" ] ~docv:"N"
+          ~doc:"Independently-seeded replicates per Table I row (campaign-backed).")
+  in
+  let workers =
+    Arg.(
+      value & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains for replicated runs (default: all cores).")
+  in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print all violations.") in
   let doc = "run laser-tracheotomy wireless-CPS emulation trials" in
   Cmd.v
     (Cmd.info "pte-sim" ~doc)
-    Term.(const run $ table1 $ lease $ minutes $ e_ton $ e_toff $ loss $ seed $ verbose)
+    Term.(
+      const run $ table1 $ lease $ minutes $ e_ton $ e_toff $ loss $ seed $ reps
+      $ workers $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,76 @@
+(** Deterministic aggregation of campaign outcomes (Welford + 95% CI). *)
+
+open Pte_util
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  ci95 : float;
+  lo : float;
+  hi : float;
+}
+
+let of_online acc =
+  let n = Stats.Online.count acc in
+  let stddev = Stats.Online.stddev acc in
+  {
+    n;
+    mean = Stats.Online.mean acc;
+    stddev;
+    ci95 = (if n < 2 then 0.0 else 1.96 *. stddev /. sqrt (Float.of_int n));
+    lo = Stats.Online.min acc;
+    hi = Stats.Online.max acc;
+  }
+
+let summarize xs =
+  let acc = Stats.Online.create () in
+  List.iter (Stats.Online.add acc) xs;
+  of_online acc
+
+let pp_summary ppf s =
+  if s.n < 2 then Fmt.pf ppf "%g" s.mean
+  else Fmt.pf ppf "%g ±%.2g" s.mean s.ci95
+
+type cell = {
+  index : int;
+  ok : int;
+  failed : int;
+  metrics : (string * summary) list;
+}
+
+let cells ~cells:cell_count outcomes =
+  let sorted = Array.copy outcomes in
+  Array.sort (fun (a : Job.outcome) b -> compare a.Job.id b.Job.id) sorted;
+  Array.init cell_count (fun index ->
+      (* association list keeps first-seen metric order for stable tables *)
+      let accs : (string * Stats.Online.t) list ref = ref [] in
+      let acc name =
+        match List.assoc_opt name !accs with
+        | Some acc -> acc
+        | None ->
+            let acc = Stats.Online.create () in
+            accs := !accs @ [ (name, acc) ];
+            acc
+      in
+      let ok = ref 0 and failed = ref 0 in
+      Array.iter
+        (fun (o : Job.outcome) ->
+          if o.Job.cell = index then
+            match o.Job.status with
+            | Job.Failed _ -> incr failed
+            | Job.Done ->
+                incr ok;
+                List.iter (fun (k, v) -> Stats.Online.add (acc k) v) o.Job.metrics)
+        sorted;
+      {
+        index;
+        ok = !ok;
+        failed = !failed;
+        metrics = List.map (fun (k, acc) -> (k, of_online acc)) !accs;
+      })
+
+let metric cell name =
+  match List.assoc_opt name cell.metrics with
+  | Some s -> s
+  | None -> raise Not_found

@@ -1,0 +1,37 @@
+(** Deterministic streaming aggregation of campaign outcomes.
+
+    Per cell and per metric name, a Welford accumulator
+    ([Pte_util.Stats.Online]) yields mean/stddev/min/max plus a 95%
+    normal-approximation confidence half-width. Outcomes are always
+    folded in job-id order, so the aggregate is bit-identical whatever
+    order the worker pool completed the jobs in. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample stddev (n-1); 0 below two points. *)
+  ci95 : float;  (** 1.96 * stddev / sqrt n — half-width; 0 below two points. *)
+  lo : float;
+  hi : float;
+}
+
+val summarize : float list -> summary
+(** Welford over the list in order; [n = 0] gives NaN mean/lo/hi. *)
+
+val pp_summary : summary Fmt.t
+(** ["12.4 ±1.2"] — mean and CI half-width (mean only when [n < 2]). *)
+
+type cell = {
+  index : int;
+  ok : int;  (** completed jobs aggregated here. *)
+  failed : int;  (** jobs that exhausted their retries. *)
+  metrics : (string * summary) list;
+      (** first-seen order of the metric names in job-id order. *)
+}
+
+val cells : cells:int -> Job.outcome array -> cell array
+(** Group outcomes by cell and summarize each metric. The input may be
+    in any order and sparse in ids; it is sorted by job id first. *)
+
+val metric : cell -> string -> summary
+(** Lookup; raises [Not_found] on an unknown metric name. *)

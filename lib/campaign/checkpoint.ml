@@ -1,0 +1,64 @@
+(** JSONL checkpointing for campaign results. *)
+
+module Log = (val Logs.src_log Log.src : Logs.LOG)
+
+type writer = { channel : out_channel; lock : Mutex.t }
+
+(* A kill mid-[record] leaves a torn final line with no newline; a
+   resumed writer must not glue its first record onto that fragment. *)
+let ends_with_newline path =
+  match open_in_bin path with
+  | exception Sys_error _ -> true
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          len = 0
+          ||
+          (seek_in ic (len - 1);
+           input_char ic = '\n'))
+
+let open_writer ?(append = false) path =
+  let heal = append && not (ends_with_newline path) in
+  let flags =
+    if append then [ Open_wronly; Open_creat; Open_append ]
+    else [ Open_wronly; Open_creat; Open_trunc ]
+  in
+  let channel = open_out_gen flags 0o644 path in
+  if heal then output_char channel '\n';
+  { channel; lock = Mutex.create () }
+
+let record writer outcome =
+  let line = Json.to_string (Job.outcome_to_json outcome) in
+  Mutex.lock writer.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock writer.lock)
+    (fun () ->
+      output_string writer.channel line;
+      output_char writer.channel '\n';
+      flush writer.channel)
+
+let close writer = close_out writer.channel
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let outcomes = ref [] in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.trim line <> "" then
+               match Result.bind (Json.of_string line) Job.outcome_of_json with
+               | Ok o -> outcomes := o :: !outcomes
+               | Error e ->
+                   (* expected for the torn final line of a killed run *)
+                   Log.debug (fun m -> m "checkpoint %s: skipping line: %s" path e)
+           done
+         with End_of_file -> ());
+        List.rev !outcomes)
+  end

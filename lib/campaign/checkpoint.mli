@@ -1,0 +1,22 @@
+(** JSONL checkpoint files: one {!Job.outcome} object per line.
+
+    Workers append their line (mutex-protected, flushed) as each job
+    finishes, so a killed campaign loses at most the in-flight jobs.
+    [load] tolerates a truncated final line — the tell-tale of a kill
+    mid-write — and ignores it. *)
+
+type writer
+
+val open_writer : ?append:bool -> string -> writer
+(** [append:false] (default) truncates; [append:true] continues a file
+    being resumed. *)
+
+val record : writer -> Job.outcome -> unit
+(** Thread-safe append of one line, flushed before returning. *)
+
+val close : writer -> unit
+
+val load : string -> Job.outcome list
+(** All parseable outcomes, in file order. A missing file is an empty
+    campaign. Unparseable lines are skipped (logged at debug level);
+    only a later [record] can make them whole again. *)

@@ -1,0 +1,30 @@
+(** Minimal JSON values for the campaign's JSONL checkpoint files.
+
+    The container ships no JSON package, and checkpoint records are flat
+    (ints, floats, strings, one nested object), so a small self-contained
+    encoder/parser keeps the dependency budget at zero. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line encoding. Integral [Num]s print without a
+    decimal point so job ids round-trip textually. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document; [Error] carries the offset and reason.
+    Trailing garbage after the document is an error. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] elsewhere. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+(** [to_int] requires the number to be integral. *)
+
+val to_str : t -> string option

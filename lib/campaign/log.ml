@@ -1,0 +1,3 @@
+(** Shared Logs source for the campaign engine. *)
+
+let src = Logs.Src.create "pte.campaign" ~doc:"Monte-Carlo campaign engine"

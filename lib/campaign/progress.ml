@@ -1,0 +1,64 @@
+(** Progress reporting for running campaigns (via Logs). *)
+
+module Log = (val Logs.src_log Log.src : Logs.LOG)
+
+type t = {
+  total : int;
+  resumed : int;
+  started : float;
+  lock : Mutex.t;
+  mutable done_ : int;  (** completed this run (excluding resumed). *)
+  mutable last_report : float;
+}
+
+let create ?(resumed = 0) ~total () =
+  {
+    total;
+    resumed;
+    started = Unix.gettimeofday ();
+    lock = Mutex.create ();
+    done_ = 0;
+    last_report = 0.0;
+  }
+
+let report t ~now =
+  let elapsed = now -. t.started in
+  let rate = if elapsed > 0.0 then Float.of_int t.done_ /. elapsed else 0.0 in
+  let remaining = t.total - t.resumed - t.done_ in
+  let eta =
+    if rate > 0.0 then Printf.sprintf "%.0fs" (Float.of_int remaining /. rate)
+    else "?"
+  in
+  Log.info (fun m ->
+      m "campaign: %d/%d jobs (%.1f trials/s, ETA %s)"
+        (t.resumed + t.done_) t.total rate eta)
+
+let step t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      t.done_ <- t.done_ + 1;
+      let now = Unix.gettimeofday () in
+      let finished = t.resumed + t.done_ >= t.total in
+      if finished || now -. t.last_report >= 1.0 then begin
+        t.last_report <- now;
+        report t ~now
+      end)
+
+let finish t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      let now = Unix.gettimeofday () in
+      let elapsed = now -. t.started in
+      Log.info (fun m ->
+          m "campaign: done — %d/%d jobs in %.1fs (%d resumed)"
+            (t.resumed + t.done_) t.total elapsed t.resumed))
+
+let completed t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () -> t.resumed + t.done_)

@@ -1,0 +1,20 @@
+(** Campaign progress reporting: completed/total, trials/sec and an ETA,
+    emitted through [Logs] (source ["pte.campaign"], level [Info]).
+
+    Thread-safe; workers call {!step} as each job lands. Lines are
+    rate-limited so tight campaigns do not flood the reporter. *)
+
+type t
+
+val create : ?resumed:int -> total:int -> unit -> t
+(** [resumed] jobs count as already complete but are excluded from the
+    throughput estimate (they cost no wall-clock this run). *)
+
+val step : t -> unit
+(** One more job finished. May emit a progress line. *)
+
+val finish : t -> unit
+(** Emit the final summary line (always, regardless of rate limit). *)
+
+val completed : t -> int
+(** Jobs completed so far, including resumed ones. *)

@@ -1,0 +1,125 @@
+(** Campaign orchestration: planning, resume, pooling, checkpointing. *)
+
+module Log = (val Logs.src_log Log.src : Logs.LOG)
+
+type config = {
+  workers : int option;
+  retries : int;
+  checkpoint : string option;
+  resume : bool;
+}
+
+let default = { workers = None; retries = 1; checkpoint = None; resume = false }
+
+type 'cell result = {
+  jobs : 'cell Job.t array;
+  outcomes : Job.outcome array;
+  cells : Aggregate.cell array;
+  ok : int;
+  failed : int;
+  resumed : int;
+}
+
+(* A recorded outcome is only reusable if it matches the current plan's
+   shape for that id — a checkpoint from a different campaign must not
+   silently poison the results. *)
+let matches_plan (jobs : 'c Job.t array) (o : Job.outcome) =
+  o.Job.id >= 0
+  && o.Job.id < Array.length jobs
+  &&
+  let j = jobs.(o.Job.id) in
+  j.Job.cell = o.Job.cell && j.Job.rep = o.Job.rep
+
+let run ?(config = default) ~cells ~reps ~seed f =
+  let jobs = Job.plan ~cells ~reps ~seed in
+  let total = Array.length jobs in
+  (* 1. resume: collect completed outcomes from the checkpoint file *)
+  let completed : Job.outcome option array = Array.make total None in
+  let resumed = ref 0 in
+  (match config.checkpoint with
+  | Some path when config.resume ->
+      List.iter
+        (fun (o : Job.outcome) ->
+          if matches_plan jobs o && Job.outcome_ok o then begin
+            if completed.(o.Job.id) = None then incr resumed;
+            completed.(o.Job.id) <- Some o
+          end)
+        (Checkpoint.load path)
+  | _ -> ());
+  let resumed = !resumed in
+  let pending =
+    Array.of_list
+      (List.filter
+         (fun (j : 'c Job.t) -> completed.(j.Job.id) = None)
+         (Array.to_list jobs))
+  in
+  Log.info (fun m ->
+      m "campaign: %d cells x %d reps = %d jobs (%d resumed, %d to run)"
+        (Array.length cells) reps total resumed (Array.length pending));
+  (* 2. run the pending jobs on the pool *)
+  let writer =
+    match config.checkpoint with
+    | None -> None
+    | Some path -> Some (Checkpoint.open_writer ~append:config.resume path)
+  in
+  let progress = Progress.create ~resumed ~total () in
+  let one (job : 'c Job.t) : Job.outcome =
+    let rec attempt k =
+      match f job (Job.rng job) with
+      | metrics ->
+          {
+            Job.id = job.Job.id;
+            cell = job.Job.cell;
+            rep = job.Job.rep;
+            attempts = k;
+            status = Job.Done;
+            metrics;
+          }
+      | exception e ->
+          let reason = Printexc.to_string e in
+          if k <= config.retries then begin
+            Log.warn (fun m ->
+                m "campaign: job %d failed (attempt %d/%d): %s" job.Job.id k
+                  (config.retries + 1) reason);
+            attempt (k + 1)
+          end
+          else
+            {
+              Job.id = job.Job.id;
+              cell = job.Job.cell;
+              rep = job.Job.rep;
+              attempts = k;
+              status = Job.Failed reason;
+              metrics = [];
+            }
+    in
+    let outcome = attempt 1 in
+    Option.iter (fun w -> Checkpoint.record w outcome) writer;
+    Progress.step progress;
+    outcome
+  in
+  let fresh = Pool.map ?workers:config.workers one pending in
+  Option.iter Checkpoint.close writer;
+  Progress.finish progress;
+  (* 3. assemble the full outcome table and aggregate in job-id order *)
+  Array.iter (fun (o : Job.outcome) -> completed.(o.Job.id) <- Some o) fresh;
+  let outcomes =
+    Array.map
+      (function
+        | Some o -> o
+        | None -> assert false (* resumed + fresh covers every id *))
+      completed
+  in
+  let failed =
+    Array.fold_left
+      (fun acc o -> if Job.outcome_ok o then acc else acc + 1)
+      0 outcomes
+  in
+  {
+    jobs;
+    outcomes;
+    cells = Aggregate.cells ~cells:(Array.length cells) outcomes;
+    ok = total - failed;
+    failed;
+    resumed;
+  }

@@ -1,0 +1,47 @@
+(** The campaign orchestrator: plan -> (resume) -> worker pool ->
+    checkpoint + aggregate.
+
+    A campaign is a grid of [cells] (arbitrary payloads, e.g. trial
+    configurations) crossed with [reps] independently-seeded replicates.
+    Guarantees:
+
+    - {b Determinism}: each job's PRNG stream is a pure function of the
+      master seed and its job id ({!Job.plan}), and aggregation folds in
+      job-id order ({!Aggregate.cells}); the result is identical for any
+      worker count, scheduling order, or checkpoint/resume split.
+    - {b Degradation}: a job that raises is retried up to [retries]
+      extra times with its identical stream, then recorded as
+      [Job.Failed] — the campaign completes without it.
+    - {b Durability}: with [checkpoint], every completed job is appended
+      to a JSONL file as it lands; with [resume], previously completed
+      jobs are skipped and their recorded metrics reused. *)
+
+type config = {
+  workers : int option;  (** [None] = {!Pool.default_workers}. *)
+  retries : int;  (** extra attempts after the first failure. *)
+  checkpoint : string option;  (** JSONL results path. *)
+  resume : bool;  (** skip jobs already in [checkpoint]. *)
+}
+
+val default : config
+(** [{ workers = None; retries = 1; checkpoint = None; resume = false }] *)
+
+type 'cell result = {
+  jobs : 'cell Job.t array;  (** the plan, in job-id order. *)
+  outcomes : Job.outcome array;  (** indexed by job id. *)
+  cells : Aggregate.cell array;  (** one per input cell. *)
+  ok : int;
+  failed : int;  (** jobs that exhausted their retries. *)
+  resumed : int;  (** jobs skipped thanks to the checkpoint. *)
+}
+
+val run :
+  ?config:config ->
+  cells:'cell array ->
+  reps:int ->
+  seed:int ->
+  ('cell Job.t -> Pte_util.Rng.t -> (string * float) list) ->
+  'cell result
+(** [run ~cells ~reps ~seed f] executes the campaign. [f job rng] must
+    return the job's metric row using only [rng] for randomness (and be
+    domain-safe); it may raise, which counts against [retries]. *)

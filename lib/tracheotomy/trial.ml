@@ -60,23 +60,181 @@ let run (config : Emulation.config) : result =
     effective_loss_rate = Pte_net.Link_stats.loss_rate net_stats;
   }
 
-(** One Table-I row: a 30-minute trial at the paper's constants. *)
-let table1_row ~lease ~e_toff ~seed =
-  run { Emulation.default with lease; e_toff; seed }
+(* ------------------------------------------------------------------ *)
+(* Campaign-backed replicated trials                                   *)
+(* ------------------------------------------------------------------ *)
 
-(** The full Table I: {with, without} lease × E(Toff) ∈ {18 s, 6 s}. *)
-let table1 ?(seed = 2013) () =
+type aggregate = {
+  reps : int;
+  failed_jobs : int;
+  failure_reps : int;
+  emissions : Pte_campaign.Aggregate.summary;
+  failures : Pte_campaign.Aggregate.summary;
+  evt_to_stop : Pte_campaign.Aggregate.summary;
+  aborts : Pte_campaign.Aggregate.summary;
+  requests : Pte_campaign.Aggregate.summary;
+  longest_pause : Pte_campaign.Aggregate.summary;
+  longest_emission : Pte_campaign.Aggregate.summary;
+  min_spo2 : Pte_campaign.Aggregate.summary;
+  loss_rate : Pte_campaign.Aggregate.summary;
+}
+
+type replicated = { rep0 : result; agg : aggregate }
+
+let metrics_of_result (r : result) =
   [
-    ("with Lease", 18.0, table1_row ~lease:true ~e_toff:18.0 ~seed);
-    ("without Lease", 18.0, table1_row ~lease:false ~e_toff:18.0 ~seed:(seed + 1));
-    ("with Lease", 6.0, table1_row ~lease:true ~e_toff:6.0 ~seed:(seed + 2));
-    ("without Lease", 6.0, table1_row ~lease:false ~e_toff:6.0 ~seed:(seed + 3));
+    ("emissions", Float.of_int r.emissions);
+    ("failures", Float.of_int r.failures);
+    ("evt_to_stop", Float.of_int r.evt_to_stop);
+    ("vent_lease_expiries", Float.of_int r.vent_lease_expiries);
+    ("aborts", Float.of_int r.aborts);
+    ("requests", Float.of_int r.requests);
+    ("longest_pause", r.longest_pause);
+    ("longest_emission", r.longest_emission);
+    ("min_spo2", r.min_spo2);
+    ("messages_sent", Float.of_int r.messages_sent);
+    ("loss_rate", r.effective_loss_rate);
+    (* indicator, so the aggregate counts replicates with any failure *)
+    ("failed", if r.failures > 0 then 1.0 else 0.0);
   ]
 
-let pp_result ppf r =
+let aggregate_of_cell (cell : Pte_campaign.Aggregate.cell) =
+  let empty : Pte_campaign.Aggregate.summary =
+    { n = 0; mean = nan; stddev = 0.0; ci95 = 0.0; lo = nan; hi = nan }
+  in
+  let metric name =
+    try Pte_campaign.Aggregate.metric cell name with Not_found -> empty
+  in
+  let failed_ind = metric "failed" in
+  {
+    reps = cell.Pte_campaign.Aggregate.ok;
+    failed_jobs = cell.Pte_campaign.Aggregate.failed;
+    failure_reps =
+      (if failed_ind.Pte_campaign.Aggregate.n = 0 then 0
+       else
+         int_of_float
+           (Float.round
+              (failed_ind.Pte_campaign.Aggregate.mean
+              *. Float.of_int failed_ind.Pte_campaign.Aggregate.n)));
+    emissions = metric "emissions";
+    failures = metric "failures";
+    evt_to_stop = metric "evt_to_stop";
+    aborts = metric "aborts";
+    requests = metric "requests";
+    longest_pause = metric "longest_pause";
+    longest_emission = metric "longest_emission";
+    min_spo2 = metric "min_spo2";
+    loss_rate = metric "loss_rate";
+  }
+
+let run_cells ?workers ?checkpoint ?(resume = false) ?(retries = 1) ~reps ~seed
+    cells =
+  let full : result option array =
+    Array.make (Array.length cells * reps) None
+  in
+  let campaign =
+    Pte_campaign.Runner.run
+      ~config:{ Pte_campaign.Runner.workers; retries; checkpoint; resume }
+      ~cells ~reps ~seed
+      (fun job rng ->
+        let base = job.Pte_campaign.Job.payload in
+        (* replicate 0 keeps the cell's literal seed (historical runs
+           stay byte-identical); later replicates draw from the job's
+           split-derived stream *)
+        let trial_seed =
+          if job.Pte_campaign.Job.rep = 0 then base.Emulation.seed
+          else Int64.to_int (Pte_util.Rng.next_int64 rng)
+        in
+        let r = run { base with Emulation.seed = trial_seed } in
+        full.(job.Pte_campaign.Job.id) <- Some r;
+        metrics_of_result r)
+  in
+  (campaign, full)
+
+(* One replicated row per cell; only valid when nothing was resumed
+   (replicate 0 then always ran in this process). *)
+let replicated_rows campaign full reps =
+  Array.to_list
+    (Array.mapi
+       (fun i cell ->
+         match full.(i * reps) with
+         | Some rep0 -> { rep0; agg = aggregate_of_cell cell }
+         | None -> invalid_arg "Trial.replicated_rows: replicate 0 missing")
+       campaign.Pte_campaign.Runner.cells)
+
+let table1_cells ~seed =
+  [|
+    ("with Lease", 18.0, { Emulation.default with lease = true; e_toff = 18.0; seed });
+    ( "without Lease", 18.0,
+      { Emulation.default with lease = false; e_toff = 18.0; seed = seed + 1 } );
+    ( "with Lease", 6.0,
+      { Emulation.default with lease = true; e_toff = 6.0; seed = seed + 2 } );
+    ( "without Lease", 6.0,
+      { Emulation.default with lease = false; e_toff = 6.0; seed = seed + 3 } );
+  |]
+
+(** The full Table I: {with, without} lease × E(Toff) ∈ {18 s, 6 s}. *)
+let table1 ?(seed = 2013) ?(reps = 1) ?workers () =
+  let cells = table1_cells ~seed in
+  let campaign, full =
+    run_cells ?workers ~reps ~seed (Array.map (fun (_, _, c) -> c) cells)
+  in
+  List.map2
+    (fun (mode, e_toff, _) row -> (mode, e_toff, row))
+    (Array.to_list cells)
+    (replicated_rows campaign full reps)
+
+(** One Table-I row: 30-minute trials at the paper's constants. *)
+let table1_row ?(reps = 1) ?workers ~lease ~e_toff ~seed () =
+  let cells = [| { Emulation.default with lease; e_toff; seed } |] in
+  let campaign, full = run_cells ?workers ~reps ~seed cells in
+  List.hd (replicated_rows campaign full reps)
+
+(** The X1 loss-rate sweep, as a single campaign: 2 cells (with/without
+    lease) per loss rate, sharing a base seed like the serial original. *)
+let loss_sweep ?(reps = 1) ?workers ?(seed = 500) ?horizon ~losses () =
+  let horizon =
+    Option.value horizon ~default:Emulation.default.Emulation.horizon
+  in
+  let cell ~lease i loss =
+    {
+      Emulation.default with
+      lease;
+      horizon;
+      seed = seed + i;
+      loss =
+        (if loss = 0.0 then Pte_net.Loss.Perfect
+         else Pte_net.Loss.wifi_interference ~average_loss:loss);
+    }
+  in
+  let cells =
+    Array.of_list
+      (List.concat
+         (List.mapi
+            (fun i loss -> [ cell ~lease:true i loss; cell ~lease:false i loss ])
+            losses))
+  in
+  let campaign, full = run_cells ?workers ~reps ~seed cells in
+  let rows = replicated_rows campaign full reps in
+  let rec pair = function
+    | with_lease :: without :: rest -> (with_lease, without) :: pair rest
+    | [] -> []
+    | [ _ ] -> invalid_arg "Trial.loss_sweep: odd cell count"
+  in
+  List.map2 (fun loss (w, n) -> (loss, w, n)) losses (pair rows)
+
+let pp_result ppf (r : result) =
   Fmt.pf ppf
     "emissions:%d failures:%d evtToStop:%d aborts:%d requests:%d \
      longest-pause:%.1fs longest-emission:%.1fs minSpO2:%.1f loss:%.0f%%"
     r.emissions r.failures r.evt_to_stop r.aborts r.requests r.longest_pause
     r.longest_emission r.min_spo2
     (100.0 *. r.effective_loss_rate)
+
+let pp_aggregate ppf a =
+  let s = Pte_campaign.Aggregate.pp_summary in
+  Fmt.pf ppf
+    "reps:%d failing-reps:%d emissions:%a failures:%a evtToStop:%a \
+     longest-pause:%a minSpO2:%a"
+    a.reps a.failure_reps s a.emissions s a.failures s a.evt_to_stop s
+    a.longest_pause s a.min_spo2

@@ -21,11 +21,82 @@ type result = {
 
 val run : Emulation.config -> result
 
-val table1_row : lease:bool -> e_toff:float -> seed:int -> result
-(** One Table-I row: a 30-minute trial at the paper's constants. *)
+(** {2 Replicated trials (campaign-backed)}
+
+    Statistics over [reps] independently-seeded replicates of each trial
+    configuration, executed as a {!Pte_campaign} Monte-Carlo campaign:
+    domain-parallel, deterministic for a given master seed at any worker
+    count. Replicate 0 of every cell keeps the cell's literal
+    [Emulation.config.seed], so [reps = 1] reproduces the historical
+    fixed-seed numbers exactly; replicates 1.. draw their seeds from the
+    job's split-derived stream. *)
+
+(** Per-metric summaries (mean, stddev, 95% CI, min/max) over the
+    replicates of one trial configuration. *)
+type aggregate = {
+  reps : int;  (** replicates that completed. *)
+  failed_jobs : int;  (** replicates that crashed (exhausted retries). *)
+  failure_reps : int;  (** replicates with >= 1 PTE violation episode. *)
+  emissions : Pte_campaign.Aggregate.summary;
+  failures : Pte_campaign.Aggregate.summary;
+  evt_to_stop : Pte_campaign.Aggregate.summary;
+  aborts : Pte_campaign.Aggregate.summary;
+  requests : Pte_campaign.Aggregate.summary;
+  longest_pause : Pte_campaign.Aggregate.summary;
+  longest_emission : Pte_campaign.Aggregate.summary;
+  min_spo2 : Pte_campaign.Aggregate.summary;
+  loss_rate : Pte_campaign.Aggregate.summary;
+}
+
+(** One campaign cell: the historical fixed-seed run plus the aggregate
+    over all replicates ([agg.reps = 1] collapses to [rep0]). *)
+type replicated = { rep0 : result; agg : aggregate }
+
+val metrics_of_result : result -> (string * float) list
+(** The metric row a trial contributes to campaign aggregation (also the
+    JSONL checkpoint payload). *)
+
+val aggregate_of_cell : Pte_campaign.Aggregate.cell -> aggregate
+
+val run_cells :
+  ?workers:int ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?retries:int ->
+  reps:int ->
+  seed:int ->
+  Emulation.config array ->
+  Emulation.config Pte_campaign.Runner.result * result option array
+(** Low-level entry: run an arbitrary grid of trial configurations as a
+    campaign. The returned array holds the full {!result} of every job
+    executed in this process ([None] for jobs skipped via [resume]). *)
+
+val table1_cells : seed:int -> (string * float * Emulation.config) array
+(** The four Table-I cells [(mode, E(Toff), config)] with their
+    historical seeds [seed .. seed+3] — the grid behind {!table1}, for
+    front-ends that drive {!run_cells} themselves (e.g. with
+    checkpointing). *)
+
+val table1_row :
+  ?reps:int -> ?workers:int -> lease:bool -> e_toff:float -> seed:int ->
+  unit -> replicated
+(** One Table-I row: 30-minute trials at the paper's constants. *)
 
 val table1 :
-  ?seed:int -> unit -> (string * float * result) list
-(** The full Table I: {with, without} lease × E(Toff) ∈ {18 s, 6 s}. *)
+  ?seed:int -> ?reps:int -> ?workers:int -> unit ->
+  (string * float * replicated) list
+(** The full Table I: {with, without} lease × E(Toff) ∈ {18 s, 6 s},
+    run as one campaign of [4 * reps] jobs. *)
+
+val loss_sweep :
+  ?reps:int -> ?workers:int -> ?seed:int -> ?horizon:float ->
+  losses:float list -> unit ->
+  (float * replicated * replicated) list
+(** The X1 extension experiment: for each average loss rate, a
+    with-lease and a without-lease cell (sharing a base seed, as the
+    original serial sweep did). Returns [(loss, with, without)] rows. *)
 
 val pp_result : result Fmt.t
+
+val pp_aggregate : aggregate Fmt.t
+(** Mean ±CI of the headline metrics, for CLI replicate summaries. *)

@@ -24,16 +24,23 @@ let add_row t row = t.rows <- row :: t.rows
 
 let add_note t note = t.notes <- note :: t.notes
 
+(* Display width = UTF-8 code points, not bytes — cells like "3.1 ±0.2"
+   must not skew the column grid. Continuation bytes are 0b10xxxxxx. *)
+let display_width s =
+  let w = ref 0 in
+  String.iter (fun c -> if Char.code c land 0xC0 <> 0x80 then incr w) s;
+  !w
+
 let cell_width rows col =
   List.fold_left
     (fun acc row ->
       match List.nth_opt row col with
-      | Some s -> max acc (String.length s)
+      | Some s -> max acc (display_width s)
       | None -> acc)
     0 rows
 
 let pad align width s =
-  let n = width - String.length s in
+  let n = width - display_width s in
   if n <= 0 then s
   else
     match align with
