@@ -250,4 +250,11 @@ let cmd =
          ])
     [ table1_cmd; sweep_cmd ]
 
-let () = exit (Cmd.eval cmd)
+let () =
+  match Cmd.eval_value ~catch:false cmd with
+  | exception Pte_campaign.Checkpoint.Mismatch msg ->
+      Fmt.epr "pte-campaign: %s@." msg;
+      exit 3
+  | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
+  | Error `Parse -> exit Cmd.Exit.cli_error
+  | Error (`Term | `Exn) -> exit Cmd.Exit.internal_error

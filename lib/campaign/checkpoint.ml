@@ -2,6 +2,51 @@
 
 module Log = (val Logs.src_log Log.src : Logs.LOG)
 
+type header = { seed : int; cells : int; reps : int; digest : string }
+
+exception Mismatch of string
+
+let pp_header ppf h =
+  Format.fprintf ppf "seed %d, %d cells x %d reps, digest %s" h.seed h.cells
+    h.reps h.digest
+
+let header_to_json h =
+  Json.Obj
+    [
+      ("type", Json.Str "campaign-header");
+      ("seed", Json.Num (Float.of_int h.seed));
+      ("cells", Json.Num (Float.of_int h.cells));
+      ("reps", Json.Num (Float.of_int h.reps));
+      ("digest", Json.Str h.digest);
+    ]
+
+let header_of_json json =
+  match Json.member "type" json with
+  | Some (Json.Str "campaign-header") -> (
+      let int name = Option.bind (Json.member name json) Json.to_int in
+      let str name = Option.bind (Json.member name json) Json.to_str in
+      match (int "seed", int "cells", int "reps", str "digest") with
+      | Some seed, Some cells, Some reps, Some digest ->
+          Some { seed; cells; reps; digest }
+      | _ -> None)
+  | _ -> None
+
+(* The header must be the first line; a file whose first line is an
+   ordinary outcome is a legacy (pre-header) checkpoint. *)
+let read_header path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          match input_line ic with
+          | exception End_of_file -> None
+          | line -> (
+              match Json.of_string line with
+              | Ok json -> header_of_json json
+              | Error _ -> None))
+
 type writer = { channel : out_channel; lock : Mutex.t }
 
 (* A kill mid-[record] leaves a torn final line with no newline; a
@@ -19,7 +64,17 @@ let ends_with_newline path =
           (seek_in ic (len - 1);
            input_char ic = '\n'))
 
-let open_writer ?(append = false) path =
+let open_writer ?(append = false) ?header path =
+  let fresh =
+    (not append)
+    || (not (Sys.file_exists path))
+    || (match open_in_bin path with
+       | exception Sys_error _ -> true
+       | ic ->
+           Fun.protect
+             ~finally:(fun () -> close_in ic)
+             (fun () -> in_channel_length ic = 0))
+  in
   let heal = append && not (ends_with_newline path) in
   let flags =
     if append then [ Open_wronly; Open_creat; Open_append ]
@@ -27,6 +82,14 @@ let open_writer ?(append = false) path =
   in
   let channel = open_out_gen flags 0o644 path in
   if heal then output_char channel '\n';
+  (* the header goes first, and only on a file this writer starts;
+     appending to a legacy headerless file cannot retrofit one *)
+  (match header with
+  | Some h when fresh ->
+      output_string channel (Json.to_string (header_to_json h));
+      output_char channel '\n';
+      flush channel
+  | _ -> ());
   { channel; lock = Mutex.create () }
 
 let record writer outcome =
@@ -53,11 +116,15 @@ let load path =
            while true do
              let line = input_line ic in
              if String.trim line <> "" then
-               match Result.bind (Json.of_string line) Job.outcome_of_json with
-               | Ok o -> outcomes := o :: !outcomes
-               | Error e ->
-                   (* expected for the torn final line of a killed run *)
-                   Log.debug (fun m -> m "checkpoint %s: skipping line: %s" path e)
+               match Json.of_string line with
+               | Ok json when header_of_json json <> None -> ()
+               | parsed -> (
+                   match Result.bind parsed Job.outcome_of_json with
+                   | Ok o -> outcomes := o :: !outcomes
+                   | Error e ->
+                       (* expected for the torn final line of a killed run *)
+                       Log.debug (fun m ->
+                           m "checkpoint %s: skipping line: %s" path e))
            done
          with End_of_file -> ());
         List.rev !outcomes)

@@ -28,6 +28,19 @@ let plan ~cells ~reps ~seed =
 
 let rng job = Pte_util.Rng.create job.seed
 
+(* Fingerprint of a plan: a mix over the per-job seed sequence (itself a
+   pure function of master seed, cell count and reps). Two campaigns
+   agree on the digest iff they would hand every job the same stream. *)
+let digest jobs =
+  let mix h x =
+    let h = Int64.mul (Int64.logxor h x) 0x100000001b3L in
+    Int64.logxor h (Int64.shift_right_logical h 29)
+  in
+  Printf.sprintf "%016Lx"
+    (Array.fold_left
+       (fun acc j -> mix acc (Int64.of_int j.seed))
+       0xcbf29ce484222325L jobs)
+
 type status = Done | Failed of string
 
 type outcome = {

@@ -22,6 +22,11 @@ val rng : 'cell t -> Pte_util.Rng.t
 (** The job's private random stream (fresh on every call, so retries
     replay the identical stream). *)
 
+val digest : 'cell t array -> string
+(** Fingerprint of the plan's per-job seed sequence (hence of the master
+    seed, cell count and reps) — what a checkpoint header records to
+    refuse resuming a file produced by a different campaign. *)
+
 (** Completed-job record — what workers hand back and what one JSONL
     checkpoint line stores. *)
 

@@ -33,11 +33,35 @@ let matches_plan (jobs : 'c Job.t array) (o : Job.outcome) =
 let run ?(config = default) ~cells ~reps ~seed f =
   let jobs = Job.plan ~cells ~reps ~seed in
   let total = Array.length jobs in
+  let header =
+    {
+      Checkpoint.seed;
+      cells = Array.length cells;
+      reps;
+      digest = Job.digest jobs;
+    }
+  in
   (* 1. resume: collect completed outcomes from the checkpoint file *)
   let completed : Job.outcome option array = Array.make total None in
   let resumed = ref 0 in
   (match config.checkpoint with
   | Some path when config.resume ->
+      (match Checkpoint.read_header path with
+      | Some h when h <> header ->
+          raise
+            (Checkpoint.Mismatch
+               (Format.asprintf
+                  "checkpoint %s was written by a different campaign (file: \
+                   %a; expected: %a)"
+                  path Checkpoint.pp_header h Checkpoint.pp_header header))
+      | Some _ -> ()
+      | None ->
+          if Sys.file_exists path then
+            Log.warn (fun m ->
+                m
+                  "checkpoint %s has no campaign header (legacy file): \
+                   resuming on job-shape matching only"
+                  path));
       List.iter
         (fun (o : Job.outcome) ->
           if matches_plan jobs o && Job.outcome_ok o then begin
@@ -60,7 +84,8 @@ let run ?(config = default) ~cells ~reps ~seed f =
   let writer =
     match config.checkpoint with
     | None -> None
-    | Some path -> Some (Checkpoint.open_writer ~append:config.resume path)
+    | Some path ->
+        Some (Checkpoint.open_writer ~append:config.resume ~header path)
   in
   let progress = Progress.create ~resumed ~total () in
   let one (job : 'c Job.t) : Job.outcome =

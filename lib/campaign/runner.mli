@@ -13,8 +13,12 @@
       extra times with its identical stream, then recorded as
       [Job.Failed] — the campaign completes without it.
     - {b Durability}: with [checkpoint], every completed job is appended
-      to a JSONL file as it lands; with [resume], previously completed
-      jobs are skipped and their recorded metrics reused. *)
+      to a JSONL file as it lands, under a header line naming the
+      campaign (master seed, grid shape, {!Job.digest}); with [resume],
+      previously completed jobs are skipped and their recorded metrics
+      reused. Resuming a file whose header names a {e different}
+      campaign raises {!Checkpoint.Mismatch} instead of silently mixing
+      results; legacy headerless files are accepted with a warning. *)
 
 type config = {
   workers : int option;  (** [None] = {!Pool.default_workers}. *)

@@ -1,0 +1,72 @@
+(** Random fault-plan generation over a protocol vocabulary.
+
+    The vocabulary is what the fuzzer knows about the system under test:
+    which (root, link) pairs carry protocol messages, which entities can
+    crash or drift, and how long a trial runs. Everything drawn from it
+    is deterministic in the supplied {!Pte_util.Rng.t}, so a failing
+    plan replays from (plan JSON, seed) alone. *)
+
+type message = { root : string; site : Plan.site }
+
+type vocabulary = {
+  messages : message list;  (** protocol frames the plan may target *)
+  entities : string list;  (** automata that may crash or drift *)
+  horizon : float;  (** trial length, bounds windows and crash times *)
+}
+
+let pick rng list = List.nth list (Pte_util.Rng.int rng (List.length list))
+
+let random_occurrence rng =
+  if Pte_util.Rng.bernoulli rng 0.25 then Plan.Every
+  else Plan.Nth (Pte_util.Rng.int rng 4)
+
+let random_action rng ~horizon =
+  match Pte_util.Rng.int rng 4 with
+  | 0 -> Plan.Drop
+  | 1 -> Plan.Corrupt
+  | 2 -> Plan.Duplicate
+  | _ -> Plan.Delay (Pte_util.Rng.uniform rng ~lo:0.05 ~hi:(0.05 *. horizon))
+
+let random_window rng ~horizon =
+  if Pte_util.Rng.bernoulli rng 0.7 then None
+  else
+    let a = Pte_util.Rng.uniform rng ~lo:0.0 ~hi:(0.8 *. horizon) in
+    let b = Pte_util.Rng.uniform rng ~lo:a ~hi:horizon in
+    Some { Plan.after = a; before = b }
+
+let random_packet_fault rng vocab =
+  let m = pick rng vocab.messages in
+  {
+    Plan.site = m.site;
+    root = (if Pte_util.Rng.bernoulli rng 0.9 then Some m.root else None);
+    occurrence = random_occurrence rng;
+    window = random_window rng ~horizon:vocab.horizon;
+    action = random_action rng ~horizon:vocab.horizon;
+  }
+
+let random_node_fault rng vocab =
+  let entity = pick rng vocab.entities in
+  if Pte_util.Rng.bool rng then
+    let at = Pte_util.Rng.uniform rng ~lo:0.0 ~hi:(0.8 *. vocab.horizon) in
+    let blackout =
+      Pte_util.Rng.uniform rng ~lo:0.5 ~hi:(0.3 *. vocab.horizon)
+    in
+    Plan.Crash { entity; at; blackout }
+  else
+    (* up to ±30 % oscillator error — far beyond any real crystal, which
+       is the point: we are probing where the c1–c7 margins end. *)
+    let factor = Pte_util.Rng.uniform rng ~lo:0.7 ~hi:1.3 in
+    Plan.Clock_drift { entity; factor }
+
+let random_plan rng vocab =
+  let packet_faults =
+    List.init
+      (1 + Pte_util.Rng.int rng 3)
+      (fun _ -> random_packet_fault rng vocab)
+  in
+  let node_faults =
+    if vocab.entities = [] then []
+    else
+      List.init (Pte_util.Rng.int rng 3) (fun _ -> random_node_fault rng vocab)
+  in
+  { Plan.packet_faults; node_faults }

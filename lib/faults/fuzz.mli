@@ -1,0 +1,18 @@
+(** Random fault-plan generation: draw deterministic plans from a
+    protocol vocabulary and an explicit RNG stream, so every generated
+    plan replays from (plan, seed). *)
+
+type message = { root : string; site : Plan.site }
+
+type vocabulary = {
+  messages : message list;  (** protocol frames the plan may target *)
+  entities : string list;  (** automata that may crash or drift *)
+  horizon : float;  (** trial length, bounds windows and crash times *)
+}
+
+val random_packet_fault : Pte_util.Rng.t -> vocabulary -> Plan.packet_fault
+val random_node_fault : Pte_util.Rng.t -> vocabulary -> Plan.node_fault
+
+val random_plan : Pte_util.Rng.t -> vocabulary -> Plan.t
+(** 1–3 packet faults plus 0–2 node faults. [vocabulary.messages] must
+    be non-empty. *)

@@ -1,0 +1,93 @@
+(** Compile a fault plan's packet faults into per-link injectors and
+    install them on a star network.
+
+    Each fault keeps two counters: how many frames {e matched} its
+    selector (root + window, on its link) and how many times it actually
+    {e fired} (tampered with a frame). The [Nth k] occurrence index is
+    over matching frames, so "the 2nd cancel" means the 2nd cancel that
+    link carries, whatever else flows around it. When several faults
+    select the same frame, the first in plan order fires; the others
+    still advance their match counters. *)
+
+type handle = {
+  faults : Plan.packet_fault array;
+  matched : int array;  (** frames that matched each fault's selector *)
+  fired : int array;  (** frames each fault actually tampered with *)
+}
+
+let direction_of_link link =
+  match Pte_net.Link.direction link with
+  | Pte_net.Link.Uplink -> Plan.Up
+  | Pte_net.Link.Downlink -> Plan.Down
+
+let tamper_of_action : Plan.packet_action -> Pte_net.Link.tamper = function
+  | Plan.Drop -> Pte_net.Link.Drop_frame
+  | Plan.Corrupt -> Pte_net.Link.Corrupt_frame
+  | Plan.Delay d -> Pte_net.Link.Delay_frame d
+  | Plan.Duplicate -> Pte_net.Link.Duplicate_frame
+
+let matches (f : Plan.packet_fault) ~time ~root =
+  (match f.Plan.root with None -> true | Some r -> String.equal r root)
+  &&
+  match f.Plan.window with
+  | None -> true
+  | Some w -> time >= w.Plan.after && time < w.Plan.before
+
+let install plan star =
+  let faults = Array.of_list plan.Plan.packet_faults in
+  let matched = Array.make (Array.length faults) 0 in
+  let fired = Array.make (Array.length faults) 0 in
+  List.iter
+    (fun (remote, link) ->
+      let direction = direction_of_link link in
+      let mine =
+        (* indices of the faults sitting on this link, in plan order *)
+        List.filter
+          (fun i ->
+            let site = faults.(i).Plan.site in
+            String.equal site.Plan.entity remote
+            && site.Plan.direction = direction)
+          (List.init (Array.length faults) Fun.id)
+      in
+      if mine <> [] then
+        Pte_net.Link.set_injector link
+          (Some
+             (fun ~time ~root ->
+               List.fold_left
+                 (fun decision i ->
+                   let f = faults.(i) in
+                   if not (matches f ~time ~root) then decision
+                   else begin
+                     let n = matched.(i) in
+                     matched.(i) <- n + 1;
+                     let triggers =
+                       match f.Plan.occurrence with
+                       | Plan.Nth k -> n = k
+                       | Plan.Every -> true
+                     in
+                     match (decision, triggers) with
+                     | Pte_net.Link.Pass, true ->
+                         fired.(i) <- fired.(i) + 1;
+                         tamper_of_action f.Plan.action
+                     | _ -> decision
+                   end)
+                 Pte_net.Link.Pass mine)))
+    (Pte_net.Star.links star);
+  { faults; matched; fired }
+
+let fired t = Array.copy t.fired
+let matched t = Array.copy t.matched
+let total_fired t = Array.fold_left ( + ) 0 t.fired
+
+(** Did every packet fault of the plan fire at least once? The coverage
+    campaign's per-target "exercised" bit. *)
+let all_fired t = Array.for_all (fun n -> n > 0) t.fired
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.iter_bindings
+       (fun f t ->
+         Array.iteri (fun i fault -> f fault (t.matched.(i), t.fired.(i))) t.faults)
+       (fun ppf (fault, (m, fd)) ->
+         Fmt.pf ppf "%a: matched %d, fired %d@," Plan.pp_packet_fault fault m fd))
+    t

@@ -1,0 +1,25 @@
+(** Compile a fault plan's packet faults into deterministic per-link
+    injectors installed on a {!Pte_net.Star} (corruption flows through
+    the receiver-side CRC discard path). The returned handle exposes how
+    often each fault matched and fired — the feedback the coverage
+    campaign reports. *)
+
+type handle
+
+val install : Plan.t -> Pte_net.Star.t -> handle
+(** Install injectors for every packet fault of the plan on the links
+    they select. Node faults are ignored here (see {!Runtime}). *)
+
+val fired : handle -> int array
+(** Per-fault count of frames actually tampered with, in plan order. *)
+
+val matched : handle -> int array
+(** Per-fault count of frames that matched the selector (whether or not
+    the occurrence index selected them). *)
+
+val total_fired : handle -> int
+
+val all_fired : handle -> bool
+(** Did every packet fault fire at least once? *)
+
+val pp : handle Fmt.t

@@ -1,0 +1,270 @@
+(** The fault-plan DSL: deterministic, serializable scripts of targeted
+    faults.
+
+    Theorem 1 quantifies over {e arbitrary} message loss, but stochastic
+    channels only ever sample that quantifier. A fault plan makes it
+    enumerable and replayable: "lose exactly the 2nd cancel on the
+    laser's downlink", "crash the ventilator for 4 s at t=30",
+    "run the laser's clocks 20% fast". Plans round-trip through JSON, so
+    any violation found by a fuzzing campaign can be checked in as a
+    minimal replayable artifact. *)
+
+module Json = Pte_campaign.Json
+
+type direction = Up | Down
+
+(** Which link of the star a packet fault sits on: the [entity]'s uplink
+    (remote → supervisor) or downlink (supervisor → remote). *)
+type site = { entity : string; direction : direction }
+
+type occurrence =
+  | Nth of int  (** the nth matching frame on that link, 0-based *)
+  | Every
+
+(** Restrict a fault to frames sent in [\[after, before)]. *)
+type window = { after : float; before : float }
+
+type packet_action =
+  | Drop
+  | Corrupt  (** delivered with bit errors; the CRC discard path eats it *)
+  | Delay of float  (** extra delivery delay, seconds *)
+  | Duplicate
+
+type packet_fault = {
+  site : site;
+  root : string option;  (** [None] matches every event root *)
+  occurrence : occurrence;
+  window : window option;
+  action : packet_action;
+}
+
+type node_fault =
+  | Crash of { entity : string; at : float; blackout : float }
+      (** fail-stop at [at]; reboot to the initial location after
+          [blackout] seconds *)
+  | Clock_drift of { entity : string; factor : float }
+      (** the entity's local clocks advance [factor] seconds per second *)
+
+type t = { packet_faults : packet_fault list; node_faults : node_fault list }
+
+let empty = { packet_faults = []; node_faults = [] }
+let is_empty t = t.packet_faults = [] && t.node_faults = []
+
+let packet ?root ?window ~entity ~direction ~occurrence action =
+  { site = { entity; direction }; root; occurrence; window; action }
+
+let drop_nth ~entity ~direction ~root n =
+  packet ~root ~entity ~direction ~occurrence:(Nth n) Drop
+
+let drop_every ~entity ~direction ~root =
+  packet ~root ~entity ~direction ~occurrence:Every Drop
+
+let crash ~entity ~at ~blackout = Crash { entity; at; blackout }
+let clock_drift ~entity ~factor = Clock_drift { entity; factor }
+
+(* ------------------------------------------------------------------ *)
+(* JSON (de)serialization                                              *)
+(* ------------------------------------------------------------------ *)
+
+let direction_to_string = function Up -> "up" | Down -> "down"
+
+let direction_of_string = function
+  | "up" -> Ok Up
+  | "down" -> Ok Down
+  | s -> Error (Printf.sprintf "plan: unknown direction %S" s)
+
+let packet_fault_to_json f =
+  let base =
+    [
+      ("entity", Json.Str f.site.entity);
+      ("direction", Json.Str (direction_to_string f.site.direction));
+    ]
+  in
+  let root = match f.root with None -> [] | Some r -> [ ("root", Json.Str r) ] in
+  let occurrence =
+    match f.occurrence with
+    | Nth n -> [ ("occurrence", Json.Num (Float.of_int n)) ]
+    | Every -> [ ("occurrence", Json.Str "every") ]
+  in
+  let window =
+    match f.window with
+    | None -> []
+    | Some w -> [ ("after", Json.Num w.after); ("before", Json.Num w.before) ]
+  in
+  let action =
+    match f.action with
+    | Drop -> [ ("action", Json.Str "drop") ]
+    | Corrupt -> [ ("action", Json.Str "corrupt") ]
+    | Duplicate -> [ ("action", Json.Str "duplicate") ]
+    | Delay d -> [ ("action", Json.Str "delay"); ("delay", Json.Num d) ]
+  in
+  Json.Obj (base @ root @ occurrence @ window @ action)
+
+let node_fault_to_json = function
+  | Crash { entity; at; blackout } ->
+      Json.Obj
+        [
+          ("fault", Json.Str "crash");
+          ("entity", Json.Str entity);
+          ("at", Json.Num at);
+          ("blackout", Json.Num blackout);
+        ]
+  | Clock_drift { entity; factor } ->
+      Json.Obj
+        [
+          ("fault", Json.Str "clock-drift");
+          ("entity", Json.Str entity);
+          ("factor", Json.Num factor);
+        ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("packet", Json.Arr (List.map packet_fault_to_json t.packet_faults));
+      ("node", Json.Arr (List.map node_fault_to_json t.node_faults));
+    ]
+
+let ( let* ) = Result.bind
+
+let str_field name json =
+  match Option.bind (Json.member name json) Json.to_str with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "plan: missing or bad %S" name)
+
+let num_field name json =
+  match Option.bind (Json.member name json) Json.to_float with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "plan: missing or bad %S" name)
+
+let packet_fault_of_json json =
+  let* entity = str_field "entity" json in
+  let* direction = Result.bind (str_field "direction" json) direction_of_string in
+  let root = Option.bind (Json.member "root" json) Json.to_str in
+  let* occurrence =
+    match Json.member "occurrence" json with
+    | Some (Json.Str "every") -> Ok Every
+    | Some j -> (
+        match Json.to_int j with
+        | Some n when n >= 0 -> Ok (Nth n)
+        | _ -> Error "plan: occurrence must be a non-negative int or \"every\"")
+    | None -> Error "plan: missing \"occurrence\""
+  in
+  let window =
+    match
+      ( Option.bind (Json.member "after" json) Json.to_float,
+        Option.bind (Json.member "before" json) Json.to_float )
+    with
+    | None, None -> None
+    | after, before ->
+        Some
+          {
+            after = Option.value after ~default:0.0;
+            before = Option.value before ~default:Float.infinity;
+          }
+  in
+  let* action =
+    match str_field "action" json with
+    | Ok "drop" -> Ok Drop
+    | Ok "corrupt" -> Ok Corrupt
+    | Ok "duplicate" -> Ok Duplicate
+    | Ok "delay" ->
+        let* d = num_field "delay" json in
+        Ok (Delay d)
+    | Ok s -> Error (Printf.sprintf "plan: unknown action %S" s)
+    | Error _ as e -> e
+  in
+  Ok { site = { entity; direction }; root; occurrence; window; action }
+
+let node_fault_of_json json =
+  let* kind = str_field "fault" json in
+  let* entity = str_field "entity" json in
+  match kind with
+  | "crash" ->
+      let* at = num_field "at" json in
+      let* blackout = num_field "blackout" json in
+      Ok (Crash { entity; at; blackout })
+  | "clock-drift" ->
+      let* factor = num_field "factor" json in
+      Ok (Clock_drift { entity; factor })
+  | s -> Error (Printf.sprintf "plan: unknown node fault %S" s)
+
+let list_field name of_json json =
+  match Json.member name json with
+  | None | Some (Json.Arr []) -> Ok []
+  | Some (Json.Arr items) ->
+      List.fold_right
+        (fun item acc ->
+          let* acc = acc in
+          let* v = of_json item in
+          Ok (v :: acc))
+        items (Ok [])
+  | Some _ -> Error (Printf.sprintf "plan: %S must be an array" name)
+
+let of_json json =
+  match json with
+  | Json.Obj _ ->
+      let* packet_faults = list_field "packet" packet_fault_of_json json in
+      let* node_faults = list_field "node" node_fault_of_json json in
+      Ok { packet_faults; node_faults }
+  | _ -> Error "plan: expected a JSON object"
+
+let to_string t = Json.to_string (to_json t)
+let of_string s = Result.bind (Json.of_string s) of_json
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string t);
+      output_char oc '\n')
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let n = in_channel_length ic in
+          of_string (really_input_string ic n))
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let pp_packet_fault ppf f =
+  let act =
+    match f.action with
+    | Drop -> "drop"
+    | Corrupt -> "corrupt"
+    | Duplicate -> "duplicate"
+    | Delay d -> Fmt.str "delay+%gs" d
+  in
+  let occ =
+    match f.occurrence with Nth n -> Fmt.str "#%d" n | Every -> "every"
+  in
+  Fmt.pf ppf "%s %s of %s on %s %slink%a" act occ
+    (Option.value f.root ~default:"any root")
+    f.site.entity
+    (match f.site.direction with Up -> "up" | Down -> "down")
+    (Fmt.option (fun ppf w -> Fmt.pf ppf " in [%g,%g)" w.after w.before))
+    f.window
+
+let pp_node_fault ppf = function
+  | Crash { entity; at; blackout } ->
+      Fmt.pf ppf "crash %s at %gs for %gs" entity at blackout
+  | Clock_drift { entity; factor } ->
+      Fmt.pf ppf "clock-drift %s x%g" entity factor
+
+let pp ppf t =
+  if is_empty t then Fmt.string ppf "no faults"
+  else
+    Fmt.pf ppf "@[<v>%a%a%a@]"
+      (Fmt.list ~sep:Fmt.cut pp_packet_fault)
+      t.packet_faults
+      (fun ppf () ->
+        if t.packet_faults <> [] && t.node_faults <> [] then Fmt.cut ppf ())
+      ()
+      (Fmt.list ~sep:Fmt.cut pp_node_fault)
+      t.node_faults

@@ -1,0 +1,5 @@
+(** Schedule a plan's node faults (crash-and-reboot, clock drift) on a
+    simulation engine. Packet faults are ignored here (see
+    {!Injector}). *)
+
+val install : Plan.t -> Pte_sim.Engine.t -> unit

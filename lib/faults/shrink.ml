@@ -1,0 +1,125 @@
+(** Greedy delta-debugging of failing fault plans.
+
+    Given an oracle ("does this plan still make the trial violate
+    PTE?"), repeatedly try to remove whole faults, then simplify the
+    survivors' parameters (widen windows away, shrink delays and
+    blackouts, pull drift factors toward 1.0). Every candidate the
+    oracle accepts becomes the new baseline; the loop stops at a local
+    fixpoint or when the oracle-call budget runs out. The result is the
+    minimal replayable counterexample shipped as a test artifact. *)
+
+let remove_nth n list = List.filteri (fun i _ -> i <> n) list
+
+(** Candidate parameter simplifications for one packet fault, most
+    aggressive first. *)
+let simplify_packet (f : Plan.packet_fault) =
+  let cands = [] in
+  let cands =
+    match f.occurrence with
+    | Plan.Every -> { f with occurrence = Plan.Nth 0 } :: cands
+    | Plan.Nth n when n > 0 -> { f with occurrence = Plan.Nth 0 } :: cands
+    | Plan.Nth _ -> cands
+  in
+  let cands =
+    match f.window with
+    | Some _ -> { f with window = None } :: cands
+    | None -> cands
+  in
+  let cands =
+    match f.action with
+    | Plan.Delay d when d > 0.01 ->
+        { f with action = Plan.Delay (d /. 2.) } :: cands
+    | _ -> cands
+  in
+  List.rev cands
+
+let simplify_node = function
+  | Plan.Crash { entity; at; blackout } ->
+      let cands = [] in
+      let cands =
+        if blackout > 0.1 then
+          Plan.Crash { entity; at; blackout = blackout /. 2. } :: cands
+        else cands
+      in
+      let cands =
+        if at > 0.1 then Plan.Crash { entity; at = at /. 2.; blackout } :: cands
+        else cands
+      in
+      List.rev cands
+  | Plan.Clock_drift { entity; factor } ->
+      let halfway = 1.0 +. ((factor -. 1.0) /. 2.) in
+      if Float.abs (factor -. 1.0) > 0.02 then
+        [ Plan.Clock_drift { entity; factor = halfway } ]
+      else []
+
+let shrink ?(max_oracle_calls = 200) ~oracle plan =
+  let calls = ref 0 in
+  let ask candidate =
+    if !calls >= max_oracle_calls then false
+    else begin
+      incr calls;
+      oracle candidate
+    end
+  in
+  let current = ref plan in
+  let progress = ref true in
+  while !progress && !calls < max_oracle_calls do
+    progress := false;
+    (* Pass 1: drop whole faults, one at a time. *)
+    let try_removals get set =
+      let items = get !current in
+      let i = ref 0 in
+      while !i < List.length (get !current) do
+        let candidate = set !current (remove_nth !i (get !current)) in
+        if ask candidate then begin
+          current := candidate;
+          progress := true
+          (* same index now names the next item *)
+        end
+        else incr i
+      done;
+      ignore items
+    in
+    try_removals
+      (fun p -> p.Plan.packet_faults)
+      (fun p faults -> { p with Plan.packet_faults = faults });
+    try_removals
+      (fun p -> p.Plan.node_faults)
+      (fun p faults -> { p with Plan.node_faults = faults });
+    (* Pass 2: simplify each surviving fault's parameters. *)
+    let try_replacements get set simplify =
+      List.iteri
+        (fun i _ ->
+          let rec improve () =
+            let items = get !current in
+            let f = List.nth items i in
+            let accepted =
+              List.exists
+                (fun f' ->
+                  let candidate =
+                    set !current
+                      (List.mapi (fun j g -> if j = i then f' else g) items)
+                  in
+                  if ask candidate then begin
+                    current := candidate;
+                    progress := true;
+                    true
+                  end
+                  else false)
+                (simplify f)
+            in
+            if accepted && !calls < max_oracle_calls then improve ()
+          in
+          improve ())
+        (get !current)
+    in
+    try_replacements
+      (fun p -> p.Plan.packet_faults)
+      (fun p faults -> { p with Plan.packet_faults = faults })
+      simplify_packet;
+    try_replacements
+      (fun p -> p.Plan.node_faults)
+      (fun p faults -> { p with Plan.node_faults = faults })
+      simplify_node
+  done;
+  (!current, !calls)

@@ -1,0 +1,13 @@
+(** Greedy delta-debugging shrinker for failing fault plans. *)
+
+val shrink :
+  ?max_oracle_calls:int ->
+  oracle:(Plan.t -> bool) ->
+  Plan.t ->
+  Plan.t * int
+(** [shrink ~oracle plan] minimizes a plan for which [oracle plan =
+    true] ("still fails"). Tries removing whole faults, then simplifying
+    the survivors' parameters, re-running the oracle on every candidate,
+    to a local fixpoint. Returns the minimal plan and the number of
+    oracle calls spent. [max_oracle_calls] (default 200) bounds the
+    budget; each oracle call typically replays a full trial. *)

@@ -31,6 +31,9 @@ exception Zeno of { automaton : string; time : float }
 
 type route_decision =
   | Deliver of float  (** deliver after the given delay (seconds) *)
+  | Deliver_many of float list
+      (** deliver one copy per delay — duplicated frames (fault
+          injection); an empty list is equivalent to [Lose] *)
   | Lose
 
 type router =
@@ -56,6 +59,10 @@ type automaton_state = {
   mutable location : Location.t;
   mutable valuation : Valuation.t;
   mutable entered_at : float;
+  mutable halted : bool;
+      (* crashed node: flows frozen, edges disabled, receptions dropped *)
+  mutable rate : float;
+      (* local clock-drift factor: its flows advance [rate * dt] per step *)
 }
 
 type pending = { due : float; receiver : string; root : string; seq : int }
@@ -85,7 +92,8 @@ let create ?(config = default_config) ?trace_sink system =
       let location = Automaton.location_exn a a.Automaton.initial_location in
       let valuation = Automaton.initial_valuation a in
       Hashtbl.replace states a.Automaton.name
-        { automaton = a; location; valuation; entered_at = 0.0 };
+        { automaton = a; location; valuation; entered_at = 0.0; halted = false;
+          rate = 1.0 };
       Trace.Recorder.record recorder ~time:0.0
         (Trace.Enter_location
            { automaton = a.Automaton.name; location = location.Location.name }))
@@ -130,6 +138,44 @@ let set_value t name var value =
 let record t event = Trace.Recorder.record t.recorder ~time:t.now event
 let note t text = record t (Trace.Note text)
 
+(** Crash an automaton: its flows freeze, its edges stop firing and
+    incoming events are dropped until {!restart}. This realizes the
+    fail-stop node faults of the robustness campaigns — a behaviour the
+    paper's fault model (message loss only) does not cover, which is
+    exactly why injecting it is informative. *)
+let halt t name =
+  let st = state t name in
+  if not st.halted then begin
+    st.halted <- true;
+    note t (Printf.sprintf "fault: %s crashed" name)
+  end
+
+(** Restart a crashed (or running) automaton from its initial location
+    and valuation, as a rebooted node would. *)
+let restart t name =
+  let st = state t name in
+  st.halted <- false;
+  st.location <-
+    Automaton.location_exn st.automaton st.automaton.Automaton.initial_location;
+  st.valuation <- Automaton.initial_valuation st.automaton;
+  st.entered_at <- t.now;
+  note t (Printf.sprintf "fault: %s restarted" name);
+  record t
+    (Trace.Enter_location
+       { automaton = name; location = st.location.Location.name })
+
+let is_halted t name = (state t name).halted
+
+(** Set an automaton's local clock-drift factor: each global step of
+    [dt] advances its continuous state by [rate * dt]. [rate < 1] runs
+    its clocks slow (leases expire late), [rate > 1] fast. *)
+let set_rate t name rate =
+  if rate <= 0.0 || not (Float.is_finite rate) then
+    Fmt.invalid_arg "executor: clock rate must be positive, got %g" rate;
+  (state t name).rate <- rate
+
+let rate t name = (state t name).rate
+
 let enqueue t ~due ~receiver ~root =
   let item = { due; receiver; root; seq = t.seq } in
   t.seq <- t.seq + 1;
@@ -149,8 +195,13 @@ let broadcast t ~sender ~root =
       let receiver = listener.Automaton.name in
       if not (String.equal receiver sender) then
         match t.router ~time:t.now ~sender ~root ~receiver with
-        | Lose -> record t (Trace.Message_lost { receiver; root })
-        | Deliver delay -> enqueue t ~due:(t.now +. delay) ~receiver ~root)
+        | Lose | Deliver_many [] ->
+            record t (Trace.Message_lost { receiver; root })
+        | Deliver delay -> enqueue t ~due:(t.now +. delay) ~receiver ~root
+        | Deliver_many delays ->
+            List.iter
+              (fun delay -> enqueue t ~due:(t.now +. delay) ~receiver ~root)
+              delays)
     (System.listeners t.system root)
 
 (* Fire [edge] from [st]'s current location. Emits trace entries and
@@ -190,6 +241,12 @@ let enabled_eager st =
    listening on [root] in the current location, if any. *)
 let deliver t ~receiver ~root =
   let st = state t receiver in
+  if st.halted then begin
+    (* a crashed node's radio is off: the frame arrives at nobody *)
+    record t (Trace.Message_delivered { receiver; root; consumed = false });
+    false
+  end
+  else
   let candidate =
     List.find_opt
       (fun (e : Edge.t) ->
@@ -234,6 +291,8 @@ let stabilize t =
     List.iter
       (fun name ->
         let st = state t name in
+        if st.halted then ()
+        else
         let rec chase n =
           if n >= t.config.max_chain then
             raise (Zeno { automaton = name; time = t.now });
@@ -311,7 +370,10 @@ let step t =
   let start = t.now in
   let span = t.config.dt in
   List.iter
-    (fun name -> advance_automaton t (state t name) ~start ~span ~depth:0)
+    (fun name ->
+      let st = state t name in
+      if not st.halted then
+        advance_automaton t st ~start ~span:(span *. st.rate) ~depth:0)
     t.order;
   t.now <- start +. span;
   stabilize t;

@@ -18,6 +18,9 @@ exception Zeno of { automaton : string; time : float }
 
 type route_decision =
   | Deliver of float  (** deliver after the given delay (seconds) *)
+  | Deliver_many of float list
+      (** deliver one copy per delay — duplicated frames (fault
+          injection); an empty list is equivalent to [Lose] *)
   | Lose
 
 type router =
@@ -60,6 +63,31 @@ val set_value : t -> string -> Var.t -> float -> unit
 
 val note : t -> string -> unit
 (** Append a free-form annotation to the trace. *)
+
+(** {2 Node-fault hooks}
+
+    Used by the fault-injection layer ([pte_faults]) to realize
+    fail-stop crashes and clock drift — faults {e outside} the paper's
+    message-loss-only model, injected to probe how the lease pattern
+    degrades when Theorem 1's assumptions are broken. *)
+
+val halt : t -> string -> unit
+(** Crash an automaton: flows freeze, edges stop firing, incoming events
+    are recorded as unconsumed and dropped, until {!restart}. *)
+
+val restart : t -> string -> unit
+(** Reboot an automaton into its initial location and valuation (records
+    the location entry, so monitors see the reset). *)
+
+val is_halted : t -> string -> bool
+
+val set_rate : t -> string -> float -> unit
+(** Local clock-drift factor: each global [dt] advances this automaton's
+    continuous state by [rate * dt]. [rate < 1] = slow clocks (leases
+    expire late, eating the c1-c7 margins); [rate > 1] = fast. Raises
+    [Invalid_argument] on non-positive or non-finite rates. *)
+
+val rate : t -> string -> float
 
 val step : t -> unit
 (** Advance by one [config.dt] step. *)

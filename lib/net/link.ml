@@ -2,9 +2,26 @@
 
     Applies the loss model, assigns a propagation + MAC delay, and keeps
     statistics. Corrupted frames are "delivered" but fail the CRC check
-    and are discarded at the receiver, as the fault model prescribes. *)
+    and are discarded at the receiver, as the fault model prescribes.
+
+    An optional {e injector} sits in front of the stochastic loss model:
+    a deterministic per-frame tampering decision used by the
+    fault-injection layer ([pte_faults]) to script targeted faults
+    ("lose exactly the 2nd cancel on this downlink"). *)
 
 type direction = Uplink | Downlink
+
+(** The injector's verdict for one frame. [Pass] falls through to the
+    stochastic loss model; every other verdict overrides it (including
+    the MAC retry loop — a scripted fault hits the whole send). *)
+type tamper =
+  | Pass
+  | Drop_frame  (** lose the frame in the air *)
+  | Corrupt_frame  (** deliver with bit errors; the CRC check discards *)
+  | Delay_frame of float  (** deliver, but this many extra seconds late *)
+  | Duplicate_frame  (** deliver twice (MAC-ack lost, sender repeats) *)
+
+type injector = time:float -> root:string -> tamper
 
 type t = {
   name : string;
@@ -17,54 +34,90 @@ type t = {
   rng : Pte_util.Rng.t;
   stats : Link_stats.t;
   mutable seq : int;
+  mutable injector : injector option;
 }
 
 let create ~name ~direction ~loss ?(delay_base = 0.01) ?(delay_jitter = 0.02)
     ?(mac_retries = 0) ?(retry_spacing = 0.005) ~rng () =
   { name; direction; loss; delay_base; delay_jitter; mac_retries;
-    retry_spacing; rng; stats = Link_stats.create (); seq = 0 }
+    retry_spacing; rng; stats = Link_stats.create (); seq = 0;
+    injector = None }
+
+let name t = t.name
+let direction t = t.direction
+let set_injector t injector = t.injector <- injector
 
 type verdict =
   | Deliver of { arrival : float; packet : Packet.t }
+  | Deliver_dup of { arrivals : float * float; packet : Packet.t }
+      (** an injected duplicate: the same frame arrives twice *)
   | Drop of Loss.outcome  (** [Lost_in_air] or [Corrupted] *)
+
+(* The receiver-side CRC discard path: the frame arrives damaged, the
+   checksum fails, the receiver drops it. Both the stochastic
+   [Corrupting] model and the injector's [Corrupt_frame] flow through
+   here, so every corruption in the system is CRC-checked. *)
+let crc_discard t packet =
+  let damaged = Packet.corrupt ~bit:(Pte_util.Rng.int t.rng 64) packet in
+  assert (not (Packet.intact damaged));
+  Link_stats.on_corrupted t.stats;
+  Drop Loss.Corrupted
 
 (** Send one event root across the link at [time], with up to
     [mac_retries] MAC-layer retransmissions (802.15.4-style; each retry
     adds [retry_spacing] to the delivery delay). The receiver-side CRC
     check happens here: a corrupted frame arrives but is discarded, so
-    the attempt counts as a drop with outcome [Corrupted]. *)
+    the attempt counts as a drop with outcome [Corrupted]. An installed
+    injector is consulted first; a non-[Pass] verdict bypasses the loss
+    model (and its RNG draw) for this frame. *)
 let send t ~time ~src ~dst ~root =
   let packet = Packet.make ~seq:t.seq ~src ~dst ~root ~sent_at:time () in
   t.seq <- t.seq + 1;
   Link_stats.on_sent t.stats;
-  let rec attempt n =
-    let now = time +. (Float.of_int n *. t.retry_spacing) in
-    match Loss.decide t.loss ~time:now ~root with
-    | Loss.Lost_in_air when n < t.mac_retries ->
-        Link_stats.on_retransmit t.stats;
-        attempt (n + 1)
-    | Loss.Corrupted when n < t.mac_retries ->
-        Link_stats.on_retransmit t.stats;
-        attempt (n + 1)
-    | Loss.Lost_in_air ->
-        Link_stats.on_lost t.stats;
-        Drop Loss.Lost_in_air
-    | Loss.Corrupted ->
-        (* The frame arrives, the CRC check fails, the receiver discards. *)
-        let damaged = Packet.corrupt ~bit:(Pte_util.Rng.int t.rng 64) packet in
-        assert (not (Packet.intact damaged));
-        Link_stats.on_corrupted t.stats;
-        Drop Loss.Corrupted
-    | Loss.Delivered ->
-        let delay =
-          t.delay_base
-          +. Pte_util.Rng.uniform t.rng ~lo:0.0 ~hi:t.delay_jitter
-          +. (Float.of_int n *. t.retry_spacing)
-        in
-        Link_stats.on_delivered t.stats ~delay;
-        Deliver { arrival = time +. delay; packet }
+  let tamper =
+    match t.injector with None -> Pass | Some f -> f ~time ~root
   in
-  attempt 0
+  match tamper with
+  | Drop_frame ->
+      Link_stats.on_lost t.stats;
+      Drop Loss.Lost_in_air
+  | Corrupt_frame -> crc_discard t packet
+  | Pass | Delay_frame _ | Duplicate_frame -> (
+      let rec attempt n =
+        let now = time +. (Float.of_int n *. t.retry_spacing) in
+        match Loss.decide t.loss ~time:now ~root with
+        | Loss.Lost_in_air when n < t.mac_retries ->
+            Link_stats.on_retransmit t.stats;
+            attempt (n + 1)
+        | Loss.Corrupted when n < t.mac_retries ->
+            Link_stats.on_retransmit t.stats;
+            attempt (n + 1)
+        | Loss.Lost_in_air ->
+            Link_stats.on_lost t.stats;
+            Drop Loss.Lost_in_air
+        | Loss.Corrupted ->
+            (* The frame arrives, the CRC check fails, the receiver
+               discards. *)
+            crc_discard t packet
+        | Loss.Delivered ->
+            let delay =
+              t.delay_base
+              +. Pte_util.Rng.uniform t.rng ~lo:0.0 ~hi:t.delay_jitter
+              +. (Float.of_int n *. t.retry_spacing)
+            in
+            Link_stats.on_delivered t.stats ~delay;
+            Deliver { arrival = time +. delay; packet }
+      in
+      match (attempt 0, tamper) with
+      | (Drop _ as v), _ | (v, Pass) -> v
+      | Deliver { arrival; packet }, Delay_frame extra ->
+          Deliver { arrival = arrival +. extra; packet }
+      | Deliver { arrival; packet }, Duplicate_frame ->
+          (* the duplicate trails by one retry spacing, like a repeated
+             frame whose MAC ack was lost *)
+          Deliver_dup { arrivals = (arrival, arrival +. t.retry_spacing); packet }
+      | Deliver_dup _, _ | Deliver _, (Drop_frame | Corrupt_frame) ->
+          assert false (* attempt never duplicates; drops returned above *))
 
 let stats t = t.stats
 

@@ -1,9 +1,26 @@
 (** A unidirectional wireless link (one uplink or downlink of the star):
     applies the loss model, assigns propagation + MAC delay, keeps
     statistics. Corrupted frames fail the receiver-side CRC check and
-    are discarded, per the Section II-B fault model. *)
+    are discarded, per the Section II-B fault model. An optional
+    {!type-injector} scripts deterministic per-frame faults in front of
+    the stochastic loss model. *)
 
 type direction = Uplink | Downlink
+
+(** The injector's verdict for one frame. [Pass] falls through to the
+    stochastic loss model; every other verdict overrides it (including
+    the MAC retry loop — a scripted fault hits the whole send, so "drop
+    the 2nd cancel" means that cancel is gone no matter how many
+    retransmissions the radio would have tried). *)
+type tamper =
+  | Pass
+  | Drop_frame
+  | Corrupt_frame
+      (** delivered with bit errors; flows through the CRC discard path *)
+  | Delay_frame of float  (** extra delivery delay, seconds *)
+  | Duplicate_frame  (** delivered twice, one retry-spacing apart *)
+
+type injector = time:float -> root:string -> tamper
 
 type t
 
@@ -23,8 +40,18 @@ val create :
     (802.15.4-style), each retry adding [retry_spacing] (default 5 ms)
     to the delivery delay. *)
 
+val name : t -> string
+val direction : t -> direction
+
+val set_injector : t -> injector option -> unit
+(** Install (or clear) the deterministic fault injector consulted before
+    the loss model. A non-[Pass] verdict skips the loss model's RNG draw
+    for that frame. *)
+
 type verdict =
   | Deliver of { arrival : float; packet : Packet.t }
+  | Deliver_dup of { arrivals : float * float; packet : Packet.t }
+      (** an injected duplicate: the same frame arrives twice *)
   | Drop of Loss.outcome
 
 val send : t -> time:float -> src:string -> dst:string -> root:string -> verdict

@@ -116,11 +116,32 @@ let rec nominal_loss_rate = function
     as a bursty Gilbert–Elliott process with the given average loss
     rate. Bursts average ~5 packets; the good state still loses a small
     residue. *)
+
+module Log = (val Logs.src_log (Logs.Src.create "pte.net.loss") : Logs.LOG)
+
+(* The Gilbert–Elliott parameterization below cannot realize every
+   average: the good state already loses 2% (so averages below
+   loss_good are unreachable) and the stationary bad-state probability
+   must stay < 1 (so averages at or above loss_bad are unreachable).
+   The representable band, with a little headroom at the top so burst
+   lengths stay finite: *)
+let wifi_min_loss = 0.021
+let wifi_max_loss = 0.88
+
+let wifi_effective_loss ~average_loss =
+  Float.max wifi_min_loss (Float.min wifi_max_loss average_loss)
+
 let wifi_interference ~average_loss =
   let loss_bad = 0.9 and loss_good = 0.02 in
-  let average_loss = Float.max 0.021 (Float.min 0.88 average_loss) in
+  let effective = wifi_effective_loss ~average_loss in
+  if effective <> average_loss then
+    Log.warn (fun m ->
+        m
+          "wifi_interference: average_loss %g is outside the representable \
+           band [%g, %g]; clamped to %g"
+          average_loss wifi_min_loss wifi_max_loss effective);
   (* choose stationary bad-state probability to hit the average *)
-  let p_bad = (average_loss -. loss_good) /. (loss_bad -. loss_good) in
+  let p_bad = (effective -. loss_good) /. (loss_bad -. loss_good) in
   let to_good = 0.2 (* mean burst length 5 packets *) in
   let to_bad = to_good *. p_bad /. (1.0 -. p_bad) in
   Gilbert_elliott { to_bad; to_good; loss_good; loss_bad }

@@ -43,6 +43,21 @@ val nominal_loss_rate : kind -> float
 val wifi_interference : average_loss:float -> kind
 (** The Table-I channel: constant WiFi interference as a bursty
     Gilbert–Elliott process with the given average loss rate (bursts of
-    ~5 packets at 90% loss over a 2% residual). *)
+    ~5 packets at 90% loss over a 2% residual).
+
+    The parameterization can only realize averages in
+    [{!wifi_min_loss}, {!wifi_max_loss}] = [0.021, 0.88]: the good state
+    already loses 2%, and the bad state loses 90% so the average must
+    stay below it. A request outside that band is {b clamped} to the
+    nearest representable rate and a warning is logged; use
+    {!wifi_effective_loss} to learn the rate actually realized. *)
+
+val wifi_min_loss : float
+val wifi_max_loss : float
+
+val wifi_effective_loss : average_loss:float -> float
+(** The average loss rate {!wifi_interference} actually realizes for
+    this request, i.e. the requested rate clamped into
+    [[wifi_min_loss, wifi_max_loss]]. *)
 
 val pp_kind : kind Fmt.t

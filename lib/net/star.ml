@@ -62,10 +62,19 @@ let router t : Pte_hybrid.Executor.router =
         match Link.send link ~time ~src:sender ~dst:receiver ~root with
         | Link.Deliver { arrival; _ } ->
             Pte_hybrid.Executor.Deliver (arrival -. time)
+        | Link.Deliver_dup { arrivals = (a1, a2); _ } ->
+            Pte_hybrid.Executor.Deliver_many [ a1 -. time; a2 -. time ]
         | Link.Drop _ -> Pte_hybrid.Executor.Lose)
 
 let all_links t =
   List.map snd t.uplinks @ List.map snd t.downlinks
+
+(** Every link with the remote entity it serves — uplinks first, in
+    remote order — for layers that install per-link machinery (fault
+    injectors, per-link observers). *)
+let links t =
+  List.map (fun (remote, link) -> (remote, link)) t.uplinks
+  @ List.map (fun (remote, link) -> (remote, link)) t.downlinks
 
 let total_stats t =
   List.fold_left

@@ -29,5 +29,9 @@ val is_node : t -> string -> bool
 val link_for : t -> sender:string -> receiver:string -> Link.t option
 val router : t -> Pte_hybrid.Executor.router
 val all_links : t -> Link.t list
+
+(** Every link paired with the remote entity it serves (uplinks first,
+    in remote order) — for installing per-link fault injectors. *)
+val links : t -> (string * Link.t) list
 val total_stats : t -> Link_stats.t
 val pp : t Fmt.t

@@ -52,6 +52,12 @@ let value_of t name var = Executor.value_of t.exec name var
 let set_value t name var value = Executor.set_value t.exec name var value
 let note t text = Executor.note t.exec text
 
+(* Node-fault hooks (crash / reboot / clock drift), for [pte_faults]. *)
+let halt t name = Executor.halt t.exec name
+let restart t name = Executor.restart t.exec name
+let is_halted t name = Executor.is_halted t.exec name
+let set_rate t name rate = Executor.set_rate t.exec name rate
+
 let run_processes t =
   let now = time t in
   List.iter

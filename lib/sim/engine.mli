@@ -36,5 +36,16 @@ val value_of : t -> string -> string -> float
 val set_value : t -> string -> string -> float -> unit
 val note : t -> string -> unit
 
+val halt : t -> string -> unit
+(** Crash an automaton until {!restart} (see {!Pte_hybrid.Executor.halt}). *)
+
+val restart : t -> string -> unit
+(** Reboot a (crashed) automaton into its initial location. *)
+
+val is_halted : t -> string -> bool
+
+val set_rate : t -> string -> float -> unit
+(** Per-automaton clock-drift factor (see {!Pte_hybrid.Executor.set_rate}). *)
+
 val run : t -> until:float -> unit
 val trace : t -> Pte_hybrid.Trace.t

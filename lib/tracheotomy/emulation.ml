@@ -24,6 +24,10 @@ type config = {
   mac_retries : int;
       (** 802.15.4 MAC retransmissions per frame (the paper's TMote-Sky
           radios retransmit at the MAC layer; 0 disables). *)
+  faults : Pte_faults.Plan.t;
+      (** Scripted fault plan injected on top of the stochastic loss
+          model (deterministic packet tampering, crashes, clock drift).
+          [Pte_faults.Plan.empty] leaves the trial untouched. *)
 }
 
 let default =
@@ -39,6 +43,7 @@ let default =
     seed = 42;
     dt = 0.01;
     mac_retries = 0;
+    faults = Pte_faults.Plan.empty;
   }
 
 type built = {
@@ -50,6 +55,7 @@ type built = {
   laser : string;
   ventilator : string;
   spo2_stats : Pte_util.Stats.Online.t;
+  faults_handle : Pte_faults.Injector.handle;
 }
 
 let build (config : config) =
@@ -89,6 +95,10 @@ let build (config : config) =
   let spec =
     Pte_core.Rules.of_params_with_bounds params ~dwell_bound:config.dwell_bound
   in
+  (* scripted faults: packet tampering on the links, node faults on the
+     engine (no-ops for the empty plan) *)
+  let faults_handle = Pte_faults.Injector.install config.faults net in
+  Pte_faults.Runtime.install config.faults engine;
   {
     config;
     engine;
@@ -98,6 +108,7 @@ let build (config : config) =
     laser = laser_name;
     ventilator = ventilator_name;
     spo2_stats;
+    faults_handle;
   }
 
 let run built =

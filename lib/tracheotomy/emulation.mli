@@ -16,6 +16,9 @@ type config = {
   dt : float;  (** executor step. *)
   mac_retries : int;
       (** 802.15.4 MAC retransmissions per frame (0 disables). *)
+  faults : Pte_faults.Plan.t;
+      (** Scripted fault plan injected on top of the stochastic loss
+          model ({!Pte_faults.Plan.empty} = none). *)
 }
 
 val default : config
@@ -32,6 +35,8 @@ type built = {
   laser : string;
   ventilator : string;
   spo2_stats : Pte_util.Stats.Online.t;
+  faults_handle : Pte_faults.Injector.handle;
+      (** Match/fire counters of the config's packet faults. *)
 }
 
 val build : config -> built

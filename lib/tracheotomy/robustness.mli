@@ -1,0 +1,113 @@
+(** Fault-injection campaigns over the laser-tracheotomy system:
+    exhaustive message-drop coverage (the paper's fault model, one
+    targeted loss at a time) and randomized fuzz with counterexample
+    shrinking (faults {e beyond} the paper's model: corruption storms,
+    crashes, clock drift). *)
+
+module Plan = Pte_faults.Plan
+
+val messages :
+  ?params:Pte_core.Params.t -> unit -> Pte_faults.Fuzz.message list
+(** Every protocol message root × link of the N=2 system (12 for the
+    case study); environment stimuli excluded — they never cross the
+    network. *)
+
+val vocabulary :
+  ?params:Pte_core.Params.t -> horizon:float -> unit ->
+  Pte_faults.Fuzz.vocabulary
+(** Fuzz vocabulary: the protocol messages plus the crashable/driftable
+    remote entities. *)
+
+(** {2 Coverage campaign} *)
+
+(** One coverage target: drop the [occurrence]-th frame carrying
+    [message.root] on [message.site]. *)
+type target = {
+  message : Pte_faults.Fuzz.message;
+  occurrence : int;
+  plan : Plan.t;  (** the auto-generated one-shot drop plan *)
+}
+
+val targets :
+  ?params:Pte_core.Params.t -> ?occurrences:int -> unit -> target list
+(** All roots × occurrences 0..[occurrences]-1 (default 2). *)
+
+type coverage_row = {
+  target : target;
+  fired : bool;  (** did the targeted frame exist (drop actually fired)? *)
+  with_lease : Trial.result;
+  without_lease : Trial.result;
+}
+
+type coverage = {
+  rows : coverage_row list;
+  roots_total : int;
+  roots_targeted : int;
+  roots_exercised : int;  (** roots whose drop fired in >= 1 trial *)
+  with_lease_violations : int;  (** total episodes, with lease — want 0 *)
+  without_lease_violations : int;  (** total, without lease — want > 0 *)
+}
+
+val coverage :
+  ?workers:int ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?params:Pte_core.Params.t ->
+  ?occurrences:int ->
+  ?horizon:float ->
+  ?seed:int ->
+  unit ->
+  coverage
+(** Run every target under both lease modes (2 trials per target, as one
+    {!Pte_campaign} campaign over a perfect channel, so the scripted
+    drop is the only loss). Theorem 1 covers message loss, so
+    [with_lease_violations] must be 0; the without-lease baseline is
+    expected to degrade. *)
+
+val pp_coverage : coverage Fmt.t
+(** The coverage matrix plus the targeted/exercised and violation
+    summary lines. *)
+
+(** {2 Fuzz + shrink} *)
+
+(** A replayable counterexample: {!replay} reruns the exact trial from
+    the plan and seed alone. *)
+type artifact = {
+  plan : Plan.t;
+  trial_seed : int;
+  horizon : float;
+  lease : bool;
+  failures : int;  (** violation episodes the minimal plan reproduces *)
+}
+
+val artifact_config : artifact -> Emulation.config
+val replay : artifact -> Trial.result
+
+val artifact_to_string : artifact -> string
+val artifact_of_string : string -> (artifact, string) result
+val save_artifact : artifact -> string -> unit
+val load_artifact : string -> (artifact, string) result
+
+type fuzz_report = {
+  trials : int;
+  violating : int;  (** random plans that produced >= 1 violation *)
+  artifacts : artifact list;  (** one shrunk artifact per violating plan *)
+  oracle_calls : int;  (** trials replayed by the shrinker *)
+}
+
+val fuzz :
+  ?params:Pte_core.Params.t ->
+  ?horizon:float ->
+  ?lease:bool ->
+  ?max_oracle_calls:int ->
+  ?log:(string -> unit) ->
+  seed:int ->
+  trials:int ->
+  unit ->
+  fuzz_report
+(** Draw [trials] random plans (deterministic in [seed]), run each
+    against the (default with-lease) system on a perfect channel, and
+    shrink every violating plan to a minimal artifact. *)
+
+val pp_artifact : artifact Fmt.t
+val pp_fuzz_report : fuzz_report Fmt.t

@@ -18,6 +18,7 @@ type result = {
   min_spo2 : float;
   messages_sent : int;
   effective_loss_rate : float;
+  faults_fired : int;  (** scripted packet faults that actually fired. *)
 }
 
 let run (config : Emulation.config) : result =
@@ -58,6 +59,8 @@ let run (config : Emulation.config) : result =
     min_spo2 = Pte_util.Stats.Online.min built.Emulation.spo2_stats;
     messages_sent = net_stats.Pte_net.Link_stats.sent;
     effective_loss_rate = Pte_net.Link_stats.loss_rate net_stats;
+    faults_fired =
+      Pte_faults.Injector.total_fired built.Emulation.faults_handle;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -94,6 +97,7 @@ let metrics_of_result (r : result) =
     ("min_spo2", r.min_spo2);
     ("messages_sent", Float.of_int r.messages_sent);
     ("loss_rate", r.effective_loss_rate);
+    ("faults_fired", Float.of_int r.faults_fired);
     (* indicator, so the aggregate counts replicates with any failure *)
     ("failed", if r.failures > 0 then 1.0 else 0.0);
   ]

@@ -17,6 +17,9 @@ type result = {
   min_spo2 : float;
   messages_sent : int;
   effective_loss_rate : float;
+  faults_fired : int;
+      (** # of scripted packet faults that fired (0 unless the config
+          carries a {!Pte_faults.Plan.t}). *)
 }
 
 val run : Emulation.config -> result

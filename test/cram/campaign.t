@@ -31,10 +31,16 @@ minutes) is deterministic and writes one JSONL line per trial:
   
 
   $ wc -l < results.jsonl
-  4
+  5
 
   $ grep -c '"status":"ok"' results.jsonl
   4
+
+The first line is a header naming the campaign (master seed, grid
+shape, per-job seed digest):
+
+  $ head -n 1 results.jsonl | grep -c campaign-header
+  1
 
 Resuming on an already-complete results file re-runs nothing and
 reproduces the identical aggregate table:
@@ -51,3 +57,9 @@ reproduces the identical aggregate table:
   | without Lease |         6 |    1 |       2.0 |      0.0 |          0/1 |       0.0 |            21.3 |
   +---------------+-----------+------+-----------+----------+--------------+-----------+-----------------+
   
+
+Resuming with a different master seed is refused — the checkpoint's
+header names a different campaign:
+
+  $ ../../bin/pte_campaign_cli.exe table1 --reps 1 --minutes 3 --workers 2 --seed 2014 --out results.jsonl --resume 2>&1 | sed 's/digest [0-9a-f]*/digest .../g'
+  pte-campaign: checkpoint results.jsonl was written by a different campaign (file: seed 2013, 4 cells x 1 reps, digest ...; expected: seed 2014, 4 cells x 1 reps, digest ...)

@@ -293,8 +293,9 @@ let test_resume_after_kill_matches_uninterrupted () =
         { Runner.default with workers = Some 2; checkpoint = Some path }
       in
       let _first = run_synthetic ~config ~workers:2 () in
-      (* simulate a kill after 5 of 12 jobs, mid-write of the 6th *)
-      truncate_checkpoint path ~keep_lines:5;
+      (* simulate a kill after 5 of 12 jobs, mid-write of the 6th
+         (line 1 is the campaign header) *)
+      truncate_checkpoint path ~keep_lines:6;
       let resumed_config = { config with resume = true } in
       let resumed = run_synthetic ~config:resumed_config ~workers:2 () in
       Alcotest.(check int) "5 jobs resumed" 5 resumed.Runner.resumed;
@@ -338,6 +339,37 @@ let test_resume_ignores_foreign_checkpoint () =
       Alcotest.(check int) "nothing resumed" 0 result.Runner.resumed;
       check_same_aggregates "foreign line ignored" (run_synthetic ~workers:1 ())
         result)
+
+let test_checkpoint_header_names_campaign () =
+  with_temp_file (fun path ->
+      let config =
+        { Runner.default with workers = Some 1; checkpoint = Some path }
+      in
+      let _ = run_synthetic ~config ~workers:1 () in
+      match Checkpoint.read_header path with
+      | None -> Alcotest.fail "checkpoint has no header line"
+      | Some h ->
+          Alcotest.(check int) "seed" 2013 h.Checkpoint.seed;
+          Alcotest.(check int) "cells" 3 h.Checkpoint.cells;
+          Alcotest.(check int) "reps" 4 h.Checkpoint.reps;
+          let jobs = Job.plan ~cells:[| 10; 20; 30 |] ~reps:4 ~seed:2013 in
+          Alcotest.(check string) "digest" (Job.digest jobs) h.Checkpoint.digest)
+
+let test_resume_refuses_mismatched_header () =
+  with_temp_file (fun path ->
+      let config =
+        { Runner.default with workers = Some 1; checkpoint = Some path }
+      in
+      let _ = run_synthetic ~config ~workers:1 () in
+      let resume = { config with Runner.resume = true } in
+      (* a different master seed means a different per-job seed table:
+         those recorded metrics would be silently wrong to reuse *)
+      match
+        Runner.run ~config:resume ~cells:[| 10; 20; 30 |] ~reps:4 ~seed:999
+          synthetic
+      with
+      | exception Checkpoint.Mismatch _ -> ()
+      | _ -> Alcotest.fail "resume accepted a mismatched checkpoint")
 
 (* ------------------------------------------------------------------ *)
 (* aggregation                                                         *)
@@ -411,5 +443,9 @@ let suite =
           test_resume_noop_on_complete_file;
         Alcotest.test_case "resume ignores foreign checkpoint" `Quick
           test_resume_ignores_foreign_checkpoint;
+        Alcotest.test_case "header names the campaign" `Quick
+          test_checkpoint_header_names_campaign;
+        Alcotest.test_case "resume refuses mismatched header" `Quick
+          test_resume_refuses_mismatched_header;
       ] );
   ]

@@ -125,6 +125,102 @@ let test_wifi_interference_targets_average () =
         Alcotest.failf "average %.2f -> nominal %.3f" target nominal)
     [ 0.1; 0.25; 0.5; 0.7 ]
 
+let test_wifi_clamp_surfaced () =
+  (* requests outside the representable band are clamped, and
+     wifi_effective_loss reports the rate actually realized *)
+  Alcotest.(check (float 1e-9)) "below band" Loss.wifi_min_loss
+    (Loss.wifi_effective_loss ~average_loss:0.0);
+  Alcotest.(check (float 1e-9)) "above band" Loss.wifi_max_loss
+    (Loss.wifi_effective_loss ~average_loss:0.95);
+  Alcotest.(check (float 1e-9)) "in band untouched" 0.25
+    (Loss.wifi_effective_loss ~average_loss:0.25);
+  List.iter
+    (fun requested ->
+      let kind = Loss.wifi_interference ~average_loss:requested in
+      let effective = Loss.wifi_effective_loss ~average_loss:requested in
+      if Float.abs (Loss.nominal_loss_rate kind -. effective) > 0.01 then
+        Alcotest.failf "request %.2f: nominal %.3f != effective %.3f" requested
+          (Loss.nominal_loss_rate kind)
+          effective)
+    [ 0.0; 0.01; 0.25; 0.9; 1.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: nominal = empirical across random stochastic channels       *)
+(* ------------------------------------------------------------------ *)
+
+(* empirical rate over uniformly random send times, so duty-cycled
+   channels are sampled without aliasing against a fixed grid *)
+let empirical_random_times kind ~n =
+  let model = Loss.create ~seed:177 kind in
+  let times = Pte_util.Rng.create 178 in
+  let lost = ref 0 in
+  for _ = 1 to n do
+    match
+      Loss.decide model ~time:(Pte_util.Rng.uniform times ~lo:0.0 ~hi:1000.0)
+        ~root:"evt"
+    with
+    | Loss.Delivered -> ()
+    | Loss.Lost_in_air | Loss.Corrupted -> incr lost
+  done;
+  Float.of_int !lost /. Float.of_int n
+
+let gen_stochastic_kind =
+  let open QCheck.Gen in
+  let unit_float = float_bound_inclusive 1.0 in
+  let base =
+    [
+      (2, map (fun p -> Loss.Bernoulli p) unit_float);
+      ( 2,
+        (* transition probabilities bounded away from 0 keep the chain's
+           mixing time well under the sample count *)
+        map
+          (fun ((to_bad, to_good), (loss_good, loss_bad)) ->
+            Loss.Gilbert_elliott { to_bad; to_good; loss_good; loss_bad })
+          (pair
+             (pair (float_range 0.05 0.6) (float_range 0.05 0.6))
+             (pair unit_float unit_float)) );
+      ( 2,
+        map
+          (fun ((period, duty), (loss_during, loss_idle)) ->
+            Loss.Interferer
+              { period; burst = duty *. period; loss_during; loss_idle })
+          (pair
+             (pair (float_range 0.5 5.0) unit_float)
+             (pair unit_float unit_float)) );
+      ( 1,
+        map
+          (fun trace -> Loss.Trace_driven (Array.of_list trace))
+          (list_size (int_range 1 64) bool) );
+    ]
+  in
+  frequency
+    (base
+    @ [
+        ( 1,
+          map
+            (fun (inner, fraction) ->
+              Loss.Corrupting { inner; corrupt_fraction = fraction })
+            (pair (frequency base) unit_float) );
+      ])
+
+let prop_nominal_matches_empirical =
+  QCheck.Test.make
+    ~name:"nominal loss rate matches empirical rate (every stochastic kind)"
+    ~count:40
+    (QCheck.make ~print:(Fmt.to_to_string Loss.pp_kind) gen_stochastic_kind)
+    (fun kind ->
+      let n = 20_000 in
+      let nominal = Loss.nominal_loss_rate kind in
+      let rate = empirical_random_times kind ~n in
+      (* binomial CI inflated for burst correlation; far beyond 5 sigma *)
+      let tolerance =
+        0.02 +. (5.0 *. sqrt (nominal *. (1.0 -. nominal) /. Float.of_int n))
+      in
+      if Float.abs (rate -. nominal) > tolerance then
+        QCheck.Test.fail_reportf "%a: empirical %.4f vs nominal %.4f (+/-%.4f)"
+          Loss.pp_kind kind rate nominal tolerance
+      else true)
+
 let suite =
   [
     ( "net.loss",
@@ -141,5 +237,7 @@ let suite =
         Alcotest.test_case "trace-driven replay" `Quick test_trace_driven;
         Alcotest.test_case "wifi targets average" `Quick
           test_wifi_interference_targets_average;
+        Alcotest.test_case "wifi clamp surfaced" `Quick test_wifi_clamp_surfaced;
+        QCheck_alcotest.to_alcotest prop_nominal_matches_empirical;
       ] );
   ]

@@ -13,4 +13,5 @@ let () =
    @ Test_multi.suite @ Test_sequencing.suite
    @ Test_compliance.suite
    @ Test_engine.suite @ Test_dbm.suite @ Test_mc.suite
-   @ Test_tracheotomy.suite @ Test_scenarios.suite @ Test_integration.suite)
+   @ Test_tracheotomy.suite @ Test_scenarios.suite @ Test_faults.suite
+   @ Test_integration.suite)

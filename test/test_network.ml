@@ -19,6 +19,7 @@ let test_link_delivery_and_delay () =
         if delay < 0.01 -. 1e-9 || delay > 0.03 +. 1e-9 then
           Alcotest.failf "delay out of range: %g" delay;
         Alcotest.(check bool) "packet intact" true (Packet.intact packet)
+    | Link.Deliver_dup _ -> Alcotest.fail "no injector, no duplicates"
     | Link.Drop _ -> Alcotest.fail "perfect link dropped"
   done;
   Alcotest.(check int) "stats sent" 100 (Link.stats link).Link_stats.sent;
@@ -93,7 +94,7 @@ let test_mac_retries_recover () =
   let delivered = ref 0 in
   for _ = 1 to 2000 do
     match Link.send link ~time:0.0 ~src:"a" ~dst:"b" ~root:"e" with
-    | Link.Deliver _ -> incr delivered
+    | Link.Deliver _ | Link.Deliver_dup _ -> incr delivered
     | Link.Drop _ -> ()
   done;
   let rate = Float.of_int !delivered /. 2000.0 in
@@ -116,7 +117,8 @@ let test_mac_retries_add_delay () =
         (Fmt.str "arrival %.4f" arrival)
         true
         (Float.abs (arrival -. 1.02) < 1e-9)
-  | Link.Drop _ -> Alcotest.fail "expected delivery on third attempt"
+  | Link.Deliver_dup _ | Link.Drop _ ->
+      Alcotest.fail "expected delivery on third attempt"
 
 let test_adversarial_blackout_defeats_retries () =
   (* a root-targeted blackout loses every attempt, retries or not *)
@@ -127,10 +129,11 @@ let test_adversarial_blackout_defeats_retries () =
   in
   (match Link.send link ~time:0.0 ~src:"a" ~dst:"b" ~root:"evt_cancel" with
   | Link.Drop _ -> ()
-  | Link.Deliver _ -> Alcotest.fail "blackout must hold");
+  | Link.Deliver _ | Link.Deliver_dup _ -> Alcotest.fail "blackout must hold");
   match Link.send link ~time:0.0 ~src:"a" ~dst:"b" ~root:"evt_other" with
   | Link.Deliver _ -> ()
-  | Link.Drop _ -> Alcotest.fail "other roots unaffected"
+  | Link.Deliver_dup _ | Link.Drop _ ->
+      Alcotest.fail "other roots unaffected"
 
 let test_total_stats_merge () =
   let star = mk_star () in
@@ -140,6 +143,39 @@ let test_total_stats_merge () =
   let stats = Star.total_stats star in
   Alcotest.(check int) "two sends" 2 stats.Link_stats.sent;
   Alcotest.(check int) "two deliveries" 2 stats.Link_stats.delivered
+
+(* qcheck property: whatever fraction of losses arrives as corrupted
+   frames, the receiver-side CRC rejects every one of them end-to-end —
+   a corrupt packet is never handed up as a delivery *)
+let prop_corrupted_frames_always_rejected =
+  QCheck.Test.make ~name:"corrupted frames always rejected by the CRC"
+    ~count:30
+    QCheck.(
+      make
+        ~print:(fun (p, f, seed) -> Printf.sprintf "loss=%.2f corrupt=%.2f seed=%d" p f seed)
+        Gen.(triple (float_bound_inclusive 1.0) (float_bound_inclusive 1.0) int))
+    (fun (loss_p, corrupt_fraction, seed) ->
+      let kind =
+        Loss.Corrupting { inner = Loss.Bernoulli loss_p; corrupt_fraction }
+      in
+      let link =
+        Link.create ~name:"l" ~direction:Link.Uplink ~loss:(Loss.create ~seed kind)
+          ~rng:(Pte_util.Rng.create (seed + 1)) ()
+      in
+      let crc_drops = ref 0 in
+      for i = 1 to 400 do
+        match
+          Link.send link ~time:(Float.of_int i) ~src:"a" ~dst:"b" ~root:"e"
+        with
+        | Link.Deliver { packet; _ } ->
+            if not (Packet.intact packet) then
+              QCheck.Test.fail_reportf "corrupt packet delivered at send %d" i
+        | Link.Deliver_dup _ ->
+            QCheck.Test.fail_reportf "no injector, no duplicates"
+        | Link.Drop Loss.Corrupted -> incr crc_drops
+        | Link.Drop _ -> ()
+      done;
+      (Link.stats link).Link_stats.corrupted = !crc_drops)
 
 let suite =
   [
@@ -158,5 +194,6 @@ let suite =
         Alcotest.test_case "blackout defeats retries" `Quick
           test_adversarial_blackout_defeats_retries;
         Alcotest.test_case "stats merge" `Quick test_total_stats_merge;
+        QCheck_alcotest.to_alcotest prop_corrupted_frames_always_rejected;
       ] );
   ]
