@@ -15,6 +15,30 @@ open Pte_util
 let params = Pte_core.Params.case_study
 let smoke = ref false
 
+(* Machine-readable companions to the bench tables: BENCH_<id>.json next
+   to the text output, so the perf/robustness trajectory diffs across
+   PRs. Schema: { bench, seed, params, metrics: [ {name, ..., mean,
+   ci95, n} ] }. *)
+let write_bench_json ~bench ~seed ~params ~metrics =
+  let module J = Pte_campaign.Json in
+  let path = Fmt.str "BENCH_%s.json" bench in
+  let json =
+    J.Obj
+      [ ("bench", J.Str bench); ("seed", J.Num (Float.of_int seed));
+        ("params", J.Obj params); ("metrics", J.Arr metrics) ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "wrote %s@." path
+
+let summary_fields (s : Pte_campaign.Aggregate.summary) =
+  let module J = Pte_campaign.Json in
+  [ ("mean", J.Num s.Pte_campaign.Aggregate.mean);
+    ("ci95", J.Num s.Pte_campaign.Aggregate.ci95);
+    ("n", J.Num (Float.of_int s.Pte_campaign.Aggregate.n)) ]
+
 (* ------------------------------------------------------------------ *)
 (* T1: Table I — PTE safety rule violation statistics                  *)
 (* ------------------------------------------------------------------ *)
@@ -564,6 +588,85 @@ let x1 () =
   Table.print agg
 
 (* ------------------------------------------------------------------ *)
+(* A1: availability vs loss, bare vs reliable transport                *)
+(* ------------------------------------------------------------------ *)
+
+let a1 () =
+  let module T = Pte_tracheotomy.Trial in
+  let losses, reps, horizon, seed =
+    if !smoke then ([ 0.0; 0.3; 0.6 ], 2, 300.0, 900)
+    else ([ 0.0; 0.15; 0.3; 0.45; 0.6 ], 5, 1800.0, 900)
+  in
+  let tcfg = Pte_net.Transport.default_config in
+  let budget =
+    Pte_net.Transport.worst_case_latency tcfg ~frame_delay:0.03
+  in
+  let rows = T.availability_sweep ~reps ~horizon ~seed ~losses () in
+  let table =
+    Table.create
+      ~title:
+        (Fmt.str
+           "A1: laser availability vs loss, bare vs reliable transport \
+            (with lease, %g s trials, %d replicates)"
+           horizon reps)
+      ~header:
+        [ "avg loss"; "emissions (bare)"; "emissions (reliable)";
+          "failures bare/rel"; "retx (rel)"; "gave-up (rel)" ]
+      ~aligns:
+        [ Table.Right; Table.Left; Table.Left; Table.Right; Table.Right;
+          Table.Right ]
+      ()
+  in
+  List.iter
+    (fun (loss, (b : T.replicated), (r : T.replicated)) ->
+      Table.add_row table
+        [ Fmt.str "%.0f%%" (100.0 *. loss);
+          Fmt.str "%a" Pte_campaign.Aggregate.pp_summary b.T.agg.T.emissions;
+          Fmt.str "%a" Pte_campaign.Aggregate.pp_summary r.T.agg.T.emissions;
+          Fmt.str "%d / %d" b.T.agg.T.failure_reps r.T.agg.T.failure_reps;
+          Table.fmt_int r.T.rep0.T.retransmissions;
+          Table.fmt_int r.T.rep0.T.gave_up ])
+    rows;
+  Table.add_note table
+    (Fmt.str
+       "reliable = ACK + <= %d retransmissions (worst-case latency %.2f s, \
+        inside the %.1f s Theorem-1 slack: c1-c7 recheck passes)"
+       tcfg.Pte_net.Transport.max_retries budget
+       (Pte_core.Constraints.max_delay_budget params));
+  Table.add_note table
+    "failures must be 0 in every with-lease cell, bare or reliable; the \
+     availability gap opens as loss grows";
+  Table.print table;
+  let module J = Pte_campaign.Json in
+  let metric_rows =
+    List.concat_map
+      (fun (loss, (b : T.replicated), (r : T.replicated)) ->
+        List.concat_map
+          (fun (transport, (row : T.replicated)) ->
+            [ J.Obj
+                ([ ("name", J.Str "emissions"); ("loss", J.Num loss);
+                   ("transport", J.Str transport) ]
+                @ summary_fields row.T.agg.T.emissions);
+              J.Obj
+                ([ ("name", J.Str "failures"); ("loss", J.Num loss);
+                   ("transport", J.Str transport) ]
+                @ summary_fields row.T.agg.T.failures) ])
+          [ ("bare", b); ("reliable", r) ])
+      rows
+  in
+  write_bench_json ~bench:"A1" ~seed
+    ~params:
+      [ ("horizon", J.Num horizon); ("reps", J.Num (Float.of_int reps));
+        ("losses", J.Arr (List.map (fun l -> J.Num l) losses));
+        ("max_retries", J.Num (Float.of_int tcfg.Pte_net.Transport.max_retries));
+        ("base_rto", J.Num tcfg.Pte_net.Transport.base_rto);
+        ("multiplier", J.Num tcfg.Pte_net.Transport.multiplier);
+        ("cap", J.Num tcfg.Pte_net.Transport.cap);
+        ("jitter", J.Num tcfg.Pte_net.Transport.jitter);
+        ("worst_case_latency", J.Num budget) ]
+    ~metrics:metric_rows
+
+(* ------------------------------------------------------------------ *)
 (* X2: synthesis scaling with the chain length                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -772,7 +875,66 @@ let r1 () =
     "crash/drift faults sit outside Theorem 1's loss-only fault model, so \
      with-lease violations here are expected — each artifact replays \
      deterministically from its plan + seed alone";
-  Table.print fuzz_table
+  Table.print fuzz_table;
+  (* the same coverage targets rerun over the reliable transport: every
+     scripted drop hits one link frame, so the retransmission budget is
+     expected to carry every message through end-to-end *)
+  let rcov =
+    R.coverage ~occurrences ~horizon
+      ~transport:(`Reliable Pte_net.Transport.default_config) ()
+  in
+  let recovery =
+    Table.create
+      ~title:"R1c: coverage rerun over the reliable transport"
+      ~header:[ "transport"; "viol (lease)"; "viol (none)"; "exercised" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ] ()
+  in
+  List.iter
+    (fun (label, (c : R.coverage)) ->
+      Table.add_row recovery
+        [ label;
+          Table.fmt_int c.R.with_lease_violations;
+          Table.fmt_int c.R.without_lease_violations;
+          Fmt.str "%d/%d" c.R.roots_exercised c.R.roots_total ])
+    [ ("bare", cov); ("reliable", rcov) ];
+  Table.add_note recovery
+    "reliable must keep the with-lease column at 0; a single scripted drop \
+     is recovered by retransmission, so even the without-lease baseline \
+     rides through";
+  Table.print recovery;
+  let module J = Pte_campaign.Json in
+  let coverage_metrics label (c : R.coverage) =
+    [ J.Obj
+        [ ("name", J.Str "with_lease_violations"); ("transport", J.Str label);
+          ("mean", J.Num (Float.of_int c.R.with_lease_violations));
+          ("ci95", J.Num 0.0);
+          ("n", J.Num (Float.of_int (List.length c.R.rows))) ];
+      J.Obj
+        [ ("name", J.Str "without_lease_violations");
+          ("transport", J.Str label);
+          ("mean", J.Num (Float.of_int c.R.without_lease_violations));
+          ("ci95", J.Num 0.0);
+          ("n", J.Num (Float.of_int (List.length c.R.rows))) ];
+      J.Obj
+        [ ("name", J.Str "roots_exercised"); ("transport", J.Str label);
+          ("mean", J.Num (Float.of_int c.R.roots_exercised));
+          ("ci95", J.Num 0.0);
+          ("n", J.Num (Float.of_int c.R.roots_total)) ] ]
+  in
+  write_bench_json ~bench:"R1" ~seed:7100
+    ~params:
+      [ ("occurrences", J.Num (Float.of_int occurrences));
+        ("horizon", J.Num horizon);
+        ("fuzz_trials", J.Num (Float.of_int trials));
+        ("fuzz_seed", J.Num 99.0) ]
+    ~metrics:
+      (coverage_metrics "bare" cov
+      @ coverage_metrics "reliable" rcov
+      @ [ J.Obj
+            [ ("name", J.Str "fuzz_violating");
+              ("mean", J.Num (Float.of_int report.R.violating));
+              ("ci95", J.Num 0.0);
+              ("n", J.Num (Float.of_int report.R.trials)) ] ])
 
 (* ------------------------------------------------------------------ *)
 (* P1: Bechamel performance microbenches                               *)
@@ -956,7 +1118,7 @@ let experiments =
   [
     ("T1", t1); ("F1", f1); ("F2", f2); ("F3", f3); ("F6", f6); ("S1", s1);
     ("S2", s2); ("S3", s3); ("V1", v1); ("V2", v2); ("X1", x1); ("X2", x2);
-    ("X3", x3); ("R1", r1); ("P1", p1); ("P2", p2);
+    ("X3", x3); ("A1", a1); ("R1", r1); ("P1", p1); ("P2", p2);
   ]
 
 let () =

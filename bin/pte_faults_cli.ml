@@ -77,11 +77,16 @@ let run_inject plan_file artifact_file no_lease seed minutes verbose =
 (* coverage subcommand                                                *)
 (* ------------------------------------------------------------------ *)
 
-let run_coverage occurrences minutes seed workers out resume verbose =
+let run_coverage occurrences minutes seed workers out resume transport verbose =
   setup_logs verbose;
+  let transport : Pte_net.Transport.mode =
+    match transport with
+    | `Bare -> `Bare
+    | `Reliable -> `Reliable Pte_net.Transport.default_config
+  in
   let c =
     Robustness.coverage ?workers ?checkpoint:out ~resume ~occurrences
-      ~horizon:(minutes *. 60.0) ~seed ()
+      ~horizon:(minutes *. 60.0) ~seed ~transport ()
   in
   Fmt.pr "%a@." Robustness.pp_coverage c;
   if
@@ -185,6 +190,16 @@ let coverage_cmd =
       & info [ "resume" ]
           ~doc:"Skip trials already recorded in the $(b,--out) file.")
   in
+  let transport =
+    Arg.(
+      value
+      & opt (enum [ ("bare", `Bare); ("reliable", `Reliable) ]) `Bare
+      & info [ "transport" ] ~docv:"MODE"
+          ~doc:
+            "Radio transport the trials run over: $(b,bare) (single-shot \
+             sends) or $(b,reliable) (ACK/retransmission; scripted drops \
+             are then expected to be recovered).")
+  in
   Cmd.v
     (Cmd.info "coverage"
        ~doc:
@@ -193,7 +208,7 @@ let coverage_cmd =
           violates PTE.")
     Term.(
       const run_coverage $ occurrences $ minutes $ seed $ workers $ out
-      $ resume $ verbose)
+      $ resume $ transport $ verbose)
 
 let fuzz_cmd =
   let trials =

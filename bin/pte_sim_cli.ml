@@ -7,7 +7,13 @@
 
 open Cmdliner
 
-let run table1 lease minutes e_ton e_toff loss seed reps workers verbose =
+let run table1 lease minutes e_ton e_toff loss seed reps workers transport
+    verbose =
+  let transport_mode : Pte_net.Transport.mode =
+    match transport with
+    | `Bare -> `Bare
+    | `Reliable -> `Reliable Pte_net.Transport.default_config
+  in
   if table1 then begin
     if reps > 1 then
       Fmt.pr "Table I reproduction (seed %d, %d replicates):@." seed reps
@@ -30,6 +36,7 @@ let run table1 lease minutes e_ton e_toff loss seed reps workers verbose =
         e_ton;
         e_toff;
         seed;
+        transport = transport_mode;
         loss =
           (if loss <= 0.0 then Pte_net.Loss.Perfect
            else Pte_net.Loss.wifi_interference ~average_loss:loss);
@@ -41,6 +48,13 @@ let run table1 lease minutes e_ton e_toff loss seed reps workers verbose =
       (if lease then "with lease" else "WITHOUT lease")
       e_ton e_toff loss seed;
     Fmt.pr "  %a@." Pte_tracheotomy.Trial.pp_result r;
+    (match transport_mode with
+    | `Bare -> ()
+    | `Reliable cfg ->
+        Fmt.pr "  transport: reliable (%a) retx:%d gave-up:%d dups:%d@."
+          Pte_net.Transport.pp_config cfg r.Pte_tracheotomy.Trial.retransmissions
+          r.Pte_tracheotomy.Trial.gave_up
+          r.Pte_tracheotomy.Trial.dups_suppressed);
     if verbose || r.Pte_tracheotomy.Trial.failures > 0 then
       List.iter
         (fun v -> Fmt.pr "  %a@." Pte_core.Monitor.pp_violation v)
@@ -83,12 +97,22 @@ let cmd =
       & info [ "workers" ] ~docv:"N"
           ~doc:"Worker domains for replicated runs (default: all cores).")
   in
+  let transport =
+    Arg.(
+      value
+      & opt (enum [ ("bare", `Bare); ("reliable", `Reliable) ]) `Bare
+      & info [ "transport" ] ~docv:"MODE"
+          ~doc:
+            "Radio transport: $(b,bare) (single-shot sends, the paper's \
+             model) or $(b,reliable) (ACK/retransmission with the default \
+             backoff policy; Theorem 1 is rechecked with the retry budget).")
+  in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print all violations.") in
   let doc = "run laser-tracheotomy wireless-CPS emulation trials" in
   Cmd.v
     (Cmd.info "pte-sim" ~doc)
     Term.(
       const run $ table1 $ lease $ minutes $ e_ton $ e_toff $ loss $ seed $ reps
-      $ workers $ verbose)
+      $ workers $ transport $ verbose)
 
 let () = exit (Cmd.eval cmd)

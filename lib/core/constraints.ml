@@ -134,6 +134,58 @@ let violated outcomes =
     Theorem 1. *)
 let satisfies params = all_ok (check params)
 
+(* ------------------------------------------------------------------ *)
+(* Delay-aware recheck: Theorem 1 under a bounded message latency      *)
+(* ------------------------------------------------------------------ *)
+
+(* Every protocol step the constraints reason about is paced by a
+   message over the unreliable channel, so a transport that can spend up
+   to [delay] seconds per delivery (e.g. an ARQ retransmission budget)
+   stretches each wait by that much. Inflating T^max_wait and both
+   safeguard minima by [delay] makes every condition c2–c7 strictly
+   harder to satisfy, so a pass is conservative: the inflated system
+   still satisfies Theorem 1, and the original dwell bound holds with
+   the delayed constants. *)
+let with_message_delay (p : Params.t) ~delay =
+  if delay < 0.0 then
+    invalid_arg "Constraints.with_message_delay: negative delay";
+  {
+    p with
+    Params.t_wait_max = p.Params.t_wait_max +. delay;
+    safeguards =
+      Array.map
+        (fun (s : Params.safeguard) ->
+          {
+            Params.enter_risky_min = s.Params.enter_risky_min +. delay;
+            exit_safe_min = s.Params.exit_safe_min +. delay;
+          })
+        p.Params.safeguards;
+  }
+
+let check_with_delay p ~delay = check (with_message_delay p ~delay)
+let satisfies_with_delay p ~delay = all_ok (check_with_delay p ~delay)
+
+(** Largest per-message delay budget the configuration tolerates, by
+    bisection on {!satisfies_with_delay} (each condition is monotone in
+    the delay). 0 when the base configuration already fails. *)
+let max_delay_budget ?(tol = 1e-6) p =
+  if not (satisfies p) then 0.0
+  else begin
+    let hi = ref 1.0 in
+    while satisfies_with_delay p ~delay:!hi && !hi < 1e9 do
+      hi := !hi *. 2.0
+    done;
+    if satisfies_with_delay p ~delay:!hi then infinity
+    else begin
+      let lo = ref 0.0 and hi = ref !hi in
+      while !hi -. !lo > tol do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if satisfies_with_delay p ~delay:mid then lo := mid else hi := mid
+      done;
+      !lo
+    end
+  end
+
 let pp_outcome ppf o =
   Fmt.pf ppf "%s %s: %s — %s"
     (if o.ok then "[ok]" else "[VIOLATED]")

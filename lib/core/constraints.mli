@@ -33,5 +33,25 @@ val violated : outcome list -> condition list
 val satisfies : Params.t -> bool
 (** [satisfies p] iff c1–c7 all hold — the hypothesis of Theorem 1. *)
 
+val with_message_delay : Params.t -> delay:float -> Params.t
+(** The configuration as seen through a channel that may spend up to
+    [delay] extra seconds per message (e.g. a transport's bounded
+    retransmission budget, {!Pte_net.Transport.worst_case_latency}):
+    T^max_wait and both safeguard minima are inflated by [delay], which
+    makes every condition c2–c7 strictly harder — a pass is therefore a
+    conservative certificate that Theorem 1 survives the added latency.
+    Raises [Invalid_argument] on a negative delay. *)
+
+val check_with_delay : Params.t -> delay:float -> outcome list
+(** [check (with_message_delay p ~delay)]. *)
+
+val satisfies_with_delay : Params.t -> delay:float -> bool
+(** All of c1–c7 with the message-delay budget folded in. *)
+
+val max_delay_budget : ?tol:float -> Params.t -> float
+(** Largest per-message delay the configuration tolerates (bisection to
+    [tol], default 1e-6; 0 when the base configuration already fails,
+    2.0 s for the case study — c3 binds first). *)
+
 val pp_outcome : outcome Fmt.t
 val pp_report : outcome list Fmt.t

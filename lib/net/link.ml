@@ -121,6 +121,13 @@ let send t ~time ~src ~dst ~root =
 
 let stats t = t.stats
 
+(* Worst one-way frame latency this link can assign on its own: full
+   jitter plus every MAC retry. Injected [Delay_frame] faults sit
+   outside this bound by design — they model adversarial conditions. *)
+let worst_delay t =
+  t.delay_base +. t.delay_jitter
+  +. (Float.of_int t.mac_retries *. t.retry_spacing)
+
 let pp ppf t =
   Fmt.pf ppf "%s (%s): %a" t.name
     (match t.direction with Uplink -> "uplink" | Downlink -> "downlink")

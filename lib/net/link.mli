@@ -56,4 +56,9 @@ type verdict =
 
 val send : t -> time:float -> src:string -> dst:string -> root:string -> verdict
 val stats : t -> Link_stats.t
+
+(** Worst one-way latency the link itself can assign: base delay + full
+    jitter + every MAC retry. Injected [Delay_frame] faults exceed this
+    by design (they model adversarial conditions, not the radio). *)
+val worst_delay : t -> float
 val pp : t Fmt.t

@@ -76,6 +76,13 @@ let links t =
   List.map (fun (remote, link) -> (remote, link)) t.uplinks
   @ List.map (fun (remote, link) -> (remote, link)) t.downlinks
 
+(** Worst one-way frame latency across every link of the star — the
+    per-attempt term of {!Transport.worst_case_latency}. *)
+let worst_frame_delay t =
+  List.fold_left
+    (fun acc link -> Float.max acc (Link.worst_delay link))
+    0.0 (all_links t)
+
 let total_stats t =
   List.fold_left
     (fun acc link -> Link_stats.merge acc (Link.stats link))

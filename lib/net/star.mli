@@ -33,5 +33,10 @@ val all_links : t -> Link.t list
 (** Every link paired with the remote entity it serves (uplinks first,
     in remote order) — for installing per-link fault injectors. *)
 val links : t -> (string * Link.t) list
+
+val worst_frame_delay : t -> float
+(** Worst one-way latency across every link ({!Link.worst_delay}) — the
+    per-attempt term of {!Transport.worst_case_latency}. *)
+
 val total_stats : t -> Link_stats.t
 val pp : t Fmt.t

@@ -1,0 +1,260 @@
+(** Per-endpoint reliable-delivery transport over the star links: ARQ
+    with bounded exponential backoff, receiver ACKs on the reverse link,
+    and (src, seq) duplicate suppression. See the interface for the
+    unrolled-at-send-time simulation semantics. *)
+
+module Executor = Pte_hybrid.Executor
+
+type config = {
+  max_retries : int;
+  base_rto : float;
+  multiplier : float;
+  cap : float;
+  jitter : float;
+}
+
+let default_config =
+  { max_retries = 3; base_rto = 0.25; multiplier = 2.0; cap = 2.0;
+    jitter = 0.05 }
+
+let validate c =
+  if c.max_retries < 0 then Error "transport: max_retries must be >= 0"
+  else if not (c.base_rto > 0.0) then Error "transport: base_rto must be > 0"
+  else if c.multiplier < 1.0 then Error "transport: multiplier must be >= 1"
+  else if c.cap < c.base_rto then Error "transport: cap must be >= base_rto"
+  else if c.jitter < 0.0 then Error "transport: jitter must be >= 0"
+  else Ok ()
+
+type mode = [ `Bare | `Reliable of config ]
+
+let rto c ~attempt =
+  Float.min (c.base_rto *. (c.multiplier ** Float.of_int attempt)) c.cap
+
+let max_attempts c = c.max_retries + 1
+
+let worst_case_latency c ~frame_delay =
+  let rec backoffs k acc =
+    if k >= c.max_retries then acc
+    else backoffs (k + 1) (acc +. rto c ~attempt:k +. c.jitter)
+  in
+  backoffs 0 0.0 +. frame_delay
+
+type stats = {
+  mutable data_sends : int;
+  mutable delivered : int;
+  mutable gave_up : int;
+  mutable retransmissions : int;
+  mutable acks_sent : int;
+  mutable acks_lost : int;
+  mutable dups_suppressed : int;
+}
+
+type t = {
+  star : Star.t;
+  mode : mode;
+  rng : Pte_util.Rng.t;
+  stats : stats;
+  (* receiver-side dedup: (src, dst, seq) triples already handed to the
+     automaton. In `Bare mode seq is the link-layer sequence number; in
+     `Reliable mode it is the transport's own end-to-end number, which
+     stays constant across retransmissions (each retransmission is a
+     fresh link frame). *)
+  seen : (string * string * int, unit) Hashtbl.t;
+  (* per-flow end-to-end sequence counters (`Reliable mode). *)
+  next_seq : (string * string, int ref) Hashtbl.t;
+  (* per-sender consecutive unconfirmed sends, for degraded-safe-mode. *)
+  consec : (string, int ref) Hashtbl.t;
+}
+
+let create ~mode ~rng star =
+  {
+    star;
+    mode;
+    rng;
+    stats =
+      { data_sends = 0; delivered = 0; gave_up = 0; retransmissions = 0;
+        acks_sent = 0; acks_lost = 0; dups_suppressed = 0 };
+    seen = Hashtbl.create 512;
+    next_seq = Hashtbl.create 8;
+    consec = Hashtbl.create 8;
+  }
+
+let mode t = t.mode
+let stats t = t.stats
+
+let counter t sender =
+  match Hashtbl.find_opt t.consec sender with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.consec sender r;
+      r
+
+let consecutive_losses t ~sender = !(counter t sender)
+let reset_consecutive_losses t ~sender = counter t sender := 0
+
+let confirm t sender = counter t sender := 0
+let unconfirmed t sender = incr (counter t sender)
+
+(* First sighting of (src, dst, seq) at the receiver? Records it. *)
+let fresh t ~src ~dst ~seq =
+  let key = (src, dst, seq) in
+  if Hashtbl.mem t.seen key then false
+  else begin
+    Hashtbl.add t.seen key ();
+    true
+  end
+
+let flow_seq t ~src ~dst =
+  let r =
+    match Hashtbl.find_opt t.next_seq (src, dst) with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.add t.next_seq (src, dst) r;
+        r
+  in
+  let q = !r in
+  incr r;
+  q
+
+type hop = Wired | No_route | Radio of Link.t
+
+let hop t ~sender ~receiver =
+  if not (Star.is_node t.star sender && Star.is_node t.star receiver) then
+    Wired
+  else
+    match Star.link_for t.star ~sender ~receiver with
+    | None ->
+        t.star.Star.remote_to_remote_dropped <-
+          t.star.Star.remote_to_remote_dropped + 1;
+        No_route
+    | Some link -> Radio link
+
+(* ------------------------------------------------------------------ *)
+(* `Bare mode: one attempt, no ACKs — Star.router semantics plus the
+   (src, seq) replay filter on injected duplicates.                    *)
+(* ------------------------------------------------------------------ *)
+
+let bare_send t link ~time ~sender ~receiver ~root =
+  t.stats.data_sends <- t.stats.data_sends + 1;
+  match Link.send link ~time ~src:sender ~dst:receiver ~root with
+  | Link.Drop _ ->
+      unconfirmed t sender;
+      t.stats.gave_up <- t.stats.gave_up + 1;
+      Executor.Lose
+  | Link.Deliver { arrival; packet } ->
+      confirm t sender;
+      t.stats.delivered <- t.stats.delivered + 1;
+      if fresh t ~src:sender ~dst:receiver ~seq:packet.Packet.seq then
+        Executor.Deliver (arrival -. time)
+      else begin
+        (* cannot happen with per-link sequence numbers, but keep the
+           filter total: a replayed frame never reaches the automaton *)
+        t.stats.dups_suppressed <- t.stats.dups_suppressed + 1;
+        Executor.Lose
+      end
+  | Link.Deliver_dup { arrivals = a1, _; packet } ->
+      confirm t sender;
+      t.stats.delivered <- t.stats.delivered + 1;
+      if fresh t ~src:sender ~dst:receiver ~seq:packet.Packet.seq then begin
+        (* the replayed copy is the same (src, seq): suppress it *)
+        t.stats.dups_suppressed <- t.stats.dups_suppressed + 1;
+        Executor.Deliver (a1 -. time)
+      end
+      else begin
+        t.stats.dups_suppressed <- t.stats.dups_suppressed + 2;
+        Executor.Lose
+      end
+
+(* ------------------------------------------------------------------ *)
+(* `Reliable mode: the unrolled ARQ exchange                           *)
+(* ------------------------------------------------------------------ *)
+
+let ack_root root = "ack:" ^ root
+
+let reliable_send t cfg link ~time ~sender ~receiver ~root =
+  t.stats.data_sends <- t.stats.data_sends + 1;
+  let seq = flow_seq t ~src:sender ~dst:receiver in
+  let ack_link = Star.link_for t.star ~sender:receiver ~receiver:sender in
+  let finish ~first ~acked =
+    if acked then confirm t sender else unconfirmed t sender;
+    match first with
+    | Some arrival ->
+        t.stats.delivered <- t.stats.delivered + 1;
+        Executor.Deliver (arrival -. time)
+    | None ->
+        t.stats.gave_up <- t.stats.gave_up + 1;
+        Executor.Lose
+  in
+  let rec attempt k ~send_at ~first ~acked =
+    if k > 0 then t.stats.retransmissions <- t.stats.retransmissions + 1;
+    let next ~first ~acked =
+      if k >= cfg.max_retries then finish ~first ~acked
+      else
+        let backoff =
+          rto cfg ~attempt:k
+          +. Pte_util.Rng.uniform t.rng ~lo:0.0 ~hi:cfg.jitter
+        in
+        attempt (k + 1) ~send_at:(send_at +. backoff) ~first ~acked
+    in
+    match Link.send link ~time:send_at ~src:sender ~dst:receiver ~root with
+    | Link.Drop _ -> next ~first ~acked
+    | Link.Deliver { arrival; packet = _ }
+    | Link.Deliver_dup { arrivals = arrival, _; packet = _ } as v ->
+        (* the receiver sees this copy: dedup by the end-to-end seq,
+           then acknowledge on the reverse link (every copy is ACKed —
+           the previous ACK may be the one that got lost) *)
+        (match v with
+        | Link.Deliver_dup _ ->
+            (* an injected duplicate: its replayed copy is suppressed *)
+            t.stats.dups_suppressed <- t.stats.dups_suppressed + 1
+        | _ -> ());
+        let first =
+          if fresh t ~src:sender ~dst:receiver ~seq then
+            match first with None -> Some arrival | Some a -> Some a
+          else begin
+            t.stats.dups_suppressed <- t.stats.dups_suppressed + 1;
+            first
+          end
+        in
+        t.stats.acks_sent <- t.stats.acks_sent + 1;
+        (match ack_link with
+        | None ->
+            (* no radio reverse path: treat the ACK as wired *)
+            finish ~first ~acked:true
+        | Some back -> (
+            match
+              Link.send back ~time:arrival ~src:receiver ~dst:sender
+                ~root:(ack_root root)
+            with
+            | Link.Deliver _ | Link.Deliver_dup _ -> finish ~first ~acked:true
+            | Link.Drop _ ->
+                t.stats.acks_lost <- t.stats.acks_lost + 1;
+                next ~first ~acked))
+  in
+  attempt 0 ~send_at:time ~first:None ~acked:false
+
+(* ------------------------------------------------------------------ *)
+(* The executor hook                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let router t : Executor.router =
+ fun ~time ~sender ~root ~receiver ->
+  match hop t ~sender ~receiver with
+  | Wired -> Executor.Deliver 0.0
+  | No_route -> Executor.Lose
+  | Radio link -> (
+      match t.mode with
+      | `Bare -> bare_send t link ~time ~sender ~receiver ~root
+      | `Reliable cfg -> reliable_send t cfg link ~time ~sender ~receiver ~root)
+
+let pp_config ppf c =
+  Fmt.pf ppf "retries:%d rto:%gs x%g cap:%gs jitter:%gs" c.max_retries
+    c.base_rto c.multiplier c.cap c.jitter
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "sends:%d delivered:%d gave-up:%d retx:%d acks:%d acks-lost:%d dups:%d"
+    s.data_sends s.delivered s.gave_up s.retransmissions s.acks_sent
+    s.acks_lost s.dups_suppressed

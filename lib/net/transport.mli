@@ -1,0 +1,104 @@
+(** Per-endpoint reliable-delivery transport over the {!Star} links:
+    sequence-numbered sends, receiver ACKs on the reverse link, bounded
+    retransmission with exponential backoff + jitter, and receiver-side
+    duplicate suppression by (src, seq).
+
+    The transport plugs into the executor as its {!Pte_hybrid.Executor.router}.
+    In [`Bare] mode it behaves exactly like {!Star.router} — one attempt
+    per send, no ACKs, no RNG consumption — except that replayed frames
+    (an injected [Duplicate_frame]) are suppressed at the receiver, so
+    the automaton is handed each (src, seq) at most once. In
+    [`Reliable _] mode every radio send becomes an ARQ exchange: the
+    sender retransmits on a backoff schedule until an ACK comes back or
+    the retry budget is exhausted.
+
+    The exchange is simulated {e unrolled at send time}: all attempts,
+    their loss draws and the ACKs are resolved synchronously when the
+    automaton emits the event, and the winning copy is scheduled at its
+    true arrival time. Channel state (e.g. the Gilbert–Elliott burst
+    process) therefore advances per frame rather than per wall-clock
+    instant — an approximation that keeps the executor's delivery queue
+    single-shot and the whole exchange deterministic in one RNG stream.
+
+    {!worst_case_latency} gives the closed-form bound on the delivery
+    delay of any successful send, which callers feed back into the
+    Theorem-1 constraint recheck
+    ({!Pte_core.Constraints.satisfies_with_delay}) so the availability
+    win is provably safety-preserving. *)
+
+(** Retransmission policy. Attempt [k] (0-based) is followed, if
+    unacknowledged, by a wait of
+    [min (base_rto *. multiplier^k) cap + U(0, jitter)] before attempt
+    [k+1]; at most [max_retries] retransmissions follow the initial
+    attempt. *)
+type config = {
+  max_retries : int;  (** retransmissions after the first attempt. *)
+  base_rto : float;  (** initial retransmission timeout, seconds. *)
+  multiplier : float;  (** exponential backoff factor (>= 1). *)
+  cap : float;  (** ceiling on the backoff, seconds. *)
+  jitter : float;  (** uniform extra wait in [0, jitter) per retry. *)
+}
+
+val default_config : config
+(** 3 retries, 250 ms RTO, x2 backoff capped at 2 s, 50 ms jitter —
+    worst case ~1.93 s, inside the case study's 2 s Theorem-1 slack
+    ({!Pte_core.Constraints.max_delay_budget}). *)
+
+val validate : config -> (unit, string) result
+(** Well-formedness: [max_retries >= 0], positive [base_rto],
+    [multiplier >= 1], [cap >= base_rto], [jitter >= 0]. *)
+
+type mode = [ `Bare | `Reliable of config ]
+
+val rto : config -> attempt:int -> float
+(** Backoff after the [attempt]-th send (0-based), jitter excluded:
+    [min (base_rto *. multiplier^attempt) cap]. *)
+
+val max_attempts : config -> int
+(** [max_retries + 1]. *)
+
+val worst_case_latency : config -> frame_delay:float -> float
+(** Closed-form bound on the delivery delay of any send the transport
+    reports delivered: the attempt schedule spans at most
+    [sum_(k=0)^(max_retries-1) (rto k + jitter)], and the winning copy
+    adds at most one [frame_delay] ({!Star.worst_frame_delay}) in the
+    air. Injected [Delay_frame] faults sit outside the bound. *)
+
+(** Cumulative counters over every radio send routed through the
+    transport. *)
+type stats = {
+  mutable data_sends : int;  (** application sends (not attempts). *)
+  mutable delivered : int;  (** sends with >= 1 copy delivered. *)
+  mutable gave_up : int;  (** sends lost after the full retry budget. *)
+  mutable retransmissions : int;  (** extra attempts beyond the first. *)
+  mutable acks_sent : int;
+  mutable acks_lost : int;
+  mutable dups_suppressed : int;
+      (** replayed copies squashed at the receiver by (src, seq). *)
+}
+
+type t
+
+val create : mode:mode -> rng:Pte_util.Rng.t -> Star.t -> t
+(** In [`Bare] mode the transport never draws from [rng] (legacy RNG
+    streams are untouched); [`Reliable _] uses it for retry jitter. *)
+
+val mode : t -> mode
+val stats : t -> stats
+
+val router : t -> Pte_hybrid.Executor.router
+(** The executor transport hook. Non-star automata stay wired;
+    remote-to-remote sends are dropped and counted, as in
+    {!Star.router}. *)
+
+val consecutive_losses : t -> sender:string -> int
+(** Consecutive sends from [sender] that ended without delivery
+    confirmation — in [`Reliable _] mode, without a received ACK (the
+    sender's view: a delivered frame whose ACK was lost still counts as
+    a feedback loss); in [`Bare] mode, dropped frames. Reset to 0 by the
+    next confirmed send. Feeds the supervisor's degraded-safe-mode. *)
+
+val reset_consecutive_losses : t -> sender:string -> unit
+
+val pp_config : config Fmt.t
+val pp_stats : stats Fmt.t

@@ -19,19 +19,36 @@ type process = {
 and t = {
   exec : Executor.t;
   net : Pte_net.Star.t option;
+  transport : Pte_net.Transport.t option;
   rng : Pte_util.Rng.t;
   mutable processes : process list;
 }
 
-let create ?(config = Executor.default_config) ?net ?trace_sink ~seed system =
+let create ?(config = Executor.default_config) ?net
+    ?(transport : Pte_net.Transport.mode = `Bare) ?trace_sink ~seed system =
   let exec = Executor.create ~config ?trace_sink system in
-  (match net with
-  | Some star -> Executor.set_router exec (Pte_net.Star.router star)
-  | None -> ());
-  { exec; net; rng = Pte_util.Rng.create seed; processes = [] }
+  let rng = Pte_util.Rng.create seed in
+  let transport =
+    match net with
+    | None -> None
+    | Some star ->
+        (* `Bare never draws from its stream, so handing it the engine
+           rng leaves every legacy stream byte-identical; `Reliable gets
+           an independent split for its retry jitter *)
+        let trng =
+          match transport with
+          | `Bare -> rng
+          | `Reliable _ -> Pte_util.Rng.split rng
+        in
+        let t = Pte_net.Transport.create ~mode:transport ~rng:trng star in
+        Executor.set_router exec (Pte_net.Transport.router t);
+        Some t
+  in
+  { exec; net; transport; rng; processes = [] }
 
 let executor t = t.exec
 let network t = t.net
+let transport t = t.transport
 let time t = Executor.time t.exec
 let rng t = t.rng
 

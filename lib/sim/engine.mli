@@ -7,15 +7,23 @@ type t
 val create :
   ?config:Pte_hybrid.Executor.config ->
   ?net:Pte_net.Star.t ->
+  ?transport:Pte_net.Transport.mode ->
   ?trace_sink:(Pte_hybrid.Trace.entry -> unit) ->
   seed:int ->
   Pte_hybrid.System.t ->
   t
-(** With [?net], wireless events route through the star's links;
-    automata that are not star nodes communicate as wired. *)
+(** With [?net], wireless events route through the star's links via a
+    {!Pte_net.Transport} ([`Bare] by default: single-shot sends, exactly
+    the legacy {!Pte_net.Star.router} behavior; [`Reliable _] adds
+    ACK/retransmission); automata that are not star nodes communicate
+    as wired. *)
 
 val executor : t -> Pte_hybrid.Executor.t
 val network : t -> Pte_net.Star.t option
+
+(** The transport instance wrapping [?net] ([None] without a network) —
+    exposes delivery stats and per-sender consecutive-loss counters. *)
+val transport : t -> Pte_net.Transport.t option
 val time : t -> float
 val rng : t -> Pte_util.Rng.t
 

@@ -1,0 +1,64 @@
+(** Supervisor degraded-safe-mode.
+
+    The lease pattern already guarantees safety when the downlink dies:
+    every remote's lease self-resets and the entities drift back to
+    their safe locations within T^max_wait + T^max_LS1. What the pattern
+    does {e not} do is stop the supervisor from optimistically starting
+    new sessions into a black hole. This monitor watches the transport's
+    per-sender consecutive-loss counter for the supervisor: after [k]
+    consecutive sends without delivery confirmation it declares the
+    channel gone, forces the wired approval input to 0 — the grant guard
+    ([approval >= 0.5]) can then never fire, so no lease is granted or
+    renewed — and holds that state for [hold] seconds before re-arming.
+    The system rides the lease self-reset down to all-safe; entering and
+    leaving the mode is counted so trials can report it. *)
+
+type config = {
+  k : int;  (** consecutive feedback losses that trip the mode. *)
+  hold : float;  (** seconds to stay degraded before re-arming. *)
+}
+
+let default params =
+  { k = 3; hold = Pte_core.Params.risky_dwell_bound params }
+
+type handle = {
+  config : config;
+  mutable entries : int;  (** times the mode was entered. *)
+  mutable active : bool;
+  mutable entered_at : float list;  (** entry times, newest first. *)
+}
+
+(* Registered after the oximeter's process, so within one instant the
+   forced 0 overwrites the oximeter's fresh approval sample. *)
+let install engine ~supervisor config =
+  let h = { config; entries = 0; active = false; entered_at = [] } in
+  (match Pte_sim.Engine.transport engine with
+  | None -> ()
+  | Some transport ->
+      let release_at = ref 0.0 in
+      let force_deny () =
+        Pte_sim.Engine.set_value engine supervisor
+          Pte_core.Pattern.approval_var 0.0
+      in
+      Pte_sim.Engine.add_process engine ~name:"degraded-safe-mode"
+        (fun engine ~time ->
+          if h.active then
+            if time >= !release_at then begin
+              h.active <- false;
+              Pte_net.Transport.reset_consecutive_losses transport
+                ~sender:supervisor;
+              Pte_sim.Engine.note engine "degraded-safe-mode: exit"
+            end
+            else force_deny ()
+          else if
+            Pte_net.Transport.consecutive_losses transport ~sender:supervisor
+            >= config.k
+          then begin
+            h.active <- true;
+            h.entries <- h.entries + 1;
+            h.entered_at <- time :: h.entered_at;
+            release_at := time +. config.hold;
+            Pte_sim.Engine.note engine "degraded-safe-mode: enter";
+            force_deny ()
+          end));
+  h

@@ -1,0 +1,28 @@
+(** Supervisor degraded-safe-mode: after [k] consecutive feedback losses
+    (sends from the supervisor with no delivery confirmation, per
+    {!Pte_net.Transport.consecutive_losses}) the supervisor stops
+    granting or renewing leases — the wired approval input is forced to
+    0 every instant, which no grant guard survives — and the system
+    rides the lease self-reset down to all-safe. The mode re-arms after
+    [hold] seconds. *)
+
+type config = {
+  k : int;  (** consecutive feedback losses that trip the mode. *)
+  hold : float;  (** seconds to stay degraded before re-arming. *)
+}
+
+val default : Pte_core.Params.t -> config
+(** [k = 3], [hold] = the pattern's all-safe settle bound
+    T^max_wait + T^max_LS1 ({!Pte_core.Params.risky_dwell_bound}). *)
+
+type handle = {
+  config : config;
+  mutable entries : int;  (** times the mode was entered. *)
+  mutable active : bool;
+  mutable entered_at : float list;  (** entry times, newest first. *)
+}
+
+val install : Pte_sim.Engine.t -> supervisor:string -> config -> handle
+(** Register the watchdog process on [engine] (a no-op engine without a
+    network). Must be installed {e after} the oximeter so its forced 0
+    overwrites the oximeter's approval sample within each instant. *)

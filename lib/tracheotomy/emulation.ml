@@ -28,6 +28,15 @@ type config = {
       (** Scripted fault plan injected on top of the stochastic loss
           model (deterministic packet tampering, crashes, clock drift).
           [Pte_faults.Plan.empty] leaves the trial untouched. *)
+  transport : Pte_net.Transport.mode;
+      (** [`Bare] (default) is the paper's single-shot radio;
+          [`Reliable _] adds ACK/retransmission, and {!build} then
+          rechecks Theorem 1 with the retransmission budget folded into
+          the message-delay terms. *)
+  degraded : Degraded.config option;
+      (** Supervisor degraded-safe-mode ([None] disables): stop
+          granting/renewing leases after [k] consecutive feedback
+          losses. *)
 }
 
 let default =
@@ -44,6 +53,8 @@ let default =
     dt = 0.01;
     mac_retries = 0;
     faults = Pte_faults.Plan.empty;
+    transport = `Bare;
+    degraded = None;
   }
 
 type built = {
@@ -56,6 +67,8 @@ type built = {
   ventilator : string;
   spo2_stats : Pte_util.Stats.Online.t;
   faults_handle : Pte_faults.Injector.handle;
+  transport : Pte_net.Transport.t;
+  degraded : Degraded.handle option;
 }
 
 let build (config : config) =
@@ -76,10 +89,35 @@ let build (config : config) =
       ~remotes:[ ventilator_name; laser_name ]
       ~loss_kind:config.loss ~mac_retries:config.mac_retries ~rng ()
   in
+  (* A reliable transport is only admissible when Theorem 1 survives
+     its worst-case latency: recheck c1–c7 with the retransmission
+     budget added to the message-delay terms. *)
+  (match config.transport with
+  | `Bare -> ()
+  | `Reliable tcfg ->
+      (match Pte_net.Transport.validate tcfg with
+      | Ok () -> ()
+      | Error msg -> invalid_arg ("Emulation.build: " ^ msg));
+      let budget =
+        Pte_net.Transport.worst_case_latency tcfg
+          ~frame_delay:(Pte_net.Star.worst_frame_delay net)
+      in
+      let outcomes =
+        Pte_core.Constraints.check_with_delay params ~delay:budget
+      in
+      if not (Pte_core.Constraints.all_ok outcomes) then
+        invalid_arg
+          (Fmt.str
+             "Emulation.build: transport retry budget (worst-case latency \
+              %.3f s) breaks Theorem 1: %s"
+             budget
+             (String.concat ", "
+                (List.map Pte_core.Constraints.condition_name
+                   (Pte_core.Constraints.violated outcomes)))));
   let exec_config = { Executor.default_config with dt = config.dt } in
   let engine =
-    Pte_sim.Engine.create ~config:exec_config ~net ~seed:(config.seed + 1)
-      system
+    Pte_sim.Engine.create ~config:exec_config ~net
+      ~transport:config.transport ~seed:(config.seed + 1) system
   in
   Patient.couple_to_ventilator engine ~ventilator:ventilator_name;
   Oximeter.connect engine ~supervisor:supervisor_name
@@ -99,6 +137,18 @@ let build (config : config) =
      engine (no-ops for the empty plan) *)
   let faults_handle = Pte_faults.Injector.install config.faults net in
   Pte_faults.Runtime.install config.faults engine;
+  (* the degraded-safe-mode watchdog comes after the oximeter, so its
+     forced denial overwrites the fresh approval sample each instant *)
+  let degraded =
+    Option.map
+      (fun dcfg -> Degraded.install engine ~supervisor:supervisor_name dcfg)
+      config.degraded
+  in
+  let transport =
+    match Pte_sim.Engine.transport engine with
+    | Some t -> t
+    | None -> assert false (* the engine always gets ~net here *)
+  in
   {
     config;
     engine;
@@ -109,6 +159,8 @@ let build (config : config) =
     ventilator = ventilator_name;
     spo2_stats;
     faults_handle;
+    transport;
+    degraded;
   }
 
 let run built =

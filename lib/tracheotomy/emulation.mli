@@ -19,12 +19,20 @@ type config = {
   faults : Pte_faults.Plan.t;
       (** Scripted fault plan injected on top of the stochastic loss
           model ({!Pte_faults.Plan.empty} = none). *)
+  transport : Pte_net.Transport.mode;
+      (** [`Bare] (default) is the paper's single-shot radio;
+          [`Reliable _] adds ACK/retransmission and makes {!build}
+          recheck Theorem 1 with the retry budget folded into the
+          message-delay terms (raises [Invalid_argument] when the
+          budget breaks c1–c7). *)
+  degraded : Degraded.config option;
+      (** Supervisor degraded-safe-mode ([None] = disabled). *)
 }
 
 val default : config
 (** The paper's trial setup: case-study constants, lease on, 25% bursty
     loss, E(Ton)=30 s, E(Toff)=18 s, 1800 s, 60 s bound, Θ=92%, 10 ms
-    step. *)
+    step, bare transport, no degraded mode. *)
 
 type built = {
   config : config;
@@ -37,6 +45,10 @@ type built = {
   spo2_stats : Pte_util.Stats.Online.t;
   faults_handle : Pte_faults.Injector.handle;
       (** Match/fire counters of the config's packet faults. *)
+  transport : Pte_net.Transport.t;
+      (** Delivery/retransmission/dedup counters of the trial. *)
+  degraded : Degraded.handle option;
+      (** Degraded-safe-mode entry counters (when configured). *)
 }
 
 val build : config -> built

@@ -119,8 +119,9 @@ let coverage_config ~base ~lease ~seed (t : target) =
   }
 
 let coverage ?workers ?checkpoint ?(resume = false) ?params ?(occurrences = 2)
-    ?(horizon = 600.0) ?(seed = 7100) () =
-  let base = { Emulation.default with horizon } in
+    ?(horizon = 600.0) ?(seed = 7100)
+    ?(transport : Pte_net.Transport.mode = `Bare) () =
+  let base = { Emulation.default with horizon; transport } in
   let targets = targets ?params ~occurrences () in
   (* cell layout: for target i, job 2i = with lease, 2i+1 = without *)
   let cells =

@@ -56,13 +56,17 @@ val coverage :
   ?occurrences:int ->
   ?horizon:float ->
   ?seed:int ->
+  ?transport:Pte_net.Transport.mode ->
   unit ->
   coverage
 (** Run every target under both lease modes (2 trials per target, as one
     {!Pte_campaign} campaign over a perfect channel, so the scripted
     drop is the only loss). Theorem 1 covers message loss, so
     [with_lease_violations] must be 0; the without-lease baseline is
-    expected to degrade. *)
+    expected to degrade. With [?transport:(`Reliable _)] the scripted
+    drop hits one link frame and the transport's retransmission carries
+    the message through — the campaign then doubles as an end-to-end
+    recovery check. *)
 
 val pp_coverage : coverage Fmt.t
 (** The coverage matrix plus the targeted/exercised and violation

@@ -19,6 +19,10 @@ type result = {
   messages_sent : int;
   effective_loss_rate : float;
   faults_fired : int;  (** scripted packet faults that actually fired. *)
+  retransmissions : int;  (** transport-layer retries (reliable mode). *)
+  gave_up : int;  (** sends lost after the full retry budget. *)
+  dups_suppressed : int;  (** replayed copies squashed by (src, seq). *)
+  degraded_entries : int;  (** times the supervisor entered safe-mode. *)
 }
 
 let run (config : Emulation.config) : result =
@@ -36,6 +40,7 @@ let run (config : Emulation.config) : result =
     | None -> 0.0
   in
   let net_stats = Pte_net.Star.total_stats built.Emulation.net in
+  let tstats = Pte_net.Transport.stats built.Emulation.transport in
   {
     config;
     emissions =
@@ -61,6 +66,13 @@ let run (config : Emulation.config) : result =
     effective_loss_rate = Pte_net.Link_stats.loss_rate net_stats;
     faults_fired =
       Pte_faults.Injector.total_fired built.Emulation.faults_handle;
+    retransmissions = tstats.Pte_net.Transport.retransmissions;
+    gave_up = tstats.Pte_net.Transport.gave_up;
+    dups_suppressed = tstats.Pte_net.Transport.dups_suppressed;
+    degraded_entries =
+      (match built.Emulation.degraded with
+      | Some h -> h.Degraded.entries
+      | None -> 0);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -98,6 +110,10 @@ let metrics_of_result (r : result) =
     ("messages_sent", Float.of_int r.messages_sent);
     ("loss_rate", r.effective_loss_rate);
     ("faults_fired", Float.of_int r.faults_fired);
+    ("retransmissions", Float.of_int r.retransmissions);
+    ("gave_up", Float.of_int r.gave_up);
+    ("dups_suppressed", Float.of_int r.dups_suppressed);
+    ("degraded_entries", Float.of_int r.degraded_entries);
     (* indicator, so the aggregate counts replicates with any failure *)
     ("failed", if r.failures > 0 then 1.0 else 0.0);
   ]
@@ -226,6 +242,47 @@ let loss_sweep ?(reps = 1) ?workers ?(seed = 500) ?horizon ~losses () =
     | [ _ ] -> invalid_arg "Trial.loss_sweep: odd cell count"
   in
   List.map2 (fun loss (w, n) -> (loss, w, n)) losses (pair rows)
+
+(** The A1 availability experiment: for each average loss rate, a
+    with-lease bare cell and a with-lease reliable cell sharing a base
+    seed, so the transports face the same channel realization in
+    replicate 0. Returns [(loss, bare, reliable)] rows. *)
+let availability_sweep ?(reps = 1) ?workers ?(seed = 900) ?horizon
+    ?(transport_config = Pte_net.Transport.default_config) ~losses () =
+  let horizon =
+    Option.value horizon ~default:Emulation.default.Emulation.horizon
+  in
+  let cell ~transport i loss =
+    {
+      Emulation.default with
+      lease = true;
+      horizon;
+      seed = seed + i;
+      transport;
+      loss =
+        (if loss = 0.0 then Pte_net.Loss.Perfect
+         else Pte_net.Loss.wifi_interference ~average_loss:loss);
+    }
+  in
+  let cells =
+    Array.of_list
+      (List.concat
+         (List.mapi
+            (fun i loss ->
+              [
+                cell ~transport:`Bare i loss;
+                cell ~transport:(`Reliable transport_config) i loss;
+              ])
+            losses))
+  in
+  let campaign, full = run_cells ?workers ~reps ~seed cells in
+  let rows = replicated_rows campaign full reps in
+  let rec pair = function
+    | bare :: reliable :: rest -> (bare, reliable) :: pair rest
+    | [] -> []
+    | [ _ ] -> invalid_arg "Trial.availability_sweep: odd cell count"
+  in
+  List.map2 (fun loss (b, r) -> (loss, b, r)) losses (pair rows)
 
 let pp_result ppf (r : result) =
   Fmt.pf ppf

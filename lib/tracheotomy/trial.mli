@@ -20,6 +20,13 @@ type result = {
   faults_fired : int;
       (** # of scripted packet faults that fired (0 unless the config
           carries a {!Pte_faults.Plan.t}). *)
+  retransmissions : int;
+      (** transport-layer retries (0 under the bare transport). *)
+  gave_up : int;  (** sends lost after the full retry budget. *)
+  dups_suppressed : int;
+      (** replayed copies squashed at the receiver by (src, seq). *)
+  degraded_entries : int;
+      (** # of times the supervisor entered degraded-safe-mode. *)
 }
 
 val run : Emulation.config -> result
@@ -98,6 +105,15 @@ val loss_sweep :
 (** The X1 extension experiment: for each average loss rate, a
     with-lease and a without-lease cell (sharing a base seed, as the
     original serial sweep did). Returns [(loss, with, without)] rows. *)
+
+val availability_sweep :
+  ?reps:int -> ?workers:int -> ?seed:int -> ?horizon:float ->
+  ?transport_config:Pte_net.Transport.config ->
+  losses:float list -> unit ->
+  (float * replicated * replicated) list
+(** The A1 availability experiment: per loss rate, a with-lease bare
+    cell and a with-lease reliable cell sharing a base seed. Returns
+    [(loss, bare, reliable)] rows. *)
 
 val pp_result : result Fmt.t
 

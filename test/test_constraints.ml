@@ -84,6 +84,35 @@ let test_n1_rejected () =
     (Invalid_argument "Theorem 1 requires N >= 2 remote entities") (fun () ->
       ignore (Constraints.check p))
 
+(* ---- delay-aware recheck (reliable-transport retry budgets) ---- *)
+
+let test_delay_recheck () =
+  Alcotest.(check bool) "1.0 s delay still satisfies c1-c7" true
+    (Constraints.satisfies_with_delay case ~delay:1.0);
+  Alcotest.(check bool) "2.5 s delay breaks the configuration" false
+    (Constraints.satisfies_with_delay case ~delay:2.5);
+  (* c3's lower bound t_req/(N-1) - t_wait = 5 - 3 is the binding slack *)
+  check_violates "2.5 s delay" (Constraints.with_message_delay case ~delay:2.5)
+    Constraints.C3
+
+let test_delay_budget () =
+  let budget = Constraints.max_delay_budget case in
+  Alcotest.(check (float 1e-3)) "case-study slack = 2.0 s" 2.0 budget;
+  Alcotest.(check bool) "just inside the budget is feasible" true
+    (Constraints.satisfies_with_delay case ~delay:(budget -. 1e-3));
+  Alcotest.(check bool) "just past the budget is not" false
+    (Constraints.satisfies_with_delay case ~delay:(budget +. 1e-3))
+
+let test_delay_zero_is_identity () =
+  Alcotest.(check bool) "delay 0 = base check" true
+    (Constraints.satisfies_with_delay case ~delay:0.0
+    = Constraints.satisfies case)
+
+let test_delay_negative_raises () =
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Constraints.with_message_delay: negative delay")
+    (fun () -> ignore (Constraints.with_message_delay case ~delay:(-0.5)))
+
 let test_accessors () =
   Alcotest.(check int) "N" 2 (Params.n case);
   Alcotest.(check string) "initializer" "laser" (Params.initializer_ case).Params.name;
@@ -108,6 +137,12 @@ let suite =
         Alcotest.test_case "c6 violation" `Quick test_c6_violated;
         Alcotest.test_case "c7 violation" `Quick test_c7_violated;
         Alcotest.test_case "N=1 rejected" `Quick test_n1_rejected;
+        Alcotest.test_case "delay-aware recheck" `Quick test_delay_recheck;
+        Alcotest.test_case "max delay budget" `Quick test_delay_budget;
+        Alcotest.test_case "zero delay is identity" `Quick
+          test_delay_zero_is_identity;
+        Alcotest.test_case "negative delay rejected" `Quick
+          test_delay_negative_raises;
         Alcotest.test_case "param accessors" `Quick test_accessors;
       ] );
   ]

@@ -1,0 +1,393 @@
+(* The reliable-delivery transport: backoff schedule, worst-case latency
+   bound, duplicate suppression (bare and reliable), ACK-loss behavior,
+   the consecutive-loss counter behind degraded-safe-mode, and the
+   end-to-end blackout scenario where the supervisor rides the lease
+   self-reset down to all-safe. *)
+
+open Pte_net
+module Transport = Pte_net.Transport
+module Rng = Pte_util.Rng
+module Emulation = Pte_tracheotomy.Emulation
+module Trial = Pte_tracheotomy.Trial
+module Plan = Pte_faults.Plan
+
+let mk_star ?(loss = Loss.Perfect) ?(seed = 1) () =
+  Star.create ~base:"base" ~remotes:[ "r1"; "r2" ] ~loss_kind:loss
+    ~rng:(Rng.create seed) ()
+
+let uplink star remote =
+  match Star.link_for star ~sender:remote ~receiver:"base" with
+  | Some l -> l
+  | None -> Alcotest.failf "no uplink for %s" remote
+
+let downlink star remote =
+  match Star.link_for star ~sender:"base" ~receiver:remote with
+  | Some l -> l
+  | None -> Alcotest.failf "no downlink for %s" remote
+
+(* ---- policy arithmetic ---- *)
+
+let test_rto_schedule () =
+  let c = Transport.default_config in
+  Alcotest.(check (float 1e-9)) "rto 0" 0.25 (Transport.rto c ~attempt:0);
+  Alcotest.(check (float 1e-9)) "rto 1" 0.5 (Transport.rto c ~attempt:1);
+  Alcotest.(check (float 1e-9)) "rto 2" 1.0 (Transport.rto c ~attempt:2);
+  Alcotest.(check (float 1e-9)) "rto 3 hits the cap" 2.0
+    (Transport.rto c ~attempt:3);
+  Alcotest.(check (float 1e-9)) "rto 4 stays capped" 2.0
+    (Transport.rto c ~attempt:4);
+  Alcotest.(check int) "max attempts" 4 (Transport.max_attempts c)
+
+let test_worst_case_latency () =
+  let c = Transport.default_config in
+  (* sum_{k<3} (rto k + jitter) + frame = 1.75 + 0.15 + 0.03 *)
+  Alcotest.(check (float 1e-9)) "default worst case" 1.93
+    (Transport.worst_case_latency c ~frame_delay:0.03);
+  Alcotest.(check (float 1e-9)) "no retries = one frame in the air" 0.03
+    (Transport.worst_case_latency { c with Transport.max_retries = 0 }
+       ~frame_delay:0.03)
+
+let test_validate () =
+  let ok c = Result.is_ok (Transport.validate c) in
+  let d = Transport.default_config in
+  Alcotest.(check bool) "default valid" true (ok d);
+  Alcotest.(check bool) "negative retries" false
+    (ok { d with Transport.max_retries = -1 });
+  Alcotest.(check bool) "zero rto" false (ok { d with Transport.base_rto = 0.0 });
+  Alcotest.(check bool) "shrinking backoff" false
+    (ok { d with Transport.multiplier = 0.5 });
+  Alcotest.(check bool) "cap below rto" false
+    (ok { d with Transport.cap = 0.1 });
+  Alcotest.(check bool) "negative jitter" false
+    (ok { d with Transport.jitter = -0.01 })
+
+(* ---- bare mode: injected duplicates are suppressed at the receiver ---- *)
+
+let test_bare_dup_suppression () =
+  let star = mk_star () in
+  Link.set_injector (uplink star "r1")
+    (Some (fun ~time:_ ~root:_ -> Link.Duplicate_frame));
+  let t = Transport.create ~mode:`Bare ~rng:(Rng.create 2) star in
+  let router = Transport.router t in
+  for i = 0 to 4 do
+    match router ~time:(float_of_int i) ~sender:"r1" ~root:"evt" ~receiver:"base" with
+    | Pte_hybrid.Executor.Deliver d when d >= 0.0 -> ()
+    | _ -> Alcotest.failf "send %d: expected a single delivery" i
+  done;
+  let s = Transport.stats t in
+  Alcotest.(check int) "all sends counted" 5 s.Transport.data_sends;
+  Alcotest.(check int) "each delivered once" 5 s.Transport.delivered;
+  Alcotest.(check int) "each replay squashed" 5 s.Transport.dups_suppressed
+
+(* ---- reliable mode: retransmission recovers a lossy channel ---- *)
+
+let test_reliable_recovers_losses () =
+  let cfg = Transport.default_config in
+  let star = mk_star ~loss:(Loss.Bernoulli 0.5) ~seed:3 () in
+  let bound =
+    Transport.worst_case_latency cfg ~frame_delay:(Star.worst_frame_delay star)
+  in
+  let t =
+    Transport.create ~mode:(`Reliable cfg) ~rng:(Rng.create 4) star
+  in
+  let router = Transport.router t in
+  let delivered = ref 0 in
+  let n = 300 in
+  for i = 0 to n - 1 do
+    match
+      router ~time:(float_of_int i) ~sender:"r1" ~root:"evt" ~receiver:"base"
+    with
+    | Pte_hybrid.Executor.Deliver d ->
+        incr delivered;
+        if d > bound +. 1e-9 then
+          Alcotest.failf "latency %g exceeds the closed-form bound %g" d bound
+    | _ -> ()
+  done;
+  (* 4 attempts against p=0.5 drops: P(delivered) = 1 - 0.5^4 ~ 0.94,
+     versus ~0.5 bare; anything above 0.8 means ARQ is really working *)
+  let fraction = float_of_int !delivered /. float_of_int n in
+  if fraction < 0.8 then
+    Alcotest.failf "delivery fraction %.2f: retransmission not effective"
+      fraction;
+  Alcotest.(check bool) "retransmissions happened" true
+    ((Transport.stats t).Transport.retransmissions > 0)
+
+let test_consecutive_losses_and_reset () =
+  let star = mk_star ~loss:(Loss.Bernoulli 1.0) ~seed:5 () in
+  let t =
+    Transport.create ~mode:(`Reliable Transport.default_config)
+      ~rng:(Rng.create 6) star
+  in
+  let router = Transport.router t in
+  for i = 1 to 3 do
+    (match router ~time:(float_of_int i) ~sender:"base" ~root:"evt" ~receiver:"r1" with
+    | Pte_hybrid.Executor.Lose -> ()
+    | _ -> Alcotest.fail "blackout must lose the send");
+    Alcotest.(check int)
+      (Fmt.str "loss streak after %d" i)
+      i
+      (Transport.consecutive_losses t ~sender:"base")
+  done;
+  Alcotest.(check int) "other senders unaffected" 0
+    (Transport.consecutive_losses t ~sender:"r1");
+  Transport.reset_consecutive_losses t ~sender:"base";
+  Alcotest.(check int) "reset" 0 (Transport.consecutive_losses t ~sender:"base")
+
+(* ---- adversarial ACK killer: data flows, feedback does not ---- *)
+
+let test_ack_killer () =
+  let cfg = Transport.default_config in
+  let star = mk_star () in
+  (* data goes r1 -> base on the uplink; ACKs come back on r1's
+     downlink under the "ack:" root prefix — kill exactly those *)
+  Link.set_injector (downlink star "r1")
+    (Some
+       (fun ~time:_ ~root ->
+         if String.length root >= 4 && String.sub root 0 4 = "ack:" then
+           Link.Drop_frame
+         else Link.Pass));
+  let t = Transport.create ~mode:(`Reliable cfg) ~rng:(Rng.create 7) star in
+  let router = Transport.router t in
+  (match router ~time:0.0 ~sender:"r1" ~root:"evt" ~receiver:"base" with
+  | Pte_hybrid.Executor.Deliver _ -> ()
+  | _ -> Alcotest.fail "data was never lost, it must deliver");
+  let s = Transport.stats t in
+  Alcotest.(check int) "one application send" 1 s.Transport.data_sends;
+  Alcotest.(check int) "delivered despite deaf sender" 1 s.Transport.delivered;
+  Alcotest.(check int) "full retry budget spent" cfg.Transport.max_retries
+    s.Transport.retransmissions;
+  Alcotest.(check int) "receiver squashed every retransmission"
+    cfg.Transport.max_retries s.Transport.dups_suppressed;
+  Alcotest.(check int) "one ACK per copy"
+    (cfg.Transport.max_retries + 1)
+    s.Transport.acks_sent;
+  Alcotest.(check int) "every ACK lost"
+    (cfg.Transport.max_retries + 1)
+    s.Transport.acks_lost;
+  (* the sender never saw feedback: this is a consecutive loss even
+     though the data arrived — exactly the degraded-mode trigger *)
+  Alcotest.(check int) "counts as a feedback loss" 1
+    (Transport.consecutive_losses t ~sender:"r1")
+
+(* ---- property: empirical latency never exceeds the closed form, and
+        the Theorem-1 recheck agrees with the budget search ---- *)
+
+let config_gen =
+  QCheck.Gen.(
+    let* max_retries = int_range 0 4 in
+    let* base_rto = float_range 0.05 0.8 in
+    let* multiplier = float_range 1.0 3.0 in
+    let* extra_cap = float_range 0.0 2.0 in
+    let* jitter = float_range 0.0 0.1 in
+    return
+      {
+        Transport.max_retries;
+        base_rto;
+        multiplier;
+        cap = base_rto +. extra_cap;
+        jitter;
+      })
+
+let config_arbitrary =
+  QCheck.make
+    ~print:(fun c -> Fmt.str "%a" Transport.pp_config c)
+    config_gen
+
+let prop_latency_within_bound =
+  QCheck.Test.make ~name:"empirical latency <= worst_case_latency" ~count:25
+    config_arbitrary
+    (fun cfg ->
+      assert (Result.is_ok (Transport.validate cfg));
+      let star = mk_star ~loss:(Loss.Bernoulli 0.3) ~seed:11 () in
+      let frame_delay = Star.worst_frame_delay star in
+      let bound = Transport.worst_case_latency cfg ~frame_delay in
+      let t = Transport.create ~mode:(`Reliable cfg) ~rng:(Rng.create 12) star in
+      let router = Transport.router t in
+      for i = 0 to 399 do
+        match
+          router ~time:(float_of_int i) ~sender:"r1" ~root:"evt"
+            ~receiver:"base"
+        with
+        | Pte_hybrid.Executor.Deliver d ->
+            if d > bound +. 1e-9 then
+              QCheck.Test.fail_reportf
+                "latency %g > bound %g under %a" d bound Transport.pp_config
+                cfg
+        | _ -> ()
+      done;
+      (* the constraint recheck must agree with the budget search,
+         except inside a tolerance band around the exact boundary *)
+      let params = Pte_core.Params.case_study in
+      let budget = Pte_core.Constraints.max_delay_budget params in
+      if Float.abs (bound -. budget) < 1e-3 then true
+      else
+        Pte_core.Constraints.satisfies_with_delay params ~delay:bound
+        = (bound < budget))
+
+(* ---- satellite: duplicate-heavy fault plan leaves a bare trial's
+        Table-I metrics untouched (the star.ml double-delivery fix) ---- *)
+
+let duplicate_everything =
+  let dup entity direction =
+    Plan.packet ~entity ~direction ~occurrence:Plan.Every Plan.Duplicate
+  in
+  {
+    Plan.packet_faults =
+      [
+        dup "ventilator" Plan.Up; dup "ventilator" Plan.Down;
+        dup "laser" Plan.Up; dup "laser" Plan.Down;
+      ];
+    node_faults = [];
+  }
+
+let test_duplicate_storm_regression () =
+  let base =
+    {
+      Emulation.default with
+      horizon = 300.0;
+      seed = 21;
+      loss = Pte_net.Loss.Perfect;
+    }
+  in
+  let clean = Trial.run base in
+  let stormy = Trial.run { base with Emulation.faults = duplicate_everything } in
+  Alcotest.(check bool) "replays were injected" true
+    (stormy.Trial.dups_suppressed > 0);
+  Alcotest.(check int) "no replay reaches an automaton twice: emissions"
+    clean.Trial.emissions stormy.Trial.emissions;
+  Alcotest.(check int) "failures" clean.Trial.failures stormy.Trial.failures;
+  Alcotest.(check int) "still zero violations" 0 stormy.Trial.failures;
+  Alcotest.(check int) "evtToStop" clean.Trial.evt_to_stop
+    stormy.Trial.evt_to_stop;
+  Alcotest.(check int) "requests" clean.Trial.requests stormy.Trial.requests
+
+(* ---- emulation: reliable transport rechecks Theorem 1 at build ---- *)
+
+let test_build_rejects_unsafe_budget () =
+  let slow =
+    { Transport.default_config with Transport.base_rto = 2.0; cap = 2.0 }
+  in
+  (* worst case ~6 s >> the 2 s case-study slack: build must refuse *)
+  match
+    Emulation.build { Emulation.default with transport = `Reliable slow }
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "a retry budget past the c1-c7 slack must be rejected"
+
+(* ---- satellite: total downlink blackout drives the supervisor into
+        degraded-safe-mode and the plant settles all-safe ---- *)
+
+let blackout_after t0 =
+  let drop entity =
+    Plan.packet ~window:{ Plan.after = t0; before = 1e9 } ~entity
+      ~direction:Plan.Down ~occurrence:Plan.Every Plan.Drop
+  in
+  { Plan.packet_faults = [ drop "ventilator"; drop "laser" ];
+    node_faults = [] }
+
+let test_degraded_blackout () =
+  let params = Pte_core.Params.case_study in
+  let dcfg = { Pte_tracheotomy.Degraded.k = 3; hold = 200.0 } in
+  let config =
+    {
+      Emulation.default with
+      horizon = 150.0;
+      e_ton = 1e9;
+      e_toff = 1e9;
+      loss = Pte_net.Loss.Perfect;
+      seed = 31;
+      transport = `Reliable Transport.default_config;
+      degraded = Some dcfg;
+      (* every supervisor->remote frame vanishes once the emission is
+         under way: no grants, cancels or aborts get through *)
+      faults = blackout_after 26.0;
+    }
+  in
+  let built = Emulation.build config in
+  let engine = built.Emulation.engine in
+  let laser = built.Emulation.laser in
+  let handle =
+    match built.Emulation.degraded with
+    | Some h -> h
+    | None -> Alcotest.fail "degraded mode was configured"
+  in
+  Pte_sim.Scenario.one_shot engine
+    ~at:(params.Pte_core.Params.t_fb_min +. 2.0)
+    ~automaton:laser ~armed_in:"Fall-Back"
+    ~root:(Pte_core.Events.stim_request ~initializer_:laser);
+  (* phase 1: the emission starts, the blackout bites, the supervisor's
+     unacknowledged downlinks trip the watchdog within a few feedback
+     rounds *)
+  Pte_sim.Engine.run engine ~until:70.0;
+  Alcotest.(check bool) "entered degraded-safe-mode" true
+    (handle.Pte_tracheotomy.Degraded.entries >= 1);
+  let entered_at =
+    match List.rev handle.Pte_tracheotomy.Degraded.entered_at with
+    | first :: _ -> first
+    | [] -> Alcotest.fail "entry recorded"
+  in
+  Alcotest.(check bool)
+    (Fmt.str "entry at %.1f s is after the blackout" entered_at)
+    true
+    (entered_at >= 26.0 && entered_at <= 70.0);
+  (* phase 2: within T^max_wait + T^max_LS1 of the entry, the lease
+     self-reset must have walked every entity back to a safe location *)
+  let settle = entered_at +. Pte_core.Params.risky_dwell_bound params +. 1.0 in
+  Pte_sim.Engine.run engine ~until:settle;
+  let assert_safe name =
+    let automaton = Pte_hybrid.System.find_exn built.Emulation.system name in
+    let loc =
+      Pte_hybrid.Automaton.location_exn automaton
+        (Pte_sim.Engine.location_of engine name)
+    in
+    Alcotest.(check bool)
+      (Fmt.str "%s safe in %s" name loc.Pte_hybrid.Location.name)
+      true
+      (loc.Pte_hybrid.Location.kind = Pte_hybrid.Location.Safe)
+  in
+  assert_safe laser;
+  assert_safe built.Emulation.ventilator;
+  (* phase 3: while degraded (hold = 200 s outlives the horizon) a new
+     request must not win a lease — and the whole run stays violation
+     free *)
+  Pte_sim.Scenario.one_shot engine ~at:(settle +. 5.0) ~automaton:laser
+    ~armed_in:"Fall-Back"
+    ~root:(Pte_core.Events.stim_request ~initializer_:laser);
+  let trace = Emulation.run built in
+  Alcotest.(check int) "exactly the pre-blackout emission" 1
+    (Pte_sim.Metrics.entries trace ~automaton:laser ~location:"Risky Core");
+  let report =
+    Pte_core.Monitor.analyze_system trace built.Emulation.system
+      built.Emulation.spec ~horizon:config.Emulation.horizon
+  in
+  Alcotest.(check int) "no PTE violation despite the blackout" 0
+    (Pte_core.Monitor.episodes report)
+
+let suite =
+  [
+    ( "net.transport",
+      [
+        Alcotest.test_case "backoff schedule" `Quick test_rto_schedule;
+        Alcotest.test_case "worst-case latency closed form" `Quick
+          test_worst_case_latency;
+        Alcotest.test_case "config validation" `Quick test_validate;
+        Alcotest.test_case "bare mode suppresses injected duplicates" `Quick
+          test_bare_dup_suppression;
+        Alcotest.test_case "reliable mode recovers a 50% channel" `Quick
+          test_reliable_recovers_losses;
+        Alcotest.test_case "consecutive-loss counter" `Quick
+          test_consecutive_losses_and_reset;
+        Alcotest.test_case "ACK killer: delivery without feedback" `Quick
+          test_ack_killer;
+        QCheck_alcotest.to_alcotest prop_latency_within_bound;
+      ] );
+    ( "tracheotomy.transport",
+      [
+        Alcotest.test_case "duplicate storm leaves bare metrics unchanged"
+          `Quick test_duplicate_storm_regression;
+        Alcotest.test_case "build rejects unsafe retry budgets" `Quick
+          test_build_rejects_unsafe_budget;
+        Alcotest.test_case "blackout -> degraded-safe-mode -> all-safe"
+          `Slow test_degraded_blackout;
+      ] );
+  ]
