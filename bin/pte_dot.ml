@@ -2,7 +2,9 @@
    repository's analogue of the paper's figures.
 
      dune exec bin/pte_dot.exe -- supervisor > supervisor.dot
-     dune exec bin/pte_dot.exe -- ventilator-elaborated | dot -Tsvg > vent.svg *)
+     dune exec bin/pte_dot.exe -- ventilator-elaborated | dot -Tsvg > vent.svg
+     dune exec bin/pte_dot.exe -- --lint initializer-nolease   # diagnosed
+       locations/edges in crimson, lint codes in the label/tooltip *)
 
 open Cmdliner
 
@@ -10,23 +12,64 @@ let automata =
   [
     ("supervisor", fun () -> Pte_core.Pattern.supervisor Pte_core.Params.case_study);
     ("initializer", fun () -> Pte_core.Pattern.initializer_ Pte_core.Params.case_study);
+    ("initializer-nolease", fun () ->
+        Pte_core.Pattern.initializer_ ~lease:false Pte_core.Params.case_study);
     ("participant", fun () ->
         Pte_core.Pattern.participant Pte_core.Params.case_study ~index:1);
+    ("participant-nolease", fun () ->
+        Pte_core.Pattern.participant ~lease:false Pte_core.Params.case_study
+          ~index:1);
     ("ventilator-standalone", fun () -> Pte_tracheotomy.Ventilator.stand_alone);
     ("ventilator-elaborated", fun () ->
         Pte_tracheotomy.Ventilator.participant Pte_core.Params.case_study);
     ("patient", fun () -> Pte_tracheotomy.Patient.automaton);
   ]
 
-let run which =
+(* Fold per-site diagnostics into Dot highlight annotations: each
+   diagnosed location/edge gets the comma-joined list of its codes. *)
+let highlights diags =
+  let add assoc key code =
+    match List.assoc_opt key assoc with
+    | Some codes when List.mem code codes -> assoc
+    | Some codes -> (key, codes @ [ code ]) :: List.remove_assoc key assoc
+    | None -> (key, [ code ]) :: assoc
+  in
+  let locs, edges =
+    List.fold_left
+      (fun (locs, edges) (d : Pte_lint.Diagnostic.t) ->
+        match (d.Pte_lint.Diagnostic.location, d.Pte_lint.Diagnostic.edge) with
+        | Some l, _ -> (add locs l d.Pte_lint.Diagnostic.code, edges)
+        | None, Some e -> (locs, add edges e d.Pte_lint.Diagnostic.code)
+        | None, None -> (locs, edges))
+      ([], []) diags
+  in
+  let join l = List.map (fun (k, codes) -> (k, String.concat ", " codes)) l in
+  (join locs, join edges)
+
+let run lint which =
   match List.assoc_opt which automata with
-  | Some build -> print_string (Pte_hybrid.Dot.to_string (build ()))
+  | Some build ->
+      let a = build () in
+      let highlight_locations, highlight_edges =
+        if lint then highlights (Pte_lint.Lint.lint_automaton a) else ([], [])
+      in
+      print_string
+        (Pte_hybrid.Dot.to_string ~highlight_locations ~highlight_edges a)
   | None ->
       Fmt.epr "unknown automaton %S; choose from: %s@." which
         (String.concat ", " (List.map fst automata));
       exit 2
 
 let cmd =
+  let lint =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:
+            "Run the static analyzer on the automaton and highlight \
+             diagnosed locations/edges (crimson, diagnostic codes in the \
+             label and tooltip).")
+  in
   let which =
     Arg.(
       value
@@ -34,6 +77,6 @@ let cmd =
       & info [] ~docv:"AUTOMATON" ~doc:"Which automaton to export.")
   in
   let doc = "export case-study hybrid automata as Graphviz dot" in
-  Cmd.v (Cmd.info "pte-dot" ~doc) Term.(const run $ which)
+  Cmd.v (Cmd.info "pte-dot" ~doc) Term.(const run $ lint $ which)
 
 let () = exit (Cmd.eval cmd)

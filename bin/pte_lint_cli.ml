@@ -1,0 +1,170 @@
+(* `pte-lint`: static model analysis over the shipped hybrid-automata
+   systems. Exits 0 when no errors are found, 1 on errors, 2 on usage
+   mistakes (unknown system name).
+
+     dune exec bin/pte_lint.exe --                 # lint every clean system
+     dune exec bin/pte_lint.exe -- tracheotomy-nolease   # exits 1 (L020…)
+     dune exec bin/pte_lint.exe -- --json pattern
+     dune exec bin/pte_lint.exe -- --codes          # the diagnostic registry *)
+
+open Cmdliner
+module Lint = Pte_lint.Lint
+module Diagnostic = Pte_lint.Diagnostic
+
+let star params =
+  Some
+    {
+      Pte_lint.Sync.base = params.Pte_core.Params.supervisor;
+      remotes = Pte_core.Pattern.remotes params;
+    }
+
+let pattern_config params =
+  { Lint.default_config with topology = star params }
+
+let synthesized n =
+  let entity_names = List.init n (fun i -> Fmt.str "entity%d" (i + 1)) in
+  let safeguards =
+    List.init (n - 1) (fun _ ->
+        { Pte_core.Params.enter_risky_min = 2.0; exit_safe_min = 1.0 })
+  in
+  Pte_core.Synthesis.synthesize_exn
+    (Pte_core.Synthesis.default_requirements ~entity_names ~safeguards)
+
+let tracheotomy_system ~lease () =
+  let params = Pte_core.Params.case_study in
+  Pte_hybrid.System.make ~name:"laser-tracheotomy"
+    [
+      Pte_core.Pattern.supervisor params;
+      Pte_tracheotomy.Ventilator.participant ~lease params;
+      Pte_core.Pattern.initializer_ ~lease params;
+      Pte_tracheotomy.Patient.automaton;
+    ]
+
+let tracheotomy_config =
+  {
+    (pattern_config Pte_core.Params.case_study) with
+    observable_roots = [ "evtVPumpIn"; "evtVPumpOut" ];
+  }
+
+let multi_config ~params ~initiators =
+  match
+    Pte_core.Multi.validate_config { Pte_core.Multi.params; initiators }
+  with
+  | Ok () -> { Pte_core.Multi.params; initiators }
+  | Error msg -> invalid_arg msg
+
+(* name, how to build the system, lint configuration, and whether a
+   default (no-argument) run covers it. The `-nolease` variants are the
+   paper's "without Lease" baselines: they fail L020/L010 by design and
+   are only linted when named explicitly. *)
+let systems =
+  [
+    ( "pattern",
+      (fun () -> Pte_core.Pattern.system Pte_core.Params.case_study),
+      pattern_config Pte_core.Params.case_study,
+      `Clean );
+    ( "pattern-n3",
+      (fun () -> Pte_core.Pattern.system (synthesized 3)),
+      pattern_config (synthesized 3),
+      `Clean );
+    ( "pattern-n4",
+      (fun () -> Pte_core.Pattern.system (synthesized 4)),
+      pattern_config (synthesized 4),
+      `Clean );
+    ( "pattern-nolease",
+      (fun () -> Pte_core.Pattern.system ~lease:false Pte_core.Params.case_study),
+      pattern_config Pte_core.Params.case_study,
+      `Dirty );
+    ( "tracheotomy",
+      tracheotomy_system ~lease:true,
+      tracheotomy_config,
+      `Clean );
+    ( "tracheotomy-bare",
+      (fun () ->
+        Pte_hybrid.System.make ~name:"ventilator-standalone"
+          [ Pte_tracheotomy.Ventilator.stand_alone ]),
+      { Lint.default_config with
+        observable_roots = [ "evtVPumpIn"; "evtVPumpOut" ] },
+      `Clean );
+    ( "tracheotomy-nolease",
+      tracheotomy_system ~lease:false,
+      tracheotomy_config,
+      `Dirty );
+    ( "multi",
+      (fun () ->
+        Pte_core.Multi.system
+          (multi_config ~params:Pte_core.Params.case_study ~initiators:[ 1; 2 ])),
+      pattern_config Pte_core.Params.case_study,
+      `Clean );
+    ( "multi-n3",
+      (fun () ->
+        Pte_core.Multi.system
+          (multi_config ~params:(synthesized 3) ~initiators:[ 1; 3 ])),
+      pattern_config (synthesized 3),
+      `Clean );
+  ]
+
+let known_names = List.map (fun (n, _, _, _) -> n) systems
+
+let list_codes () =
+  List.iter
+    (fun (i : Diagnostic.info) ->
+      Fmt.pr "%s  %-7s %s@." i.Diagnostic.info_code
+        (Fmt.str "%a" Diagnostic.pp_severity i.Diagnostic.info_severity)
+        i.Diagnostic.title)
+    Diagnostic.registry
+
+let lint_one ~json name =
+  match List.find_opt (fun (n, _, _, _) -> String.equal n name) systems with
+  | None ->
+      Fmt.epr "unknown system %S; choose from: %s@." name
+        (String.concat ", " known_names);
+      exit 2
+  | Some (_, build, config, _) ->
+      let diags = Lint.lint_system ~config (build ()) in
+      if json then
+        Fmt.pr "%s@." (Pte_util.Json.to_string (Lint.to_json ~system:name diags))
+      else Fmt.pr "== %s: %a@." name Lint.pp_report diags;
+      diags
+
+let run codes json names =
+  if codes then (
+    list_codes ();
+    0)
+  else
+    let names =
+      match names with
+      | [] ->
+          List.filter_map
+            (fun (n, _, _, status) -> if status = `Clean then Some n else None)
+            systems
+      | names -> names
+    in
+    let diags = List.concat_map (lint_one ~json) names in
+    if Lint.has_errors diags then 1 else 0
+
+let cmd =
+  let codes =
+    Arg.(
+      value & flag
+      & info [ "codes" ] ~doc:"List every diagnostic code and exit.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit one JSON report object per system.")
+  in
+  let names =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"SYSTEM"
+          ~doc:
+            (Fmt.str
+               "Systems to lint (default: every shipped clean system). Known: \
+                %s."
+               (String.concat ", " known_names)))
+  in
+  let doc = "static model analysis over the shipped hybrid-automata systems" in
+  Cmd.v (Cmd.info "pte-lint" ~doc) Term.(const run $ codes $ json $ names)
+
+let () = exit (Cmd.eval' cmd)

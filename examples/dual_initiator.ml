@@ -8,9 +8,19 @@
    ventilator itself may request a solo pause (e.g. for suctioning) —
    a session with no participants, approved directly. The supervisor
    serializes the two, and PTE safety holds across arbitrarily
-   interleaved requests and message loss. *)
+   interleaved requests and message loss.
+
+   Pass `--reliable` to route the radio messages through the
+   ACK/retransmission transport (default policy); the run then also
+   rechecks Theorem 1 with the transport's worst-case latency folded
+   into the message-delay terms. *)
 
 let () =
+  let transport =
+    if Array.exists (String.equal "--reliable") Sys.argv then
+      `Reliable Pte_net.Transport.default_config
+    else `Bare
+  in
   let config =
     { Pte_core.Multi.params = Pte_core.Params.case_study; initiators = [ 1; 2 ] }
   in
@@ -28,10 +38,25 @@ let () =
       ~loss_kind:(Pte_net.Loss.wifi_interference ~average_loss:0.3)
       ~rng:(Pte_util.Rng.create 8) ()
   in
+  (match transport with
+  | `Bare -> ()
+  | `Reliable tcfg ->
+      let delay =
+        Pte_net.Transport.worst_case_latency tcfg
+          ~frame_delay:(Pte_net.Star.worst_frame_delay net)
+      in
+      let outcomes =
+        Pte_core.Constraints.check_with_delay Pte_core.Params.case_study ~delay
+      in
+      Fmt.pr "reliable transport: worst-case latency %.3fs, Theorem 1 %s@.@."
+        delay
+        (if Pte_core.Constraints.all_ok outcomes then "still holds"
+         else "violated");
+      assert (Pte_core.Constraints.all_ok outcomes));
   let engine =
     Pte_sim.Engine.create
       ~config:{ Pte_hybrid.Executor.default_config with dt = 0.01 }
-      ~net ~seed:9 system
+      ~net ~transport ~seed:9 system
   in
   List.iter
     (fun (automaton, request, cancel) ->
@@ -63,6 +88,12 @@ let () =
   let spec = Pte_core.Rules.of_params Pte_core.Params.case_study in
   let report = Pte_core.Monitor.analyze_system trace system spec ~horizon in
   Fmt.pr "%a@." Pte_core.Monitor.pp_report report;
+
+  (match Pte_sim.Engine.transport engine with
+  | Some t when transport <> `Bare ->
+      Fmt.pr "transport: %a@." Pte_net.Transport.pp_stats
+        (Pte_net.Transport.stats t)
+  | _ -> ());
 
   (* bounded formal sweep of the interleaved system *)
   let r =

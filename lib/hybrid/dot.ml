@@ -1,25 +1,40 @@
 (** Graphviz export for hybrid automata, for inspecting generated pattern
     automata and their elaborations (the repository's analogue of the
-    paper's Figs. 2–6). *)
+    paper's Figs. 2–6). Locations and edges may carry diagnostic
+    highlights (crimson fill + annotation), used by `pte-dot --lint`. *)
 
 let escape s =
   String.concat "\\\""
     (String.split_on_char '"' s)
 
-let automaton ppf (a : Automaton.t) =
+let print ~highlight_locations ~highlight_edges ppf (a : Automaton.t) =
+  let location_note name = List.assoc_opt name highlight_locations in
+  let edge_note src dst = List.assoc_opt (src, dst) highlight_edges in
   Fmt.pf ppf "digraph \"%s\" {\n" (escape a.Automaton.name);
   Fmt.pf ppf "  rankdir=LR;\n  node [shape=box, style=rounded];\n";
   List.iter
     (fun (l : Location.t) ->
       let color =
-        if Location.is_risky l then ", color=red, penwidth=2.0" else ""
+        if Location.is_risky l && location_note l.Location.name = None then
+          ", color=red, penwidth=2.0"
+        else ""
       in
       let invariant =
         if l.Location.invariant = Guard.always then ""
         else Fmt.str "\\n%a" Guard.pp l.Location.invariant
       in
-      Fmt.pf ppf "  \"%s\" [label=\"%s%s\"%s];\n" (escape l.Location.name)
-        (escape l.Location.name) (escape invariant) color)
+      let note, flag =
+        match location_note l.Location.name with
+        | None -> ("", "")
+        | Some note ->
+            ( Fmt.str "\\n%s" (escape note),
+              Fmt.str
+                ", style=\"rounded,filled\", fillcolor=mistyrose, \
+                 color=crimson, penwidth=3.0, tooltip=\"%s\""
+                (escape note) )
+      in
+      Fmt.pf ppf "  \"%s\" [label=\"%s%s%s\"%s%s];\n" (escape l.Location.name)
+        (escape l.Location.name) (escape invariant) note color flag)
     a.Automaton.locations;
   Fmt.pf ppf "  \"__init\" [shape=point];\n";
   Fmt.pf ppf "  \"__init\" -> \"%s\";\n" (escape a.Automaton.initial_location);
@@ -42,15 +57,30 @@ let automaton ppf (a : Automaton.t) =
         String.concat "\\n"
           (List.filter (fun s -> s <> "") [ guard; sync; reset ])
       in
-      Fmt.pf ppf "  \"%s\" -> \"%s\" [label=\"%s\"];\n" (escape e.Edge.src)
-        (escape e.Edge.dst) (escape label))
+      let label, flag =
+        match edge_note e.Edge.src e.Edge.dst with
+        | None -> (label, "")
+        | Some note ->
+            ( String.concat "\\n"
+                (List.filter (fun s -> s <> "") [ label; escape note ]),
+              Fmt.str ", color=crimson, penwidth=2.0, fontcolor=crimson, \
+                       tooltip=\"%s\""
+                (escape note) )
+      in
+      Fmt.pf ppf "  \"%s\" -> \"%s\" [label=\"%s\"%s];\n" (escape e.Edge.src)
+        (escape e.Edge.dst) (escape label) flag)
     a.Automaton.edges;
   Fmt.pf ppf "}\n"
 
-let to_string a = Fmt.str "%a" automaton a
+let automaton ppf a =
+  print ~highlight_locations:[] ~highlight_edges:[] ppf a
 
-let write_file path a =
+let to_string ?(highlight_locations = []) ?(highlight_edges = []) a =
+  Fmt.str "%a" (print ~highlight_locations ~highlight_edges) a
+
+let write_file ?highlight_locations ?highlight_edges path a =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string a))
+    (fun () ->
+      output_string oc (to_string ?highlight_locations ?highlight_edges a))

@@ -1,7 +1,23 @@
 (** Graphviz export for hybrid automata — the repository's analogue of
     the paper's automata figures. Risky locations are outlined in red;
-    edges carry guard/label/reset annotations. *)
+    edges carry guard/label/reset annotations.
+
+    The [?highlight_*] arguments mark diagnosed sites (crimson fill, the
+    annotation appended to the label and set as the SVG tooltip); keys
+    are location names / [(src, dst)] pairs, values the annotation text
+    (e.g. a lint diagnostic code). *)
 
 val automaton : Automaton.t Fmt.t
-val to_string : Automaton.t -> string
-val write_file : string -> Automaton.t -> unit
+
+val to_string :
+  ?highlight_locations:(string * string) list ->
+  ?highlight_edges:((string * string) * string) list ->
+  Automaton.t ->
+  string
+
+val write_file :
+  ?highlight_locations:(string * string) list ->
+  ?highlight_edges:((string * string) * string) list ->
+  string ->
+  Automaton.t ->
+  unit

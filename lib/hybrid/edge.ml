@@ -44,6 +44,9 @@ let trigger_root edge =
   | Some (Label.Recv r | Label.Recv_lossy r) -> Some r
   | _ -> None
 
+let send_root edge =
+  match edge.label with Some (Label.Send r) -> Some r | _ -> None
+
 let pp ppf e =
   Fmt.pf ppf "%s -> %s [%a]%a%s" e.src e.dst Guard.pp e.guard
     (Fmt.option (fun ppf l -> Fmt.pf ppf " %a" Label.pp l))

@@ -29,4 +29,5 @@ val make :
 val is_triggered : t -> bool
 val is_spontaneous : t -> bool
 val trigger_root : t -> string option
+val send_root : t -> string option
 val pp : t Fmt.t

@@ -35,6 +35,10 @@ let rate_of flow ~time valuation var =
 
 let is_constant_rate = function Rates _ -> true | Ode _ -> false
 
+(** Static view of the rate table: [Some rates] for a {!Rates} flow,
+    [None] for an {!Ode} (whose reads/writes are opaque closures). *)
+let constant_rates = function Rates rates -> Some rates | Ode _ -> None
+
 (** [combine f g] evolves the (disjoint) variables of both flows
     simultaneously; used by elaboration, where the data state variables of
     the elaborated automaton keep their parent-location dynamics while the

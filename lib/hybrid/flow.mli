@@ -18,6 +18,10 @@ val derivatives : t -> time:float -> Valuation.t -> (Var.t * float) list
 val rate_of : t -> time:float -> Valuation.t -> Var.t -> float
 val is_constant_rate : t -> bool
 
+val constant_rates : t -> (Var.t * float) list option
+(** The rate table of a {!Rates} flow; [None] for {!Ode} flows, whose
+    variable reads and writes are opaque to static analysis. *)
+
 val combine : t -> t -> t
 (** Evolve the (disjoint) variables of both flows simultaneously (used
     by elaboration). *)

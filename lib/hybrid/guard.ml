@@ -45,6 +45,40 @@ let holds guard valuation =
 let vars guard =
   List.fold_left (fun acc a -> Var.Set.add a.var acc) Var.Set.empty guard
 
+(** [bounds guard var] is the interval [(lo, hi)] the conjunction implies
+    for [var] ([None] = unbounded on that side). Strictness is dropped:
+    the executor's [eps] slack blurs strict/non-strict anyway, so static
+    analyses treat [x < c] and [x <= c] as the same half-space. *)
+let bounds guard var =
+  List.fold_left
+    (fun (lo, hi) a ->
+      if not (Var.equal a.var var) then (lo, hi)
+      else
+        let raise_lo lo' =
+          match lo with None -> Some lo' | Some l -> Some (Float.max l lo')
+        in
+        let lower_hi hi' =
+          match hi with None -> Some hi' | Some h -> Some (Float.min h hi')
+        in
+        match a.cmp with
+        | Gt | Ge -> (raise_lo a.bound, hi)
+        | Lt | Le -> (lo, lower_hi a.bound)
+        | Eq -> (raise_lo a.bound, lower_hi a.bound))
+    (None, None) guard
+
+(** Is the conjunction of [a] and [b] satisfiable per-variable? Sound for
+    emptiness: [false] means some variable's implied interval is empty
+    (beyond the [eps] slack), hence no valuation satisfies both. [true]
+    only means no single-variable contradiction was found. *)
+let compatible a b =
+  let joint = a @ b in
+  Var.Set.for_all
+    (fun v ->
+      match bounds joint v with
+      | Some lo, Some hi -> lo <= hi +. eps
+      | _ -> true)
+    (vars joint)
+
 (** [time_to_satisfy atom ~value ~rate] is the least [d >= 0] such that the
     atom holds after the variable evolves linearly for time [d] from
     [value] at slope [rate]; [None] if it never will. *)

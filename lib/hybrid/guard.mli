@@ -29,6 +29,16 @@ val atom_holds : atom -> float -> bool
 val holds : t -> Valuation.t -> bool
 val vars : t -> Var.Set.t
 
+val bounds : t -> Var.t -> float option * float option
+(** Interval [(lo, hi)] the conjunction implies for a variable ([None] =
+    unbounded on that side; strictness is dropped, matching the
+    executor's [eps]-slack semantics). *)
+
+val compatible : t -> t -> bool
+(** Per-variable interval emptiness test: [false] certifies the
+    conjunction of both guards is unsatisfiable; [true] is inconclusive
+    (no single-variable contradiction). *)
+
 val time_to_satisfy : atom -> value:float -> rate:float -> float option
 (** Least [d >= 0] such that the atom holds after linear evolution;
     [None] if never. *)

@@ -30,6 +30,14 @@ let is_lossy = function
   | Recv_lossy _ -> true
   | Internal _ | Send _ | Recv _ -> false
 
+let is_send = function
+  | Send _ -> true
+  | Internal _ | Recv _ | Recv_lossy _ -> false
+
+let is_internal = function
+  | Internal _ -> true
+  | Send _ | Recv _ | Recv_lossy _ -> false
+
 let equal a b =
   match (a, b) with
   | Internal x, Internal y

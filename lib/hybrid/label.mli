@@ -11,5 +11,7 @@ type t =
 val root : t -> string
 val is_receive : t -> bool
 val is_lossy : t -> bool
+val is_send : t -> bool
+val is_internal : t -> bool
 val equal : t -> t -> bool
 val pp : t Fmt.t

@@ -1,0 +1,58 @@
+(** Reachability and dead-code analysis (see deadcode.mli). *)
+
+open Pte_hybrid
+
+(* Locations reachable from the initial location, treating every edge as
+   potentially firable — an over-approximation of dynamic reachability,
+   so "unreachable" verdicts are sound. *)
+let reachable (a : Automaton.t) =
+  let rec grow seen frontier =
+    match frontier with
+    | [] -> seen
+    | loc :: rest ->
+        let next =
+          Automaton.edges_from a loc
+          |> List.filter_map (fun (e : Edge.t) ->
+                 if Var.Set.mem e.Edge.dst seen then None else Some e.Edge.dst)
+        in
+        let seen = List.fold_left (fun s l -> Var.Set.add l s) seen next in
+        grow seen (next @ rest)
+  in
+  grow
+    (Var.Set.singleton a.Automaton.initial_location)
+    [ a.Automaton.initial_location ]
+
+let check (a : Automaton.t) =
+  let name = a.Automaton.name in
+  let seen = reachable a in
+  let unreachable =
+    List.filter_map
+      (fun (l : Location.t) ->
+        if Var.Set.mem l.Location.name seen then None
+        else
+          Some
+            (Diagnostic.v ~automaton:name ~location:l.Location.name "L010"
+               (Fmt.str "location %S is unreachable from the initial \
+                         location %S"
+                  l.Location.name a.Automaton.initial_location)))
+      a.Automaton.locations
+  in
+  let dead_edges =
+    List.filter_map
+      (fun (e : Edge.t) ->
+        match Automaton.find_location a e.Edge.src with
+        | None -> None (* dangling src is Automaton.validate's business *)
+        | Some src ->
+            if Guard.compatible src.Location.invariant e.Edge.guard then None
+            else
+              Some
+                (Diagnostic.v ~automaton:name ~edge:(e.Edge.src, e.Edge.dst)
+                   "L011"
+                   (Fmt.str
+                      "guard %a is unsatisfiable under %S's invariant %a: \
+                       edge can never fire"
+                      Guard.pp e.Edge.guard e.Edge.src Guard.pp
+                      src.Location.invariant)))
+      a.Automaton.edges
+  in
+  unreachable @ dead_edges

@@ -1,0 +1,10 @@
+(** Reachability and dead-code analysis (codes L010, L011).
+
+    L010 — locations not reachable from the initial location over the
+    edge graph (every edge is taken as potentially firable, so an
+    unreachable verdict is sound). L011 — edges whose guard is
+    unsatisfiable under their source location's invariant, by interval
+    analysis over each variable ({!Pte_hybrid.Guard.compatible}): such
+    an edge can never fire. *)
+
+val check : Pte_hybrid.Automaton.t -> Diagnostic.t list

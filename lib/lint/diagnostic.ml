@@ -1,0 +1,191 @@
+(** Structured lint diagnostics (see diagnostic.mli). *)
+
+type severity = Error | Warning
+
+type t = {
+  code : string;
+  severity : severity;
+  automaton : string option;
+  location : string option;
+  edge : (string * string) option;
+  message : string;
+}
+
+type info = {
+  info_code : string;
+  info_severity : severity;
+  title : string;
+  certifies : string;
+}
+
+(* The registry is the single source of truth for code -> severity and
+   feeds the CLI's --codes listing and DESIGN.md §9. Codes are stable:
+   retired codes are never reused. *)
+let registry =
+  [
+    {
+      info_code = "L001";
+      info_severity = Warning;
+      title = "sent event is never received by any other automaton";
+      certifies =
+        "every !l send participates in a synchronization (orphan sends \
+         are trace markers at best; declare them observable)";
+    };
+    {
+      info_code = "L002";
+      info_severity = Error;
+      title = "received event is never sent by any other automaton";
+      certifies =
+        "every ?l/??l receive edge can actually be triggered (Section \
+         II-B event wiring; stim_* roots are environment stimuli)";
+    };
+    {
+      info_code = "L003";
+      info_severity = Error;
+      title = "reliable ?l receive on a root that crosses the lossy star";
+      certifies =
+        "no automaton assumes reliable delivery over the wireless star \
+         (the paper's channel model allows arbitrary loss: must be ??l)";
+    };
+    {
+      info_code = "L004";
+      info_severity = Warning;
+      title = "lossy ??l receive on a root with wired-only senders";
+      certifies =
+        "loss annotations match the physical topology (??l on a wired \
+         path weakens the model for no reason)";
+    };
+    {
+      info_code = "L005";
+      info_severity = Error;
+      title = "receive reachable only via a remote-to-remote radio path";
+      certifies =
+        "the sink-based star has no remote-to-remote links (Section \
+         II-B): such an event can never arrive";
+    };
+    {
+      info_code = "L010";
+      info_severity = Error;
+      title = "unreachable location";
+      certifies =
+        "the automaton graph has no dead locations (typically a \
+         mis-wired reconstruction of a paper figure)";
+    };
+    {
+      info_code = "L011";
+      info_severity = Error;
+      title = "edge guard unsatisfiable under the source invariant";
+      certifies =
+        "every edge can fire for some valuation admitted by its source \
+         location (interval analysis over the guard conjunction)";
+    };
+    {
+      info_code = "L020";
+      info_severity = Error;
+      title = "risky location without an autonomous lease self-reset path";
+      certifies =
+        "Rule 1's shape: from every risky location a safe location is \
+         reachable through eager, time-forced, non-receive edges alone — \
+         the lease expiry path that needs no network cooperation";
+    };
+    {
+      info_code = "L030";
+      info_severity = Error;
+      title = "undeclared variable in flow/guard/reset/invariant";
+      certifies = "the automaton tuple is closed over its variable set V";
+    };
+    {
+      info_code = "L031";
+      info_severity = Warning;
+      title = "variable read but never initialized, reset, or driven";
+      certifies =
+        "no guard tests a variable that is constant 0 by omission \
+         (environment-driven variables should carry an initial value)";
+    };
+    {
+      info_code = "L032";
+      info_severity = Warning;
+      title = "variable reset but never read";
+      certifies = "every reset is observable by some guard or invariant";
+    };
+    {
+      info_code = "L033";
+      info_severity = Warning;
+      title = "declared variable never used";
+      certifies = "the declared variable set V carries no dead weight";
+    };
+    {
+      info_code = "L040";
+      info_severity = Error;
+      title = "possible time-block (invariant can expire with no egress)";
+      certifies =
+        "footnote 3's time-block freedom (conservative, via \
+         Pte_hybrid.Wellformed)";
+    };
+    {
+      info_code = "L041";
+      info_severity = Error;
+      title = "possible zeno cycle of untimed spontaneous edges";
+      certifies =
+        "footnote 3's non-zenoness (conservative, via \
+         Pte_hybrid.Wellformed)";
+    };
+  ]
+
+let find_info code =
+  List.find_opt (fun i -> String.equal i.info_code code) registry
+
+let v ?automaton ?location ?edge code message =
+  match find_info code with
+  | None -> Fmt.invalid_arg "Diagnostic.v: unregistered code %s" code
+  | Some info ->
+      { code; severity = info.info_severity; automaton; location; edge; message }
+
+let is_error d = d.severity = Error
+
+let compare_opt cmp a b =
+  match (a, b) with
+  | None, None -> 0
+  | None, Some _ -> -1
+  | Some _, None -> 1
+  | Some x, Some y -> cmp x y
+
+let compare a b =
+  let ( <?> ) c next = if c <> 0 then c else next () in
+  compare_opt String.compare a.automaton b.automaton <?> fun () ->
+  String.compare a.code b.code <?> fun () ->
+  compare_opt String.compare a.location b.location <?> fun () ->
+  compare_opt
+    (fun (s1, d1) (s2, d2) ->
+      String.compare s1 s2 <?> fun () -> String.compare d1 d2)
+    a.edge b.edge
+  <?> fun () -> String.compare a.message b.message
+
+let pp_severity ppf = function
+  | Error -> Fmt.string ppf "error"
+  | Warning -> Fmt.string ppf "warning"
+
+let pp_site ppf d =
+  match (d.automaton, d.location, d.edge) with
+  | None, _, _ -> ()
+  | Some a, Some l, _ -> Fmt.pf ppf " %s/%s:" a l
+  | Some a, None, Some (src, dst) -> Fmt.pf ppf " %s/%s->%s:" a src dst
+  | Some a, None, None -> Fmt.pf ppf " %s:" a
+
+let pp ppf d =
+  Fmt.pf ppf "%a[%s]%a %s" pp_severity d.severity d.code pp_site d d.message
+
+let to_json d =
+  let open Pte_util.Json in
+  let opt k = function None -> [] | Some v -> [ (k, Str v) ] in
+  Obj
+    ([
+       ("code", Str d.code);
+       ("severity", Str (Fmt.str "%a" pp_severity d.severity));
+     ]
+    @ opt "automaton" d.automaton
+    @ opt "location" d.location
+    @ (match d.edge with
+      | None -> []
+      | Some (src, dst) -> [ ("edge", Obj [ ("src", Str src); ("dst", Str dst) ]) ])
+    @ [ ("message", Str d.message) ])

@@ -1,0 +1,55 @@
+(** Structured lint diagnostics.
+
+    Every analysis in [pte_lint] reports through this one type: a stable
+    code (["L001"]…, never renumbered), a severity, provenance down to
+    the automaton / location / edge, and a human message. The CLI, the
+    test fixtures, the [--json] report and the Graphviz highlighting all
+    key off the code. *)
+
+type severity = Error | Warning
+
+type t = {
+  code : string;  (** stable identifier, ["L001"].. *)
+  severity : severity;
+  automaton : string option;
+  location : string option;
+  edge : (string * string) option;  (** (src, dst) of the diagnosed edge *)
+  message : string;
+}
+
+val v :
+  ?automaton:string ->
+  ?location:string ->
+  ?edge:string * string ->
+  string ->
+  string ->
+  t
+(** [v code message] builds a diagnostic; the severity is looked up in
+    {!registry}. Raises [Invalid_argument] on an unregistered code. *)
+
+(** {1 Code registry} *)
+
+type info = {
+  info_code : string;
+  info_severity : severity;
+  title : string;  (** one-line summary for [--codes] listings *)
+  certifies : string;
+      (** which paper assumption a clean run certifies (DESIGN.md §9) *)
+}
+
+val registry : info list
+(** Every diagnostic code, in code order. *)
+
+val find_info : string -> info option
+
+(** {1 Ordering, printing, JSON} *)
+
+val compare : t -> t -> int
+(** Total deterministic order: automaton, code, location, edge, message. *)
+
+val is_error : t -> bool
+val pp_severity : severity Fmt.t
+val pp : t Fmt.t
+(** [error[L020] laser/Risky Core: …] — one line, stable. *)
+
+val to_json : t -> Pte_util.Json.t

@@ -1,0 +1,61 @@
+(** Lint facade (see lint.mli). *)
+
+module Diagnostic = Diagnostic
+module Sync = Sync
+open Pte_hybrid
+
+type config = {
+  topology : Sync.topology option;
+  external_prefixes : string list;
+  observable_roots : string list;
+}
+
+let default_config =
+  { topology = None; external_prefixes = [ "stim_" ]; observable_roots = [] }
+
+let lift_wellformed (a : Automaton.t) =
+  List.map
+    (function
+      | Wellformed.Possible_time_block { location; reason } ->
+          Diagnostic.v ~automaton:a.Automaton.name ~location "L040"
+            (Fmt.str "possible time-block: %s" reason)
+      | Wellformed.Possible_zeno_cycle { locations } ->
+          Diagnostic.v ~automaton:a.Automaton.name "L041"
+            (Fmt.str "possible zeno cycle through %s"
+               (String.concat " -> " locations)))
+    (Wellformed.check a)
+
+let automaton_diags (a : Automaton.t) =
+  Deadcode.check a @ Risky.check a @ Vars.check a @ lift_wellformed a
+
+let lint_automaton a = List.sort_uniq Diagnostic.compare (automaton_diags a)
+
+let lint_system ?(config = default_config) (system : System.t) =
+  let per_automaton = List.concat_map automaton_diags system.System.automata in
+  let wiring =
+    Sync.check ?topology:config.topology
+      ~external_prefixes:config.external_prefixes
+      ~observable_roots:config.observable_roots system
+  in
+  List.sort_uniq Diagnostic.compare (per_automaton @ wiring)
+
+let errors = List.filter Diagnostic.is_error
+let has_errors diags = List.exists Diagnostic.is_error diags
+
+let pp_report ppf = function
+  | [] -> Fmt.pf ppf "no diagnostics"
+  | diags -> Fmt.(list ~sep:(any "@.") Diagnostic.pp) ppf diags
+
+let to_json ~system diags =
+  let open Pte_util.Json in
+  Obj
+    [
+      ("system", Str system);
+      ("errors", Num (float_of_int (List.length (errors diags))));
+      ( "warnings",
+        Num
+          (float_of_int
+             (List.length (List.filter (fun d -> not (Diagnostic.is_error d)) diags)))
+      );
+      ("diagnostics", Arr (List.map Diagnostic.to_json diags));
+    ]

@@ -1,0 +1,42 @@
+(** [pte_lint] — static analyses over hybrid-automata systems.
+
+    Runs every analysis (sync wiring L001–L005, reachability/dead code
+    L010–L011, risky-dwell structure L020, variable discipline
+    L030–L033, and the {!Pte_hybrid.Wellformed} time-block / zeno checks
+    lifted as L040–L041) and returns one deterministically ordered list
+    of {!Diagnostic.t}. A clean run over a shipped system is a static
+    certificate for the modeling assumptions listed in DESIGN.md §9. *)
+
+module Diagnostic = Diagnostic
+module Sync = Sync
+
+type config = {
+  topology : Sync.topology option;
+      (** star shape for the channel-reliability checks (L003–L005);
+          [None] skips them *)
+  external_prefixes : string list;
+      (** receive roots with these prefixes are environment stimuli *)
+  observable_roots : string list;
+      (** send roots allowed to have no listener (trace markers) *)
+}
+
+val default_config : config
+(** No topology, [external_prefixes = ["stim_"]], no observable roots —
+    the repo-wide conventions (lib/core/events.ml). *)
+
+val lint_automaton : Pte_hybrid.Automaton.t -> Diagnostic.t list
+(** All per-automaton analyses (everything except sync wiring), sorted
+    by {!Diagnostic.compare}. *)
+
+val lint_system : ?config:config -> Pte_hybrid.System.t -> Diagnostic.t list
+(** Per-automaton analyses over every member plus system-level sync
+    wiring, sorted by {!Diagnostic.compare}. *)
+
+val errors : Diagnostic.t list -> Diagnostic.t list
+val has_errors : Diagnostic.t list -> bool
+
+val pp_report : Diagnostic.t list Fmt.t
+(** One diagnostic per line; ["no diagnostics"] when clean. *)
+
+val to_json : system:string -> Diagnostic.t list -> Pte_util.Json.t
+(** [{"system": …, "errors": n, "warnings": n, "diagnostics": […]}]. *)

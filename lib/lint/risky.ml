@@ -1,0 +1,81 @@
+(** Risky-dwell structure analysis (see risky.mli). *)
+
+open Pte_hybrid
+
+(* Will [guard] become true by just letting time pass in a location with
+   flow [flow], regardless of the starting valuation admitted there?
+   Conservative: true only for the trivially-true guard, or — under
+   constant rates — when every lower-bound atom's variable strictly
+   grows and every upper-bound atom's variable strictly shrinks, so each
+   atom is eventually satisfied and stays satisfied. Ode flows are
+   opaque, so only the trivial guard qualifies there. *)
+let eventually_enabled ~(flow : Flow.t) (guard : Guard.t) =
+  match guard with
+  | [] -> true
+  | atoms -> (
+      match Flow.constant_rates flow with
+      | None -> false
+      | Some rates ->
+          let rate v =
+            match List.find_opt (fun (v', _) -> Var.equal v v') rates with
+            | Some (_, r) -> r
+            | None -> 0.
+          in
+          List.for_all
+            (fun (a : Guard.atom) ->
+              match a.Guard.cmp with
+              | Guard.Ge | Guard.Gt -> rate a.Guard.var > Guard.eps
+              | Guard.Le | Guard.Lt -> rate a.Guard.var < -.Guard.eps
+              | Guard.Eq -> false)
+            atoms)
+
+(* An edge the automaton can take on its own: no synchronization trigger
+   and eager, so the executor fires it the instant the guard holds. *)
+let autonomous (e : Edge.t) =
+  Edge.is_spontaneous e && e.Edge.urgency = Edge.Eager
+
+let check (a : Automaton.t) =
+  let name = a.Automaton.name in
+  (* Monotone fixpoint: a location is "self-resetting" if it is safe, or
+     some autonomous eventually-enabled edge leads to a self-resetting
+     location. Linear in |E| per round, at most |V| rounds. *)
+  let safe =
+    List.filter_map
+      (fun (l : Location.t) ->
+        if Location.is_risky l then None else Some l.Location.name)
+      a.Automaton.locations
+  in
+  let good = ref (List.fold_left (fun s l -> Var.Set.add l s) Var.Set.empty safe) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (l : Location.t) ->
+        if not (Var.Set.mem l.Location.name !good) then
+          let escapes =
+            List.exists
+              (fun (e : Edge.t) ->
+                String.equal e.Edge.src l.Location.name
+                && autonomous e
+                && Var.Set.mem e.Edge.dst !good
+                && eventually_enabled ~flow:l.Location.flow e.Edge.guard)
+              a.Automaton.edges
+          in
+          if escapes then (
+            good := Var.Set.add l.Location.name !good;
+            changed := true))
+      a.Automaton.locations
+  done;
+  List.filter_map
+    (fun (l : Location.t) ->
+      if (not (Location.is_risky l)) || Var.Set.mem l.Location.name !good then
+        None
+      else
+        Some
+          (Diagnostic.v ~automaton:name ~location:l.Location.name "L020"
+             (Fmt.str
+                "risky location %S has no autonomous time-forced path to a \
+                 safe location: the lease cannot self-reset without network \
+                 cooperation (Rule 1)"
+                l.Location.name)))
+    a.Automaton.locations

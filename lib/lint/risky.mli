@@ -1,0 +1,8 @@
+(** Risky-dwell structure analysis (code L020): every risky location
+    must be able to reach a safe location through edges that need no
+    network cooperation — spontaneous (no receive trigger), eager, and
+    eventually enabled by time alone under the location's flow. This is
+    the static shape of the paper's Rule 1: the lease expiry path that
+    returns a device to fall-back even when every peer is silent. *)
+
+val check : Pte_hybrid.Automaton.t -> Diagnostic.t list

@@ -1,0 +1,132 @@
+(** Sync-label wiring analysis (see sync.mli). *)
+
+open Pte_hybrid
+
+type topology = { base : string; remotes : string list }
+
+let is_node topology name =
+  String.equal name topology.base
+  || List.exists (String.equal name) topology.remotes
+
+(* Does a frame from [sender] to [receiver] traverse a lossy star link?
+   Exactly when both are star nodes and one of them is the base; two
+   remotes have no link at all (the star drops the frame), and a non-node
+   endpoint makes the path wired. Mirrors Pte_net.Star.link_for. *)
+type path = Wired | Lossy | No_link
+
+let path_kind topology ~sender ~receiver =
+  if not (is_node topology sender && is_node topology receiver) then Wired
+  else if String.equal sender topology.base || String.equal receiver topology.base
+  then Lossy
+  else No_link
+
+let check ?topology ~external_prefixes ~observable_roots (system : System.t) =
+  let is_external root =
+    List.exists
+      (fun prefix ->
+        String.length root >= String.length prefix
+        && String.equal (String.sub root 0 (String.length prefix)) prefix)
+      external_prefixes
+  in
+  let is_observable root = List.exists (String.equal root) observable_roots in
+  (* root -> names of automata with a !root edge *)
+  let senders root =
+    List.filter_map
+      (fun (a : Automaton.t) ->
+        let sends =
+          List.exists
+            (fun (e : Edge.t) ->
+              match Edge.send_root e with
+              | Some r -> String.equal r root
+              | None -> false)
+            a.Automaton.edges
+        in
+        if sends then Some a.Automaton.name else None)
+      system.System.automata
+  in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  List.iter
+    (fun (a : Automaton.t) ->
+      let me = a.Automaton.name in
+      List.iter
+        (fun (e : Edge.t) ->
+          (match Edge.send_root e with
+          | Some root
+            when (not (is_observable root))
+                 && System.listeners system root
+                    |> List.for_all (fun (l : Automaton.t) ->
+                           String.equal l.Automaton.name me) ->
+              emit
+                (Diagnostic.v ~automaton:me ~edge:(e.Edge.src, e.Edge.dst)
+                   "L001"
+                   (Fmt.str
+                      "sent event %S is never received by any other \
+                       automaton (broadcast into the void)"
+                      root))
+          | _ -> ());
+          match (e.Edge.label, Edge.trigger_root e) with
+          | Some label, Some root -> (
+              let others =
+                List.filter (fun s -> not (String.equal s me)) (senders root)
+              in
+              match others with
+              | [] ->
+                  if not (is_external root) then
+                    emit
+                      (Diagnostic.v ~automaton:me ~edge:(e.Edge.src, e.Edge.dst)
+                         "L002"
+                         (Fmt.str
+                            "received event %S is never sent by any other \
+                             automaton (orphan receive)"
+                            root))
+              | _ -> (
+                  match topology with
+                  | None -> ()
+                  | Some topo ->
+                      let paths =
+                        List.map
+                          (fun sender ->
+                            path_kind topo ~sender ~receiver:me)
+                          others
+                      in
+                      let lossy = Label.is_lossy label in
+                      if
+                        (not lossy)
+                        && List.exists (fun p -> p = Lossy) paths
+                      then
+                        emit
+                          (Diagnostic.v ~automaton:me
+                             ~edge:(e.Edge.src, e.Edge.dst) "L003"
+                             (Fmt.str
+                                "reliable receive ?%s, but %s reaches %s \
+                                 over the lossy wireless star: must be ??%s"
+                                root
+                                (String.concat "/"
+                                   (List.filteri
+                                      (fun i _ -> List.nth paths i = Lossy)
+                                      others))
+                                me root));
+                      if lossy && List.for_all (fun p -> p = Wired) paths then
+                        emit
+                          (Diagnostic.v ~automaton:me
+                             ~edge:(e.Edge.src, e.Edge.dst) "L004"
+                             (Fmt.str
+                                "lossy receive ??%s, but every sender (%s) \
+                                 reaches %s over a wired path: ?%s suffices"
+                                root
+                                (String.concat "/" others)
+                                me root));
+                      if List.for_all (fun p -> p = No_link) paths then
+                        emit
+                          (Diagnostic.v ~automaton:me
+                             ~edge:(e.Edge.src, e.Edge.dst) "L005"
+                             (Fmt.str
+                                "event %S can only arrive remote-to-remote \
+                                 (from %s), but the star has no such link"
+                                root
+                                (String.concat "/" others)))))
+          | _ -> ())
+        a.Automaton.edges)
+    system.System.automata;
+  List.rev !diags

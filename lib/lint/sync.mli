@@ -1,0 +1,25 @@
+(** Sync-label wiring analysis (codes L001–L005): every send has a
+    listener, every receive a sender, and the reliability prefix of each
+    receive matches the physical path the event travels.
+
+    The channel-reliability checks (L003–L005) need to know which
+    automata sit on the wireless star; pass the star's shape as
+    [?topology] (they are skipped without it, since a bare
+    {!Pte_hybrid.System.t} carries no network information). *)
+
+type topology = {
+  base : string;  (** the sink ξ0 *)
+  remotes : string list;  (** star nodes; everything else is wired *)
+}
+
+val check :
+  ?topology:topology ->
+  external_prefixes:string list ->
+  observable_roots:string list ->
+  Pte_hybrid.System.t ->
+  Diagnostic.t list
+(** [external_prefixes] — roots starting with one of these are
+    environment stimuli (injected by scenarios, no in-system sender
+    required; default convention ["stim_"]). [observable_roots] — sends
+    allowed to have no listener (trace markers such as the ventilator's
+    stroke-reversal broadcasts). *)

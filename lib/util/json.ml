@@ -1,0 +1,238 @@
+(** Minimal JSON encoder/parser (see json.mli). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* encoding                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let buffer = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let number_to_string v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else if Float.is_nan v then "null" (* JSON has no NaN *)
+  else Printf.sprintf "%.17g" v
+
+let rec write buffer = function
+  | Null -> Buffer.add_string buffer "null"
+  | Bool b -> Buffer.add_string buffer (if b then "true" else "false")
+  | Num v -> Buffer.add_string buffer (number_to_string v)
+  | Str s ->
+      Buffer.add_char buffer '"';
+      Buffer.add_string buffer (escape s);
+      Buffer.add_char buffer '"'
+  | Arr xs ->
+      Buffer.add_char buffer '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buffer ',';
+          write buffer x)
+        xs;
+      Buffer.add_char buffer ']'
+  | Obj fields ->
+      Buffer.add_char buffer '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buffer ',';
+          Buffer.add_char buffer '"';
+          Buffer.add_string buffer (escape k);
+          Buffer.add_string buffer "\":";
+          write buffer v)
+        fields;
+      Buffer.add_char buffer '}'
+
+let to_string v =
+  let buffer = Buffer.create 128 in
+  write buffer v;
+  Buffer.contents buffer
+
+(* ------------------------------------------------------------------ *)
+(* parsing: plain recursive descent                                   *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse of int * string
+
+let of_string input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (!pos, msg)) in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match input.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub input !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buffer = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string";
+      let c = input.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buffer
+      | '\\' -> (
+          if !pos >= n then fail "unterminated escape";
+          let e = input.[!pos] in
+          advance ();
+          (match e with
+          | '"' -> Buffer.add_char buffer '"'
+          | '\\' -> Buffer.add_char buffer '\\'
+          | '/' -> Buffer.add_char buffer '/'
+          | 'n' -> Buffer.add_char buffer '\n'
+          | 't' -> Buffer.add_char buffer '\t'
+          | 'r' -> Buffer.add_char buffer '\r'
+          | 'b' -> Buffer.add_char buffer '\b'
+          | 'f' -> Buffer.add_char buffer '\012'
+          | 'u' ->
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub input !pos 4 in
+              pos := !pos + 4;
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> fail "bad \\u escape"
+              in
+              (* UTF-8 encode the code point (BMP only). *)
+              if code < 0x80 then Buffer.add_char buffer (Char.chr code)
+              else if code < 0x800 then begin
+                Buffer.add_char buffer (Char.chr (0xC0 lor (code lsr 6)));
+                Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+              end
+              else begin
+                Buffer.add_char buffer (Char.chr (0xE0 lor (code lsr 12)));
+                Buffer.add_char buffer
+                  (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+              end
+          | _ -> fail "unknown escape");
+          loop ())
+      | c -> Buffer.add_char buffer c; loop ()
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let number_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> number_char c | None -> false) do
+      advance ()
+    done;
+    let text = String.sub input start (!pos - start) in
+    match float_of_string_opt text with
+    | Some v -> v
+    | None -> fail (Printf.sprintf "bad number %S" text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else begin
+          let fields = ref [] in
+          let rec fields_loop () =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let value = parse_value () in
+            fields := (key, value) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); fields_loop ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          fields_loop ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); Arr [] end
+        else begin
+          let items = ref [] in
+          let rec items_loop () =
+            let value = parse_value () in
+            items := value :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); items_loop ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          items_loop ();
+          Arr (List.rev !items)
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse (at, msg) ->
+      Error (Printf.sprintf "JSON parse error at %d: %s" at msg)
+
+(* ------------------------------------------------------------------ *)
+(* accessors                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_float = function Num v -> Some v | _ -> None
+
+let to_int = function
+  | Num v when Float.is_integer v -> Some (int_of_float v)
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None

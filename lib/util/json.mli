@@ -1,8 +1,9 @@
-(** Minimal JSON values for the campaign's JSONL checkpoint files.
+(** Minimal JSON values, shared by the campaign JSONL checkpoints, the
+    fault-plan DSL and the lint JSON report.
 
-    The container ships no JSON package, and checkpoint records are flat
-    (ints, floats, strings, one nested object), so a small self-contained
-    encoder/parser keeps the dependency budget at zero. *)
+    The container ships no JSON package, and every record we exchange is
+    flat (ints, floats, strings, shallow nesting), so a small
+    self-contained encoder/parser keeps the dependency budget at zero. *)
 
 type t =
   | Null

@@ -24,5 +24,5 @@ The Graphviz exporter emits a digraph for the stand-alone ventilator:
 and lists the known automata on a bad name:
 
   $ ../../bin/pte_dot.exe nonsense
-  unknown automaton "nonsense"; choose from: supervisor, initializer, participant, ventilator-standalone, ventilator-elaborated, patient
+  unknown automaton "nonsense"; choose from: supervisor, initializer, initializer-nolease, participant, participant-nolease, ventilator-standalone, ventilator-elaborated, patient
   [2]

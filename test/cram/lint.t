@@ -1,0 +1,42 @@
+The static analyzer reports zero diagnostics on every shipped clean
+system and exits 0:
+
+  $ ../../bin/pte_lint_cli.exe
+  == pattern: no diagnostics
+  == pattern-n3: no diagnostics
+  == pattern-n4: no diagnostics
+  == tracheotomy: no diagnostics
+  == tracheotomy-bare: no diagnostics
+  == multi: no diagnostics
+  == multi-n3: no diagnostics
+
+The paper's without-lease baseline is flagged (Rule 1's lease self-reset
+certificate fails) and the exit code is non-zero:
+
+  $ ../../bin/pte_lint_cli.exe pattern-nolease > /dev/null
+  [1]
+  $ ../../bin/pte_lint_cli.exe pattern-nolease | grep -o 'error\[L0[0-9]*\]' | sort -u
+  error[L010]
+  error[L020]
+
+JSON reports carry the machine-readable diagnostic stream:
+
+  $ ../../bin/pte_lint_cli.exe --json tracheotomy-bare
+  {"system":"tracheotomy-bare","errors":0,"warnings":0,"diagnostics":[]}
+
+The registry lists every stable code:
+
+  $ ../../bin/pte_lint_cli.exe --codes | head -3
+  L001  warning sent event is never received by any other automaton
+  L002  error   received event is never sent by any other automaton
+  L003  error   reliable ?l receive on a root that crosses the lossy star
+
+Unknown system names exit 2:
+
+  $ ../../bin/pte_lint_cli.exe nonsense 2> /dev/null
+  [2]
+
+The Graphviz exporter highlights diagnosed sites:
+
+  $ ../../bin/pte_dot.exe --lint initializer-nolease | grep -c crimson
+  3
