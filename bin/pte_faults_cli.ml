@@ -79,11 +79,7 @@ let run_inject plan_file artifact_file no_lease seed minutes verbose =
 
 let run_coverage occurrences minutes seed workers out resume transport verbose =
   setup_logs verbose;
-  let transport : Pte_net.Transport.mode =
-    match transport with
-    | `Bare -> `Bare
-    | `Reliable -> `Reliable Pte_net.Transport.default_config
-  in
+  let transport : Pte_net.Transport.mode = transport in
   let c =
     Robustness.coverage ?workers ?checkpoint:out ~resume ~occurrences
       ~horizon:(minutes *. 60.0) ~seed ~transport ()
@@ -191,14 +187,23 @@ let coverage_cmd =
           ~doc:"Skip trials already recorded in the $(b,--out) file.")
   in
   let transport =
+    let transport_conv =
+      Arg.conv ~docv:"MODE"
+        ( (fun s ->
+            match Pte_net.Transport.mode_of_string s with
+            | Ok m -> Ok m
+            | Error msg -> Error (`Msg msg)),
+          Pte_net.Transport.pp_mode )
+    in
     Arg.(
       value
-      & opt (enum [ ("bare", `Bare); ("reliable", `Reliable) ]) `Bare
+      & opt transport_conv `Bare
       & info [ "transport" ] ~docv:"MODE"
           ~doc:
             "Radio transport the trials run over: $(b,bare) (single-shot \
-             sends) or $(b,reliable) (ACK/retransmission; scripted drops \
-             are then expected to be recovered).")
+             sends) or $(b,reliable)[:$(i,k=v),...] (event-driven \
+             ACK/retransmission; scripted drops are then expected to be \
+             recovered).")
   in
   Cmd.v
     (Cmd.info "coverage"

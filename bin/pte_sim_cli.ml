@@ -9,11 +9,7 @@ open Cmdliner
 
 let run table1 lease minutes e_ton e_toff loss seed reps workers transport
     verbose =
-  let transport_mode : Pte_net.Transport.mode =
-    match transport with
-    | `Bare -> `Bare
-    | `Reliable -> `Reliable Pte_net.Transport.default_config
-  in
+  let transport_mode : Pte_net.Transport.mode = transport in
   if table1 then begin
     if reps > 1 then
       Fmt.pr "Table I reproduction (seed %d, %d replicates):@." seed reps
@@ -98,14 +94,24 @@ let cmd =
           ~doc:"Worker domains for replicated runs (default: all cores).")
   in
   let transport =
+    let transport_conv =
+      Arg.conv ~docv:"MODE"
+        ( (fun s ->
+            match Pte_net.Transport.mode_of_string s with
+            | Ok m -> Ok m
+            | Error msg -> Error (`Msg msg)),
+          Pte_net.Transport.pp_mode )
+    in
     Arg.(
       value
-      & opt (enum [ ("bare", `Bare); ("reliable", `Reliable) ]) `Bare
+      & opt transport_conv `Bare
       & info [ "transport" ] ~docv:"MODE"
           ~doc:
             "Radio transport: $(b,bare) (single-shot sends, the paper's \
-             model) or $(b,reliable) (ACK/retransmission with the default \
-             backoff policy; Theorem 1 is rechecked with the retry budget).")
+             model) or $(b,reliable)[:$(i,k=v),...] (event-driven \
+             ACK/retransmission; keys $(b,retries), $(b,rto), \
+             $(b,multiplier), $(b,cap), $(b,jitter); the config is \
+             validated and Theorem 1 is rechecked with the retry budget).")
   in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print all violations.") in
   let doc = "run laser-tracheotomy wireless-CPS emulation trials" in

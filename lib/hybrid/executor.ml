@@ -35,6 +35,11 @@ type route_decision =
       (** deliver one copy per delay — duplicated frames (fault
           injection); an empty list is equivalent to [Lose] *)
   | Lose
+  | Deferred
+      (** the router has taken ownership of the send: it will schedule
+          the delivery (or record the loss) itself through {!schedule} /
+          {!deliver_now} / {!lose_now} — nothing to enqueue now (the
+          event-driven ARQ transport) *)
 
 type router =
   time:float -> sender:string -> root:string -> receiver:string ->
@@ -65,7 +70,7 @@ type automaton_state = {
       (* local clock-drift factor: its flows advance [rate * dt] per step *)
 }
 
-type pending = { due : float; receiver : string; root : string; seq : int }
+type token = int
 
 type t = {
   system : System.t;
@@ -74,11 +79,19 @@ type t = {
   states : (string, automaton_state) Hashtbl.t;
   order : string list;
   mutable queue : pending list;  (* sorted by (due, seq) *)
-  mutable seq : int;
+  mutable next_token : int;
   recorder : Trace.Recorder.recorder;
   mutable router : router;
   mutable next_sample : float;
 }
+
+and pending = { due : float; payload : payload; seq : int }
+
+and payload =
+  | Message of { receiver : string; root : string }
+      (* a scheduled arrival: deliver [root] to [receiver] at [due] *)
+  | Timer of (t -> unit)
+      (* a scheduled callback (e.g. a transport retransmission timer) *)
 
 let create ?(config = default_config) ?trace_sink system =
   let system = System.validate_exn system in
@@ -105,7 +118,7 @@ let create ?(config = default_config) ?trace_sink system =
     states;
     order;
     queue = [];
-    seq = 0;
+    next_token = 0;
     recorder;
     router = reliable_router;
     next_sample = 0.0;
@@ -176,9 +189,9 @@ let set_rate t name rate =
 
 let rate t name = (state t name).rate
 
-let enqueue t ~due ~receiver ~root =
-  let item = { due; receiver; root; seq = t.seq } in
-  t.seq <- t.seq + 1;
+let push t ~due payload =
+  let item = { due; payload; seq = t.next_token } in
+  t.next_token <- t.next_token + 1;
   let rec insert = function
     | [] -> [ item ]
     | hd :: tl as all ->
@@ -186,7 +199,23 @@ let enqueue t ~due ~receiver ~root =
           item :: all
         else hd :: insert tl
   in
-  t.queue <- insert t.queue
+  t.queue <- insert t.queue;
+  item.seq
+
+let enqueue t ~due ~receiver ~root =
+  ignore (push t ~due (Message { receiver; root }))
+
+(** Schedule [f] to run at absolute time [at] (never earlier than the
+    current instant), on the same timeline as message deliveries. The
+    returned token revokes it through {!cancel} as long as it has not
+    fired. This is the hook behind the event-driven ARQ transport:
+    retransmission timers live in the delivery queue, so an arriving ACK
+    can cancel the pending retransmission before the channel sees it. *)
+let schedule t ~at f = push t ~due:(Float.max at t.now) (Timer f)
+
+(** Revoke a scheduled timer or arrival before it fires. Unknown or
+    already-fired tokens are ignored (cancellation is idempotent). *)
+let cancel t token = t.queue <- List.filter (fun p -> p.seq <> token) t.queue
 
 let broadcast t ~sender ~root =
   record t (Trace.Message_sent { sender; root });
@@ -201,7 +230,8 @@ let broadcast t ~sender ~root =
         | Deliver_many delays ->
             List.iter
               (fun delay -> enqueue t ~due:(t.now +. delay) ~receiver ~root)
-              delays)
+              delays
+        | Deferred -> ())
     (System.listeners t.system root)
 
 (* Fire [edge] from [st]'s current location. Emits trace entries and
@@ -265,6 +295,20 @@ let deliver t ~receiver ~root =
       record t (Trace.Message_delivered { receiver; root; consumed = false });
       false
 
+(** Hand [root] to [receiver] at the current instant — the delivery half
+    of a {!Deferred} routing decision (the event-driven transport calls
+    this from a scheduled arrival callback). Returns [true] when a
+    triggered edge consumed it. Any resulting cascade (eager edges,
+    sends) is finished by the enclosing {!stabilize} loop. *)
+let deliver_now t ~receiver ~root = deliver t ~receiver ~root
+
+(** Record that a send owned by a {!Deferred} router was lost — the
+    asynchronous counterpart of the [Lose] routing decision, so traces
+    show the loss at the instant the transport gave up rather than at
+    the send instant. *)
+let lose_now t ~receiver ~root =
+  record t (Trace.Message_lost { receiver; root })
+
 (* Fire eager edges and deliver due events until quiescent at the current
    instant. *)
 let stabilize t =
@@ -277,13 +321,19 @@ let stabilize t =
   let progress = ref true in
   while !progress do
     progress := false;
-    (* due deliveries, in order *)
+    (* due deliveries and timers, in order *)
     let rec drain () =
       match t.queue with
-      | { due; receiver; root; _ } :: rest when due <= t.now +. 1e-12 ->
+      | { due; payload; _ } :: rest when due <= t.now +. 1e-12 ->
           t.queue <- rest;
-          bump receiver;
-          if deliver t ~receiver ~root then progress := true;
+          (match payload with
+          | Message { receiver; root } ->
+              bump receiver;
+              if deliver t ~receiver ~root then progress := true
+          | Timer f ->
+              bump "<timer>";
+              f t;
+              progress := true);
           drain ()
       | _ -> ()
     in

@@ -22,6 +22,11 @@ type route_decision =
       (** deliver one copy per delay — duplicated frames (fault
           injection); an empty list is equivalent to [Lose] *)
   | Lose
+  | Deferred
+      (** the router has taken ownership of the send: it schedules the
+          arrival (or records the loss) itself through {!schedule} /
+          {!deliver_now} / {!lose_now}. Used by the event-driven ARQ
+          transport, whose exchange outcome is not known at send time. *)
 
 type router =
   time:float -> sender:string -> root:string -> receiver:string ->
@@ -49,6 +54,36 @@ val create : ?config:config -> ?trace_sink:(Trace.entry -> unit) ->
 val set_router : t -> router -> unit
 val time : t -> float
 val trace : t -> Trace.t
+
+(** {2 Revocable scheduling}
+
+    Timers share the delivery queue (one timeline, ordered by (due,
+    insertion)), so a scheduled arrival or retransmission timer can be
+    revoked before it fires — the primitive behind the event-driven ARQ
+    transport. *)
+
+type token
+(** Names one scheduled (not yet fired) queue entry. *)
+
+val schedule : t -> at:float -> (t -> unit) -> token
+(** Run the callback at absolute time [at] (clamped to now if in the
+    past), interleaved with message deliveries in queue order. The
+    callback may deliver events ({!deliver_now}), schedule or {!cancel}
+    further timers, and mutate automata; any discrete cascade it starts
+    is finished within the same instant. *)
+
+val cancel : t -> token -> unit
+(** Revoke a scheduled entry before it fires. Idempotent: unknown or
+    already-fired tokens are ignored. *)
+
+val deliver_now : t -> receiver:string -> root:string -> bool
+(** Hand [root] to [receiver] at the current instant — the delivery half
+    of a [Deferred] routing decision. Returns [true] if a triggered edge
+    consumed it. *)
+
+val lose_now : t -> receiver:string -> root:string -> unit
+(** Record the loss of a send owned by a [Deferred] router, at the
+    instant the transport gave up on it. *)
 
 val location_of : t -> string -> string
 val valuation_of : t -> string -> Valuation.t

@@ -1,7 +1,7 @@
 (** Per-endpoint reliable-delivery transport over the star links: ARQ
     with bounded exponential backoff, receiver ACKs on the reverse link,
-    and (src, seq) duplicate suppression. See the interface for the
-    unrolled-at-send-time simulation semantics. *)
+    and (src, seq) duplicate suppression. Reliable exchanges run
+    event-driven on the executor's timeline — see the interface. *)
 
 module Executor = Pte_hybrid.Executor
 
@@ -49,24 +49,51 @@ type stats = {
   mutable dups_suppressed : int;
 }
 
+type event =
+  | Exchange_delivered of {
+      src : string;
+      dst : string;
+      seq : int;
+      sent_at : float;
+      arrival : float;
+    }
+  | Exchange_confirmed of { src : string; dst : string; seq : int; at : float }
+  | Exchange_gave_up of { src : string; dst : string; seq : int; at : float }
+
+(* Receiver-side dedup state for one (src, dst) flow. Sequence numbers
+   are allocated monotonically per flow (link frames in `Bare mode,
+   end-to-end exchange numbers in `Reliable mode), so a cumulative
+   high-water mark plus a small window for copies that overtake each
+   other replaces the old one-entry-per-send hashtable: memory is
+   O(flows + window), not O(sends). *)
+let dedup_window = 64
+
+type flow_seen = {
+  mutable high : int;  (* every seq <= high counts as already seen *)
+  mutable recent : int list;  (* seen seqs above the high-water mark *)
+}
+
 type t = {
   star : Star.t;
   mode : mode;
   rng : Pte_util.Rng.t;
   stats : stats;
-  (* receiver-side dedup: (src, dst, seq) triples already handed to the
-     automaton. In `Bare mode seq is the link-layer sequence number; in
-     `Reliable mode it is the transport's own end-to-end number, which
-     stays constant across retransmissions (each retransmission is a
-     fresh link frame). *)
-  seen : (string * string * int, unit) Hashtbl.t;
+  seen : (string * string, flow_seen) Hashtbl.t;
   (* per-flow end-to-end sequence counters (`Reliable mode). *)
   next_seq : (string * string, int ref) Hashtbl.t;
   (* per-sender consecutive unconfirmed sends, for degraded-safe-mode. *)
   consec : (string, int ref) Hashtbl.t;
+  (* the executor whose timeline carries this transport's timers and
+     arrivals (`Reliable mode); set by {!attach}. *)
+  mutable exec : Executor.t option;
+  mutable observer : (event -> unit) option;
 }
 
 let create ~mode ~rng star =
+  (match mode with
+  | `Bare -> ()
+  | `Reliable cfg -> (
+      match validate cfg with Ok () -> () | Error msg -> invalid_arg msg));
   {
     star;
     mode;
@@ -74,10 +101,16 @@ let create ~mode ~rng star =
     stats =
       { data_sends = 0; delivered = 0; gave_up = 0; retransmissions = 0;
         acks_sent = 0; acks_lost = 0; dups_suppressed = 0 };
-    seen = Hashtbl.create 512;
+    seen = Hashtbl.create 8;
     next_seq = Hashtbl.create 8;
     consec = Hashtbl.create 8;
+    exec = None;
+    observer = None;
   }
+
+let attach t exec = t.exec <- Some exec
+let set_observer t f = t.observer <- Some f
+let observe t ev = match t.observer with Some f -> f ev | None -> ()
 
 let mode t = t.mode
 let stats t = t.stats
@@ -96,12 +129,34 @@ let reset_consecutive_losses t ~sender = counter t sender := 0
 let confirm t sender = counter t sender := 0
 let unconfirmed t sender = incr (counter t sender)
 
-(* First sighting of (src, dst, seq) at the receiver? Records it. *)
+let flow_seen t ~src ~dst =
+  match Hashtbl.find_opt t.seen (src, dst) with
+  | Some fs -> fs
+  | None ->
+      let fs = { high = -1; recent = [] } in
+      Hashtbl.add t.seen (src, dst) fs;
+      fs
+
+(* First sighting of (src, dst, seq) at the receiver? Records it. A seq
+   at or below the flow's high-water mark is a replay by construction;
+   above it, [recent] disambiguates copies that arrive out of order
+   (overlapping exchanges). Seqs falling more than [dedup_window] behind
+   the newest are conservatively treated as replays, which bounds the
+   window: in-flight exchanges per flow never approach that span. *)
 let fresh t ~src ~dst ~seq =
-  let key = (src, dst, seq) in
-  if Hashtbl.mem t.seen key then false
+  let fs = flow_seen t ~src ~dst in
+  if seq <= fs.high || List.mem seq fs.recent then false
   else begin
-    Hashtbl.add t.seen key ();
+    fs.recent <- seq :: fs.recent;
+    if seq > fs.high + dedup_window then fs.high <- seq - dedup_window;
+    let rec absorb () =
+      if List.mem (fs.high + 1) fs.recent then begin
+        fs.high <- fs.high + 1;
+        absorb ()
+      end
+    in
+    absorb ();
+    fs.recent <- List.filter (fun s -> s > fs.high) fs.recent;
     true
   end
 
@@ -145,95 +200,199 @@ let bare_send t link ~time ~sender ~receiver ~root =
       Executor.Lose
   | Link.Deliver { arrival; packet } ->
       confirm t sender;
-      t.stats.delivered <- t.stats.delivered + 1;
-      if fresh t ~src:sender ~dst:receiver ~seq:packet.Packet.seq then
+      if fresh t ~src:sender ~dst:receiver ~seq:packet.Packet.seq then begin
+        t.stats.delivered <- t.stats.delivered + 1;
         Executor.Deliver (arrival -. time)
+      end
       else begin
         (* cannot happen with per-link sequence numbers, but keep the
-           filter total: a replayed frame never reaches the automaton *)
+           filter total: a send whose only copy is suppressed is a lost
+           send, not a delivered one *)
         t.stats.dups_suppressed <- t.stats.dups_suppressed + 1;
+        t.stats.gave_up <- t.stats.gave_up + 1;
         Executor.Lose
       end
   | Link.Deliver_dup { arrivals = a1, _; packet } ->
       confirm t sender;
-      t.stats.delivered <- t.stats.delivered + 1;
       if fresh t ~src:sender ~dst:receiver ~seq:packet.Packet.seq then begin
-        (* the replayed copy is the same (src, seq): suppress it *)
+        (* the replayed copy carries the same (src, seq): suppress it *)
+        t.stats.delivered <- t.stats.delivered + 1;
         t.stats.dups_suppressed <- t.stats.dups_suppressed + 1;
         Executor.Deliver (a1 -. time)
       end
       else begin
         t.stats.dups_suppressed <- t.stats.dups_suppressed + 2;
+        t.stats.gave_up <- t.stats.gave_up + 1;
         Executor.Lose
       end
 
 (* ------------------------------------------------------------------ *)
-(* `Reliable mode: the unrolled ARQ exchange                           *)
+(* `Reliable mode: event-driven ARQ exchanges                          *)
 (* ------------------------------------------------------------------ *)
 
 let ack_root root = "ack:" ^ root
 
+(* One in-progress ARQ exchange. The sender side is a small state
+   machine driven by executor timers: every attempt arms the next
+   retransmission (or, after the last attempt, the give-up timeout);
+   an arriving ACK cancels the armed timer and resolves the exchange. *)
+type exchange = {
+  ex_cfg : config;
+  ex_link : Link.t;
+  ex_ack_link : Link.t option;
+  ex_src : string;
+  ex_dst : string;
+  ex_root : string;
+  ex_seq : int;
+  (* private jitter stream, keyed by (flow, seq): the backoff schedule
+     of an exchange is a function of the seed and its identity alone,
+     independent of how exchanges interleave on the timeline. *)
+  ex_rng : Pte_util.Rng.t;
+  ex_sent_at : float;
+  mutable ex_timer : Executor.token option;
+  mutable ex_arrived : bool;  (* a fresh copy reached the automaton *)
+  mutable ex_in_flight : int;  (* data copies in the air *)
+  mutable ex_resolved : bool;  (* sender side: confirmed or gave up *)
+}
+
+let require_exec t =
+  match t.exec with
+  | Some exec -> exec
+  | None ->
+      invalid_arg
+        "Transport.router: `Reliable mode needs Transport.attach before the \
+         first radio send"
+
+(* The ACK made it back: the sender learns the outcome, stands down the
+   pending retransmission (revoking it before the channel ever sees the
+   frame) and clears the consecutive-loss counter — at the instant the
+   confirmation actually arrives. *)
+let resolve_confirmed t ex exec ~at =
+  if not ex.ex_resolved then begin
+    ex.ex_resolved <- true;
+    (match ex.ex_timer with
+    | Some token ->
+        Executor.cancel exec token;
+        ex.ex_timer <- None
+    | None -> ());
+    confirm t ex.ex_src;
+    observe t
+      (Exchange_confirmed { src = ex.ex_src; dst = ex.ex_dst; seq = ex.ex_seq; at })
+  end
+
+(* The retry budget ran out without a confirmation: the sender counts a
+   feedback loss now — when it becomes known — not at the send instant.
+   Only if no copy reached (or is still flying toward) the receiver is
+   the send itself lost. *)
+let resolve_gave_up t ex exec ~at =
+  if not ex.ex_resolved then begin
+    ex.ex_resolved <- true;
+    ex.ex_timer <- None;
+    unconfirmed t ex.ex_src;
+    if (not ex.ex_arrived) && ex.ex_in_flight = 0 then begin
+      t.stats.gave_up <- t.stats.gave_up + 1;
+      Executor.lose_now exec ~receiver:ex.ex_dst ~root:ex.ex_root
+    end;
+    observe t
+      (Exchange_gave_up { src = ex.ex_src; dst = ex.ex_dst; seq = ex.ex_seq; at })
+  end
+
+let rec send_attempt t ex exec ~at ~attempt =
+  if attempt > 0 then
+    t.stats.retransmissions <- t.stats.retransmissions + 1;
+  (match
+     Link.send ex.ex_link ~time:at ~src:ex.ex_src ~dst:ex.ex_dst
+       ~root:ex.ex_root
+   with
+  | Link.Drop _ -> ()
+  | Link.Deliver { arrival; packet = _ } -> schedule_copy t ex exec ~arrival
+  | Link.Deliver_dup { arrivals = a1, a2; packet = _ } ->
+      (* an injected duplicate: both copies fly; the replay is squashed
+         at the receiver by (src, seq) *)
+      schedule_copy t ex exec ~arrival:a1;
+      schedule_copy t ex exec ~arrival:a2);
+  (* Arm the timer that drives the rest of the exchange: the next
+     retransmission, or — after the final attempt — the give-up
+     timeout. Nominal times accumulate [at +. wait] so the schedule
+     (and hence {!worst_case_latency}) is independent of the step
+     quantization at which timers actually fire. *)
+  let wait =
+    rto ex.ex_cfg ~attempt
+    +. Pte_util.Rng.uniform ex.ex_rng ~lo:0.0 ~hi:ex.ex_cfg.jitter
+  in
+  let due = at +. wait in
+  let token =
+    Executor.schedule exec ~at:due (fun exec ->
+        ex.ex_timer <- None;
+        if not ex.ex_resolved then
+          if attempt < ex.ex_cfg.max_retries then
+            send_attempt t ex exec ~at:due ~attempt:(attempt + 1)
+          else resolve_gave_up t ex exec ~at:due)
+  in
+  ex.ex_timer <- Some token
+
+and schedule_copy t ex exec ~arrival =
+  ex.ex_in_flight <- ex.ex_in_flight + 1;
+  ignore
+    (Executor.schedule exec ~at:arrival (fun exec -> receive t ex exec ~arrival))
+
+(* A data copy reaches the receiver: dedup by the end-to-end seq, hand
+   the first fresh copy to the automaton, and acknowledge every copy on
+   the reverse link (the previous ACK may be the one that got lost). *)
+and receive t ex exec ~arrival =
+  ex.ex_in_flight <- ex.ex_in_flight - 1;
+  if fresh t ~src:ex.ex_src ~dst:ex.ex_dst ~seq:ex.ex_seq then begin
+    ex.ex_arrived <- true;
+    t.stats.delivered <- t.stats.delivered + 1;
+    ignore (Executor.deliver_now exec ~receiver:ex.ex_dst ~root:ex.ex_root);
+    observe t
+      (Exchange_delivered
+         { src = ex.ex_src; dst = ex.ex_dst; seq = ex.ex_seq;
+           sent_at = ex.ex_sent_at; arrival })
+  end
+  else t.stats.dups_suppressed <- t.stats.dups_suppressed + 1;
+  t.stats.acks_sent <- t.stats.acks_sent + 1;
+  match ex.ex_ack_link with
+  | None ->
+      (* no radio reverse path: treat the ACK as wired *)
+      resolve_confirmed t ex exec ~at:arrival
+  | Some back -> (
+      match
+        Link.send back ~time:arrival ~src:ex.ex_dst ~dst:ex.ex_src
+          ~root:(ack_root ex.ex_root)
+      with
+      | Link.Drop _ -> t.stats.acks_lost <- t.stats.acks_lost + 1
+      | Link.Deliver { arrival = ack_at; packet = _ }
+      | Link.Deliver_dup { arrivals = ack_at, _; packet = _ } ->
+          ignore
+            (Executor.schedule exec ~at:ack_at (fun exec ->
+                 resolve_confirmed t ex exec ~at:ack_at)))
+
 let reliable_send t cfg link ~time ~sender ~receiver ~root =
+  let exec = require_exec t in
   t.stats.data_sends <- t.stats.data_sends + 1;
   let seq = flow_seq t ~src:sender ~dst:receiver in
-  let ack_link = Star.link_for t.star ~sender:receiver ~receiver:sender in
-  let finish ~first ~acked =
-    if acked then confirm t sender else unconfirmed t sender;
-    match first with
-    | Some arrival ->
-        t.stats.delivered <- t.stats.delivered + 1;
-        Executor.Deliver (arrival -. time)
-    | None ->
-        t.stats.gave_up <- t.stats.gave_up + 1;
-        Executor.Lose
+  let ex =
+    {
+      ex_cfg = cfg;
+      ex_link = link;
+      ex_ack_link = Star.link_for t.star ~sender:receiver ~receiver:sender;
+      ex_src = sender;
+      ex_dst = receiver;
+      ex_root = root;
+      ex_seq = seq;
+      ex_rng =
+        Pte_util.Rng.keyed t.rng
+          ~key:(Int64.of_int (Hashtbl.hash (sender, receiver, seq)));
+      ex_sent_at = time;
+      ex_timer = None;
+      ex_arrived = false;
+      ex_in_flight = 0;
+      ex_resolved = false;
+    }
   in
-  let rec attempt k ~send_at ~first ~acked =
-    if k > 0 then t.stats.retransmissions <- t.stats.retransmissions + 1;
-    let next ~first ~acked =
-      if k >= cfg.max_retries then finish ~first ~acked
-      else
-        let backoff =
-          rto cfg ~attempt:k
-          +. Pte_util.Rng.uniform t.rng ~lo:0.0 ~hi:cfg.jitter
-        in
-        attempt (k + 1) ~send_at:(send_at +. backoff) ~first ~acked
-    in
-    match Link.send link ~time:send_at ~src:sender ~dst:receiver ~root with
-    | Link.Drop _ -> next ~first ~acked
-    | Link.Deliver { arrival; packet = _ }
-    | Link.Deliver_dup { arrivals = arrival, _; packet = _ } as v ->
-        (* the receiver sees this copy: dedup by the end-to-end seq,
-           then acknowledge on the reverse link (every copy is ACKed —
-           the previous ACK may be the one that got lost) *)
-        (match v with
-        | Link.Deliver_dup _ ->
-            (* an injected duplicate: its replayed copy is suppressed *)
-            t.stats.dups_suppressed <- t.stats.dups_suppressed + 1
-        | _ -> ());
-        let first =
-          if fresh t ~src:sender ~dst:receiver ~seq then
-            match first with None -> Some arrival | Some a -> Some a
-          else begin
-            t.stats.dups_suppressed <- t.stats.dups_suppressed + 1;
-            first
-          end
-        in
-        t.stats.acks_sent <- t.stats.acks_sent + 1;
-        (match ack_link with
-        | None ->
-            (* no radio reverse path: treat the ACK as wired *)
-            finish ~first ~acked:true
-        | Some back -> (
-            match
-              Link.send back ~time:arrival ~src:receiver ~dst:sender
-                ~root:(ack_root root)
-            with
-            | Link.Deliver _ | Link.Deliver_dup _ -> finish ~first ~acked:true
-            | Link.Drop _ ->
-                t.stats.acks_lost <- t.stats.acks_lost + 1;
-                next ~first ~acked))
-  in
-  attempt 0 ~send_at:time ~first:None ~acked:false
+  send_attempt t ex exec ~at:time ~attempt:0;
+  Executor.Deferred
 
 (* ------------------------------------------------------------------ *)
 (* The executor hook                                                   *)
@@ -249,9 +408,71 @@ let router t : Executor.router =
       | `Bare -> bare_send t link ~time ~sender ~receiver ~root
       | `Reliable cfg -> reliable_send t cfg link ~time ~sender ~receiver ~root)
 
+(* ------------------------------------------------------------------ *)
+(* CLI spec parsing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let mode_of_string s =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let parse_fields spec =
+    let field cfg kv =
+      match String.index_opt kv '=' with
+      | None -> fail "transport: expected key=value, got %S" kv
+      | Some i ->
+          let k = String.sub kv 0 i in
+          let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+          let num set =
+            match float_of_string_opt v with
+            | Some f -> Ok (set f)
+            | None -> fail "transport: %s expects a number, got %S" k v
+          in
+          (match k with
+          | "retries" -> (
+              match int_of_string_opt v with
+              | Some n -> Ok { cfg with max_retries = n }
+              | None -> fail "transport: retries expects an integer, got %S" v)
+          | "rto" -> num (fun f -> { cfg with base_rto = f })
+          | "multiplier" -> num (fun f -> { cfg with multiplier = f })
+          | "cap" -> num (fun f -> { cfg with cap = f })
+          | "jitter" -> num (fun f -> { cfg with jitter = f })
+          | _ ->
+              fail
+                "transport: unknown key %S (expected \
+                 retries|rto|multiplier|cap|jitter)"
+                k)
+    in
+    let rec go cfg = function
+      | [] -> (
+          match validate cfg with
+          | Ok () -> Ok (`Reliable cfg)
+          | Error msg -> Error msg)
+      | kv :: rest -> (
+          match field cfg kv with Ok cfg -> go cfg rest | Error _ as e -> e)
+    in
+    go default_config (String.split_on_char ',' spec)
+  in
+  match String.index_opt s ':' with
+  | None -> (
+      match s with
+      | "bare" -> Ok `Bare
+      | "reliable" -> Ok (`Reliable default_config)
+      | _ ->
+          fail "unknown transport %S (expected bare or reliable[:k=v,...])" s)
+  | Some i ->
+      let head = String.sub s 0 i in
+      let spec = String.sub s (i + 1) (String.length s - i - 1) in
+      if String.equal head "reliable" then parse_fields spec
+      else fail "unknown transport %S (expected bare or reliable[:k=v,...])" head
+
 let pp_config ppf c =
   Fmt.pf ppf "retries:%d rto:%gs x%g cap:%gs jitter:%gs" c.max_retries
     c.base_rto c.multiplier c.cap c.jitter
+
+let pp_mode ppf = function
+  | `Bare -> Fmt.string ppf "bare"
+  | `Reliable c ->
+      Fmt.pf ppf "reliable:retries=%d,rto=%g,multiplier=%g,cap=%g,jitter=%g"
+        c.max_retries c.base_rto c.multiplier c.cap c.jitter
 
 let pp_stats ppf s =
   Fmt.pf ppf

@@ -12,19 +12,34 @@
     sender retransmits on a backoff schedule until an ACK comes back or
     the retry budget is exhausted.
 
-    The exchange is simulated {e unrolled at send time}: all attempts,
-    their loss draws and the ACKs are resolved synchronously when the
-    automaton emits the event, and the winning copy is scheduled at its
-    true arrival time. Channel state (e.g. the Gilbert–Elliott burst
-    process) therefore advances per frame rather than per wall-clock
-    instant — an approximation that keeps the executor's delivery queue
-    single-shot and the whole exchange deterministic in one RNG stream.
+    Exchanges are simulated {e event-driven}: the router answers
+    [Deferred] and runs each exchange as a state machine on the
+    executor's timeline. Every attempt hits the channel at its true
+    wall-clock time — so channel state (e.g. the Gilbert–Elliott burst
+    process, the wall-clock interferer) evolves between attempts and
+    across concurrent exchanges — and each attempt arms a revocable
+    executor timer ({!Pte_hybrid.Executor.schedule} /
+    {!Pte_hybrid.Executor.cancel}): an arriving ACK cancels the pending
+    retransmission before the channel ever sees it, and exhaustion of
+    the retry budget fires the give-up asynchronously, at the sender's
+    final timeout. Consequently {!consecutive_losses} (and the [gave_up]
+    / ACK statistics) move at {e confirmation time} — when the outcome
+    becomes known to the sender — which is what the supervisor's
+    degraded-safe-mode actually observes. Each exchange draws its
+    backoff jitter from a private stream keyed by (flow, seq)
+    ({!Pte_util.Rng.keyed}), so behaviour per seed is independent of how
+    exchanges interleave; [`Bare] mode draws nothing and stays
+    byte-identical to the legacy streams.
 
-    {!worst_case_latency} gives the closed-form bound on the delivery
-    delay of any successful send, which callers feed back into the
-    Theorem-1 constraint recheck
-    ({!Pte_core.Constraints.satisfies_with_delay}) so the availability
-    win is provably safety-preserving. *)
+    {!worst_case_latency} is unchanged by the event-driven rewrite and
+    stays the binding closed-form bound on the delivery delay of any
+    successful send: attempt [k] is sent at the nominal schedule time
+    [sum_(j<k) (rto j + jitter_j)] after the emission (timers carry
+    nominal due times, so step quantization does not accumulate), and
+    the winning copy adds at most one frame delay. Callers feed the
+    bound into the Theorem-1 constraint recheck
+    ({!Pte_core.Constraints.satisfies_with_delay}) exactly as before, so
+    the availability win remains provably safety-preserving. *)
 
 (** Retransmission policy. Attempt [k] (0-based) is followed, if
     unacknowledged, by a wait of
@@ -50,6 +65,12 @@ val validate : config -> (unit, string) result
 
 type mode = [ `Bare | `Reliable of config ]
 
+val mode_of_string : string -> (mode, string) result
+(** Parse a CLI transport spec: ["bare"], ["reliable"], or
+    ["reliable:key=value,..."] with keys [retries], [rto], [multiplier],
+    [cap] and [jitter]. The resulting config is {!validate}d, so a
+    malformed or ill-formed spec surfaces as [Error] with the reason. *)
+
 val rto : config -> attempt:int -> float
 (** Backoff after the [attempt]-th send (0-based), jitter excluded:
     [min (base_rto *. multiplier^attempt) cap]. *)
@@ -65,7 +86,9 @@ val worst_case_latency : config -> frame_delay:float -> float
     air. Injected [Delay_frame] faults sit outside the bound. *)
 
 (** Cumulative counters over every radio send routed through the
-    transport. *)
+    transport. At quiescence (no exchange still in flight)
+    [data_sends = delivered + gave_up] and every suppressed copy is
+    counted exactly once in [dups_suppressed]. *)
 type stats = {
   mutable data_sends : int;  (** application sends (not attempts). *)
   mutable delivered : int;  (** sends with >= 1 copy delivered. *)
@@ -81,7 +104,15 @@ type t
 
 val create : mode:mode -> rng:Pte_util.Rng.t -> Star.t -> t
 (** In [`Bare] mode the transport never draws from [rng] (legacy RNG
-    streams are untouched); [`Reliable _] uses it for retry jitter. *)
+    streams are untouched); [`Reliable _] keys one private jitter
+    stream per exchange off it. A [`Reliable] config is {!validate}d;
+    an ill-formed one raises [Invalid_argument] with the reason. *)
+
+val attach : t -> Pte_hybrid.Executor.t -> unit
+(** Bind the executor whose timeline carries the transport's timers and
+    arrivals. Required before the first [`Reliable] radio send (the
+    engine does this when it wires the router); [`Bare] mode never needs
+    it. *)
 
 val mode : t -> mode
 val stats : t -> stats
@@ -89,16 +120,43 @@ val stats : t -> stats
 val router : t -> Pte_hybrid.Executor.router
 (** The executor transport hook. Non-star automata stay wired;
     remote-to-remote sends are dropped and counted, as in
-    {!Star.router}. *)
+    {!Star.router}. In [`Reliable _] mode radio sends answer
+    [Deferred] and run event-driven (see above); raises
+    [Invalid_argument] if {!attach} has not been called. *)
+
+(** {2 Exchange observation}
+
+    Test instrumentation: one callback per exchange milestone, fired at
+    the simulated instant the milestone occurs. *)
+
+type event =
+  | Exchange_delivered of {
+      src : string;
+      dst : string;
+      seq : int;
+      sent_at : float;
+      arrival : float;  (** first fresh copy handed to the automaton. *)
+    }
+  | Exchange_confirmed of { src : string; dst : string; seq : int; at : float }
+      (** the ACK reached the sender; the pending retransmission timer
+          (if any) was cancelled. *)
+  | Exchange_gave_up of { src : string; dst : string; seq : int; at : float }
+      (** the retry budget ran out without a confirmation (the data may
+          still have been delivered — a pure feedback loss). *)
+
+val set_observer : t -> (event -> unit) -> unit
 
 val consecutive_losses : t -> sender:string -> int
 (** Consecutive sends from [sender] that ended without delivery
     confirmation — in [`Reliable _] mode, without a received ACK (the
     sender's view: a delivered frame whose ACK was lost still counts as
-    a feedback loss); in [`Bare] mode, dropped frames. Reset to 0 by the
-    next confirmed send. Feeds the supervisor's degraded-safe-mode. *)
+    a feedback loss), counted at the instant the retry budget expires;
+    in [`Bare] mode, dropped frames, counted at the send. Reset to 0 by
+    the next confirmed send. Feeds the supervisor's
+    degraded-safe-mode. *)
 
 val reset_consecutive_losses : t -> sender:string -> unit
 
 val pp_config : config Fmt.t
+val pp_mode : mode Fmt.t
 val pp_stats : stats Fmt.t

@@ -34,13 +34,14 @@ let create ?(config = Executor.default_config) ?net
     | Some star ->
         (* `Bare never draws from its stream, so handing it the engine
            rng leaves every legacy stream byte-identical; `Reliable gets
-           an independent split for its retry jitter *)
+           an independent split it keys per-exchange jitter streams off *)
         let trng =
           match transport with
           | `Bare -> rng
           | `Reliable _ -> Pte_util.Rng.split rng
         in
         let t = Pte_net.Transport.create ~mode:transport ~rng:trng star in
+        Pte_net.Transport.attach t exec;
         Executor.set_router exec (Pte_net.Transport.router t);
         Some t
   in

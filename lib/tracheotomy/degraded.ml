@@ -10,6 +10,12 @@
     channel gone, forces the wired approval input to 0 — the grant guard
     ([approval >= 0.5]) can then never fire, so no lease is granted or
     renewed — and holds that state for [hold] seconds before re-arming.
+    With the event-driven transport the counter moves at {e confirmation
+    time} — an exchange counts as a feedback loss only when its retry
+    budget actually expires (up to {!Pte_net.Transport.worst_case_latency}
+    after the send), not at the send instant — so the watchdog trips
+    when the losses become known to the sender, as a real supervisor
+    would observe them.
     The system rides the lease self-reset down to all-safe; entering and
     leaving the mode is counted so trials can report it. *)
 

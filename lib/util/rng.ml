@@ -27,6 +27,20 @@ let split t =
   let seed = next_int64 t in
   { state = Int64.mul seed 0xDA942042E4DD58B5L }
 
+(* The SplitMix64 finalizer, used to decorrelate keyed derivations. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Derive an independent stream from [t]'s current state and [key],
+    without advancing [t]: the same (state, key) pair always yields the
+    same stream, so consumers that derive one stream per logical item
+    (keyed by the item's identity) are deterministic regardless of the
+    order the items are processed in. *)
+let keyed t ~key =
+  { state = mix64 (Int64.add t.state (Int64.mul key golden_gamma)) }
+
 (** Uniform in [0, 1). *)
 let float t =
   let bits = Int64.shift_right_logical (next_int64 t) 11 in

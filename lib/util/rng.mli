@@ -8,7 +8,14 @@ val create : int -> t
 val copy : t -> t
 
 val split : t -> t
-(** Derive an independent stream (deterministic in the parent state). *)
+(** Derive an independent stream (deterministic in the parent state).
+    Advances the parent. *)
+
+val keyed : t -> key:int64 -> t
+(** Derive an independent stream from the parent's current state and
+    [key] {e without} advancing the parent. The same (state, key) pair
+    always yields the same stream, making per-item streams (keyed by the
+    item's identity) independent of processing order. *)
 
 val next_int64 : t -> int64
 

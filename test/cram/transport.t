@@ -10,8 +10,32 @@ budget. At 40% loss the reliable variant keeps the laser available
 
   $ ../../bin/pte_sim_cli.exe --minutes 5 --loss 0.4 --seed 7 --transport reliable
   5-minute trial (with lease, E(Ton)=30s, E(Toff)=18s, loss 0.4, seed 7)
-    emissions:4 failures:0 evtToStop:2 aborts:0 requests:7 longest-pause:33.9s longest-emission:21.5s minSpO2:92.1 loss:30%
+    emissions:4 failures:0 evtToStop:2 aborts:0 requests:7 longest-pause:33.9s longest-emission:21.5s minSpO2:92.2 loss:30%
     transport: reliable (retries:3 rto:0.25s x2 cap:2s jitter:0.05s) retx:30 gave-up:1 dups:10
+
+The retry policy is tunable from the spec string, and an ill-formed
+config is rejected up front with the validator's reason and a nonzero
+exit — it never reaches a trial:
+
+  $ ../../bin/pte_sim_cli.exe --minutes 1 --transport reliable:jitter=-0.5
+  pte-sim: option '--transport': transport: jitter must be >= 0
+  Usage: pte-sim [OPTION]…
+  Try 'pte-sim --help' for more information.
+  [124]
+
+  $ ../../bin/pte_sim_cli.exe --minutes 1 --transport reliable:speed=9
+  pte-sim: option '--transport': transport: unknown key "speed" (expected
+           retries|rto|multiplier|cap|jitter)
+  Usage: pte-sim [OPTION]…
+  Try 'pte-sim --help' for more information.
+  [124]
+
+  $ ../../bin/pte_faults_cli.exe coverage --transport turbo
+  pte-faults: option '--transport': unknown transport "turbo" (expected bare or
+              reliable[:k=v,...])
+  Usage: pte-faults coverage [OPTION]…
+  Try 'pte-faults coverage --help' or 'pte-faults --help' for more information.
+  [124]
 
 The coverage campaign reruns every scripted single-drop target over
 the reliable transport; retransmission recovers each drop, so both

@@ -182,6 +182,15 @@ let test_trial_campaign_determinism_across_workers () =
         Pte_tracheotomy.Emulation.default with
         horizon = 30.0; seed = 42; lease = false;
       };
+      (* the event-driven reliable transport keys its jitter streams per
+         exchange, so it too must be deterministic at any worker count *)
+      {
+        Pte_tracheotomy.Emulation.default with
+        horizon = 30.0;
+        seed = 43;
+        transport = `Reliable Pte_net.Transport.default_config;
+        loss = Pte_net.Loss.wifi_interference ~average_loss:0.35;
+      };
     |]
   in
   let agg workers =

@@ -223,6 +223,72 @@ let test_ode_integration_accuracy () =
   if Float.abs (x -. exact) /. exact > 2e-3 then
     Alcotest.failf "Euler drift: %.6f vs %.6f" x exact
 
+(* ---- revocable scheduling: the primitive behind the event-driven
+        ARQ transport ---- *)
+
+let idle_system () =
+  let a =
+    Automaton.make ~name:"idle" ~vars:[]
+      ~locations:[ Location.make "A" ]
+      ~edges:[] ~initial_location:"A" ()
+  in
+  system_of [ a ]
+
+let test_schedule_and_cancel () =
+  let exec = Executor.create (idle_system ()) in
+  let fired = ref [] in
+  let note name (_ : Executor.t) = fired := name :: !fired in
+  let _t1 = Executor.schedule exec ~at:0.5 (note "first") in
+  let t2 = Executor.schedule exec ~at:0.7 (note "second") in
+  let _t3 = Executor.schedule exec ~at:0.9 (note "third") in
+  Executor.cancel exec t2;
+  Executor.run exec ~until:1.0;
+  Alcotest.(check (list string)) "cancelled timer skipped, order kept"
+    [ "first"; "third" ] (List.rev !fired);
+  (* cancelling an already-fired or already-cancelled token is a no-op *)
+  Executor.cancel exec t2;
+  (* a timer scheduled in the past fires at the current instant *)
+  let _t4 = Executor.schedule exec ~at:0.0 (note "late") in
+  Executor.step exec;
+  Alcotest.(check (list string)) "past-due timer fires now"
+    [ "first"; "third"; "late" ]
+    (List.rev !fired)
+
+let test_timer_chain_reschedules () =
+  (* a callback arming its own successor is exactly the retransmission
+     pattern; each link of the chain must fire on the same timeline *)
+  let exec = Executor.create (idle_system ()) in
+  let fired_at = ref [] in
+  let rec again exec0 =
+    fired_at := Executor.time exec0 :: !fired_at;
+    if List.length !fired_at < 3 then
+      ignore (Executor.schedule exec0 ~at:(Executor.time exec0 +. 0.25) again)
+  in
+  ignore (Executor.schedule exec ~at:0.25 again);
+  Executor.run exec ~until:1.0;
+  Alcotest.(check int) "chained three times" 3 (List.length !fired_at);
+  List.iteri
+    (fun i t ->
+      let expected = 0.25 *. Float.of_int (i + 1) in
+      if Float.abs (t -. expected) > 0.01 then
+        Alcotest.failf "link %d fired at %.4f, expected %.2f" i t expected)
+    (List.rev !fired_at)
+
+let test_timer_delivers_now () =
+  (* a timer callback can hand an event to an automaton at its instant —
+     the delivery half of a Deferred routing decision *)
+  let _, listener = talker_listener () in
+  let exec = Executor.create (system_of [ listener ]) in
+  ignore
+    (Executor.schedule exec ~at:0.4 (fun exec0 ->
+         ignore (Executor.deliver_now exec0 ~receiver:"listener" ~root:"go")));
+  Executor.run exec ~until:0.3;
+  Alcotest.(check string) "not yet" "Waiting"
+    (Executor.location_of exec "listener");
+  Executor.run exec ~until:0.5;
+  Alcotest.(check string) "timer delivered" "Got"
+    (Executor.location_of exec "listener")
+
 let test_trace_sink_streams () =
   let seen = ref 0 in
   let vent = Pte_tracheotomy.Ventilator.stand_alone in
@@ -258,6 +324,12 @@ let suite =
           test_forced_transition_flag;
         Alcotest.test_case "ODE integration accuracy" `Quick
           test_ode_integration_accuracy;
+        Alcotest.test_case "schedule / cancel tokens" `Quick
+          test_schedule_and_cancel;
+        Alcotest.test_case "timer chain reschedules itself" `Quick
+          test_timer_chain_reschedules;
+        Alcotest.test_case "timer delivers at its instant" `Quick
+          test_timer_delivers_now;
         Alcotest.test_case "trace sink streams" `Quick test_trace_sink_streams;
       ] );
   ]

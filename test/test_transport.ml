@@ -10,6 +10,12 @@ module Rng = Pte_util.Rng
 module Emulation = Pte_tracheotomy.Emulation
 module Trial = Pte_tracheotomy.Trial
 module Plan = Pte_faults.Plan
+module Exec = Pte_hybrid.Executor
+module HA = Pte_hybrid.Automaton
+module HL = Pte_hybrid.Location
+module HE = Pte_hybrid.Edge
+module HLb = Pte_hybrid.Label
+module HS = Pte_hybrid.System
 
 let mk_star ?(loss = Loss.Perfect) ?(seed = 1) () =
   Star.create ~base:"base" ~remotes:[ "r1"; "r2" ] ~loss_kind:loss
@@ -79,6 +85,48 @@ let test_bare_dup_suppression () =
   Alcotest.(check int) "each delivered once" 5 s.Transport.delivered;
   Alcotest.(check int) "each replay squashed" 5 s.Transport.dups_suppressed
 
+(* ---- event-driven harness ----
+
+   Reliable exchanges run on the executor's timeline, so the tests build
+   a minimal hybrid system over the star: a kick-driven sender automaton
+   named after a star node emits "evt" whenever the test injects "kick",
+   and the peer node listens. Exchange milestones are observed through
+   {!Transport.set_observer}. *)
+
+let kick_sender name =
+  HA.make ~name ~vars:[]
+    ~locations:[ HL.make "Idle"; HL.make "Arm" ]
+    ~edges:
+      [ HE.make ~label:(HLb.Recv "kick") ~src:"Idle" ~dst:"Arm" ();
+        HE.make ~label:(HLb.Send "evt") ~src:"Arm" ~dst:"Idle" () ]
+    ~initial_location:"Idle" ()
+
+let evt_listener name =
+  HA.make ~name ~vars:[]
+    ~locations:[ HL.make "Wait" ]
+    ~edges:[ HE.make ~label:(HLb.Recv_lossy "evt") ~src:"Wait" ~dst:"Wait" () ]
+    ~initial_location:"Wait" ()
+
+let ev_harness ?(dt = 0.01) ~star ~mode ~rng_seed ~sender ~receiver () =
+  let system =
+    HS.make ~name:"arq-harness" [ kick_sender sender; evt_listener receiver ]
+  in
+  let exec =
+    Exec.create ~config:{ Exec.default_config with Exec.dt } system
+  in
+  let t = Transport.create ~mode ~rng:(Rng.create rng_seed) star in
+  Transport.attach t exec;
+  Exec.set_router exec (Transport.router t);
+  (exec, t)
+
+let kick_at exec ~sender times ~settle =
+  List.iter
+    (fun at ->
+      Exec.run exec ~until:at;
+      ignore (Exec.inject exec ~receiver:sender ~root:"kick"))
+    times;
+  Exec.run exec ~until:settle
+
 (* ---- reliable mode: retransmission recovers a lossy channel ---- *)
 
 let test_reliable_recovers_losses () =
@@ -87,47 +135,56 @@ let test_reliable_recovers_losses () =
   let bound =
     Transport.worst_case_latency cfg ~frame_delay:(Star.worst_frame_delay star)
   in
-  let t =
-    Transport.create ~mode:(`Reliable cfg) ~rng:(Rng.create 4) star
+  let exec, t =
+    ev_harness ~star ~mode:(`Reliable cfg) ~rng_seed:4 ~sender:"r1"
+      ~receiver:"base" ()
   in
-  let router = Transport.router t in
   let delivered = ref 0 in
-  let n = 300 in
-  for i = 0 to n - 1 do
-    match
-      router ~time:(float_of_int i) ~sender:"r1" ~root:"evt" ~receiver:"base"
-    with
-    | Pte_hybrid.Executor.Deliver d ->
+  Transport.set_observer t (function
+    | Transport.Exchange_delivered { sent_at; arrival; _ } ->
         incr delivered;
-        if d > bound +. 1e-9 then
-          Alcotest.failf "latency %g exceeds the closed-form bound %g" d bound
-    | _ -> ()
-  done;
+        if arrival -. sent_at > bound +. 1e-9 then
+          Alcotest.failf "latency %g exceeds the closed-form bound %g"
+            (arrival -. sent_at) bound
+    | _ -> ());
+  let n = 300 in
+  kick_at exec ~sender:"r1"
+    (List.init n float_of_int)
+    ~settle:(float_of_int n +. 10.0);
   (* 4 attempts against p=0.5 drops: P(delivered) = 1 - 0.5^4 ~ 0.94,
      versus ~0.5 bare; anything above 0.8 means ARQ is really working *)
   let fraction = float_of_int !delivered /. float_of_int n in
   if fraction < 0.8 then
     Alcotest.failf "delivery fraction %.2f: retransmission not effective"
       fraction;
+  let s = Transport.stats t in
+  Alcotest.(check int) "stats agree with the observer" !delivered
+    s.Transport.delivered;
+  Alcotest.(check int) "every send resolved exactly once" n
+    (s.Transport.delivered + s.Transport.gave_up);
   Alcotest.(check bool) "retransmissions happened" true
-    ((Transport.stats t).Transport.retransmissions > 0)
+    (s.Transport.retransmissions > 0)
 
 let test_consecutive_losses_and_reset () =
   let star = mk_star ~loss:(Loss.Bernoulli 1.0) ~seed:5 () in
-  let t =
-    Transport.create ~mode:(`Reliable Transport.default_config)
-      ~rng:(Rng.create 6) star
+  let exec, t =
+    ev_harness ~star ~mode:(`Reliable Transport.default_config) ~rng_seed:6
+      ~sender:"base" ~receiver:"r1" ()
   in
-  let router = Transport.router t in
-  for i = 1 to 3 do
-    (match router ~time:(float_of_int i) ~sender:"base" ~root:"evt" ~receiver:"r1" with
-    | Pte_hybrid.Executor.Lose -> ()
-    | _ -> Alcotest.fail "blackout must lose the send");
-    Alcotest.(check int)
-      (Fmt.str "loss streak after %d" i)
-      i
-      (Transport.consecutive_losses t ~sender:"base")
-  done;
+  List.iter
+    (fun at ->
+      Exec.run exec ~until:at;
+      ignore (Exec.inject exec ~receiver:"base" ~root:"kick"))
+    [ 1.0; 2.0; 3.0 ];
+  (* losses register at confirmation time: the first send's give-up
+     timeout cannot expire before 1 + rto(0..3) = 4.75 s *)
+  Exec.run exec ~until:4.5;
+  Alcotest.(check int) "nothing known before the first timeout" 0
+    (Transport.consecutive_losses t ~sender:"base");
+  Exec.run exec ~until:8.0;
+  Alcotest.(check int) "all three known after their timeouts" 3
+    (Transport.consecutive_losses t ~sender:"base");
+  Alcotest.(check int) "all gave up" 3 (Transport.stats t).Transport.gave_up;
   Alcotest.(check int) "other senders unaffected" 0
     (Transport.consecutive_losses t ~sender:"r1");
   Transport.reset_consecutive_losses t ~sender:"base";
@@ -146,12 +203,15 @@ let test_ack_killer () =
          if String.length root >= 4 && String.sub root 0 4 = "ack:" then
            Link.Drop_frame
          else Link.Pass));
-  let t = Transport.create ~mode:(`Reliable cfg) ~rng:(Rng.create 7) star in
-  let router = Transport.router t in
-  (match router ~time:0.0 ~sender:"r1" ~root:"evt" ~receiver:"base" with
-  | Pte_hybrid.Executor.Deliver _ -> ()
-  | _ -> Alcotest.fail "data was never lost, it must deliver");
+  let exec, t =
+    ev_harness ~star ~mode:(`Reliable cfg) ~rng_seed:7 ~sender:"r1"
+      ~receiver:"base" ()
+  in
+  ignore (Exec.inject exec ~receiver:"r1" ~root:"kick");
+  Exec.run exec ~until:10.0;
   let s = Transport.stats t in
+  Alcotest.(check int) "the data arrived: nothing gave up" 0
+    s.Transport.gave_up;
   Alcotest.(check int) "one application send" 1 s.Transport.data_sends;
   Alcotest.(check int) "delivered despite deaf sender" 1 s.Transport.delivered;
   Alcotest.(check int) "full retry budget spent" cfg.Transport.max_retries
@@ -168,6 +228,144 @@ let test_ack_killer () =
      though the data arrived — exactly the degraded-mode trigger *)
   Alcotest.(check int) "counts as a feedback loss" 1
     (Transport.consecutive_losses t ~sender:"r1")
+
+(* ---- tentpole: the ACK revokes the in-flight retransmission timer ---- *)
+
+let test_ack_cancels_pending_retransmission () =
+  let cfg = Transport.default_config in
+  let star = mk_star () in
+  let exec, t =
+    ev_harness ~star ~mode:(`Reliable cfg) ~rng_seed:8 ~sender:"r1"
+      ~receiver:"base" ()
+  in
+  let confirmed = ref [] in
+  let gave_up = ref 0 in
+  Transport.set_observer t (function
+    | Transport.Exchange_confirmed { seq; at; _ } ->
+        confirmed := (seq, at) :: !confirmed
+    | Transport.Exchange_gave_up _ -> incr gave_up
+    | Transport.Exchange_delivered _ -> ());
+  ignore (Exec.inject exec ~receiver:"r1" ~root:"kick");
+  (* every attempt arms a timer before its ACK can land; run far past
+     every backoff — a timer that survived the ACK would have fired a
+     retransmission or a give-up by then *)
+  Exec.run exec ~until:20.0;
+  let s = Transport.stats t in
+  Alcotest.(check int) "delivered once" 1 s.Transport.delivered;
+  (match !confirmed with
+  | [ (0, at) ] ->
+      Alcotest.(check bool)
+        (Fmt.str "confirmed at %.3fs, before the first backoff expires" at)
+        true
+        (at < Transport.rto cfg ~attempt:0)
+  | l ->
+      Alcotest.failf "expected exactly one confirmation, got %d"
+        (List.length l));
+  Alcotest.(check int) "revoked timer never fired: no retransmissions" 0
+    s.Transport.retransmissions;
+  Alcotest.(check int) "and no give-up" 0 !gave_up;
+  Alcotest.(check int) "single ACK" 1 s.Transport.acks_sent;
+  Alcotest.(check int) "confirmed: no feedback loss" 0
+    (Transport.consecutive_losses t ~sender:"r1")
+
+(* ---- satellite: create validates, and the CLI spec parser agrees ---- *)
+
+let test_create_validates () =
+  let star = mk_star () in
+  let bad = { Transport.default_config with Transport.jitter = -0.5 } in
+  (match Transport.create ~mode:(`Reliable bad) ~rng:(Rng.create 1) star with
+  | exception Invalid_argument msg ->
+      Alcotest.(check string) "carries the validate message"
+        "transport: jitter must be >= 0" msg
+  | _ -> Alcotest.fail "an ill-formed config must be rejected at create");
+  (match Transport.mode_of_string "reliable:jitter=-0.5" with
+  | Error msg ->
+      Alcotest.(check string) "spec parser gives the same reason"
+        "transport: jitter must be >= 0" msg
+  | Ok _ -> Alcotest.fail "ill-formed spec must be rejected");
+  (match Transport.mode_of_string "reliable:cap=0.1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "cap below base_rto must be rejected");
+  (match Transport.mode_of_string "reliable:retries=5,rto=0.1" with
+  | Ok (`Reliable c) ->
+      Alcotest.(check int) "retries parsed" 5 c.Transport.max_retries;
+      Alcotest.(check (float 1e-9)) "rto parsed" 0.1 c.Transport.base_rto
+  | _ -> Alcotest.fail "well-formed spec must parse");
+  match Transport.mode_of_string "bare" with
+  | Ok `Bare -> ()
+  | _ -> Alcotest.fail "bare must parse"
+
+(* ---- regression: channel state evolves between attempts ----
+
+   Under the unrolled model a whole exchange resolved against the
+   channel synchronously, so a second exchange starting mid-way sampled
+   the burst process as if the first had already finished. Event-driven,
+   the two exchanges' frames hit the link interleaved in wall-clock
+   order. With jitter 0 no RNG enters the transport, so reimplementing
+   the unrolled algorithm over an identically-seeded star isolates
+   exactly that ordering difference. *)
+
+let bursty =
+  Loss.Gilbert_elliott
+    { to_bad = 0.4; to_good = 0.2; loss_good = 0.0; loss_bad = 1.0 }
+
+let unrolled_outcomes star cfg ~times =
+  let link = uplink star "r1" in
+  let back = downlink star "r1" in
+  List.map
+    (fun time ->
+      let rec attempt k ~send_at ~first =
+        let next ~first =
+          if k >= cfg.Transport.max_retries then first
+          else
+            attempt (k + 1)
+              ~send_at:(send_at +. Transport.rto cfg ~attempt:k)
+              ~first
+        in
+        match
+          Link.send link ~time:send_at ~src:"r1" ~dst:"base" ~root:"evt"
+        with
+        | Link.Drop _ -> next ~first
+        | Link.Deliver { arrival; _ }
+        | Link.Deliver_dup { arrivals = arrival, _; _ } -> (
+            let first =
+              match first with None -> Some arrival | s -> s
+            in
+            match
+              Link.send back ~time:arrival ~src:"base" ~dst:"r1"
+                ~root:"ack:evt"
+            with
+            | Link.Deliver _ | Link.Deliver_dup _ -> first
+            | Link.Drop _ -> next ~first)
+      in
+      attempt 0 ~send_at:time ~first:None)
+    times
+
+let event_driven_outcomes star cfg ~times =
+  let exec, t =
+    ev_harness ~star ~mode:(`Reliable cfg) ~rng_seed:1 ~sender:"r1"
+      ~receiver:"base" ()
+  in
+  let arrivals = Hashtbl.create 4 in
+  Transport.set_observer t (function
+    | Transport.Exchange_delivered { seq; arrival; _ } ->
+        Hashtbl.replace arrivals seq arrival
+    | _ -> ());
+  let last = List.nth times (List.length times - 1) in
+  kick_at exec ~sender:"r1" times ~settle:(last +. 12.0);
+  List.mapi (fun i _ -> Hashtbl.find_opt arrivals i) times
+
+let test_burst_evolves_between_attempts () =
+  let cfg = { Transport.default_config with Transport.jitter = 0.0 } in
+  let times = [ 0.0; 0.1 ] in
+  let differs seed =
+    unrolled_outcomes (mk_star ~loss:bursty ~seed ()) cfg ~times
+    <> event_driven_outcomes (mk_star ~loss:bursty ~seed ()) cfg ~times
+  in
+  Alcotest.(check bool)
+    "a burst starting mid-exchange changes the outcome vs the unrolled model"
+    true
+    (List.exists differs (List.init 30 (fun i -> 100 + i)))
 
 (* ---- property: empirical latency never exceeds the closed form, and
         the Theorem-1 recheck agrees with the budget search ---- *)
@@ -201,20 +399,30 @@ let prop_latency_within_bound =
       let star = mk_star ~loss:(Loss.Bernoulli 0.3) ~seed:11 () in
       let frame_delay = Star.worst_frame_delay star in
       let bound = Transport.worst_case_latency cfg ~frame_delay in
-      let t = Transport.create ~mode:(`Reliable cfg) ~rng:(Rng.create 12) star in
-      let router = Transport.router t in
-      for i = 0 to 399 do
-        match
-          router ~time:(float_of_int i) ~sender:"r1" ~root:"evt"
-            ~receiver:"base"
-        with
-        | Pte_hybrid.Executor.Deliver d ->
-            if d > bound +. 1e-9 then
-              QCheck.Test.fail_reportf
-                "latency %g > bound %g under %a" d bound Transport.pp_config
-                cfg
-        | _ -> ()
-      done;
+      let exec, t =
+        ev_harness ~star ~mode:(`Reliable cfg) ~rng_seed:12 ~sender:"r1"
+          ~receiver:"base" ()
+      in
+      let worst = ref None in
+      Transport.set_observer t (function
+        | Transport.Exchange_delivered { sent_at; arrival; _ } ->
+            let d = arrival -. sent_at in
+            if d > bound +. 1e-9 then worst := Some d
+        | _ -> ());
+      let n = 120 in
+      kick_at exec ~sender:"r1"
+        (List.init n float_of_int)
+        ~settle:(float_of_int n +. 20.0);
+      (match !worst with
+      | Some d ->
+          QCheck.Test.fail_reportf "latency %g > bound %g under %a" d bound
+            Transport.pp_config cfg
+      | None -> ());
+      let s = Transport.stats t in
+      if s.Transport.delivered + s.Transport.gave_up <> s.Transport.data_sends
+      then
+        QCheck.Test.fail_reportf "unbalanced counters (%a) under %a"
+          Transport.pp_stats s Transport.pp_config cfg;
       (* the constraint recheck must agree with the budget search,
          except inside a tolerance band around the exact boundary *)
       let params = Pte_core.Params.case_study in
@@ -223,6 +431,44 @@ let prop_latency_within_bound =
       else
         Pte_core.Constraints.satisfies_with_delay params ~delay:bound
         = (bound < budget))
+
+(* ---- property: bare-mode counters balance under random loss and
+        injected duplicates (the bare_send accounting fix) ---- *)
+
+let prop_bare_counter_invariants =
+  QCheck.Test.make
+    ~name:"bare counters: sends = delivered + gave-up, dups coherent"
+    ~count:50
+    (QCheck.make
+       ~print:(fun (p, d, s) -> Fmt.str "loss=%g dup=%g seed=%d" p d s)
+       QCheck.Gen.(
+         triple (float_range 0.0 0.9) (float_range 0.0 1.0) (int_range 0 999)))
+    (fun (loss_p, dup_p, seed) ->
+      let star = mk_star ~loss:(Loss.Bernoulli loss_p) ~seed:(seed + 1) () in
+      let dup_rng = Rng.create (seed + 1000) in
+      Link.set_injector (uplink star "r1")
+        (Some
+           (fun ~time:_ ~root:_ ->
+             if Rng.bernoulli dup_rng dup_p then Link.Duplicate_frame
+             else Link.Pass));
+      let t = Transport.create ~mode:`Bare ~rng:(Rng.create 2) star in
+      let router = Transport.router t in
+      let returned = ref 0 in
+      let n = 200 in
+      for i = 0 to n - 1 do
+        match
+          router ~time:(float_of_int i) ~sender:"r1" ~root:"evt"
+            ~receiver:"base"
+        with
+        | Pte_hybrid.Executor.Deliver _ -> incr returned
+        | _ -> ()
+      done;
+      let s = Transport.stats t in
+      s.Transport.data_sends = n
+      && s.Transport.delivered + s.Transport.gave_up = n
+      && s.Transport.delivered = !returned
+      && s.Transport.dups_suppressed >= 0
+      && s.Transport.acks_sent = 0)
 
 (* ---- satellite: duplicate-heavy fault plan leaves a bare trial's
         Table-I metrics untouched (the star.ml double-delivery fix) ---- *)
@@ -371,6 +617,8 @@ let suite =
         Alcotest.test_case "worst-case latency closed form" `Quick
           test_worst_case_latency;
         Alcotest.test_case "config validation" `Quick test_validate;
+        Alcotest.test_case "create rejects ill-formed configs" `Quick
+          test_create_validates;
         Alcotest.test_case "bare mode suppresses injected duplicates" `Quick
           test_bare_dup_suppression;
         Alcotest.test_case "reliable mode recovers a 50% channel" `Quick
@@ -379,7 +627,12 @@ let suite =
           test_consecutive_losses_and_reset;
         Alcotest.test_case "ACK killer: delivery without feedback" `Quick
           test_ack_killer;
+        Alcotest.test_case "ACK revokes the pending retransmission" `Quick
+          test_ack_cancels_pending_retransmission;
+        Alcotest.test_case "burst channel evolves between attempts" `Quick
+          test_burst_evolves_between_attempts;
         QCheck_alcotest.to_alcotest prop_latency_within_bound;
+        QCheck_alcotest.to_alcotest prop_bare_counter_invariants;
       ] );
     ( "tracheotomy.transport",
       [
