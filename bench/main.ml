@@ -667,6 +667,274 @@ let a1 () =
     ~metrics:metric_rows
 
 (* ------------------------------------------------------------------ *)
+(* A2: availability across transports (bare / ARQ / time-triggered)    *)
+(* ------------------------------------------------------------------ *)
+
+(* N = 3 leg of A2: the multi-initiator chain of examples/, one trial
+   per (loss, transport). Returns the emissions of the top entity, the
+   violation count, and the transport's measured/bounded latencies. *)
+let a2_chain_trial ~params:p ~config ~top ~horizon ~transport ~loss ~seed =
+  let system = Pte_core.Multi.system config in
+  let net =
+    Pte_net.Star.create ~base:p.Pte_core.Params.supervisor
+      ~remotes:(Pte_core.Pattern.remotes p)
+      ~loss_kind:
+        (if loss = 0.0 then Pte_net.Loss.Perfect
+         else Pte_net.Loss.wifi_interference ~average_loss:loss)
+      ~rng:(Rng.create ((seed * 2) + 1))
+      ()
+  in
+  let engine =
+    Pte_sim.Engine.create
+      ~config:{ Pte_hybrid.Executor.default_config with dt = 0.01 }
+      ~net ~transport ~seed system
+  in
+  List.iter
+    (fun (automaton, request, cancel) ->
+      Pte_sim.Scenario.exponential_stimulus engine ~mean:40.0 ~automaton
+        ~armed_in:"Fall-Back" ~root:request ();
+      let emitting =
+        if String.equal automaton top then "Risky Core"
+        else Pte_core.Multi.init_suffix "Risky Core"
+      in
+      Pte_sim.Scenario.exponential_stimulus engine ~mean:10.0 ~automaton
+        ~armed_in:emitting ~root:cancel ())
+    (Pte_core.Multi.stimuli config);
+  Pte_sim.Engine.run engine ~until:horizon;
+  let trace = Pte_sim.Engine.trace engine in
+  let spec = Pte_core.Rules.of_params p in
+  let report = Pte_core.Monitor.analyze_system trace system spec ~horizon in
+  let transport = Option.get (Pte_sim.Engine.transport engine) in
+  let tstats = Pte_net.Transport.stats transport in
+  ( Pte_sim.Metrics.entries trace ~automaton:top ~location:"Risky Core",
+    Pte_core.Monitor.episodes report,
+    tstats.Pte_net.Transport.worst_latency,
+    Option.map Pte_sched.Schedule.worst_case_latency
+      (Pte_net.Transport.schedule transport) )
+
+let a2 () =
+  let module T = Pte_tracheotomy.Trial in
+  let module J = Pte_campaign.Json in
+  let losses, reps, horizon, chain_horizon, seed =
+    if !smoke then ([ 0.0; 0.3 ], 1, 300.0, 120.0, 940)
+    else ([ 0.0; 0.3; 0.6 ], 3, 1800.0, 600.0, 940)
+  in
+  let transports =
+    [ ("bare", `Bare);
+      ("reliable", `Reliable Pte_net.Transport.default_config);
+      (* budget left unset: Emulation.build fills in the Theorem-1
+         budget and rejects any schedule that overshoots it *)
+      ("scheduled", `Scheduled Pte_sched.Synth.default_policy) ]
+  in
+  (* --- N = 2: the case-study emulation, campaign-replicated --- *)
+  let rows = T.transport_matrix ~reps ~horizon ~seed ~transports ~losses () in
+  let table =
+    Table.create
+      ~title:
+        (Fmt.str
+           "A2: availability vs loss across transports, N=2 case study \
+            (with lease, %g s trials, %d replicates)"
+           horizon reps)
+      ~header:
+        [ "avg loss"; "emissions (bare)"; "emissions (reliable)";
+          "emissions (scheduled)"; "failures b/r/s"; "sched worst/bound s" ]
+      ~aligns:
+        [ Table.Right; Table.Left; Table.Left; Table.Left; Table.Right;
+          Table.Right ]
+      ()
+  in
+  let violation_cells = ref 0 in
+  let bound_breaches = ref 0 in
+  let note_cell (row : T.replicated) =
+    if row.T.agg.T.failure_reps > 0 then incr violation_cells;
+    match row.T.rep0.T.schedule with
+    | None -> ()
+    | Some sched ->
+        if
+          row.T.rep0.T.worst_latency
+          > Pte_sched.Schedule.worst_case_latency sched
+        then incr bound_breaches
+  in
+  List.iter
+    (fun (loss, cells) ->
+      List.iter (fun (_, row) -> note_cell row) cells;
+      let get label = List.assoc label cells in
+      let b = get "bare" and r = get "reliable" and s = get "scheduled" in
+      Table.add_row table
+        [ Fmt.str "%.0f%%" (100.0 *. loss);
+          Fmt.str "%a" Pte_campaign.Aggregate.pp_summary b.T.agg.T.emissions;
+          Fmt.str "%a" Pte_campaign.Aggregate.pp_summary r.T.agg.T.emissions;
+          Fmt.str "%a" Pte_campaign.Aggregate.pp_summary s.T.agg.T.emissions;
+          Fmt.str "%d / %d / %d" b.T.agg.T.failure_reps r.T.agg.T.failure_reps
+            s.T.agg.T.failure_reps;
+          Fmt.str "%.2f / %.2f" s.T.rep0.T.worst_latency
+            (match s.T.rep0.T.schedule with
+            | Some sched -> Pte_sched.Schedule.worst_case_latency sched
+            | None -> nan) ])
+    rows;
+  Table.add_note table
+    "failures must be 0 in every with-lease cell; the scheduled mode's \
+     measured worst delivery latency must stay under its synthesized bound";
+  Table.print table;
+  (* --- N = 3: the synthesized multi-initiator chain --- *)
+  let entity_names = [ "pump"; "xray"; "carm" ] in
+  let params3 =
+    Pte_core.Synthesis.synthesize_exn
+      (Pte_core.Synthesis.default_requirements ~entity_names
+         ~safeguards:
+           [ { Pte_core.Params.enter_risky_min = 2.0; exit_safe_min = 1.0 };
+             { Pte_core.Params.enter_risky_min = 1.0; exit_safe_min = 0.5 } ])
+  in
+  let config3 = { Pte_core.Multi.params = params3; initiators = [ 1; 3 ] } in
+  let top = List.nth entity_names 2 in
+  let budget3 = Pte_core.Constraints.max_delay_budget params3 in
+  (* reliable leg: shrink the retry budget until Theorem 1 admits it *)
+  let probe =
+    Pte_net.Star.create ~base:params3.Pte_core.Params.supervisor
+      ~remotes:(Pte_core.Pattern.remotes params3)
+      ~loss_kind:Pte_net.Loss.Perfect ~rng:(Rng.create 0) ()
+  in
+  let rec fit (tcfg : Pte_net.Transport.config) =
+    let latency =
+      Pte_net.Transport.worst_case_latency tcfg
+        ~frame_delay:(Pte_net.Star.worst_frame_delay probe)
+    in
+    if latency <= budget3 || tcfg.Pte_net.Transport.max_retries = 0 then tcfg
+    else fit { tcfg with Pte_net.Transport.max_retries = tcfg.max_retries - 1 }
+  in
+  let tcfg3 = fit Pte_net.Transport.default_config in
+  let transports3 =
+    [ ("bare", `Bare);
+      ("reliable", `Reliable tcfg3);
+      ( "scheduled",
+        (* the engine layer has no emulation wrapper here, so the
+           Theorem-1 budget is pinned explicitly *)
+        `Scheduled
+          { Pte_sched.Synth.default_policy with budget = Some budget3 } ) ]
+  in
+  let chain =
+    Table.create
+      ~title:
+        (Fmt.str
+           "A2b: N=3 multi-initiator chain, sessions of the top entity \
+            (%g s trials)"
+           chain_horizon)
+      ~header:
+        [ "avg loss"; "sessions (bare)"; "sessions (reliable)";
+          "sessions (scheduled)"; "viol b/r/s"; "sched worst/bound s" ]
+      ~aligns:
+        [ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right ]
+      ()
+  in
+  let chain_rows =
+    List.mapi
+      (fun i loss ->
+        let cells =
+          List.map
+            (fun (label, transport) ->
+              let sessions, violations, worst, bound =
+                a2_chain_trial ~params:params3 ~config:config3 ~top
+                  ~horizon:chain_horizon ~transport ~loss ~seed:(seed + 50 + i)
+              in
+              if violations > 0 then incr violation_cells;
+              (match bound with
+              | Some b when worst > b -> incr bound_breaches
+              | _ -> ());
+              (label, sessions, violations, worst, bound))
+            transports3
+        in
+        let get label =
+          List.find (fun (l, _, _, _, _) -> String.equal l label) cells
+        in
+        let _, sb, vb, _, _ = get "bare" in
+        let _, sr, vr, _, _ = get "reliable" in
+        let _, ss, vs, ws, bs = get "scheduled" in
+        Table.add_row chain
+          [ Fmt.str "%.0f%%" (100.0 *. loss);
+            Table.fmt_int sb; Table.fmt_int sr; Table.fmt_int ss;
+            Fmt.str "%d / %d / %d" vb vr vs;
+            Fmt.str "%.2f / %.2f" ws (Option.value bs ~default:nan) ];
+        (loss, cells))
+      losses
+  in
+  Table.add_note chain
+    (Fmt.str
+       "synthesized chain budget %.3f s; reliable fitted to %d retries; all \
+        initiator sessions are lease-protected, so violations must be 0"
+       budget3 tcfg3.Pte_net.Transport.max_retries);
+  Table.print chain;
+  (* --- machine-readable companion --- *)
+  let metric_rows_n2 =
+    List.concat_map
+      (fun (loss, cells) ->
+        List.concat_map
+          (fun (transport, (row : T.replicated)) ->
+            let base name (s : Pte_campaign.Aggregate.summary) =
+              J.Obj
+                ([ ("name", J.Str name); ("entities", J.Num 2.0);
+                   ("loss", J.Num loss); ("transport", J.Str transport) ]
+                @ summary_fields s)
+            in
+            let scalar name v =
+              J.Obj
+                [ ("name", J.Str name); ("entities", J.Num 2.0);
+                  ("loss", J.Num loss); ("transport", J.Str transport);
+                  ("mean", J.Num v); ("ci95", J.Num 0.0); ("n", J.Num 1.0) ]
+            in
+            [ base "emissions" row.T.agg.T.emissions;
+              base "failures" row.T.agg.T.failures;
+              scalar "worst_latency" row.T.rep0.T.worst_latency ]
+            @ (match row.T.rep0.T.schedule with
+              | None -> []
+              | Some sched ->
+                  [ scalar "sched_bound"
+                      (Pte_sched.Schedule.worst_case_latency sched) ]))
+          cells)
+      rows
+  in
+  let metric_rows_n3 =
+    List.concat_map
+      (fun (loss, cells) ->
+        List.concat_map
+          (fun (transport, sessions, violations, worst, bound) ->
+            let scalar name v =
+              J.Obj
+                [ ("name", J.Str name); ("entities", J.Num 3.0);
+                  ("loss", J.Num loss); ("transport", J.Str transport);
+                  ("mean", J.Num v); ("ci95", J.Num 0.0); ("n", J.Num 1.0) ]
+            in
+            [ scalar "emissions" (Float.of_int sessions);
+              scalar "failures" (Float.of_int violations);
+              scalar "worst_latency" worst ]
+            @
+            match bound with
+            | None -> []
+            | Some b -> [ scalar "sched_bound" b ])
+          cells)
+      chain_rows
+  in
+  write_bench_json ~bench:"A2" ~seed
+    ~params:
+      [ ("horizon", J.Num horizon);
+        ("chain_horizon", J.Num chain_horizon);
+        ("reps", J.Num (Float.of_int reps));
+        ("losses", J.Arr (List.map (fun l -> J.Num l) losses));
+        ("entity_counts", J.Arr [ J.Num 2.0; J.Num 3.0 ]);
+        ("chain_budget", J.Num budget3);
+        ("violation_cells", J.Num (Float.of_int !violation_cells));
+        ("bound_breaches", J.Num (Float.of_int !bound_breaches)) ]
+    ~metrics:(metric_rows_n2 @ metric_rows_n3);
+  (* hard gates — `dune build @bench-smoke` fails CI on either *)
+  if !violation_cells > 0 then
+    Fmt.failwith "A2: %d with-lease cells had violations (expected 0)"
+      !violation_cells;
+  if !bound_breaches > 0 then
+    Fmt.failwith
+      "A2: scheduled worst latency exceeded its synthesized bound in %d cells"
+      !bound_breaches
+
+(* ------------------------------------------------------------------ *)
 (* X2: synthesis scaling with the chain length                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1118,7 +1386,7 @@ let experiments =
   [
     ("T1", t1); ("F1", f1); ("F2", f2); ("F3", f3); ("F6", f6); ("S1", s1);
     ("S2", s2); ("S3", s3); ("V1", v1); ("V2", v2); ("X1", x1); ("X2", x2);
-    ("X3", x3); ("A1", a1); ("R1", r1); ("P1", p1); ("P2", p2);
+    ("X3", x3); ("A1", a1); ("A2", a2); ("R1", r1); ("P1", p1); ("P2", p2);
   ]
 
 let () =

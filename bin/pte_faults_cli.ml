@@ -187,23 +187,16 @@ let coverage_cmd =
           ~doc:"Skip trials already recorded in the $(b,--out) file.")
   in
   let transport =
-    let transport_conv =
-      Arg.conv ~docv:"MODE"
-        ( (fun s ->
-            match Pte_net.Transport.mode_of_string s with
-            | Ok m -> Ok m
-            | Error msg -> Error (`Msg msg)),
-          Pte_net.Transport.pp_mode )
-    in
     Arg.(
       value
-      & opt transport_conv `Bare
+      & opt Pte_net.Transport.conv `Bare
       & info [ "transport" ] ~docv:"MODE"
           ~doc:
             "Radio transport the trials run over: $(b,bare) (single-shot \
-             sends) or $(b,reliable)[:$(i,k=v),...] (event-driven \
+             sends), $(b,reliable)[:$(i,k=v),...] (event-driven \
              ACK/retransmission; scripted drops are then expected to be \
-             recovered).")
+             recovered) or $(b,scheduled)[:$(i,k=v),...] (time-triggered \
+             TDMA rounds with blind retransmissions).")
   in
   Cmd.v
     (Cmd.info "coverage"

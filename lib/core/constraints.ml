@@ -186,6 +186,11 @@ let max_delay_budget ?(tol = 1e-6) p =
     end
   end
 
+(** Remaining slack of a transport whose per-message worst case is
+    [delay]: how much more latency the configuration would still
+    tolerate. Negative when the delay already breaks Theorem 1. *)
+let delay_slack ?tol p ~delay = max_delay_budget ?tol p -. delay
+
 let pp_outcome ppf o =
   Fmt.pf ppf "%s %s: %s — %s"
     (if o.ok then "[ok]" else "[VIOLATED]")

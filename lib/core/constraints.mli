@@ -53,5 +53,11 @@ val max_delay_budget : ?tol:float -> Params.t -> float
     [tol], default 1e-6; 0 when the base configuration already fails,
     2.0 s for the case study — c3 binds first). *)
 
+val delay_slack : ?tol:float -> Params.t -> delay:float -> float
+(** [max_delay_budget p -. delay]: the latency headroom a transport
+    with per-message worst case [delay] leaves unused. Negative when
+    the delay already breaks Theorem 1 (so [>= 0] is exactly
+    {!satisfies_with_delay} up to the bisection tolerance). *)
+
 val pp_outcome : outcome Fmt.t
 val pp_report : outcome list Fmt.t

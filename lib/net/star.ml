@@ -76,6 +76,19 @@ let links t =
   List.map (fun (remote, link) -> (remote, link)) t.uplinks
   @ List.map (fun (remote, link) -> (remote, link)) t.downlinks
 
+(** The star's directed links as schedule endpoints, each with its
+    worst one-way frame delay — the synthesis input of
+    {!Pte_sched.Synth.synthesize}. Uplinks first, in remote order, so
+    slot assignment is deterministic per topology. *)
+let schedule_links t =
+  let up (remote, link) =
+    ({ Pte_sched.Schedule.src = remote; dst = t.base }, Link.worst_delay link)
+  in
+  let down (remote, link) =
+    ({ Pte_sched.Schedule.src = t.base; dst = remote }, Link.worst_delay link)
+  in
+  List.map up t.uplinks @ List.map down t.downlinks
+
 (** Worst one-way frame latency across every link of the star — the
     per-attempt term of {!Transport.worst_case_latency}. *)
 let worst_frame_delay t =

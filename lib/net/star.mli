@@ -34,6 +34,12 @@ val all_links : t -> Link.t list
     in remote order) — for installing per-link fault injectors. *)
 val links : t -> (string * Link.t) list
 
+val schedule_links : t -> (Pte_sched.Schedule.link * float) list
+(** The star's directed links as schedule endpoints, each with its
+    worst one-way frame delay ({!Link.worst_delay}) — the synthesis
+    input of {!Pte_sched.Synth.synthesize}. Uplinks first, in remote
+    order, so slot assignment is deterministic per topology. *)
+
 val worst_frame_delay : t -> float
 (** Worst one-way latency across every link ({!Link.worst_delay}) — the
     per-attempt term of {!Transport.worst_case_latency}. *)

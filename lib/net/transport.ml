@@ -25,7 +25,8 @@ let validate c =
   else if c.jitter < 0.0 then Error "transport: jitter must be >= 0"
   else Ok ()
 
-type mode = [ `Bare | `Reliable of config ]
+type mode =
+  [ `Bare | `Reliable of config | `Scheduled of Pte_sched.Synth.policy ]
 
 let rto c ~attempt =
   Float.min (c.base_rto *. (c.multiplier ** Float.of_int attempt)) c.cap
@@ -47,6 +48,7 @@ type stats = {
   mutable acks_sent : int;
   mutable acks_lost : int;
   mutable dups_suppressed : int;
+  mutable worst_latency : float;
 }
 
 type event =
@@ -73,6 +75,13 @@ type flow_seen = {
   mutable recent : int list;  (* seen seqs above the high-water mark *)
 }
 
+(* Per-link reservation state in `Scheduled mode: [next_free] is the
+   end of the last admitted send's blind-copy span (admission never
+   books a slot before it), and [inflight] counts admitted sends whose
+   span has not yet passed — the admission bound that keeps
+   {!Pte_sched.Schedule.link_worst_case_latency} closed-form. *)
+type sched_link = { mutable next_free : float; mutable inflight : int }
+
 type t = {
   star : Star.t;
   mode : mode;
@@ -83,27 +92,45 @@ type t = {
   next_seq : (string * string, int ref) Hashtbl.t;
   (* per-sender consecutive unconfirmed sends, for degraded-safe-mode. *)
   consec : (string, int ref) Hashtbl.t;
+  (* the concrete round schedule (`Scheduled mode), synthesized from
+     the star at creation. *)
+  sched : Pte_sched.Schedule.t option;
+  (* per-link reservation state (`Scheduled mode). *)
+  sched_links : (string * string, sched_link) Hashtbl.t;
   (* the executor whose timeline carries this transport's timers and
-     arrivals (`Reliable mode); set by {!attach}. *)
+     arrivals (`Reliable and `Scheduled modes); set by {!attach}. *)
   mutable exec : Executor.t option;
   mutable observer : (event -> unit) option;
 }
 
 let create ~mode ~rng star =
-  (match mode with
-  | `Bare -> ()
-  | `Reliable cfg -> (
-      match validate cfg with Ok () -> () | Error msg -> invalid_arg msg));
+  let sched =
+    match mode with
+    | `Bare -> None
+    | `Reliable cfg -> (
+        match validate cfg with
+        | Ok () -> None
+        | Error msg -> invalid_arg msg)
+    | `Scheduled policy -> (
+        match
+          Pte_sched.Synth.synthesize policy ~links:(Star.schedule_links star)
+        with
+        | Ok sched -> Some sched
+        | Error e -> invalid_arg (Pte_sched.Synth.error_to_string e))
+  in
   {
     star;
     mode;
     rng;
     stats =
       { data_sends = 0; delivered = 0; gave_up = 0; retransmissions = 0;
-        acks_sent = 0; acks_lost = 0; dups_suppressed = 0 };
+        acks_sent = 0; acks_lost = 0; dups_suppressed = 0;
+        worst_latency = 0.0 };
     seen = Hashtbl.create 8;
     next_seq = Hashtbl.create 8;
     consec = Hashtbl.create 8;
+    sched;
+    sched_links = Hashtbl.create 8;
     exec = None;
     observer = None;
   }
@@ -114,6 +141,10 @@ let observe t ev = match t.observer with Some f -> f ev | None -> ()
 
 let mode t = t.mode
 let stats t = t.stats
+let schedule t = t.sched
+
+let record_latency t d =
+  if d > t.stats.worst_latency then t.stats.worst_latency <- d
 
 let counter t sender =
   match Hashtbl.find_opt t.consec sender with
@@ -202,6 +233,7 @@ let bare_send t link ~time ~sender ~receiver ~root =
       confirm t sender;
       if fresh t ~src:sender ~dst:receiver ~seq:packet.Packet.seq then begin
         t.stats.delivered <- t.stats.delivered + 1;
+        record_latency t (arrival -. time);
         Executor.Deliver (arrival -. time)
       end
       else begin
@@ -218,6 +250,7 @@ let bare_send t link ~time ~sender ~receiver ~root =
         (* the replayed copy carries the same (src, seq): suppress it *)
         t.stats.delivered <- t.stats.delivered + 1;
         t.stats.dups_suppressed <- t.stats.dups_suppressed + 1;
+        record_latency t (a1 -. time);
         Executor.Deliver (a1 -. time)
       end
       else begin
@@ -260,8 +293,8 @@ let require_exec t =
   | Some exec -> exec
   | None ->
       invalid_arg
-        "Transport.router: `Reliable mode needs Transport.attach before the \
-         first radio send"
+        "Transport.router: `Reliable and `Scheduled modes need \
+         Transport.attach before the first radio send"
 
 (* The ACK made it back: the sender learns the outcome, stands down the
    pending retransmission (revoking it before the channel ever sees the
@@ -344,6 +377,7 @@ and receive t ex exec ~arrival =
   if fresh t ~src:ex.ex_src ~dst:ex.ex_dst ~seq:ex.ex_seq then begin
     ex.ex_arrived <- true;
     t.stats.delivered <- t.stats.delivered + 1;
+    record_latency t (arrival -. ex.ex_sent_at);
     ignore (Executor.deliver_now exec ~receiver:ex.ex_dst ~root:ex.ex_root);
     observe t
       (Exchange_delivered
@@ -395,6 +429,154 @@ let reliable_send t cfg link ~time ~sender ~receiver ~root =
   Executor.Deferred
 
 (* ------------------------------------------------------------------ *)
+(* `Scheduled mode: time-triggered blind transmission (TTW-style)      *)
+(* ------------------------------------------------------------------ *)
+
+module Schedule = Pte_sched.Schedule
+
+let sched_link_state t ~sender ~receiver =
+  match Hashtbl.find_opt t.sched_links (sender, receiver) with
+  | Some st -> st
+  | None ->
+      let st = { next_free = 0.0; inflight = 0 } in
+      Hashtbl.add t.sched_links (sender, receiver) st;
+      st
+
+(* One admitted time-triggered send. All timers are armed up front at
+   admission: the [1 + retries] blind copies hit the channel at the
+   link's slot start in consecutive rounds (no ACKs, no cancellation —
+   the channel decides per copy), and one resolution timer fires
+   strictly after the last copy can land ([2 *. slot_len] past the last
+   slot start; arrivals stay within one [slot_len] of their slot start
+   because synthesis forces [slot_len >= worst frame delay]).
+
+   Admission control makes the latency bound closed-form: the link
+   keeps [next_free], the end of the last reservation's span, and books
+   each new send at the first slot after [max time next_free]; at most
+   [depth] sends may hold reservations at once, later ones are rejected
+   at admission and counted as lost (the protocol layer above already
+   tolerates message loss). By induction over the reservation chain a
+   send admitted at [time] with [j < depth] reservations pending has
+   [next_free' <= time + (j + 1) * ((retries + 1) * period + slot_len)],
+   and its last copy lands by [next_free'] — which is exactly
+   {!Schedule.link_worst_case_latency} at [j = depth - 1]. *)
+type sched_send = {
+  ss_link : Link.t;
+  ss_src : string;
+  ss_dst : string;
+  ss_root : string;
+  ss_seq : int;
+  ss_sent_at : float;
+  mutable ss_arrived : bool;  (* a fresh copy reached the automaton *)
+}
+
+let sched_receive t ss exec ~arrival =
+  if fresh t ~src:ss.ss_src ~dst:ss.ss_dst ~seq:ss.ss_seq then begin
+    ss.ss_arrived <- true;
+    t.stats.delivered <- t.stats.delivered + 1;
+    record_latency t (arrival -. ss.ss_sent_at);
+    ignore (Executor.deliver_now exec ~receiver:ss.ss_dst ~root:ss.ss_root);
+    observe t
+      (Exchange_delivered
+         { src = ss.ss_src; dst = ss.ss_dst; seq = ss.ss_seq;
+           sent_at = ss.ss_sent_at; arrival })
+  end
+  else t.stats.dups_suppressed <- t.stats.dups_suppressed + 1
+
+let sched_copy t ss exec ~at ~copy =
+  if copy > 0 then t.stats.retransmissions <- t.stats.retransmissions + 1;
+  match
+    Link.send ss.ss_link ~time:at ~src:ss.ss_src ~dst:ss.ss_dst
+      ~root:ss.ss_root
+  with
+  | Link.Drop _ -> ()
+  | Link.Deliver { arrival; packet = _ } ->
+      ignore
+        (Executor.schedule exec ~at:arrival (fun exec ->
+             sched_receive t ss exec ~arrival))
+  | Link.Deliver_dup { arrivals = a1, a2; packet = _ } ->
+      (* an injected duplicate: both copies fly; the replay is squashed
+         at the receiver by (src, seq) *)
+      List.iter
+        (fun arrival ->
+          ignore
+            (Executor.schedule exec ~at:arrival (fun exec ->
+                 sched_receive t ss exec ~arrival)))
+        [ a1; a2 ]
+
+(* The blind span is over: the sender learns the outcome. There is no
+   feedback channel, so "confirmed" is the oracle view the simulation
+   affords (a copy reached the receiver) — the same instant-of-knowledge
+   convention `Bare mode uses at the send. *)
+let sched_resolve t ss st exec ~at =
+  st.inflight <- st.inflight - 1;
+  if ss.ss_arrived then begin
+    confirm t ss.ss_src;
+    observe t
+      (Exchange_confirmed
+         { src = ss.ss_src; dst = ss.ss_dst; seq = ss.ss_seq; at })
+  end
+  else begin
+    unconfirmed t ss.ss_src;
+    t.stats.gave_up <- t.stats.gave_up + 1;
+    Executor.lose_now exec ~receiver:ss.ss_dst ~root:ss.ss_root;
+    observe t
+      (Exchange_gave_up
+         { src = ss.ss_src; dst = ss.ss_dst; seq = ss.ss_seq; at })
+  end
+
+let scheduled_send t sched link ~time ~sender ~receiver ~root =
+  let exec = require_exec t in
+  t.stats.data_sends <- t.stats.data_sends + 1;
+  match Schedule.find sched ~src:sender ~dst:receiver with
+  | None ->
+      (* every star link is scheduled at synthesis; unreachable unless
+         the topology grew after creation — fail as a plain loss *)
+      unconfirmed t sender;
+      t.stats.gave_up <- t.stats.gave_up + 1;
+      Executor.Lose
+  | Some entry ->
+      let st = sched_link_state t ~sender ~receiver in
+      if st.inflight >= sched.Schedule.depth then begin
+        (* admission bound hit: rejecting now is what keeps the latency
+           bound sound for the sends already holding reservations *)
+        unconfirmed t sender;
+        t.stats.gave_up <- t.stats.gave_up + 1;
+        Executor.Lose
+      end
+      else begin
+        st.inflight <- st.inflight + 1;
+        let period = Schedule.period sched in
+        let first =
+          Schedule.slot_start sched entry ~after:(Float.max time st.next_free)
+        in
+        let span = (Float.of_int entry.Schedule.retries *. period) in
+        st.next_free <- first +. span +. sched.Schedule.slot_len;
+        let ss =
+          {
+            ss_link = link;
+            ss_src = sender;
+            ss_dst = receiver;
+            ss_root = root;
+            ss_seq = flow_seq t ~src:sender ~dst:receiver;
+            ss_sent_at = time;
+            ss_arrived = false;
+          }
+        in
+        for copy = 0 to entry.Schedule.retries do
+          let at = first +. (Float.of_int copy *. period) in
+          ignore
+            (Executor.schedule exec ~at (fun exec ->
+                 sched_copy t ss exec ~at ~copy))
+        done;
+        let resolve_at = first +. span +. (2.0 *. sched.Schedule.slot_len) in
+        ignore
+          (Executor.schedule exec ~at:resolve_at (fun exec ->
+               sched_resolve t ss st exec ~at:resolve_at));
+        Executor.Deferred
+      end
+
+(* ------------------------------------------------------------------ *)
 (* The executor hook                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -406,7 +588,14 @@ let router t : Executor.router =
   | Radio link -> (
       match t.mode with
       | `Bare -> bare_send t link ~time ~sender ~receiver ~root
-      | `Reliable cfg -> reliable_send t cfg link ~time ~sender ~receiver ~root)
+      | `Reliable cfg -> reliable_send t cfg link ~time ~sender ~receiver ~root
+      | `Scheduled _ ->
+          let sched =
+            match t.sched with
+            | Some sched -> sched
+            | None -> assert false (* synthesized in create *)
+          in
+          scheduled_send t sched link ~time ~sender ~receiver ~root)
 
 (* ------------------------------------------------------------------ *)
 (* CLI spec parsing                                                    *)
@@ -414,6 +603,45 @@ let router t : Executor.router =
 
 let mode_of_string s =
   let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let parse_sched_fields spec =
+    let field (p : Pte_sched.Synth.policy) kv =
+      match String.index_opt kv '=' with
+      | None -> fail "transport: expected key=value, got %S" kv
+      | Some i ->
+          let k = String.sub kv 0 i in
+          let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+          let num set =
+            match float_of_string_opt v with
+            | Some f -> Ok (set f)
+            | None -> fail "transport: %s expects a number, got %S" k v
+          in
+          (match k with
+          | "retries" -> (
+              match int_of_string_opt v with
+              | Some n -> Ok { p with Pte_sched.Synth.retries = Some n }
+              | None -> fail "transport: retries expects an integer, got %S" v)
+          | "depth" -> (
+              match int_of_string_opt v with
+              | Some n -> Ok { p with Pte_sched.Synth.depth = n }
+              | None -> fail "transport: depth expects an integer, got %S" v)
+          | "slot" -> num (fun f -> { p with Pte_sched.Synth.slot_len = Some f })
+          | "loss" -> num (fun f -> { p with Pte_sched.Synth.loss = f })
+          | "confidence" ->
+              num (fun f -> { p with Pte_sched.Synth.confidence = f })
+          | "budget" -> num (fun f -> { p with Pte_sched.Synth.budget = Some f })
+          | _ ->
+              fail
+                "transport: unknown key %S (expected \
+                 slot|retries|loss|confidence|depth|budget)"
+                k)
+    in
+    let rec go p = function
+      | [] -> Ok (`Scheduled p)
+      | kv :: rest -> (
+          match field p kv with Ok p -> go p rest | Error _ as e -> e)
+    in
+    go Pte_sched.Synth.default_policy (String.split_on_char ',' spec)
+  in
   let parse_fields spec =
     let field cfg kv =
       match String.index_opt kv '=' with
@@ -456,13 +684,22 @@ let mode_of_string s =
       match s with
       | "bare" -> Ok `Bare
       | "reliable" -> Ok (`Reliable default_config)
+      | "scheduled" -> Ok (`Scheduled Pte_sched.Synth.default_policy)
       | _ ->
-          fail "unknown transport %S (expected bare or reliable[:k=v,...])" s)
+          fail
+            "unknown transport %S (expected bare, reliable[:k=v,...] or \
+             scheduled[:k=v,...])"
+            s)
   | Some i ->
       let head = String.sub s 0 i in
       let spec = String.sub s (i + 1) (String.length s - i - 1) in
       if String.equal head "reliable" then parse_fields spec
-      else fail "unknown transport %S (expected bare or reliable[:k=v,...])" head
+      else if String.equal head "scheduled" then parse_sched_fields spec
+      else
+        fail
+          "unknown transport %S (expected bare, reliable[:k=v,...] or \
+           scheduled[:k=v,...])"
+          head
 
 let pp_config ppf c =
   Fmt.pf ppf "retries:%d rto:%gs x%g cap:%gs jitter:%gs" c.max_retries
@@ -473,6 +710,29 @@ let pp_mode ppf = function
   | `Reliable c ->
       Fmt.pf ppf "reliable:retries=%d,rto=%g,multiplier=%g,cap=%g,jitter=%g"
         c.max_retries c.base_rto c.multiplier c.cap c.jitter
+  | `Scheduled (p : Pte_sched.Synth.policy) ->
+      let opt key pp ppf = function
+        | None -> ()
+        | Some v -> Fmt.pf ppf ",%s=%a" key pp v
+      in
+      Fmt.pf ppf "scheduled:loss=%g,confidence=%g,depth=%d%a%a%a" p.loss
+        p.confidence p.depth
+        (opt "slot" Fmt.float)
+        p.slot_len
+        (opt "retries" Fmt.int)
+        p.retries
+        (opt "budget" Fmt.float)
+        p.budget
+
+(* The one `--transport` converter every CLI shares: adding a mode (or
+   rewording an error) lands in every binary at once. *)
+let conv =
+  Cmdliner.Arg.conv ~docv:"MODE"
+    ( (fun s ->
+        match mode_of_string s with
+        | Ok m -> Ok m
+        | Error msg -> Error (`Msg msg)),
+      pp_mode )
 
 let pp_stats ppf s =
   Fmt.pf ppf

@@ -63,13 +63,37 @@ val validate : config -> (unit, string) result
 (** Well-formedness: [max_retries >= 0], positive [base_rto],
     [multiplier >= 1], [cap >= base_rto], [jitter >= 0]. *)
 
-type mode = [ `Bare | `Reliable of config ]
+type mode =
+  [ `Bare | `Reliable of config | `Scheduled of Pte_sched.Synth.policy ]
+(** [`Scheduled] is the time-triggered third mode (TTW-style): radio
+    sends are admitted into a static TDMA round schedule synthesized
+    from the star at {!create} ({!Pte_sched.Synth.synthesize}), and
+    each admitted send blindly transmits [1 + retries] copies in its
+    link's slot of consecutive rounds — no ACKs, no feedback, so the
+    worst-case delivery latency of an admitted send is the design-time
+    constant {!Pte_sched.Schedule.link_worst_case_latency}. Sends past
+    the per-link admission bound ([depth]) are rejected at admission
+    and counted as [gave_up] — the protocol layer above tolerates loss,
+    and rejecting is what keeps the bound closed-form. Like [`Bare],
+    the mode never draws from the transport [rng]; like [`Reliable],
+    it runs event-driven on the executor's timer queue and needs
+    {!attach}. Injected [Delay_frame] faults sit outside the
+    synthesized bound, exactly as they sit outside
+    {!worst_case_latency}. *)
 
 val mode_of_string : string -> (mode, string) result
-(** Parse a CLI transport spec: ["bare"], ["reliable"], or
-    ["reliable:key=value,..."] with keys [retries], [rto], [multiplier],
-    [cap] and [jitter]. The resulting config is {!validate}d, so a
-    malformed or ill-formed spec surfaces as [Error] with the reason. *)
+(** Parse a CLI transport spec: ["bare"], ["reliable"], ["scheduled"],
+    ["reliable:key=value,..."] with keys [retries], [rto],
+    [multiplier], [cap] and [jitter], or ["scheduled:key=value,..."]
+    with keys [slot], [retries], [loss], [confidence], [depth] and
+    [budget]. A reliable config is {!validate}d here; a scheduled
+    policy is checked at {!create}, where the topology is known. A
+    malformed spec surfaces as [Error] with the reason. *)
+
+val conv : mode Cmdliner.Arg.conv
+(** The [--transport] converter shared by every CLI: {!mode_of_string}
+    on the way in, {!pp_mode} on the way out, so a new mode (or a
+    reworded error) lands in every binary at once. *)
 
 val rto : config -> attempt:int -> float
 (** Backoff after the [attempt]-th send (0-based), jitter excluded:
@@ -98,24 +122,38 @@ type stats = {
   mutable acks_lost : int;
   mutable dups_suppressed : int;
       (** replayed copies squashed at the receiver by (src, seq). *)
+  mutable worst_latency : float;
+      (** largest observed send-to-delivery delay across delivered
+          sends, seconds — the measured counterpart of the mode's
+          closed-form bound ({!worst_case_latency} /
+          {!Pte_sched.Schedule.worst_case_latency}). *)
 }
 
 type t
 
 val create : mode:mode -> rng:Pte_util.Rng.t -> Star.t -> t
-(** In [`Bare] mode the transport never draws from [rng] (legacy RNG
-    streams are untouched); [`Reliable _] keys one private jitter
-    stream per exchange off it. A [`Reliable] config is {!validate}d;
-    an ill-formed one raises [Invalid_argument] with the reason. *)
+(** In [`Bare] and [`Scheduled] modes the transport never draws from
+    [rng] (legacy RNG streams are untouched); [`Reliable _] keys one
+    private jitter stream per exchange off it. A [`Reliable] config is
+    {!validate}d and a [`Scheduled] policy is synthesized against the
+    star's links right here ({!Pte_sched.Synth.synthesize}); an
+    ill-formed config or a failed synthesis raises [Invalid_argument]
+    with the reason. *)
 
 val attach : t -> Pte_hybrid.Executor.t -> unit
 (** Bind the executor whose timeline carries the transport's timers and
-    arrivals. Required before the first [`Reliable] radio send (the
-    engine does this when it wires the router); [`Bare] mode never needs
-    it. *)
+    arrivals. Required before the first [`Reliable] or [`Scheduled]
+    radio send (the engine does this when it wires the router);
+    [`Bare] mode never needs it. *)
 
 val mode : t -> mode
 val stats : t -> stats
+
+val schedule : t -> Pte_sched.Schedule.t option
+(** The concrete round schedule synthesized at {!create} —
+    [Some _] exactly in [`Scheduled] mode. Its
+    {!Pte_sched.Schedule.worst_case_latency} is the bound callers feed
+    into the Theorem-1 recheck, in place of {!worst_case_latency}. *)
 
 val router : t -> Pte_hybrid.Executor.router
 (** The executor transport hook. Non-star automata stay wired;
@@ -151,9 +189,11 @@ val consecutive_losses : t -> sender:string -> int
     confirmation — in [`Reliable _] mode, without a received ACK (the
     sender's view: a delivered frame whose ACK was lost still counts as
     a feedback loss), counted at the instant the retry budget expires;
-    in [`Bare] mode, dropped frames, counted at the send. Reset to 0 by
-    the next confirmed send. Feeds the supervisor's
-    degraded-safe-mode. *)
+    in [`Bare] mode, dropped frames, counted at the send; in
+    [`Scheduled] mode, sends none of whose blind copies reached the
+    receiver (the oracle view — there is no feedback channel), counted
+    when the blind span ends. Reset to 0 by the next confirmed send.
+    Feeds the supervisor's degraded-safe-mode. *)
 
 val reset_consecutive_losses : t -> sender:string -> unit
 

@@ -1,0 +1,74 @@
+(* Static TDMA round schedules — see the interface for the model. *)
+
+type link = { src : string; dst : string }
+type entry = { link : link; slot : int; retries : int }
+
+type t = {
+  slot_len : float;
+  slots_per_round : int;
+  entries : entry list;
+  depth : int;
+}
+
+let period t = t.slot_len *. Float.of_int t.slots_per_round
+
+let collision_free t =
+  let slots = List.map (fun e -> e.slot) t.entries in
+  List.length (List.sort_uniq compare slots) = List.length slots
+
+let validate t =
+  let dup_links =
+    let links = List.map (fun e -> e.link) t.entries in
+    List.length (List.sort_uniq compare links) <> List.length links
+  in
+  if not (t.slot_len > 0.0) then Error "schedule: slot_len must be > 0"
+  else if t.slots_per_round < 1 then
+    Error "schedule: slots_per_round must be >= 1"
+  else if t.depth < 1 then Error "schedule: depth must be >= 1"
+  else if List.exists (fun e -> e.retries < 0) t.entries then
+    Error "schedule: retries must be >= 0"
+  else if
+    List.exists (fun e -> e.slot < 0 || e.slot >= t.slots_per_round) t.entries
+  then Error "schedule: slot offsets must lie in [0, slots_per_round)"
+  else if dup_links then Error "schedule: duplicate link entries"
+  else if not (collision_free t) then
+    Error "schedule: two links share a slot"
+  else Ok ()
+
+let find t ~src ~dst =
+  List.find_opt
+    (fun e -> String.equal e.link.src src && String.equal e.link.dst dst)
+    t.entries
+
+(* Smallest k*P + slot*slot_len >= after, k natural. Computed from the
+   ceiling of (after - offset) / P so it is exact for after <= offset
+   and monotone in [after]. *)
+let slot_start t entry ~after =
+  let p = period t in
+  let offset = Float.of_int entry.slot *. t.slot_len in
+  let k = Float.max 0.0 (Float.ceil ((after -. offset) /. p)) in
+  let rec settle k =
+    (* guard against ceil landing one round short under rounding *)
+    let s = (k *. p) +. offset in
+    if s >= after then s else settle (k +. 1.0)
+  in
+  settle k
+
+let link_worst_case_latency t entry =
+  Float.of_int t.depth
+  *. ((Float.of_int (entry.retries + 1) *. period t) +. t.slot_len)
+
+let worst_case_latency t =
+  List.fold_left
+    (fun acc e -> Float.max acc (link_worst_case_latency t e))
+    0.0 t.entries
+
+let pp_entry ppf e =
+  Fmt.pf ppf "slot %d: %s->%s (retries %d)" e.slot e.link.src e.link.dst
+    e.retries
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>round: %d slots x %gs = %gs, depth %d, wcl %gs@,%a@]"
+    t.slots_per_round t.slot_len (period t) t.depth (worst_case_latency t)
+    (Fmt.list ~sep:Fmt.cut pp_entry)
+    (List.sort (fun a b -> compare a.slot b.slot) t.entries)

@@ -1,0 +1,72 @@
+(** Static TDMA round schedules for the wireless star, after TTW
+    (Jacob et al.): communication is organised in rounds of
+    [slots_per_round] contention-free slots of [slot_len] seconds each,
+    and every directed link owns a fixed slot offset in the round. A
+    send waits for its link's next slot boundary, then transmits
+    blindly — the same frame in the same slot of [1 + retries]
+    consecutive rounds, with no acknowledgements — so the worst-case
+    delivery latency of an admitted send is a design-time constant,
+    independent of channel state and of what other links do.
+
+    The module is deliberately topology-agnostic: a {!link} is just a
+    directed (src, dst) name pair, so the schedule model has no
+    dependency on [Pte_net] and the transport layer can depend on it
+    without a cycle. *)
+
+(** A directed link of the star, by endpoint names. *)
+type link = { src : string; dst : string }
+
+(** One row of the schedule: [link] owns slot [slot] (0-based offset
+    into the round) and blindly retransmits [retries] extra copies in
+    the same slot of the following rounds. *)
+type entry = { link : link; slot : int; retries : int }
+
+type t = {
+  slot_len : float;  (** seconds per slot; covers one worst-case frame. *)
+  slots_per_round : int;
+  entries : entry list;
+  depth : int;
+      (** per-link admission bound: at most [depth] sends queued or in
+          the air per link; further sends are rejected at admission so
+          the latency bound stays closed-form. *)
+}
+
+val period : t -> float
+(** [slot_len *. float slots_per_round] — seconds per round. *)
+
+val validate : t -> (unit, string) result
+(** Well-formedness: positive [slot_len], positive [slots_per_round],
+    [depth >= 1], every slot in [0, slots_per_round), every
+    [retries >= 0], no duplicate links, and no two entries sharing a
+    slot ({!collision_free}). *)
+
+val collision_free : t -> bool
+(** No two entries claim the same slot offset — the TDMA property that
+    makes per-link latency independent of the other links' traffic. *)
+
+val find : t -> src:string -> dst:string -> entry option
+
+val slot_start : t -> entry -> after:float -> float
+(** The earliest start time of [entry]'s slot at or after time
+    [after]: the smallest [k *. period + slot *. slot_len >= after]
+    with [k] a natural number (times are relative to round 0 starting
+    at 0). *)
+
+val link_worst_case_latency : t -> entry -> float
+(** Closed-form per-link bound on the delivery delay of any admitted
+    send, queueing included:
+    [depth *. ((retries + 1) *. period +. slot_len)].
+
+    One admitted send waits at most one period for its first slot, its
+    last blind copy flies [retries] periods later, and the copy lands
+    within [slot_len] of its slot start (validated: [slot_len] covers
+    the worst frame delay) — at most [(retries+1) * period + slot_len]
+    after admission. With at most [depth] sends holding per-link
+    reservations, back-to-back reservations delay admission by at most
+    [depth - 1] further spans. *)
+
+val worst_case_latency : t -> float
+(** [max] of {!link_worst_case_latency} over all entries; 0 for an
+    empty schedule. *)
+
+val pp : t Fmt.t

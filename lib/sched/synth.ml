@@ -1,0 +1,136 @@
+(* Joint schedule + retry synthesis — see the interface for why the
+   optimum is closed-form. *)
+
+type policy = {
+  slot_len : float option;
+  retries : int option;
+  loss : float;
+  confidence : float;
+  depth : int;
+  budget : float option;
+}
+
+let default_policy =
+  { slot_len = None; retries = None; loss = 0.25; confidence = 0.99;
+    depth = 2; budget = None }
+
+type error =
+  | No_links
+  | Bad_policy of string
+  | Budget_exceeded of { need : float; budget : float }
+
+let error_to_string = function
+  | No_links -> "schedule synthesis: no links to schedule"
+  | Bad_policy msg -> "schedule synthesis: " ^ msg
+  | Budget_exceeded { need; budget } ->
+      Printf.sprintf
+        "schedule synthesis: minimal schedule needs %gs but the delay budget \
+         is %gs"
+        need budget
+
+let ( let* ) = Result.bind
+
+let check_policy p =
+  if not (p.loss >= 0.0 && p.loss < 1.0) then
+    Error (Bad_policy "loss must lie in [0, 1)")
+  else if not (p.confidence > 0.0 && p.confidence < 1.0) then
+    Error (Bad_policy "confidence must lie in (0, 1)")
+  else if p.depth < 1 then Error (Bad_policy "depth must be >= 1")
+  else if (match p.slot_len with Some s -> not (s > 0.0) | None -> false)
+  then Error (Bad_policy "slot_len must be > 0")
+  else if (match p.retries with Some r -> r < 0 | None -> false) then
+    Error (Bad_policy "retries must be >= 0")
+  else if (match p.budget with Some b -> not (b > 0.0) | None -> false)
+  then Error (Bad_policy "budget must be > 0")
+  else Ok ()
+
+(* Smallest r with loss^(r+1) <= 1 - confidence: enough blind copies
+   that a send is delivered with the target probability under i.i.d.
+   per-copy loss. Loss 0 needs no copies; the cap only guards against
+   pathological near-1 loss values. *)
+let confidence_retries ~loss ~confidence =
+  if loss <= 0.0 then 0
+  else
+    let miss_target = 1.0 -. confidence in
+    let rec go r miss =
+      if miss <= miss_target || r >= 64 then r else go (r + 1) (miss *. loss)
+    in
+    go 0 loss
+
+let synthesize p ~links =
+  let* () = check_policy p in
+  if links = [] then Error No_links
+  else
+    let worst_frame =
+      List.fold_left (fun acc (_, d) -> Float.max acc d) 0.0 links
+    in
+    let* slot_len =
+      match p.slot_len with
+      | None ->
+          if worst_frame > 0.0 then Ok worst_frame
+          else Error (Bad_policy "links report a zero worst frame delay")
+      | Some s ->
+          if s >= worst_frame then Ok s
+          else
+            Error
+              (Bad_policy
+                 (Printf.sprintf
+                    "slot_len %gs is shorter than the worst frame delay %gs"
+                    s worst_frame))
+    in
+    let n = List.length links in
+    let period = slot_len *. Float.of_int n in
+    (* wcl as a function of the (uniform) retry count, matching
+       Schedule.link_worst_case_latency for every entry. *)
+    let wcl r =
+      Float.of_int p.depth
+      *. ((Float.of_int (r + 1) *. period) +. slot_len)
+    in
+    let* retries =
+      let r_conf =
+        match p.retries with
+        | Some r -> r
+        | None -> confidence_retries ~loss:p.loss ~confidence:p.confidence
+      in
+      match p.budget with
+      | None -> Ok r_conf
+      | Some budget ->
+          if wcl 0 > budget then
+            Error (Budget_exceeded { need = wcl 0; budget })
+          else if wcl r_conf <= budget then Ok r_conf
+          else if p.retries <> None then
+            (* a pinned retry count that breaks the budget is an error,
+               not something to silently shrink *)
+            Error (Budget_exceeded { need = wcl r_conf; budget })
+          else
+            (* largest r the budget admits: wcl is affine increasing in
+               r and wcl 0 <= budget, so the walk terminates *)
+            let rec fit r =
+              if wcl (r + 1) <= budget then fit (r + 1) else r
+            in
+            Ok (fit 0)
+    in
+    let entries =
+      List.mapi
+        (fun slot (link, _) -> { Schedule.link; slot; retries })
+        links
+    in
+    let sched =
+      { Schedule.slot_len; slots_per_round = n; entries; depth = p.depth }
+    in
+    match Schedule.validate sched with
+    | Ok () -> Ok sched
+    | Error msg -> Error (Bad_policy msg)
+
+let pp_policy ppf p =
+  let pp_opt pp ppf = function
+    | None -> Fmt.string ppf "auto"
+    | Some v -> pp ppf v
+  in
+  Fmt.pf ppf "slot:%a retries:%a loss:%g confidence:%g depth:%d budget:%a"
+    (pp_opt (Fmt.fmt "%gs"))
+    p.slot_len
+    (pp_opt Fmt.int)
+    p.retries p.loss p.confidence p.depth
+    (pp_opt (Fmt.fmt "%gs"))
+    p.budget

@@ -1,0 +1,63 @@
+(** Joint schedule + retry-policy synthesis: from the star's directed
+    links and their worst-case frame delays, build the round schedule
+    with the smallest worst-case end-to-end latency that still meets a
+    delivery-confidence target, subject to an end-to-end delay budget
+    (the caller feeds in {!Pte_core.Constraints.max_delay_budget}).
+
+    The search space is tiny and the objective is monotone, so the
+    optimum is closed-form rather than searched:
+
+    - one slot per link minimises the round period (fewer slots is
+      impossible without a collision; more only stretches the period),
+      so every link gets exactly one slot, in the deterministic order
+      the links are supplied;
+    - [slot_len] is the largest worst-case frame delay of any link
+      (smaller would let a frame overrun its slot; larger only adds
+      latency), unless the policy pins a larger value;
+    - the blind-retransmission count is the smallest [r] achieving the
+      per-send delivery confidence under i.i.d. per-copy loss
+      ([loss^(r+1) <= 1 - confidence]) — more copies only add latency,
+      fewer miss the target — capped by the largest [r] the budget
+      admits under {!Schedule.link_worst_case_latency}.
+
+    If even [r = 0] overshoots the budget the synthesis fails with
+    {!Budget_exceeded} rather than emit an unsound schedule. *)
+
+(** Synthesis inputs. [None] fields are chosen by the synthesizer. *)
+type policy = {
+  slot_len : float option;
+      (** pin the slot length (must cover the worst frame delay). *)
+  retries : int option;
+      (** pin the blind-retransmission count (checked against budget). *)
+  loss : float;  (** assumed i.i.d. per-copy loss probability, [0, 1). *)
+  confidence : float;
+      (** target per-send delivery probability, (0, 1). *)
+  depth : int;  (** per-link admission bound ({!Schedule.t.depth}). *)
+  budget : float option;
+      (** end-to-end delay budget; [None] means unconstrained (the
+          emulation layer fills in the Theorem-1 budget before use). *)
+}
+
+val default_policy : policy
+(** [loss = 0.25], [confidence = 0.99], [depth = 2], everything else
+    synthesized — at the case study's 25% WiFi loss this yields the
+    r = 3 blind-retry schedule of DESIGN §10. *)
+
+type error =
+  | No_links  (** an empty star has nothing to schedule. *)
+  | Bad_policy of string  (** ill-formed policy field; the reason. *)
+  | Budget_exceeded of { need : float; budget : float }
+      (** even the minimal schedule's worst-case latency [need]
+          overshoots [budget]. *)
+
+val synthesize :
+  policy -> links:(Schedule.link * float) list -> (Schedule.t, error) result
+(** [synthesize policy ~links] with [links] the directed links paired
+    with their worst-case one-way frame delays
+    ({!Pte_net.Link.worst_delay}). The result is {!Schedule.validate}d
+    and, when [policy.budget] is set, satisfies
+    [Schedule.worst_case_latency <= budget]. Deterministic in its
+    inputs: link order fixes slot order. *)
+
+val error_to_string : error -> string
+val pp_policy : policy Fmt.t

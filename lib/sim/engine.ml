@@ -33,12 +33,15 @@ let create ?(config = Executor.default_config) ?net
     | None -> None
     | Some star ->
         (* `Bare never draws from its stream, so handing it the engine
-           rng leaves every legacy stream byte-identical; `Reliable gets
-           an independent split it keys per-exchange jitter streams off *)
+           rng leaves every legacy stream byte-identical; `Reliable and
+           `Scheduled get an independent split (`Reliable keys its
+           per-exchange jitter streams off it; `Scheduled draws nothing
+           today, but owning a stream keeps the split layout stable if
+           it ever does) *)
         let trng =
           match transport with
           | `Bare -> rng
-          | `Reliable _ -> Pte_util.Rng.split rng
+          | `Reliable _ | `Scheduled _ -> Pte_util.Rng.split rng
         in
         let t = Pte_net.Transport.create ~mode:transport ~rng:trng star in
         Pte_net.Transport.attach t exec;

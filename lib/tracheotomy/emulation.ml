@@ -32,7 +32,11 @@ type config = {
       (** [`Bare] (default) is the paper's single-shot radio;
           [`Reliable _] adds ACK/retransmission, and {!build} then
           rechecks Theorem 1 with the retransmission budget folded into
-          the message-delay terms. *)
+          the message-delay terms. [`Scheduled _] is the time-triggered
+          mode: {!build} fills an unset synthesis budget with the
+          Theorem-1 delay budget ({!Pte_core.Constraints.max_delay_budget}),
+          synthesizes the round schedule against the star, and rejects
+          any schedule whose worst-case latency breaks c1–c7. *)
   degraded : Degraded.config option;
       (** Supervisor degraded-safe-mode ([None] disables): stop
           granting/renewing leases after [k] consecutive feedback
@@ -89,31 +93,65 @@ let build (config : config) =
       ~remotes:[ ventilator_name; laser_name ]
       ~loss_kind:config.loss ~mac_retries:config.mac_retries ~rng ()
   in
-  (* A reliable transport is only admissible when Theorem 1 survives
-     its worst-case latency: recheck c1–c7 with the retransmission
-     budget added to the message-delay terms. *)
-  (match config.transport with
-  | `Bare -> ()
-  | `Reliable tcfg ->
-      (match Pte_net.Transport.validate tcfg with
-      | Ok () -> ()
-      | Error msg -> invalid_arg ("Emulation.build: " ^ msg));
-      let budget =
-        Pte_net.Transport.worst_case_latency tcfg
-          ~frame_delay:(Pte_net.Star.worst_frame_delay net)
-      in
-      let outcomes =
-        Pte_core.Constraints.check_with_delay params ~delay:budget
-      in
-      if not (Pte_core.Constraints.all_ok outcomes) then
-        invalid_arg
-          (Fmt.str
-             "Emulation.build: transport retry budget (worst-case latency \
-              %.3f s) breaks Theorem 1: %s"
-             budget
-             (String.concat ", "
-                (List.map Pte_core.Constraints.condition_name
-                   (Pte_core.Constraints.violated outcomes)))));
+  (* A non-bare transport is only admissible when Theorem 1 survives
+     its worst-case latency: recheck c1–c7 with the mode's closed-form
+     bound added to the message-delay terms. *)
+  let recheck_theorem1 ~what budget =
+    let outcomes =
+      Pte_core.Constraints.check_with_delay params ~delay:budget
+    in
+    if not (Pte_core.Constraints.all_ok outcomes) then
+      invalid_arg
+        (Fmt.str
+           "Emulation.build: %s (worst-case latency %.3f s) breaks Theorem \
+            1: %s"
+           what budget
+           (String.concat ", "
+              (List.map Pte_core.Constraints.condition_name
+                 (Pte_core.Constraints.violated outcomes))))
+  in
+  let config =
+    match config.transport with
+    | `Bare -> config
+    | `Reliable tcfg ->
+        (match Pte_net.Transport.validate tcfg with
+        | Ok () -> ()
+        | Error msg -> invalid_arg ("Emulation.build: " ^ msg));
+        recheck_theorem1 ~what:"transport retry budget"
+          (Pte_net.Transport.worst_case_latency tcfg
+             ~frame_delay:(Pte_net.Star.worst_frame_delay net));
+        config
+    | `Scheduled policy ->
+        (* an unset synthesis budget means "whatever Theorem 1 affords":
+           fill it here, where the parameters are known, so the
+           synthesizer itself enforces the bound *)
+        let policy =
+          match policy.Pte_sched.Synth.budget with
+          | Some _ -> policy
+          | None ->
+              {
+                policy with
+                Pte_sched.Synth.budget =
+                  Some (Pte_core.Constraints.max_delay_budget params);
+              }
+        in
+        let sched =
+          match
+            Pte_sched.Synth.synthesize policy
+              ~links:(Pte_net.Star.schedule_links net)
+          with
+          | Ok sched -> sched
+          | Error e ->
+              invalid_arg
+                ("Emulation.build: " ^ Pte_sched.Synth.error_to_string e)
+        in
+        (* the budget is a bisection estimate, so recheck the concrete
+           schedule against c1–c7 directly — soundness never rests on
+           the estimate alone *)
+        recheck_theorem1 ~what:"synthesized round schedule"
+          (Pte_sched.Schedule.worst_case_latency sched);
+        { config with transport = `Scheduled policy }
+  in
   let exec_config = { Executor.default_config with dt = config.dt } in
   let engine =
     Pte_sim.Engine.create ~config:exec_config ~net

@@ -23,6 +23,9 @@ type result = {
   gave_up : int;  (** sends lost after the full retry budget. *)
   dups_suppressed : int;  (** replayed copies squashed by (src, seq). *)
   degraded_entries : int;  (** times the supervisor entered safe-mode. *)
+  worst_latency : float;  (** largest observed send-to-delivery delay. *)
+  schedule : Pte_sched.Schedule.t option;
+      (** the synthesized round schedule (scheduled mode only). *)
 }
 
 let run (config : Emulation.config) : result =
@@ -73,6 +76,8 @@ let run (config : Emulation.config) : result =
       (match built.Emulation.degraded with
       | Some h -> h.Degraded.entries
       | None -> 0);
+    worst_latency = tstats.Pte_net.Transport.worst_latency;
+    schedule = Pte_net.Transport.schedule built.Emulation.transport;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -114,9 +119,14 @@ let metrics_of_result (r : result) =
     ("gave_up", Float.of_int r.gave_up);
     ("dups_suppressed", Float.of_int r.dups_suppressed);
     ("degraded_entries", Float.of_int r.degraded_entries);
+    ("worst_latency", r.worst_latency);
     (* indicator, so the aggregate counts replicates with any failure *)
     ("failed", if r.failures > 0 then 1.0 else 0.0);
   ]
+  @ (match r.schedule with
+    | None -> []
+    | Some sched ->
+        [ ("sched_bound", Pte_sched.Schedule.worst_case_latency sched) ])
 
 let aggregate_of_cell (cell : Pte_campaign.Aggregate.cell) =
   let empty : Pte_campaign.Aggregate.summary =
@@ -283,6 +293,51 @@ let availability_sweep ?(reps = 1) ?workers ?(seed = 900) ?horizon
     | [ _ ] -> invalid_arg "Trial.availability_sweep: odd cell count"
   in
   List.map2 (fun loss (b, r) -> (loss, b, r)) losses (pair rows)
+
+(** The A2 availability experiment: for each average loss rate, one
+    with-lease cell per transport mode, all sharing a base seed so the
+    modes face the same channel realization in replicate 0. Returns
+    [(loss, [(label, replicated); ...])] rows in the transport order
+    given. *)
+let transport_matrix ?(reps = 1) ?workers ?(seed = 900) ?horizon ~transports
+    ~losses () =
+  let horizon =
+    Option.value horizon ~default:Emulation.default.Emulation.horizon
+  in
+  let cell ~transport i loss =
+    {
+      Emulation.default with
+      lease = true;
+      horizon;
+      seed = seed + i;
+      transport;
+      loss =
+        (if loss = 0.0 then Pte_net.Loss.Perfect
+         else Pte_net.Loss.wifi_interference ~average_loss:loss);
+    }
+  in
+  let cells =
+    Array.of_list
+      (List.concat
+         (List.mapi
+            (fun i loss ->
+              List.map (fun (_, transport) -> cell ~transport i loss) transports)
+            losses))
+  in
+  let campaign, full = run_cells ?workers ~reps ~seed cells in
+  let rows = replicated_rows campaign full reps in
+  let width = List.length transports in
+  let rec chunk = function
+    | [] -> []
+    | rows ->
+        let hd = List.filteri (fun i _ -> i < width) rows in
+        let tl = List.filteri (fun i _ -> i >= width) rows in
+        if List.length hd < width then
+          invalid_arg "Trial.transport_matrix: ragged cell count"
+        else List.map2 (fun (label, _) row -> (label, row)) transports hd
+             :: chunk tl
+  in
+  List.map2 (fun loss row -> (loss, row)) losses (chunk rows)
 
 let pp_result ppf (r : result) =
   Fmt.pf ppf

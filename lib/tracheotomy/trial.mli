@@ -27,6 +27,16 @@ type result = {
       (** replayed copies squashed at the receiver by (src, seq). *)
   degraded_entries : int;
       (** # of times the supervisor entered degraded-safe-mode. *)
+  worst_latency : float;
+      (** largest observed send-to-delivery delay across delivered
+          radio sends, seconds
+          ({!Pte_net.Transport.stats.worst_latency}) — the measured
+          counterpart of the mode's closed-form latency bound. *)
+  schedule : Pte_sched.Schedule.t option;
+      (** the concrete round schedule the transport synthesized
+          ([Some _] exactly in scheduled mode); its
+          {!Pte_sched.Schedule.worst_case_latency} is the bound
+          [worst_latency] must stay under. *)
 }
 
 val run : Emulation.config -> result
@@ -114,6 +124,16 @@ val availability_sweep :
 (** The A1 availability experiment: per loss rate, a with-lease bare
     cell and a with-lease reliable cell sharing a base seed. Returns
     [(loss, bare, reliable)] rows. *)
+
+val transport_matrix :
+  ?reps:int -> ?workers:int -> ?seed:int -> ?horizon:float ->
+  transports:(string * Pte_net.Transport.mode) list ->
+  losses:float list -> unit ->
+  (float * (string * replicated) list) list
+(** The A2 availability experiment: per loss rate, one with-lease cell
+    per labelled transport mode, all sharing a base seed (the modes
+    face the same channel realization in replicate 0). Rows keep the
+    transport order given. *)
 
 val pp_result : result Fmt.t
 

@@ -14,6 +14,28 @@ and rejects the paper's c5-violation scenario with exit code 1:
   $ ../../bin/pte_check.exe --t-enter-2 3 > /dev/null 2>&1
   [1]
 
+`--transports` reports every transport mode's worst-case latency
+against the Theorem-1 delay budget — the 1.93 s / 2.0 s reliable
+headroom of DESIGN §8 and the synthesized schedule's 1.02 s bound of
+§10 — and exits 0 only while every mode fits:
+
+  $ ../../bin/pte_check.exe --transports
+  Theorem-1 delay budget: 2.000 s (c1-c7 under message delay)
+    bare                     worst-case 0.030 s  slack +1.970 s
+    reliable (default)       worst-case 1.930 s  slack +0.070 s
+    scheduled (synthesized)  worst-case 1.020 s  slack +0.980 s
+
+Tightening the request deadline shrinks the budget (c3 binds) below
+the reliable default's worst case, and the report flags it with exit 1
+while the leaner synthesized schedule still fits:
+
+  $ ../../bin/pte_check.exe --transports --t-req 4.5
+  Theorem-1 delay budget: 1.500 s (c1-c7 under message delay)
+    bare                     worst-case 0.030 s  slack +1.470 s
+    reliable (default)       worst-case 1.930 s  slack -0.430 s
+    scheduled (synthesized)  worst-case 1.020 s  slack +0.480 s
+  [1]
+
 The Graphviz exporter emits a digraph for the stand-alone ventilator:
 
   $ ../../bin/pte_dot.exe ventilator-standalone | head -3

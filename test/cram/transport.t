@@ -30,12 +30,46 @@ exit — it never reaches a trial:
   Try 'pte-sim --help' for more information.
   [124]
 
+Unknown modes name every alternative, on both CLIs:
+
+  $ ../../bin/pte_sim_cli.exe --minutes 1 --transport turbo
+  pte-sim: option '--transport': unknown transport "turbo" (expected bare,
+           reliable[:k=v,...] or scheduled[:k=v,...])
+  Usage: pte-sim [OPTION]…
+  Try 'pte-sim --help' for more information.
+  [124]
+
   $ ../../bin/pte_faults_cli.exe coverage --transport turbo
-  pte-faults: option '--transport': unknown transport "turbo" (expected bare or
-              reliable[:k=v,...])
+  pte-faults: option '--transport': unknown transport "turbo" (expected bare,
+              reliable[:k=v,...] or scheduled[:k=v,...])
   Usage: pte-faults coverage [OPTION]…
   Try 'pte-faults coverage --help' or 'pte-faults --help' for more information.
   [124]
+
+`--transport scheduled` swaps ARQ for the synthesized time-triggered
+round schedule: blind slot-aligned retransmissions, no ACKs, and a
+design-time worst-case delivery latency that the trial's measured
+worst must never exceed:
+
+  $ ../../bin/pte_sim_cli.exe --minutes 5 --loss 0.4 --seed 7 --transport scheduled
+  5-minute trial (with lease, E(Ton)=30s, E(Toff)=18s, loss 0.4, seed 7)
+    emissions:2 failures:0 evtToStop:0 aborts:8 requests:7 longest-pause:41.0s longest-emission:5.1s minSpO2:91.0 loss:51%
+    transport: scheduled (slots:4 period:0.12s retries:3 depth:2) wcl-bound:1.02s worst-seen:0.34s gave-up:5
+
+Its synthesis knobs ride the same spec-string syntax, and a pinned
+policy that overshoots the Theorem-1 delay budget is rejected before
+any trial runs:
+
+  $ ../../bin/pte_sim_cli.exe --minutes 1 --transport scheduled:window=4
+  pte-sim: option '--transport': transport: unknown key "window" (expected
+           slot|retries|loss|confidence|depth|budget)
+  Usage: pte-sim [OPTION]…
+  Try 'pte-sim --help' for more information.
+  [124]
+
+  $ ../../bin/pte_sim_cli.exe --minutes 1 --transport scheduled:retries=12
+  pte-sim: Emulation.build: schedule synthesis: minimal schedule needs 3.18s but the delay budget is 2s
+  [2]
 
 The coverage campaign reruns every scripted single-drop target over
 the reliable transport; retransmission recovers each drop, so both

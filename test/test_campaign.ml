@@ -191,6 +191,16 @@ let test_trial_campaign_determinism_across_workers () =
         transport = `Reliable Pte_net.Transport.default_config;
         loss = Pte_net.Loss.wifi_interference ~average_loss:0.35;
       };
+      (* the time-triggered mode's blind copies ride the executor's
+         timer queue off a split RNG stream of their own: the full
+         three-mode matrix must stay worker-count independent *)
+      {
+        Pte_tracheotomy.Emulation.default with
+        horizon = 30.0;
+        seed = 44;
+        transport = `Scheduled Pte_sched.Synth.default_policy;
+        loss = Pte_net.Loss.wifi_interference ~average_loss:0.35;
+      };
     |]
   in
   let agg workers =

@@ -1,0 +1,284 @@
+(* The time-triggered schedule model and the joint schedule/retry
+   synthesizer: round arithmetic, validation, the closed-form latency
+   bound, the case-study schedule of DESIGN §10, and the qcheck
+   properties backing the synthesis guarantees (collision freedom,
+   budget admission, confidence-driven retry choice). *)
+
+module Schedule = Pte_sched.Schedule
+module Synth = Pte_sched.Synth
+
+let link src dst = { Schedule.src; dst }
+
+(* the case-study star: two remotes, worst one-way frame delay 0.03 s *)
+let star_links =
+  [ (link "ventilator" "supervisor", 0.03); (link "laser" "supervisor", 0.03);
+    (link "supervisor" "ventilator", 0.03); (link "supervisor" "laser", 0.03) ]
+
+let sched_exn ?(policy = Synth.default_policy) links =
+  match Synth.synthesize policy ~links with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "synthesize: %s" (Synth.error_to_string e)
+
+(* ---- schedule arithmetic ---- *)
+
+let test_period_and_bound () =
+  let s = sched_exn star_links in
+  Alcotest.(check int) "one slot per link" 4 s.Schedule.slots_per_round;
+  Alcotest.(check (float 1e-9)) "slot covers the worst frame" 0.03
+    s.Schedule.slot_len;
+  Alcotest.(check (float 1e-9)) "period" 0.12 (Schedule.period s);
+  (* 25% loss at 0.99 confidence: 0.25^4 = 0.0039 <= 0.01 < 0.25^3 *)
+  List.iter
+    (fun (e : Schedule.entry) ->
+      Alcotest.(check int) "confidence-driven retries" 3 e.Schedule.retries)
+    s.Schedule.entries;
+  (* depth * ((r+1)*P + slot) = 2 * (4*0.12 + 0.03) — DESIGN §10 *)
+  Alcotest.(check (float 1e-9)) "per-link bound" 1.02
+    (Schedule.link_worst_case_latency s (List.hd s.Schedule.entries));
+  Alcotest.(check (float 1e-9)) "schedule bound is the max" 1.02
+    (Schedule.worst_case_latency s);
+  Alcotest.(check (float 1e-9)) "empty schedule has bound 0" 0.0
+    (Schedule.worst_case_latency { s with Schedule.entries = [] })
+
+let test_validate () =
+  let good = sched_exn star_links in
+  let bad reason s =
+    match Schedule.validate s with
+    | Error _ -> ()
+    | Ok () -> Alcotest.failf "validate must reject %s" reason
+  in
+  Alcotest.(check bool) "synthesized schedule validates" true
+    (Result.is_ok (Schedule.validate good));
+  bad "zero slot_len" { good with Schedule.slot_len = 0.0 };
+  bad "no slots" { good with Schedule.slots_per_round = 0 };
+  bad "zero depth" { good with Schedule.depth = 0 };
+  bad "negative retries"
+    { good with
+      Schedule.entries =
+        [ { Schedule.link = link "a" "b"; slot = 0; retries = -1 } ] };
+  bad "slot out of range"
+    { good with
+      Schedule.entries =
+        [ { Schedule.link = link "a" "b"; slot = 4; retries = 0 } ] };
+  bad "duplicate link"
+    { good with
+      Schedule.entries =
+        [ { Schedule.link = link "a" "b"; slot = 0; retries = 0 };
+          { Schedule.link = link "a" "b"; slot = 1; retries = 0 } ] };
+  bad "slot collision"
+    { good with
+      Schedule.entries =
+        [ { Schedule.link = link "a" "b"; slot = 2; retries = 0 };
+          { Schedule.link = link "c" "d"; slot = 2; retries = 0 } ] }
+
+let test_find () =
+  let s = sched_exn star_links in
+  (match Schedule.find s ~src:"laser" ~dst:"supervisor" with
+  | Some e -> Alcotest.(check int) "laser uplink owns slot 1" 1 e.Schedule.slot
+  | None -> Alcotest.fail "laser uplink must be scheduled");
+  Alcotest.(check bool) "unknown link" true
+    (Schedule.find s ~src:"laser" ~dst:"ventilator" = None)
+
+let test_slot_start () =
+  let s = sched_exn star_links in
+  let e =
+    match Schedule.find s ~src:"supervisor" ~dst:"laser" with
+    | Some e -> e (* slot 3: offset 0.09 into each 0.12 s round *)
+    | None -> Alcotest.fail "downlink must be scheduled"
+  in
+  Alcotest.(check (float 1e-9)) "before the first round" 0.09
+    (Schedule.slot_start s e ~after:0.0);
+  Alcotest.(check (float 1e-9)) "exactly on the boundary" 0.09
+    (Schedule.slot_start s e ~after:0.09);
+  Alcotest.(check (float 1e-9)) "just past it waits a full round" 0.21
+    (Schedule.slot_start s e ~after:0.091);
+  Alcotest.(check (float 1e-9)) "deep into the timeline" 120.09
+    (Schedule.slot_start s e ~after:120.0)
+
+(* ---- synthesis failures ---- *)
+
+let test_synthesize_errors () =
+  let expect_error reason policy links =
+    match Synth.synthesize policy ~links with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "synthesize must reject %s" reason
+  in
+  expect_error "no links" Synth.default_policy [];
+  expect_error "loss of 1"
+    { Synth.default_policy with Synth.loss = 1.0 }
+    star_links;
+  expect_error "negative loss"
+    { Synth.default_policy with Synth.loss = -0.1 }
+    star_links;
+  expect_error "confidence of 1"
+    { Synth.default_policy with Synth.confidence = 1.0 }
+    star_links;
+  expect_error "zero depth"
+    { Synth.default_policy with Synth.depth = 0 }
+    star_links;
+  expect_error "pinned slot shorter than the worst frame"
+    { Synth.default_policy with Synth.slot_len = Some 0.01 }
+    star_links;
+  expect_error "zero frame delays" Synth.default_policy
+    [ (link "a" "b", 0.0) ];
+  (match
+     Synth.synthesize
+       { Synth.default_policy with Synth.budget = Some 0.1 }
+       ~links:star_links
+   with
+  | Error (Synth.Budget_exceeded { need; budget }) ->
+      Alcotest.(check (float 1e-9)) "need is the r=0 latency" 0.3 need;
+      Alcotest.(check (float 1e-9)) "budget echoed" 0.1 budget
+  | _ -> Alcotest.fail "an unmeetable budget must fail as Budget_exceeded");
+  (* a pinned retry count past the budget is an error, never shrunk *)
+  match
+    Synth.synthesize
+      { Synth.default_policy with Synth.retries = Some 10; budget = Some 2.0 }
+      ~links:star_links
+  with
+  | Error (Synth.Budget_exceeded { need; _ }) ->
+      Alcotest.(check (float 1e-9)) "need reflects the pinned retries"
+        (2.0 *. ((11.0 *. 0.12) +. 0.03))
+        need
+  | _ -> Alcotest.fail "a pinned over-budget retry count must be rejected"
+
+let test_budget_caps_retries () =
+  (* 2.0 s admits r = 3 (wcl 1.02) but not r = 4 (wcl 1.26); a policy
+     whose confidence asks for more must be capped to the budget *)
+  let greedy =
+    { Synth.default_policy with
+      Synth.loss = 0.6;
+      confidence = 0.999;
+      budget = Some 2.0 }
+  in
+  let s = sched_exn ~policy:greedy star_links in
+  List.iter
+    (fun (e : Schedule.entry) ->
+      Alcotest.(check int) "budget-capped retries" 7 e.Schedule.retries)
+    s.Schedule.entries;
+  Alcotest.(check bool) "stays within the budget" true
+    (Schedule.worst_case_latency s <= 2.0)
+
+(* ---- properties ---- *)
+
+let links_gen =
+  QCheck.Gen.(
+    let* n = int_range 1 8 in
+    let* delays = list_repeat n (float_range 0.005 0.1) in
+    return
+      (List.mapi
+         (fun i d -> (link (Printf.sprintf "n%d" i) "base", d))
+         delays))
+
+let policy_gen =
+  QCheck.Gen.(
+    let* loss = float_range 0.0 0.9 in
+    let* confidence = float_range 0.5 0.999 in
+    let* depth = int_range 1 4 in
+    let* budget = opt (float_range 0.5 20.0) in
+    return { Synth.default_policy with Synth.loss; confidence; depth; budget })
+
+let synth_arbitrary =
+  QCheck.make
+    ~print:(fun (p, links) ->
+      Fmt.str "%a over %d links" Synth.pp_policy p (List.length links))
+    QCheck.Gen.(pair policy_gen links_gen)
+
+let prop_synthesized_is_collision_free =
+  QCheck.Test.make ~name:"synthesized schedules validate, collision-free"
+    ~count:200 synth_arbitrary (fun (policy, links) ->
+      match Synth.synthesize policy ~links with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok s ->
+          Result.is_ok (Schedule.validate s)
+          && Schedule.collision_free s
+          && s.Schedule.slots_per_round = List.length links
+          && List.length s.Schedule.entries = List.length links)
+
+let prop_admitted_within_budget =
+  QCheck.Test.make ~name:"admitted schedule wcl <= budget" ~count:200
+    synth_arbitrary (fun (policy, links) ->
+      match policy.Synth.budget with
+      | None -> true
+      | Some budget -> (
+          match Synth.synthesize policy ~links with
+          | Error _ -> QCheck.assume_fail ()
+          | Ok s -> Schedule.worst_case_latency s <= budget +. 1e-9))
+
+let prop_retry_choice_optimal =
+  (* the synthesized retry count is the least one meeting the delivery
+     confidence under the i.i.d. closed form, except when the budget
+     caps it — and then it is the largest count the budget admits *)
+  QCheck.Test.make ~name:"retry policy minimal for confidence, maximal in budget"
+    ~count:200 synth_arbitrary (fun (policy, links) ->
+      match Synth.synthesize policy ~links with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok s ->
+          let r =
+            match s.Schedule.entries with
+            | e :: _ -> e.Schedule.retries
+            | [] -> 0
+          in
+          let miss = policy.Synth.loss ** Float.of_int (r + 1) in
+          let meets_confidence = miss <= 1.0 -. policy.Synth.confidence in
+          let next_breaks_budget =
+            match policy.Synth.budget with
+            | None -> false
+            | Some budget ->
+                let p = Schedule.period s in
+                Float.of_int policy.Synth.depth
+                  *. ((Float.of_int (r + 2) *. p) +. s.Schedule.slot_len)
+                > budget
+          in
+          (* either the confidence target is met with the minimal r
+             (r = 0 or r-1 copies would miss it), or the budget — or the
+             synthesizer's near-1-loss cap at 64 — is the binding
+             constraint *)
+          if meets_confidence then
+            r = 0
+            || policy.Synth.loss ** Float.of_int r > 1.0 -. policy.Synth.confidence
+          else next_breaks_budget || r >= 64)
+
+let prop_slot_start_aligned =
+  QCheck.Test.make ~name:"slot_start lands on the entry's slot, never early"
+    ~count:200
+    (QCheck.make
+       ~print:(fun (after, _) -> Fmt.str "after=%g" after)
+       QCheck.Gen.(pair (float_range 0.0 500.0) links_gen))
+    (fun (after, links) ->
+      match Synth.synthesize Synth.default_policy ~links with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok s ->
+          List.for_all
+            (fun (e : Schedule.entry) ->
+              let start = Schedule.slot_start s e ~after in
+              let p = Schedule.period s in
+              let offset = Float.of_int e.Schedule.slot *. s.Schedule.slot_len in
+              let phase = Float.rem (start -. offset) p in
+              start >= after
+              && start < after +. p +. 1e-9
+              && (Float.abs phase < 1e-6 || Float.abs (phase -. p) < 1e-6))
+            s.Schedule.entries)
+
+let suite =
+  [
+    ( "sched.schedule",
+      [
+        Alcotest.test_case "case-study period and latency bound" `Quick
+          test_period_and_bound;
+        Alcotest.test_case "validation" `Quick test_validate;
+        Alcotest.test_case "find" `Quick test_find;
+        Alcotest.test_case "slot_start arithmetic" `Quick test_slot_start;
+        QCheck_alcotest.to_alcotest prop_slot_start_aligned;
+      ] );
+    ( "sched.synth",
+      [
+        Alcotest.test_case "ill-formed policies and unmeetable budgets" `Quick
+          test_synthesize_errors;
+        Alcotest.test_case "budget caps the confidence-driven retries" `Quick
+          test_budget_caps_retries;
+        QCheck_alcotest.to_alcotest prop_synthesized_is_collision_free;
+        QCheck_alcotest.to_alcotest prop_admitted_within_budget;
+        QCheck_alcotest.to_alcotest prop_retry_choice_optimal;
+      ] );
+  ]

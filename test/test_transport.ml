@@ -295,6 +295,120 @@ let test_create_validates () =
   | Ok `Bare -> ()
   | _ -> Alcotest.fail "bare must parse"
 
+(* ---- scheduled mode: blind TDMA copies deliver within the
+        synthesized bound, with no feedback channel at all ---- *)
+
+let test_scheduled_within_bound () =
+  let star = mk_star ~loss:(Loss.Bernoulli 0.4) ~seed:13 () in
+  let exec, t =
+    ev_harness ~star
+      ~mode:(`Scheduled Pte_sched.Synth.default_policy)
+      ~rng_seed:14 ~sender:"r1" ~receiver:"base" ()
+  in
+  let sched =
+    match Transport.schedule t with
+    | Some s -> s
+    | None -> Alcotest.fail "scheduled mode must expose its schedule"
+  in
+  let bound = Pte_sched.Schedule.worst_case_latency sched in
+  let delivered = ref 0 in
+  Transport.set_observer t (function
+    | Transport.Exchange_delivered { sent_at; arrival; _ } ->
+        incr delivered;
+        if arrival -. sent_at > bound +. 1e-9 then
+          Alcotest.failf "latency %g exceeds the schedule bound %g"
+            (arrival -. sent_at) bound
+    | _ -> ());
+  let n = 200 in
+  kick_at exec ~sender:"r1"
+    (List.init n float_of_int)
+    ~settle:(float_of_int n +. 10.0);
+  (* 4 blind copies against p=0.4: P(delivered) = 1 - 0.4^4 ~ 0.97 *)
+  let fraction = float_of_int !delivered /. float_of_int n in
+  if fraction < 0.85 then
+    Alcotest.failf "delivery fraction %.2f: blind retransmission not working"
+      fraction;
+  let s = Transport.stats t in
+  Alcotest.(check int) "stats agree with the observer" !delivered
+    s.Transport.delivered;
+  Alcotest.(check int) "every send resolved exactly once" n
+    (s.Transport.delivered + s.Transport.gave_up);
+  Alcotest.(check int) "no feedback frames in a blind mode" 0
+    s.Transport.acks_sent;
+  Alcotest.(check bool) "extra copies flew" true
+    (s.Transport.retransmissions > 0);
+  Alcotest.(check bool) "duplicate copies squashed at the receiver" true
+    (s.Transport.dups_suppressed > 0)
+
+let test_scheduled_admission_depth () =
+  (* a perfect channel, but sends arriving faster than the round can
+     drain them: the depth bound must reject the overflow at admission
+     rather than stretch the latency past the closed form *)
+  let star = mk_star () in
+  let exec, t =
+    ev_harness ~star
+      ~mode:
+        (`Scheduled { Pte_sched.Synth.default_policy with Pte_sched.Synth.depth = 1 })
+      ~rng_seed:15 ~sender:"r1" ~receiver:"base" ()
+  in
+  let sched =
+    match Transport.schedule t with
+    | Some s -> s
+    | None -> Alcotest.fail "schedule exposed"
+  in
+  let bound = Pte_sched.Schedule.worst_case_latency sched in
+  Transport.set_observer t (function
+    | Transport.Exchange_delivered { sent_at; arrival; _ } ->
+        if arrival -. sent_at > bound +. 1e-9 then
+          Alcotest.failf "admitted send late: %g > %g" (arrival -. sent_at)
+            bound
+    | _ -> ());
+  (* burst of 5 sends in one dt step; depth 1 admits only what fits *)
+  for _ = 1 to 5 do
+    ignore (Exec.inject exec ~receiver:"r1" ~root:"kick")
+  done;
+  Exec.run exec ~until:10.0;
+  let s = Transport.stats t in
+  Alcotest.(check int) "burst counted" 5 s.Transport.data_sends;
+  Alcotest.(check bool) "overflow rejected at admission" true
+    (s.Transport.gave_up > 0);
+  Alcotest.(check int) "admitted + rejected = sends" 5
+    (s.Transport.delivered + s.Transport.gave_up)
+
+let test_scheduled_spec_parsing () =
+  (match Transport.mode_of_string "scheduled" with
+  | Ok (`Scheduled p) ->
+      Alcotest.(check bool) "defaults" true (p = Pte_sched.Synth.default_policy)
+  | _ -> Alcotest.fail "plain scheduled must parse");
+  (match
+     Transport.mode_of_string
+       "scheduled:retries=2,loss=0.1,depth=3,slot=0.05,budget=1.5,confidence=0.9"
+   with
+  | Ok (`Scheduled p) ->
+      Alcotest.(check bool) "retries pinned" true
+        (p.Pte_sched.Synth.retries = Some 2);
+      Alcotest.(check bool) "slot pinned" true
+        (p.Pte_sched.Synth.slot_len = Some 0.05);
+      Alcotest.(check bool) "budget pinned" true
+        (p.Pte_sched.Synth.budget = Some 1.5);
+      Alcotest.(check (float 1e-9)) "loss" 0.1 p.Pte_sched.Synth.loss;
+      Alcotest.(check (float 1e-9)) "confidence" 0.9
+        p.Pte_sched.Synth.confidence;
+      Alcotest.(check int) "depth" 3 p.Pte_sched.Synth.depth
+  | _ -> Alcotest.fail "well-formed scheduled spec must parse");
+  (match Transport.mode_of_string "scheduled:turbo=1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown scheduled key must be rejected");
+  match Transport.mode_of_string "scheduled:loss=1.5" with
+  | Ok (`Scheduled p) ->
+      (* parse accepts the number; create/synthesize rejects it *)
+      let star = mk_star () in
+      (match Transport.create ~mode:(`Scheduled p) ~rng:(Rng.create 1) star with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "ill-formed policy must be rejected at create")
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unreachable"
+
 (* ---- regression: channel state evolves between attempts ----
 
    Under the unrolled model a whole exchange resolved against the
@@ -520,6 +634,33 @@ let test_build_rejects_unsafe_budget () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "a retry budget past the c1-c7 slack must be rejected"
 
+let test_build_rejects_unsafe_schedule () =
+  (* 12 pinned blind copies over the 4-link round: wcl = 2 * (13*0.12 +
+     0.03) = 3.18 s >> the 2 s budget — build must refuse, whether the
+     policy pins its own budget or inherits the Theorem-1 one *)
+  let greedy =
+    { Pte_sched.Synth.default_policy with Pte_sched.Synth.retries = Some 12 }
+  in
+  (match
+     Emulation.build { Emulation.default with transport = `Scheduled greedy }
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "an over-budget schedule must be rejected at build");
+  (* and the admitted default policy round-trips its schedule out *)
+  let built =
+    Emulation.build
+      { Emulation.default with
+        transport = `Scheduled Pte_sched.Synth.default_policy }
+  in
+  match Transport.schedule built.Emulation.transport with
+  | Some sched ->
+      let budget =
+        Pte_core.Constraints.max_delay_budget Pte_core.Params.case_study
+      in
+      Alcotest.(check bool) "admitted schedule fits the Theorem-1 budget" true
+        (Pte_sched.Schedule.worst_case_latency sched <= budget)
+  | None -> Alcotest.fail "scheduled build must expose its schedule"
+
 (* ---- satellite: total downlink blackout drives the supervisor into
         degraded-safe-mode and the plant settles all-safe ---- *)
 
@@ -631,6 +772,12 @@ let suite =
           test_ack_cancels_pending_retransmission;
         Alcotest.test_case "burst channel evolves between attempts" `Quick
           test_burst_evolves_between_attempts;
+        Alcotest.test_case "scheduled mode delivers within its bound" `Quick
+          test_scheduled_within_bound;
+        Alcotest.test_case "scheduled admission depth rejects overflow" `Quick
+          test_scheduled_admission_depth;
+        Alcotest.test_case "scheduled spec parsing" `Quick
+          test_scheduled_spec_parsing;
         QCheck_alcotest.to_alcotest prop_latency_within_bound;
         QCheck_alcotest.to_alcotest prop_bare_counter_invariants;
       ] );
@@ -640,6 +787,8 @@ let suite =
           `Quick test_duplicate_storm_regression;
         Alcotest.test_case "build rejects unsafe retry budgets" `Quick
           test_build_rejects_unsafe_budget;
+        Alcotest.test_case "build rejects unsafe schedules, admits defaults"
+          `Quick test_build_rejects_unsafe_schedule;
         Alcotest.test_case "blackout -> degraded-safe-mode -> all-safe"
           `Slow test_degraded_blackout;
       ] );
