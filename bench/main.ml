@@ -935,6 +935,194 @@ let a2 () =
       !bound_breaches
 
 (* ------------------------------------------------------------------ *)
+(* A3: adaptive transport vs the statics under time-varying loss       *)
+(* ------------------------------------------------------------------ *)
+
+let a3 () =
+  let module T = Pte_tracheotomy.Trial in
+  let module E = Pte_tracheotomy.Emulation in
+  let module J = Pte_campaign.Json in
+  let horizon, reps, seed =
+    if !smoke then (300.0, 1, 950) else (1800.0, 3, 950)
+  in
+  let switch_at = horizon /. 3.0 in
+  let hi = 0.6 in
+  (* the high-loss channel is the Table-I Gilbert-Elliott model, so the
+     sustained cell exercises genuine loss bursts, not i.i.d. drops *)
+  let scenarios =
+    [ ("perfect", Pte_net.Loss.Perfect, []);
+      ( "step-up",
+        Pte_net.Loss.Perfect,
+        [ Pte_faults.Plan.loss_step ~at:switch_at ~loss:hi ] );
+      ( "step-down",
+        Pte_net.Loss.wifi_interference ~average_loss:hi,
+        [ Pte_faults.Plan.loss_step ~at:switch_at ~loss:0.0 ] );
+      ("ge-burst", Pte_net.Loss.wifi_interference ~average_loss:hi, []) ]
+  in
+  let transports =
+    [ ("bare", `Bare);
+      ("reliable", `Reliable Pte_net.Transport.default_config);
+      ("scheduled", `Scheduled Pte_sched.Synth.default_policy);
+      (* budgets left unset: Emulation.build fills in the Theorem-1
+         budget, for the healthy recheck and every escalation *)
+      ("adaptive", `Adaptive Pte_net.Transport.default_adaptive) ]
+  in
+  let cells =
+    Array.of_list
+      (List.concat
+         (List.mapi
+            (fun i (_, loss, profile) ->
+              List.map
+                (fun (_, transport) ->
+                  {
+                    E.default with
+                    E.lease = true;
+                    horizon;
+                    seed = seed + i;
+                    loss;
+                    faults =
+                      { Pte_faults.Plan.empty with
+                        Pte_faults.Plan.loss_profile = profile };
+                    transport;
+                  })
+                transports)
+            scenarios))
+  in
+  let campaign, full = T.run_cells ~reps ~seed cells in
+  let width = List.length transports in
+  let row si ti =
+    let i = (si * width) + ti in
+    match full.(i * reps) with
+    | Some rep0 ->
+        { T.rep0; agg = T.aggregate_of_cell campaign.Pte_campaign.Runner.cells.(i) }
+    | None -> assert false (* nothing resumed: every job ran here *)
+  in
+  let table =
+    Table.create
+      ~title:
+        (Fmt.str
+           "A3: adaptive transport vs the static modes under time-varying \
+            loss (with lease, %g s trials, %d replicates, steps at %g s)"
+           horizon reps switch_at)
+      ~header:
+        [ "channel"; "emissions (bare)"; "emissions (reliable)";
+          "emissions (scheduled)"; "emissions (adaptive)"; "failures b/r/s/a";
+          "switches up/down/refused" ]
+      ~aligns:
+        [ Table.Left; Table.Left; Table.Left; Table.Left; Table.Left;
+          Table.Right; Table.Right ]
+      ()
+  in
+  let violation_cells = ref 0 in
+  List.iteri
+    (fun si (label, _, _) ->
+      let cells = List.mapi (fun ti _ -> row si ti) transports in
+      List.iter
+        (fun (r : T.replicated) ->
+          if r.T.agg.T.failure_reps > 0 then incr violation_cells)
+        cells;
+      let get ti = List.nth cells ti in
+      let b = get 0 and r = get 1 and sc = get 2 and a = get 3 in
+      Table.add_row table
+        [ label;
+          Fmt.str "%a" Pte_campaign.Aggregate.pp_summary b.T.agg.T.emissions;
+          Fmt.str "%a" Pte_campaign.Aggregate.pp_summary r.T.agg.T.emissions;
+          Fmt.str "%a" Pte_campaign.Aggregate.pp_summary sc.T.agg.T.emissions;
+          Fmt.str "%a" Pte_campaign.Aggregate.pp_summary a.T.agg.T.emissions;
+          Fmt.str "%d / %d / %d / %d" b.T.agg.T.failure_reps
+            r.T.agg.T.failure_reps sc.T.agg.T.failure_reps
+            a.T.agg.T.failure_reps;
+          Fmt.str "%d / %d / %d" a.T.rep0.T.mode_switches_up
+            a.T.rep0.T.mode_switches_down a.T.rep0.T.switch_refusals ])
+    scenarios;
+  Table.add_note table
+    "failures must be 0 in every cell; the step cells must contain committed \
+     switches (up on step-up, down on step-down); at sustained high loss the \
+     adaptive mean must reach the best static mode, and on the perfect \
+     channel stay within 5% of bare";
+  Table.print table;
+  (* --- machine-readable companion --- *)
+  let metric_rows =
+    List.concat
+      (List.mapi
+         (fun si (label, _, _) ->
+           List.concat
+             (List.mapi
+                (fun ti (tlabel, _) ->
+                  let r = row si ti in
+                  let base name (sm : Pte_campaign.Aggregate.summary) =
+                    J.Obj
+                      ([ ("name", J.Str name); ("channel", J.Str label);
+                         ("transport", J.Str tlabel) ]
+                      @ summary_fields sm)
+                  in
+                  let scalar name v =
+                    J.Obj
+                      [ ("name", J.Str name); ("channel", J.Str label);
+                        ("transport", J.Str tlabel); ("mean", J.Num v);
+                        ("ci95", J.Num 0.0); ("n", J.Num 1.0) ]
+                  in
+                  [ base "emissions" r.T.agg.T.emissions;
+                    base "failures" r.T.agg.T.failures ]
+                  @
+                  if String.equal tlabel "adaptive" then
+                    [ scalar "switches_up"
+                        (Float.of_int r.T.rep0.T.mode_switches_up);
+                      scalar "switches_down"
+                        (Float.of_int r.T.rep0.T.mode_switches_down);
+                      scalar "switch_refusals"
+                        (Float.of_int r.T.rep0.T.switch_refusals) ]
+                  else [])
+                transports))
+         scenarios)
+  in
+  write_bench_json ~bench:"A3" ~seed
+    ~params:
+      [ ("horizon", J.Num horizon);
+        ("reps", J.Num (Float.of_int reps));
+        ("switch_at", J.Num switch_at);
+        ("high_loss", J.Num hi);
+        ("violation_cells", J.Num (Float.of_int !violation_cells)) ]
+    ~metrics:metric_rows;
+  (* hard gates — `dune build @bench-smoke` fails CI on any of these *)
+  if !violation_cells > 0 then
+    Fmt.failwith "A3: %d with-lease cells had violations (expected 0)"
+      !violation_cells;
+  let scenario_index label =
+    let rec go i = function
+      | [] -> invalid_arg label
+      | (l, _, _) :: rest -> if String.equal l label then i else go (i + 1) rest
+    in
+    go 0 scenarios
+  in
+  let adaptive label = row (scenario_index label) 3 in
+  let up = (adaptive "step-up").T.rep0.T.mode_switches_up in
+  if up < 1 then
+    Fmt.failwith "A3: step-up trial committed no escalation (expected >= 1)";
+  let down = (adaptive "step-down").T.rep0.T.mode_switches_down in
+  if down < 1 then
+    Fmt.failwith
+      "A3: step-down trial committed no de-escalation (expected >= 1)";
+  (* the emission gates compare replicate means; smoke trials are too
+     short for integer emission counts to carry a 5% comparison *)
+  if not !smoke then begin
+    let mean label ti = (row (scenario_index label) ti).T.agg.T.emissions.Pte_campaign.Aggregate.mean in
+    let best_static =
+      Float.max (mean "ge-burst" 0) (Float.max (mean "ge-burst" 1) (mean "ge-burst" 2))
+    in
+    if mean "ge-burst" 3 < best_static then
+      Fmt.failwith
+        "A3: adaptive emissions %.1f below the best static mode %.1f at \
+         sustained high loss"
+        (mean "ge-burst" 3) best_static;
+    if mean "perfect" 3 < 0.95 *. mean "perfect" 0 then
+      Fmt.failwith
+        "A3: adaptive emissions %.1f more than 5%% below bare %.1f on the \
+         perfect channel"
+        (mean "perfect" 3) (mean "perfect" 0)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* X2: synthesis scaling with the chain length                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1386,7 +1574,8 @@ let experiments =
   [
     ("T1", t1); ("F1", f1); ("F2", f2); ("F3", f3); ("F6", f6); ("S1", s1);
     ("S2", s2); ("S3", s3); ("V1", v1); ("V2", v2); ("X1", x1); ("X2", x2);
-    ("X3", x3); ("A1", a1); ("A2", a2); ("R1", r1); ("P1", p1); ("P2", p2);
+    ("X3", x3); ("A1", a1); ("A2", a2); ("A3", a3); ("R1", r1); ("P1", p1);
+    ("P2", p2);
   ]
 
 let () =

@@ -50,8 +50,39 @@ let report_transports p =
   let ok_sched = row "scheduled (synthesized)" scheduled in
   exit (if ok_bare && ok_rel && ok_sched then 0 else 1)
 
+(* The loss × k × hold watchdog sweep of DESIGN §11: exercise candidate
+   degraded-safe-mode parameterizations against scripted blackouts and
+   print the synthesized (k, hold), or fail when none qualifies. *)
+let report_degraded_sweep p ~workers ~max_false_trips =
+  let config = Pte_tracheotomy.Degraded_synth.default_config p in
+  Fmt.pr "degraded watchdog sweep: losses %a, k %a, hold %a, blackouts %a@."
+    Fmt.(list ~sep:comma (fmt "%g"))
+    config.Pte_tracheotomy.Degraded_synth.losses
+    Fmt.(list ~sep:comma int)
+    config.Pte_tracheotomy.Degraded_synth.ks
+    Fmt.(list ~sep:comma (fmt "%g"))
+    config.Pte_tracheotomy.Degraded_synth.holds
+    Fmt.(
+      list ~sep:comma (fun ppf (start, duration) ->
+          pf ppf "%gs+%gs" start duration))
+    config.Pte_tracheotomy.Degraded_synth.blackouts;
+  let cells, choice =
+    Pte_tracheotomy.Degraded_synth.synthesize ?workers ~max_false_trips config
+  in
+  List.iter
+    (fun cell -> Fmt.pr "  %a@." Pte_tracheotomy.Degraded.pp_sweep_cell cell)
+    cells;
+  match choice with
+  | Some c ->
+      Fmt.pr "synthesized watchdog: %a@." Pte_tracheotomy.Degraded.pp_choice c;
+      exit 0
+  | None ->
+      Fmt.pr "no (k, hold) pair qualifies@.";
+      exit 1
+
 let check t_wait t_fb t_req t_enter_1 t_run_1 t_exit_1 t_enter_2 t_run_2
-    t_exit_2 synthesize run_time transports =
+    t_exit_2 synthesize run_time transports degraded_sweep workers
+    max_false_trips =
   match synthesize with
   | Some names ->
       let entity_names = String.split_on_char ',' names in
@@ -101,6 +132,7 @@ let check t_wait t_fb t_req t_enter_1 t_run_1 t_exit_1 t_enter_2 t_run_2
         }
       in
       if transports then report_transports p;
+      if degraded_sweep then report_degraded_sweep p ~workers ~max_false_trips;
       Fmt.pr "%a@.@." Pte_core.Params.pp p;
       let outcomes = Pte_core.Constraints.check p in
       Fmt.pr "%a@." Pte_core.Constraints.pp_report outcomes;
@@ -128,6 +160,35 @@ let cmd =
              schedule) instead of the c1-c7 report; exit 1 if any mode \
              overshoots the budget.")
   in
+  let degraded_sweep =
+    Arg.(
+      value & flag
+      & info [ "degraded-sweep" ]
+          ~doc:
+            "Sweep degraded-safe-mode watchdog candidates (k, hold) against \
+             scripted channel blackouts over a grid of background loss \
+             levels, classify every trip as justified or false, and print \
+             the synthesized pair; exit 1 when no pair detects every \
+             blackout without false trips.")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker processes for --degraded-sweep (default: all cores).")
+  in
+  let max_false_trips =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "max-false-trips" ] ~docv:"N"
+          ~doc:
+            "False-trip budget for --degraded-sweep: a (k, hold) pair still \
+             qualifies with up to $(docv) trips outside the blackout \
+             windows, summed over the sweep (availability given away, never \
+             safety).")
+  in
   let doc = "check Theorem 1's conditions c1-c7 or synthesize a configuration" in
   Cmd.v
     (Cmd.info "pte-check" ~doc)
@@ -142,6 +203,7 @@ let cmd =
       $ opt_f "t-enter-2" "Override the laser's T_enter."
       $ opt_f "t-run-2" "Override the laser's T_run."
       $ opt_f "t-exit-2" "Override the laser's T_exit."
-      $ synthesize $ run_time $ transports)
+      $ synthesize $ run_time $ transports $ degraded_sweep $ workers
+      $ max_false_trips)
 
 let () = exit (Cmd.eval cmd)

@@ -42,7 +42,8 @@ let or_die = function
 (* inject subcommand                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let run_inject plan_file artifact_file no_lease seed minutes verbose =
+let run_inject plan_file artifact_file no_lease seed minutes loss_model
+    verbose =
   setup_logs verbose;
   let artifact =
     match (plan_file, artifact_file) with
@@ -61,7 +62,17 @@ let run_inject plan_file artifact_file no_lease seed minutes verbose =
         }
   in
   Fmt.pr "plan:@.%a@." Plan.pp artifact.Robustness.plan;
-  let result = Robustness.replay artifact in
+  (* a stochastic channel on top of the scripted plan is opt-in: the
+     default perfect channel keeps the scripted faults the only loss *)
+  let config =
+    match loss_model with
+    | None -> Robustness.artifact_config artifact
+    | Some kind ->
+        Fmt.pr "channel: %a@." Pte_net.Loss.pp_kind kind;
+        { (Robustness.artifact_config artifact) with
+          Pte_tracheotomy.Emulation.loss = kind }
+  in
+  let result = Pte_tracheotomy.Trial.run config in
   Fmt.pr "trial (seed %d, %gs, lease %b): %a@." artifact.Robustness.trial_seed
     artifact.Robustness.horizon artifact.Robustness.lease
     Pte_tracheotomy.Trial.pp_result result;
@@ -150,6 +161,18 @@ let inject_cmd =
             "Counterexample artifact to replay (carries its own seed, \
              horizon and lease mode).")
   in
+  let loss_model =
+    Arg.(
+      value
+      & opt (some Pte_net.Loss.conv) None
+      & info [ "loss-model" ] ~docv:"MODEL"
+          ~doc:
+            "Stochastic channel to run the plan over instead of the default \
+             perfect one: $(b,perfect), $(b,wifi:)$(i,avg), \
+             $(b,bernoulli:)$(i,p), \
+             $(b,ge:)$(i,to_bad,to_good,loss_good,loss_bad) or \
+             $(b,interferer:)$(i,period,burst,loss_during,loss_idle).")
+  in
   Cmd.v
     (Cmd.info "inject"
        ~doc:
@@ -157,7 +180,7 @@ let inject_cmd =
           if PTE is violated.")
     Term.(
       const run_inject $ plan_file $ artifact_file $ no_lease $ seed $ minutes
-      $ verbose)
+      $ loss_model $ verbose)
 
 let coverage_cmd =
   let occurrences =

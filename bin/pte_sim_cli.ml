@@ -7,8 +7,8 @@
 
 open Cmdliner
 
-let run table1 lease minutes e_ton e_toff loss seed reps workers transport
-    verbose =
+let run table1 lease minutes e_ton e_toff loss loss_model seed reps workers
+    transport verbose =
   let transport_mode : Pte_net.Transport.mode = transport in
   if table1 then begin
     if reps > 1 then
@@ -34,8 +34,11 @@ let run table1 lease minutes e_ton e_toff loss seed reps workers transport
         seed;
         transport = transport_mode;
         loss =
-          (if loss <= 0.0 then Pte_net.Loss.Perfect
-           else Pte_net.Loss.wifi_interference ~average_loss:loss);
+          (match loss_model with
+          | Some kind -> kind
+          | None ->
+              if loss <= 0.0 then Pte_net.Loss.Perfect
+              else Pte_net.Loss.wifi_interference ~average_loss:loss);
       }
     in
     (* an admissible-looking spec can still fail the Theorem-1 recheck
@@ -47,10 +50,15 @@ let run table1 lease minutes e_ton e_toff loss seed reps workers transport
         Fmt.epr "pte-sim: %s@." msg;
         exit 2
     in
-    Fmt.pr "%.0f-minute trial (%s, E(Ton)=%gs, E(Toff)=%gs, loss %g, seed %d)@."
+    let channel =
+      match loss_model with
+      | Some kind -> Fmt.str "%a" Pte_net.Loss.pp_kind kind
+      | None -> Fmt.str "%g" loss
+    in
+    Fmt.pr "%.0f-minute trial (%s, E(Ton)=%gs, E(Toff)=%gs, loss %s, seed %d)@."
       minutes
       (if lease then "with lease" else "WITHOUT lease")
-      e_ton e_toff loss seed;
+      e_ton e_toff channel seed;
     Fmt.pr "  %a@." Pte_tracheotomy.Trial.pp_result r;
     (match transport_mode with
     | `Bare -> ()
@@ -76,7 +84,19 @@ let run table1 lease minutes e_ton e_toff loss seed reps workers transport
           sched.Pte_sched.Schedule.depth
           (Pte_sched.Schedule.worst_case_latency sched)
           r.Pte_tracheotomy.Trial.worst_latency
-          r.Pte_tracheotomy.Trial.gave_up);
+          r.Pte_tracheotomy.Trial.gave_up
+    | `Adaptive _ ->
+        Fmt.pr
+          "  transport: adaptive switches-up:%d switches-down:%d \
+           switch-refusals:%d gave-up:%d worst-seen:%.2fs%s@."
+          r.Pte_tracheotomy.Trial.mode_switches_up
+          r.Pte_tracheotomy.Trial.mode_switches_down
+          r.Pte_tracheotomy.Trial.switch_refusals
+          r.Pte_tracheotomy.Trial.gave_up
+          r.Pte_tracheotomy.Trial.worst_latency
+          (match r.Pte_tracheotomy.Trial.schedule with
+          | Some _ -> " (ended degraded)"
+          | None -> ""));
     if verbose || r.Pte_tracheotomy.Trial.failures > 0 then
       List.iter
         (fun v -> Fmt.pr "  %a@." Pte_core.Monitor.pp_violation v)
@@ -106,6 +126,20 @@ let cmd =
   let loss =
     Arg.(value & opt float 0.25 & info [ "loss" ] ~docv:"P" ~doc:"Average channel loss rate (0 = perfect channel).")
   in
+  let loss_model =
+    Arg.(
+      value
+      & opt (some Pte_net.Loss.conv) None
+      & info [ "loss-model" ] ~docv:"MODEL"
+          ~doc:
+            "Channel loss model, overriding $(b,--loss): $(b,perfect), \
+             $(b,wifi:)$(i,avg) (the Table-I Gilbert-Elliott channel at \
+             that average loss), $(b,bernoulli:)$(i,p), \
+             $(b,ge:)$(i,to_bad,to_good,loss_good,loss_bad) (a raw \
+             Gilbert-Elliott channel) or \
+             $(b,interferer:)$(i,period,burst,loss_during,loss_idle) \
+             (periodic WiFi bursts).")
+  in
   let seed = Arg.(value & opt int 2013 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.") in
   let reps =
     Arg.(
@@ -134,14 +168,20 @@ let cmd =
              blind retransmissions; keys $(b,slot), $(b,retries), \
              $(b,loss), $(b,confidence), $(b,depth), $(b,budget); the \
              schedule is synthesized against the star and Theorem 1 is \
-             rechecked with its worst-case latency).")
+             rechecked with its worst-case latency) or \
+             $(b,adaptive)[:$(i,k=v),...] (online channel-health \
+             estimation with safe runtime mode-switching; keys \
+             $(b,healthy), $(b,degrade), $(b,recover), $(b,dwell), \
+             $(b,samples), $(b,window), $(b,burst), $(b,budget); every \
+             switch candidate is rechecked against Theorem 1 before \
+             committing).")
   in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print all violations.") in
   let doc = "run laser-tracheotomy wireless-CPS emulation trials" in
   Cmd.v
     (Cmd.info "pte-sim" ~doc)
     Term.(
-      const run $ table1 $ lease $ minutes $ e_ton $ e_toff $ loss $ seed $ reps
-      $ workers $ transport $ verbose)
+      const run $ table1 $ lease $ minutes $ e_ton $ e_toff $ loss $ loss_model
+      $ seed $ reps $ workers $ transport $ verbose)
 
 let () = exit (Cmd.eval cmd)

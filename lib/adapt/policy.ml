@@ -1,0 +1,81 @@
+(** Escalation policy with hysteresis.
+
+    Two tiers: {e healthy} (the configured lightweight transport,
+    [`Bare] or [`Reliable]) and {e degraded} ([`Scheduled], with a
+    retry policy re-synthesized for the estimated loss). The policy
+    maps an estimator reading to a switch decision, with three
+    flap-guards:
+
+    - {e hysteresis}: the loss level that escalates ([degrade_above])
+      sits strictly above the level that de-escalates
+      ([recover_below]), so an estimate oscillating around either
+      threshold cannot ping-pong the transport;
+    - {e minimum samples}: no decision before [min_samples] outcomes
+      have been observed since the last switch — a freshly entered
+      mode gets to prove itself on its own traffic. An active burst
+      flag bypasses this guard (three consecutive losses are decisive
+      on the Gilbert–Elliott channel regardless of sample count) but
+      never the dwell guard;
+    - {e minimum dwell}: at least [min_dwell] seconds between
+      switches, bounding the switch rate no matter what the channel
+      does.
+
+    The decision is advisory: the transport still runs the safe-switch
+    protocol (quiesce, then the Theorem-1 recheck against the
+    candidate mode's worst-case latency) and may refuse. *)
+
+type config = {
+  degrade_above : float;
+      (** loss estimate at or above which a healthy sender escalates. *)
+  recover_below : float;
+      (** loss estimate at or below which a degraded sender returns
+          (strictly below [degrade_above] — the hysteresis band). *)
+  min_samples : int;
+      (** outcomes required since the last switch before deciding. *)
+  min_dwell : float;  (** seconds between switches, minimum. *)
+}
+
+let default_config =
+  { degrade_above = 0.35; recover_below = 0.15; min_samples = 8;
+    min_dwell = 30.0 }
+
+let validate c =
+  if not (c.degrade_above > 0.0 && c.degrade_above <= 1.0) then
+    Error "policy: degrade_above must be in (0, 1]"
+  else if not (c.recover_below >= 0.0) then
+    Error "policy: recover_below must be >= 0"
+  else if not (c.recover_below < c.degrade_above) then
+    Error "policy: recover_below must be < degrade_above (hysteresis)"
+  else if c.min_samples < 1 then Error "policy: min_samples must be >= 1"
+  else if not (c.min_dwell >= 0.0) then
+    Error "policy: min_dwell must be >= 0"
+  else Ok ()
+
+type tier = Healthy | Degraded
+type decision = Stay | Escalate | Deescalate
+
+let decide c ~tier ~estimate ~samples ~since_switch ~in_burst =
+  let dwelled = since_switch >= c.min_dwell in
+  let seasoned = samples >= c.min_samples in
+  match tier with
+  | Healthy ->
+      if dwelled && (in_burst || (seasoned && estimate >= c.degrade_above))
+      then Escalate
+      else Stay
+  | Degraded ->
+      if dwelled && seasoned && (not in_burst) && estimate <= c.recover_below
+      then Deescalate
+      else Stay
+
+let pp_tier ppf = function
+  | Healthy -> Fmt.string ppf "healthy"
+  | Degraded -> Fmt.string ppf "degraded"
+
+let pp_decision ppf = function
+  | Stay -> Fmt.string ppf "stay"
+  | Escalate -> Fmt.string ppf "escalate"
+  | Deescalate -> Fmt.string ppf "deescalate"
+
+let pp_config ppf c =
+  Fmt.pf ppf "degrade>=%.2f recover<=%.2f min-samples:%d min-dwell:%gs"
+    c.degrade_above c.recover_below c.min_samples c.min_dwell

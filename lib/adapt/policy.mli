@@ -1,0 +1,46 @@
+(** Escalation policy with hysteresis: maps a channel-health estimate
+    to a tier-switch decision, with a hysteresis band
+    ([recover_below < degrade_above]), a minimum sample count per tier
+    and a minimum dwell time between switches as flap-guards. The
+    decision is advisory — the transport's safe-switch protocol still
+    rechecks Theorem 1 against the candidate mode and may refuse. *)
+
+type config = {
+  degrade_above : float;
+      (** loss estimate at or above which a healthy sender escalates. *)
+  recover_below : float;
+      (** loss estimate at or below which a degraded sender returns;
+          strictly below [degrade_above]. *)
+  min_samples : int;
+      (** outcomes required since the last switch before deciding (an
+          active burst flag bypasses this, never the dwell guard). *)
+  min_dwell : float;  (** minimum seconds between switches. *)
+}
+
+val default_config : config
+(** [degrade_above = 0.35], [recover_below = 0.15],
+    [min_samples = 8], [min_dwell = 30]. The band brackets the 25%
+    nominal loss of the case-study channel: sustained wifi
+    interference escalates, a clean channel recovers, and the nominal
+    channel itself — which the static modes already handle — does
+    not flap. *)
+
+val validate : config -> (unit, string) result
+
+type tier = Healthy | Degraded
+type decision = Stay | Escalate | Deescalate
+
+val decide :
+  config ->
+  tier:tier ->
+  estimate:float ->
+  samples:int ->
+  since_switch:float ->
+  in_burst:bool ->
+  decision
+(** [samples] counts outcomes observed since the last committed
+    switch, [since_switch] the seconds elapsed since it. *)
+
+val pp_tier : tier Fmt.t
+val pp_decision : decision Fmt.t
+val pp_config : config Fmt.t

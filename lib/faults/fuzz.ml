@@ -69,4 +69,26 @@ let random_plan rng vocab =
     else
       List.init (Pte_util.Rng.int rng 3) (fun _ -> random_node_fault rng vocab)
   in
-  { Plan.packet_faults; node_faults }
+  { Plan.empty with Plan.packet_faults; node_faults }
+
+(* An increasing sequence of steps so the profile is sorted by
+   construction; loss levels cover the clean-through-blackout range. *)
+let random_loss_profile rng ~horizon =
+  let steps = 1 + Pte_util.Rng.int rng 3 in
+  let profile =
+    List.init steps (fun _ ->
+        Plan.loss_step
+          ~at:(Pte_util.Rng.uniform rng ~lo:0.0 ~hi:(0.9 *. horizon))
+          ~loss:(Pte_util.Rng.uniform rng ~lo:0.0 ~hi:1.0))
+  in
+  List.sort (fun (a : Plan.loss_step) b -> Float.compare a.at b.at) profile
+
+(* {!random_plan} plus a time-varying channel. Kept separate so the
+   historical fuzz streams (and every replayable artifact they have
+   produced) stay byte-identical: {!random_plan} draws exactly what it
+   always drew. *)
+let random_plan_with_profile rng vocab =
+  let plan = random_plan rng vocab in
+  if Pte_util.Rng.bernoulli rng 0.5 then
+    { plan with Plan.loss_profile = random_loss_profile rng ~horizon:vocab.horizon }
+  else plan

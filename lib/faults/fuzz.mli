@@ -15,4 +15,15 @@ val random_node_fault : Pte_util.Rng.t -> vocabulary -> Plan.node_fault
 
 val random_plan : Pte_util.Rng.t -> vocabulary -> Plan.t
 (** 1–3 packet faults plus 0–2 node faults. [vocabulary.messages] must
-    be non-empty. *)
+    be non-empty. Never generates a loss profile, and draws exactly
+    what it has always drawn — historical fuzz streams stay
+    byte-identical. *)
+
+val random_loss_profile :
+  Pte_util.Rng.t -> horizon:float -> Plan.loss_step list
+(** 1–3 piecewise-constant loss steps, sorted by start time, with
+    levels drawn across the clean-through-blackout range. *)
+
+val random_plan_with_profile : Pte_util.Rng.t -> vocabulary -> Plan.t
+(** {!random_plan}, plus (with probability 1/2) a
+    {!random_loss_profile} overlaying a time-varying channel. *)

@@ -45,10 +45,23 @@ type node_fault =
   | Clock_drift of { entity : string; factor : float }
       (** the entity's local clocks advance [factor] seconds per second *)
 
-type t = { packet_faults : packet_fault list; node_faults : node_fault list }
+(** One step of a piecewise-constant loss profile: from [at] on, the
+    channel runs at average loss rate [loss] (0 = perfect; realized as
+    the Table-I Gilbert–Elliott channel otherwise). *)
+type loss_step = { at : float; loss : float }
 
-let empty = { packet_faults = []; node_faults = [] }
-let is_empty t = t.packet_faults = [] && t.node_faults = []
+type t = {
+  packet_faults : packet_fault list;
+  node_faults : node_fault list;
+  loss_profile : loss_step list;
+      (** time-varying channel steps, sorted by [at]; [[]] keeps the
+          trial's configured static loss model. *)
+}
+
+let empty = { packet_faults = []; node_faults = []; loss_profile = [] }
+
+let is_empty t =
+  t.packet_faults = [] && t.node_faults = [] && t.loss_profile = []
 
 let packet ?root ?window ~entity ~direction ~occurrence action =
   { site = { entity; direction }; root; occurrence; window; action }
@@ -61,6 +74,7 @@ let drop_every ~entity ~direction ~root =
 
 let crash ~entity ~at ~blackout = Crash { entity; at; blackout }
 let clock_drift ~entity ~factor = Clock_drift { entity; factor }
+let loss_step ~at ~loss = { at; loss }
 
 (* ------------------------------------------------------------------ *)
 (* JSON (de)serialization                                              *)
@@ -117,12 +131,21 @@ let node_fault_to_json = function
           ("factor", Json.Num factor);
         ]
 
+let loss_step_to_json (s : loss_step) =
+  Json.Obj [ ("at", Json.Num s.at); ("loss", Json.Num s.loss) ]
+
 let to_json t =
   Json.Obj
-    [
-      ("packet", Json.Arr (List.map packet_fault_to_json t.packet_faults));
-      ("node", Json.Arr (List.map node_fault_to_json t.node_faults));
-    ]
+    ([
+       ("packet", Json.Arr (List.map packet_fault_to_json t.packet_faults));
+       ("node", Json.Arr (List.map node_fault_to_json t.node_faults));
+     ]
+    (* emitted only when set, so plans predating the profile field
+       render byte-identically *)
+    @
+    match t.loss_profile with
+    | [] -> []
+    | steps -> [ ("loss_profile", Json.Arr (List.map loss_step_to_json steps)) ])
 
 let ( let* ) = Result.bind
 
@@ -200,12 +223,21 @@ let list_field name of_json json =
         items (Ok [])
   | Some _ -> Error (Printf.sprintf "plan: %S must be an array" name)
 
+let loss_step_of_json json =
+  let* at = num_field "at" json in
+  let* loss = num_field "loss" json in
+  if at < 0.0 then Error "plan: loss_profile step must have at >= 0"
+  else if loss < 0.0 || loss > 1.0 then
+    Error "plan: loss_profile step loss must be in [0, 1]"
+  else Ok { at; loss }
+
 let of_json json =
   match json with
   | Json.Obj _ ->
       let* packet_faults = list_field "packet" packet_fault_of_json json in
       let* node_faults = list_field "node" node_fault_of_json json in
-      Ok { packet_faults; node_faults }
+      let* loss_profile = list_field "loss_profile" loss_step_of_json json in
+      Ok { packet_faults; node_faults; loss_profile }
   | _ -> Error "plan: expected a JSON object"
 
 let to_string t = Json.to_string (to_json t)
@@ -257,14 +289,17 @@ let pp_node_fault ppf = function
   | Clock_drift { entity; factor } ->
       Fmt.pf ppf "clock-drift %s x%g" entity factor
 
+let pp_loss_step ppf (s : loss_step) =
+  Fmt.pf ppf "loss %g%% from %gs" (100.0 *. s.loss) s.at
+
 let pp ppf t =
   if is_empty t then Fmt.string ppf "no faults"
   else
-    Fmt.pf ppf "@[<v>%a%a%a@]"
-      (Fmt.list ~sep:Fmt.cut pp_packet_fault)
-      t.packet_faults
-      (fun ppf () ->
-        if t.packet_faults <> [] && t.node_faults <> [] then Fmt.cut ppf ())
-      ()
-      (Fmt.list ~sep:Fmt.cut pp_node_fault)
-      t.node_faults
+    let lines =
+      List.map (fun f ppf () -> pp_packet_fault ppf f) t.packet_faults
+      @ List.map (fun f ppf () -> pp_node_fault ppf f) t.node_faults
+      @ List.map (fun s ppf () -> pp_loss_step ppf s) t.loss_profile
+    in
+    Fmt.pf ppf "@[<v>%a@]"
+      (Fmt.list ~sep:Fmt.cut (fun ppf line -> line ppf ()))
+      lines

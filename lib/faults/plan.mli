@@ -39,7 +39,21 @@ type node_fault =
   | Crash of { entity : string; at : float; blackout : float }
   | Clock_drift of { entity : string; factor : float }
 
-type t = { packet_faults : packet_fault list; node_faults : node_fault list }
+(** One step of a piecewise-constant loss profile: from [at] on, the
+    channel runs at average loss rate [loss] — 0 is a perfect channel,
+    anything else the Table-I Gilbert–Elliott channel
+    ({!Pte_net.Loss.wifi_interference}) at that average. *)
+type loss_step = { at : float; loss : float }
+
+type t = {
+  packet_faults : packet_fault list;
+  node_faults : node_fault list;
+  loss_profile : loss_step list;
+      (** time-varying channel steps, sorted by [at]. The empty list
+          keeps the trial's configured static loss model; a non-empty
+          profile overlays it ({!Pte_net.Loss.Profile}), the configured
+          model covering the span before the first step. *)
+}
 
 val empty : t
 val is_empty : t -> bool
@@ -63,6 +77,7 @@ val drop_every :
 
 val crash : entity:string -> at:float -> blackout:float -> node_fault
 val clock_drift : entity:string -> factor:float -> node_fault
+val loss_step : at:float -> loss:float -> loss_step
 
 (** {2 JSON round-trip}
 
@@ -79,3 +94,4 @@ val load : string -> (t, string) result
 val pp : t Fmt.t
 val pp_packet_fault : packet_fault Fmt.t
 val pp_node_fault : node_fault Fmt.t
+val pp_loss_step : loss_step Fmt.t

@@ -52,6 +52,18 @@ let simplify_node = function
         [ Plan.Clock_drift { entity; factor = halfway } ]
       else []
 
+(* Pull a loss step toward the benign end: less loss, later onset. *)
+let simplify_loss_step (s : Plan.loss_step) =
+  let cands = [] in
+  let cands =
+    if s.loss > 0.05 then { s with Plan.loss = s.loss /. 2. } :: cands
+    else cands
+  in
+  let cands =
+    if s.at > 0.1 then { s with Plan.at = s.at *. 2. } :: cands else cands
+  in
+  List.rev cands
+
 let shrink ?(max_oracle_calls = 200) ~oracle plan =
   let calls = ref 0 in
   let ask candidate =
@@ -86,6 +98,9 @@ let shrink ?(max_oracle_calls = 200) ~oracle plan =
     try_removals
       (fun p -> p.Plan.node_faults)
       (fun p faults -> { p with Plan.node_faults = faults });
+    try_removals
+      (fun p -> p.Plan.loss_profile)
+      (fun p steps -> { p with Plan.loss_profile = steps });
     (* Pass 2: simplify each surviving fault's parameters. *)
     let try_replacements get set simplify =
       List.iteri
@@ -120,6 +135,10 @@ let shrink ?(max_oracle_calls = 200) ~oracle plan =
     try_replacements
       (fun p -> p.Plan.node_faults)
       (fun p faults -> { p with Plan.node_faults = faults })
-      simplify_node
+      simplify_node;
+    try_replacements
+      (fun p -> p.Plan.loss_profile)
+      (fun p steps -> { p with Plan.loss_profile = steps })
+      simplify_loss_step
   done;
   (!current, !calls)

@@ -46,6 +46,14 @@ type kind =
       (** Replay a recorded per-packet outcome trace ([true] = lost),
           cycling when exhausted — e.g. a loss trace captured from a real
           interfered link. *)
+  | Profile of (float * kind) list
+      (** A time-varying channel: piecewise-constant segments
+          [(start, kind)], sorted by start time. A packet sent at [t]
+          sees the kind of the last segment with [start <= t]
+          ([Perfect] before the first). Stateful inner kinds (the
+          Gilbert–Elliott burst process) share one state across
+          segments, so a profile stepping between wifi levels keeps a
+          continuous burst process. *)
 
 type t = {
   kind : kind;
@@ -86,6 +94,15 @@ let rec decide_kind t kind ~time ~root =
       if Array.length outcomes = 0 then Delivered
       else if outcomes.(t.count mod Array.length outcomes) then Lost_in_air
       else Delivered
+  | Profile segments ->
+      let active =
+        List.fold_left
+          (fun acc (start, k) -> if start <= time then Some k else acc)
+          None segments
+      in
+      (match active with
+      | None -> Delivered
+      | Some k -> decide_kind t k ~time ~root)
 
 let decide t ~time ~root =
   let outcome = decide_kind t t.kind ~time ~root in
@@ -105,6 +122,13 @@ let rec nominal_loss_rate = function
       (duty *. loss_during) +. ((1.0 -. duty) *. loss_idle)
   | Corrupting { inner; _ } -> nominal_loss_rate inner
   | Adversarial _ -> nan
+  | Profile [] -> 0.0
+  | Profile segments ->
+      (* unweighted mean over segments — indicative only, the true
+         long-run rate depends on how long each segment runs *)
+      List.fold_left (fun acc (_, k) -> acc +. nominal_loss_rate k) 0.0
+        segments
+      /. Float.of_int (List.length segments)
   | Trace_driven outcomes ->
       if Array.length outcomes = 0 then 0.0
       else
@@ -146,7 +170,7 @@ let wifi_interference ~average_loss =
   let to_bad = to_good *. p_bad /. (1.0 -. p_bad) in
   Gilbert_elliott { to_bad; to_good; loss_good; loss_bad }
 
-let pp_kind ppf = function
+let rec pp_kind ppf = function
   | Perfect -> Fmt.string ppf "perfect"
   | Bernoulli p -> Fmt.pf ppf "bernoulli(%.2f)" p
   | Gilbert_elliott g ->
@@ -155,3 +179,78 @@ let pp_kind ppf = function
   | Corrupting c -> Fmt.pf ppf "corrupting(%.2f)" c.corrupt_fraction
   | Adversarial _ -> Fmt.string ppf "adversarial"
   | Trace_driven outcomes -> Fmt.pf ppf "trace(%d)" (Array.length outcomes)
+  | Profile segments ->
+      Fmt.pf ppf "profile(%a)"
+        (Fmt.list ~sep:(Fmt.any ";") (fun ppf (start, k) ->
+             Fmt.pf ppf "%g:%a" start pp_kind k))
+        segments
+
+(* ------------------------------------------------------------------ *)
+(* CLI spec parsing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let of_string s =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let floats spec = List.map float_of_string_opt (String.split_on_char ',' spec) in
+  let head, spec =
+    match String.index_opt s ':' with
+    | None -> (s, None)
+    | Some i ->
+        (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+  in
+  match (head, spec) with
+  | "perfect", None -> Ok Perfect
+  | "wifi", Some spec -> (
+      match float_of_string_opt spec with
+      | Some avg when avg <= 0.0 -> Ok Perfect
+      | Some avg -> Ok (wifi_interference ~average_loss:avg)
+      | None -> fail "loss-model: wifi expects a number, got %S" spec)
+  | "bernoulli", Some spec -> (
+      match float_of_string_opt spec with
+      | Some p when p >= 0.0 && p <= 1.0 -> Ok (Bernoulli p)
+      | Some _ -> fail "loss-model: bernoulli probability must be in [0, 1]"
+      | None -> fail "loss-model: bernoulli expects a number, got %S" spec)
+  | "ge", Some spec -> (
+      match floats spec with
+      | [ Some to_bad; Some to_good; Some loss_good; Some loss_bad ] ->
+          if
+            List.for_all
+              (fun p -> p >= 0.0 && p <= 1.0)
+              [ to_bad; to_good; loss_good; loss_bad ]
+          then Ok (Gilbert_elliott { to_bad; to_good; loss_good; loss_bad })
+          else fail "loss-model: ge probabilities must be in [0, 1]"
+      | _ ->
+          fail
+            "loss-model: ge expects to_bad,to_good,loss_good,loss_bad, got %S"
+            spec)
+  | "interferer", Some spec -> (
+      match floats spec with
+      | [ Some period; Some burst; Some loss_during; Some loss_idle ] ->
+          if not (period > 0.0) then
+            fail "loss-model: interferer period must be > 0"
+          else if burst < 0.0 then
+            fail "loss-model: interferer burst must be >= 0"
+          else if
+            List.for_all (fun p -> p >= 0.0 && p <= 1.0) [ loss_during; loss_idle ]
+          then Ok (Interferer { period; burst; loss_during; loss_idle })
+          else fail "loss-model: interferer loss rates must be in [0, 1]"
+      | _ ->
+          fail
+            "loss-model: interferer expects \
+             period,burst,loss_during,loss_idle, got %S"
+            spec)
+  | _ ->
+      fail
+        "unknown loss model %S (expected perfect, wifi:<avg>, \
+         bernoulli:<p>, ge:to_bad,to_good,loss_good,loss_bad or \
+         interferer:period,burst,loss_during,loss_idle)"
+        s
+
+(* The one `--loss-model` converter every CLI shares. *)
+let conv =
+  Cmdliner.Arg.conv ~docv:"MODEL"
+    ( (fun s ->
+        match of_string s with
+        | Ok k -> Ok k
+        | Error msg -> Error (`Msg msg)),
+      pp_kind )

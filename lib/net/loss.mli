@@ -29,6 +29,11 @@ type kind =
   | Trace_driven of bool array
       (** replay a recorded per-packet loss trace ([true] = lost),
           cycling when exhausted *)
+  | Profile of (float * kind) list
+      (** time-varying channel: piecewise-constant [(start, kind)]
+          segments sorted by start; a packet sent at [t] sees the last
+          segment with [start <= t] ([Perfect] before the first).
+          Stateful inner kinds share one state across segments. *)
 
 type t
 
@@ -38,7 +43,21 @@ val create_rng : kind -> Pte_util.Rng.t -> t
 val decide : t -> time:float -> root:string -> outcome
 
 val nominal_loss_rate : kind -> float
-(** Long-run loss probability ([nan] for [Adversarial]). *)
+(** Long-run loss probability ([nan] for [Adversarial]; for [Profile]
+    the unweighted mean over segments, indicative only — the true rate
+    depends on how long each segment runs). *)
+
+val of_string : string -> (kind, string) result
+(** Parse a CLI loss-model spec: ["perfect"], ["wifi:<avg>"] (the
+    Table-I channel, {!wifi_interference}), ["bernoulli:<p>"],
+    ["ge:to_bad,to_good,loss_good,loss_bad"] (a raw Gilbert–Elliott
+    channel) or ["interferer:period,burst,loss_during,loss_idle"]
+    (the periodic WiFi burst source). A malformed spec surfaces as
+    [Error] with the reason. *)
+
+val conv : kind Cmdliner.Arg.conv
+(** The [--loss-model] converter shared by every CLI:
+    {!of_string} on the way in, {!pp_kind} on the way out. *)
 
 val wifi_interference : average_loss:float -> kind
 (** The Table-I channel: constant WiFi interference as a bursty

@@ -25,8 +25,45 @@ let validate c =
   else if c.jitter < 0.0 then Error "transport: jitter must be >= 0"
   else Ok ()
 
+(** Configuration of the [`Adaptive] mode: which static mode carries
+    traffic while the channel is healthy, the synthesis template for
+    the degraded [`Scheduled] mode (its [loss] is replaced by the
+    estimate at escalation time), and the estimator / escalation-policy
+    knobs. [budget] is the stand-alone admission bound used when no
+    {!set_admit} callback is installed. *)
+type adaptive_config = {
+  healthy : [ `Bare | `Reliable of config ];
+  degraded : Pte_sched.Synth.policy;
+  estimator : Pte_adapt.Estimator.config;
+  policy : Pte_adapt.Policy.config;
+  budget : float option;
+}
+
 type mode =
-  [ `Bare | `Reliable of config | `Scheduled of Pte_sched.Synth.policy ]
+  [ `Bare
+  | `Reliable of config
+  | `Scheduled of Pte_sched.Synth.policy
+  | `Adaptive of adaptive_config ]
+
+let default_adaptive =
+  {
+    (* ARQ while healthy: indistinguishable from bare on a clean
+       channel, but a de-escalation under a mis-estimated recovery
+       lands on retransmissions instead of single-shot sends *)
+    healthy = `Reliable default_config;
+    degraded = Pte_sched.Synth.default_policy;
+    estimator = Pte_adapt.Estimator.default_config;
+    policy = Pte_adapt.Policy.default_config;
+    budget = None;
+  }
+
+let validate_adaptive a =
+  let ( let* ) = Result.bind in
+  let* () =
+    match a.healthy with `Bare -> Ok () | `Reliable cfg -> validate cfg
+  in
+  let* () = Pte_adapt.Estimator.validate a.estimator in
+  Pte_adapt.Policy.validate a.policy
 
 let rto c ~attempt =
   Float.min (c.base_rto *. (c.multiplier ** Float.of_int attempt)) c.cap
@@ -49,6 +86,9 @@ type stats = {
   mutable acks_lost : int;
   mutable dups_suppressed : int;
   mutable worst_latency : float;
+  mutable switches_up : int;
+  mutable switches_down : int;
+  mutable switch_refusals : int;
 }
 
 type event =
@@ -82,6 +122,31 @@ type flow_seen = {
    {!Pte_sched.Schedule.link_worst_case_latency} closed-form. *)
 type sched_link = { mutable next_free : float; mutable inflight : int }
 
+(* Runtime state of the `Adaptive mode's safe-switch protocol. The
+   tier names which sub-mode carries new sends; a pending target means
+   a switch has been admitted (Theorem-1 recheck passed) and is
+   quiescing — waiting for in-flight exchanges of the outgoing mode to
+   drain, bounded by a time-out timer at the outgoing mode's own
+   worst-case latency. *)
+type adapt_target = To_healthy | To_degraded of Pte_sched.Schedule.t
+
+type adapt = {
+  a_cfg : adaptive_config;
+  (* per-sender estimators (inspection, tests) and the pooled one that
+     drives tier decisions: the star shares one interference
+     environment, so outcomes from every sender inform the switch. *)
+  a_est : (string, Pte_adapt.Estimator.t) Hashtbl.t;
+  a_pool : Pte_adapt.Estimator.t;
+  a_healthy_wcl : float;  (* closed-form bound of the healthy mode *)
+  mutable a_tier : Pte_adapt.Policy.tier;
+  mutable a_sched : Pte_sched.Schedule.t option;  (* while degraded *)
+  mutable a_switched_at : float;
+  mutable a_samples_since : int;  (* outcomes since the last switch *)
+  mutable a_pending : adapt_target option;  (* admitted, quiescing *)
+  mutable a_pending_token : Executor.token option;
+  mutable a_admit : (candidate_latency:float -> bool) option;
+}
+
 type t = {
   star : Star.t;
   mode : mode;
@@ -101,12 +166,25 @@ type t = {
      arrivals (`Reliable and `Scheduled modes); set by {!attach}. *)
   mutable exec : Executor.t option;
   mutable observer : (event -> unit) option;
+  (* `Adaptive mode runtime state ([Some _] exactly in that mode). *)
+  adapt : adapt option;
+  (* exchanges admitted but not yet resolved (reliable exchanges and
+     scheduled blind spans) — the quiesce condition of the safe-switch
+     protocol. *)
+  mutable inflight_exchanges : int;
 }
+
+(* The healthy sub-mode's closed-form latency bound — what the
+   safe-switch protocol rechecks before de-escalating back to it. *)
+let healthy_wcl star = function
+  | `Bare -> Star.worst_frame_delay star
+  | `Reliable cfg ->
+      worst_case_latency cfg ~frame_delay:(Star.worst_frame_delay star)
 
 let create ~mode ~rng star =
   let sched =
     match mode with
-    | `Bare -> None
+    | `Bare | `Adaptive _ -> None
     | `Reliable cfg -> (
         match validate cfg with
         | Ok () -> None
@@ -118,6 +196,28 @@ let create ~mode ~rng star =
         | Ok sched -> Some sched
         | Error e -> invalid_arg (Pte_sched.Synth.error_to_string e))
   in
+  let adapt =
+    match mode with
+    | `Bare | `Reliable _ | `Scheduled _ -> None
+    | `Adaptive a ->
+        (match validate_adaptive a with
+        | Ok () -> ()
+        | Error msg -> invalid_arg msg);
+        Some
+          {
+            a_cfg = a;
+            a_est = Hashtbl.create 8;
+            a_pool = Pte_adapt.Estimator.create a.estimator;
+            a_healthy_wcl = healthy_wcl star a.healthy;
+            a_tier = Pte_adapt.Policy.Healthy;
+            a_sched = None;
+            a_switched_at = 0.0;
+            a_samples_since = 0;
+            a_pending = None;
+            a_pending_token = None;
+            a_admit = None;
+          }
+  in
   {
     star;
     mode;
@@ -125,7 +225,8 @@ let create ~mode ~rng star =
     stats =
       { data_sends = 0; delivered = 0; gave_up = 0; retransmissions = 0;
         acks_sent = 0; acks_lost = 0; dups_suppressed = 0;
-        worst_latency = 0.0 };
+        worst_latency = 0.0; switches_up = 0; switches_down = 0;
+        switch_refusals = 0 };
     seen = Hashtbl.create 8;
     next_seq = Hashtbl.create 8;
     consec = Hashtbl.create 8;
@@ -133,6 +234,8 @@ let create ~mode ~rng star =
     sched_links = Hashtbl.create 8;
     exec = None;
     observer = None;
+    adapt;
+    inflight_exchanges = 0;
   }
 
 let attach t exec = t.exec <- Some exec
@@ -141,7 +244,12 @@ let observe t ev = match t.observer with Some f -> f ev | None -> ()
 
 let mode t = t.mode
 let stats t = t.stats
-let schedule t = t.sched
+
+(* In `Adaptive mode the live schedule is the one the safe-switch
+   protocol last committed (None while healthy); the static `Scheduled
+   schedule otherwise. *)
+let schedule t =
+  match t.adapt with Some a -> a.a_sched | None -> t.sched
 
 let record_latency t d =
   if d > t.stats.worst_latency then t.stats.worst_latency <- d
@@ -157,8 +265,183 @@ let counter t sender =
 let consecutive_losses t ~sender = !(counter t sender)
 let reset_consecutive_losses t ~sender = counter t sender := 0
 
-let confirm t sender = counter t sender := 0
-let unconfirmed t sender = incr (counter t sender)
+(* ------------------------------------------------------------------ *)
+(* `Adaptive mode: estimation, escalation and the safe-switch protocol *)
+(* ------------------------------------------------------------------ *)
+
+let set_admit t f =
+  match t.adapt with
+  | Some a -> a.a_admit <- Some f
+  | None -> ()
+
+let tier t =
+  match t.adapt with Some a -> Some a.a_tier | None -> None
+
+let estimator t ~sender =
+  Option.bind t.adapt (fun a -> Hashtbl.find_opt a.a_est sender)
+
+let pooled_estimator t = Option.map (fun a -> a.a_pool) t.adapt
+
+(* Theorem-1 admission of a candidate mode. The emulation layer
+   injects the real c1–c7 recheck ({!set_admit}); stand-alone, the
+   configured budget is the bound; with neither, every candidate is
+   admitted (the static create-time story then applies unchanged). *)
+let adapt_admit a ~candidate_latency =
+  match a.a_admit with
+  | Some f -> f ~candidate_latency
+  | None -> (
+      match a.a_cfg.budget with
+      | Some budget -> candidate_latency <= budget
+      | None -> true)
+
+(* The outgoing mode's own worst-case latency — the quiesce deadline:
+   any exchange in flight at decision time resolves within it. *)
+let adapt_active_wcl a =
+  match (a.a_tier, a.a_sched) with
+  | Pte_adapt.Policy.Degraded, Some sched ->
+      Pte_sched.Schedule.worst_case_latency sched
+  | _ -> a.a_healthy_wcl
+
+let adapt_commit t a target ~at =
+  (match a.a_pending_token with
+  | Some token -> (
+      match t.exec with
+      | Some exec -> Executor.cancel exec token
+      | None -> ())
+  | None -> ());
+  a.a_pending <- None;
+  a.a_pending_token <- None;
+  (match target with
+  | To_degraded sched ->
+      a.a_tier <- Pte_adapt.Policy.Degraded;
+      a.a_sched <- Some sched;
+      t.stats.switches_up <- t.stats.switches_up + 1
+  | To_healthy ->
+      a.a_tier <- Pte_adapt.Policy.Healthy;
+      a.a_sched <- None;
+      t.stats.switches_down <- t.stats.switches_down + 1);
+  a.a_switched_at <- at;
+  a.a_samples_since <- 0
+
+(* A switch was admitted: commit at once if no exchange of the
+   outgoing mode is in flight, otherwise quiesce — commit when the
+   last in-flight exchange resolves, or at the outgoing mode's
+   worst-case latency if some exchange outlives its own bound (it
+   cannot, but the time-out keeps the protocol live regardless). A
+   drained `Scheduled exit is automatically round-aligned: the last
+   blind span ends at a slot boundary plus the resolution margin. *)
+let adapt_start_switch t a target ~at =
+  if t.inflight_exchanges = 0 then adapt_commit t a target ~at
+  else begin
+    a.a_pending <- Some target;
+    match t.exec with
+    | None -> adapt_commit t a target ~at
+    | Some exec ->
+        let deadline = at +. adapt_active_wcl a in
+        let token =
+          Executor.schedule exec ~at:deadline (fun _exec ->
+              a.a_pending_token <- None;
+              match a.a_pending with
+              | Some target -> adapt_commit t a target ~at:deadline
+              | None -> ())
+        in
+        a.a_pending_token <- Some token
+  end
+
+let adapt_refuse t a ~at =
+  t.stats.switch_refusals <- t.stats.switch_refusals + 1;
+  (* a refused switch re-arms the dwell clock: the next attempt waits
+     another [min_dwell], so a persistently inadmissible candidate is
+     retried at a bounded rate rather than on every outcome *)
+  a.a_switched_at <- at
+
+let adapt_evaluate t a ~now =
+  if a.a_pending = None then
+    let estimate = Pte_adapt.Estimator.loss_estimate a.a_pool in
+    let decision =
+      Pte_adapt.Policy.decide a.a_cfg.policy ~tier:a.a_tier ~estimate
+        ~samples:a.a_samples_since ~since_switch:(now -. a.a_switched_at)
+        ~in_burst:(Pte_adapt.Estimator.in_burst a.a_pool)
+    in
+    match decision with
+    | Pte_adapt.Policy.Stay -> ()
+    | Pte_adapt.Policy.Deescalate ->
+        if adapt_admit a ~candidate_latency:a.a_healthy_wcl then
+          adapt_start_switch t a To_healthy ~at:now
+        else adapt_refuse t a ~at:now
+    | Pte_adapt.Policy.Escalate -> (
+        (* re-synthesize the round schedule for the loss the channel is
+           actually showing (capped below 1 so the retry count stays
+           finite); refuse — and stay in the current, still-admitted
+           mode — if the synthesis or the Theorem-1 recheck rejects *)
+        let policy =
+          { a.a_cfg.degraded with
+            Pte_sched.Synth.loss = Float.min estimate 0.95 }
+        in
+        match
+          Pte_sched.Synth.synthesize policy
+            ~links:(Star.schedule_links t.star)
+        with
+        | Error _ -> adapt_refuse t a ~at:now
+        | Ok sched ->
+            let wcl = Pte_sched.Schedule.worst_case_latency sched in
+            if adapt_admit a ~candidate_latency:wcl then
+              adapt_start_switch t a (To_degraded sched) ~at:now
+            else adapt_refuse t a ~at:now)
+
+(* Feed the channel estimators one sample at the instant its outcome
+   becomes known to the sender. Samples are per *attempt*, not per
+   exchange: an ARQ exchange that needed three tries records two losses
+   and a success, and a blind span records every copy's fate — so the
+   estimate tracks the channel itself, independent of how much
+   redundancy the current mode layers on top. (Exchange-level feeding
+   would see only the residual failure rate: ~2 % under ARQ on a 60 %
+   channel, masking the loss the degraded schedule must be synthesized
+   for — and, mirrored, a degraded mode whose spans almost always
+   deliver would decay the estimate and de-escalate prematurely.) *)
+let adapt_outcome t ~sender ~confirmed ~at =
+  match t.adapt with
+  | None -> ()
+  | Some a ->
+      let est =
+        match Hashtbl.find_opt a.a_est sender with
+        | Some est -> est
+        | None ->
+            let est = Pte_adapt.Estimator.create a.a_cfg.estimator in
+            Hashtbl.add a.a_est sender est;
+            est
+      in
+      Pte_adapt.Estimator.record est ~confirmed ~at;
+      Pte_adapt.Estimator.record a.a_pool ~confirmed ~at;
+      a.a_samples_since <- a.a_samples_since + 1;
+      adapt_evaluate t a ~now:at
+
+(* An exchange resolved: the quiesce condition of a pending switch may
+   just have been reached. *)
+let exchange_resolved t ~at =
+  t.inflight_exchanges <- t.inflight_exchanges - 1;
+  match t.adapt with
+  | Some a when t.inflight_exchanges = 0 -> (
+      match a.a_pending with
+      | Some target -> adapt_commit t a target ~at
+      | None -> ())
+  | _ -> ()
+
+let confirm t sender ~at =
+  counter t sender := 0;
+  adapt_outcome t ~sender ~confirmed:true ~at
+
+let unconfirmed t sender ~at =
+  incr (counter t sender);
+  adapt_outcome t ~sender ~confirmed:false ~at
+
+(* The consecutive-loss counters alone — for outcomes that are not
+   channel observations (admission rejections) or whose channel
+   evidence was already fed to the estimator copy by copy. The
+   degraded-safe-mode watchdog stays at exchange granularity either
+   way: k consecutive *exchanges* lost, not k attempts. *)
+let consec_confirm t sender = counter t sender := 0
+let consec_unconfirmed t sender = incr (counter t sender)
 
 let flow_seen t ~src ~dst =
   match Hashtbl.find_opt t.seen (src, dst) with
@@ -226,11 +509,11 @@ let bare_send t link ~time ~sender ~receiver ~root =
   t.stats.data_sends <- t.stats.data_sends + 1;
   match Link.send link ~time ~src:sender ~dst:receiver ~root with
   | Link.Drop _ ->
-      unconfirmed t sender;
+      unconfirmed t sender ~at:time;
       t.stats.gave_up <- t.stats.gave_up + 1;
       Executor.Lose
   | Link.Deliver { arrival; packet } ->
-      confirm t sender;
+      confirm t sender ~at:time;
       if fresh t ~src:sender ~dst:receiver ~seq:packet.Packet.seq then begin
         t.stats.delivered <- t.stats.delivered + 1;
         record_latency t (arrival -. time);
@@ -245,7 +528,7 @@ let bare_send t link ~time ~sender ~receiver ~root =
         Executor.Lose
       end
   | Link.Deliver_dup { arrivals = a1, _; packet } ->
-      confirm t sender;
+      confirm t sender ~at:time;
       if fresh t ~src:sender ~dst:receiver ~seq:packet.Packet.seq then begin
         (* the replayed copy carries the same (src, seq): suppress it *)
         t.stats.delivered <- t.stats.delivered + 1;
@@ -308,7 +591,8 @@ let resolve_confirmed t ex exec ~at =
         Executor.cancel exec token;
         ex.ex_timer <- None
     | None -> ());
-    confirm t ex.ex_src;
+    exchange_resolved t ~at;
+    confirm t ex.ex_src ~at;
     observe t
       (Exchange_confirmed { src = ex.ex_src; dst = ex.ex_dst; seq = ex.ex_seq; at })
   end
@@ -321,7 +605,8 @@ let resolve_gave_up t ex exec ~at =
   if not ex.ex_resolved then begin
     ex.ex_resolved <- true;
     ex.ex_timer <- None;
-    unconfirmed t ex.ex_src;
+    exchange_resolved t ~at;
+    unconfirmed t ex.ex_src ~at;
     if (not ex.ex_arrived) && ex.ex_in_flight = 0 then begin
       t.stats.gave_up <- t.stats.gave_up + 1;
       Executor.lose_now exec ~receiver:ex.ex_dst ~root:ex.ex_root
@@ -358,8 +643,14 @@ let rec send_attempt t ex exec ~at ~attempt =
     Executor.schedule exec ~at:due (fun exec ->
         ex.ex_timer <- None;
         if not ex.ex_resolved then
-          if attempt < ex.ex_cfg.max_retries then
+          if attempt < ex.ex_cfg.max_retries then begin
+            (* this timer firing means the attempt went unacknowledged:
+               a per-attempt loss sample for the channel estimator (the
+               exchange itself is still live, so the watchdog counter
+               does not move) *)
+            adapt_outcome t ~sender:ex.ex_src ~confirmed:false ~at:due;
             send_attempt t ex exec ~at:due ~attempt:(attempt + 1)
+          end
           else resolve_gave_up t ex exec ~at:due)
   in
   ex.ex_timer <- Some token
@@ -405,6 +696,7 @@ and receive t ex exec ~arrival =
 let reliable_send t cfg link ~time ~sender ~receiver ~root =
   let exec = require_exec t in
   t.stats.data_sends <- t.stats.data_sends + 1;
+  t.inflight_exchanges <- t.inflight_exchanges + 1;
   let seq = flow_seq t ~src:sender ~dst:receiver in
   let ex =
     {
@@ -483,20 +775,26 @@ let sched_receive t ss exec ~arrival =
   end
   else t.stats.dups_suppressed <- t.stats.dups_suppressed + 1
 
+(* Each blind copy's fate is one estimator sample (the oracle view the
+   simulation affords — the same instant-of-knowledge convention `Bare
+   mode uses at the send), so the estimate keeps tracking the channel
+   while the span-level residual failure rate sits near zero. *)
 let sched_copy t ss exec ~at ~copy =
   if copy > 0 then t.stats.retransmissions <- t.stats.retransmissions + 1;
   match
     Link.send ss.ss_link ~time:at ~src:ss.ss_src ~dst:ss.ss_dst
       ~root:ss.ss_root
   with
-  | Link.Drop _ -> ()
+  | Link.Drop _ -> adapt_outcome t ~sender:ss.ss_src ~confirmed:false ~at
   | Link.Deliver { arrival; packet = _ } ->
+      adapt_outcome t ~sender:ss.ss_src ~confirmed:true ~at;
       ignore
         (Executor.schedule exec ~at:arrival (fun exec ->
              sched_receive t ss exec ~arrival))
   | Link.Deliver_dup { arrivals = a1, a2; packet = _ } ->
       (* an injected duplicate: both copies fly; the replay is squashed
          at the receiver by (src, seq) *)
+      adapt_outcome t ~sender:ss.ss_src ~confirmed:true ~at;
       List.iter
         (fun arrival ->
           ignore
@@ -510,14 +808,17 @@ let sched_copy t ss exec ~at ~copy =
    convention `Bare mode uses at the send. *)
 let sched_resolve t ss st exec ~at =
   st.inflight <- st.inflight - 1;
+  exchange_resolved t ~at;
+  (* the copies already fed the estimator one sample each from
+     [sched_copy]; the span outcome moves only the watchdog counter *)
   if ss.ss_arrived then begin
-    confirm t ss.ss_src;
+    consec_confirm t ss.ss_src;
     observe t
       (Exchange_confirmed
          { src = ss.ss_src; dst = ss.ss_dst; seq = ss.ss_seq; at })
   end
   else begin
-    unconfirmed t ss.ss_src;
+    consec_unconfirmed t ss.ss_src;
     t.stats.gave_up <- t.stats.gave_up + 1;
     Executor.lose_now exec ~receiver:ss.ss_dst ~root:ss.ss_root;
     observe t
@@ -532,20 +833,23 @@ let scheduled_send t sched link ~time ~sender ~receiver ~root =
   | None ->
       (* every star link is scheduled at synthesis; unreachable unless
          the topology grew after creation — fail as a plain loss *)
-      unconfirmed t sender;
+      consec_unconfirmed t sender;
       t.stats.gave_up <- t.stats.gave_up + 1;
       Executor.Lose
   | Some entry ->
       let st = sched_link_state t ~sender ~receiver in
       if st.inflight >= sched.Schedule.depth then begin
         (* admission bound hit: rejecting now is what keeps the latency
-           bound sound for the sends already holding reservations *)
-        unconfirmed t sender;
+           bound sound for the sends already holding reservations; no
+           estimator sample — a full queue says nothing about the
+           channel *)
+        consec_unconfirmed t sender;
         t.stats.gave_up <- t.stats.gave_up + 1;
         Executor.Lose
       end
       else begin
         st.inflight <- st.inflight + 1;
+        t.inflight_exchanges <- t.inflight_exchanges + 1;
         let period = Schedule.period sched in
         let first =
           Schedule.slot_start sched entry ~after:(Float.max time st.next_free)
@@ -595,7 +899,26 @@ let router t : Executor.router =
             | Some sched -> sched
             | None -> assert false (* synthesized in create *)
           in
-          scheduled_send t sched link ~time ~sender ~receiver ~root)
+          scheduled_send t sched link ~time ~sender ~receiver ~root
+      | `Adaptive _ -> (
+          let a =
+            match t.adapt with
+            | Some a -> a
+            | None -> assert false (* constructed in create *)
+          in
+          match a.a_tier with
+          | Pte_adapt.Policy.Healthy -> (
+              match a.a_cfg.healthy with
+              | `Bare -> bare_send t link ~time ~sender ~receiver ~root
+              | `Reliable cfg ->
+                  reliable_send t cfg link ~time ~sender ~receiver ~root)
+          | Pte_adapt.Policy.Degraded ->
+              let sched =
+                match a.a_sched with
+                | Some sched -> sched
+                | None -> assert false (* set by adapt_commit *)
+              in
+              scheduled_send t sched link ~time ~sender ~receiver ~root))
 
 (* ------------------------------------------------------------------ *)
 (* CLI spec parsing                                                    *)
@@ -679,26 +1002,97 @@ let mode_of_string s =
     in
     go default_config (String.split_on_char ',' spec)
   in
+  let parse_adaptive_fields spec =
+    let field (a : adaptive_config) kv =
+      match String.index_opt kv '=' with
+      | None -> fail "transport: expected key=value, got %S" kv
+      | Some i ->
+          let k = String.sub kv 0 i in
+          let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+          let num set =
+            match float_of_string_opt v with
+            | Some f -> Ok (set f)
+            | None -> fail "transport: %s expects a number, got %S" k v
+          in
+          let int set =
+            match int_of_string_opt v with
+            | Some n -> Ok (set n)
+            | None -> fail "transport: %s expects an integer, got %S" k v
+          in
+          (match k with
+          | "healthy" -> (
+              match v with
+              | "bare" -> Ok { a with healthy = `Bare }
+              | "reliable" -> Ok { a with healthy = `Reliable default_config }
+              | _ ->
+                  fail "transport: healthy expects bare or reliable, got %S" v)
+          | "degrade" ->
+              num (fun f ->
+                  { a with
+                    policy =
+                      { a.policy with Pte_adapt.Policy.degrade_above = f } })
+          | "recover" ->
+              num (fun f ->
+                  { a with
+                    policy =
+                      { a.policy with Pte_adapt.Policy.recover_below = f } })
+          | "dwell" ->
+              num (fun f ->
+                  { a with
+                    policy = { a.policy with Pte_adapt.Policy.min_dwell = f } })
+          | "samples" ->
+              int (fun n ->
+                  { a with
+                    policy = { a.policy with Pte_adapt.Policy.min_samples = n } })
+          | "window" ->
+              int (fun n ->
+                  { a with
+                    estimator =
+                      { a.estimator with Pte_adapt.Estimator.window = n } })
+          | "burst" ->
+              int (fun n ->
+                  { a with
+                    estimator =
+                      { a.estimator with Pte_adapt.Estimator.burst_k = n } })
+          | "budget" -> num (fun f -> { a with budget = Some f })
+          | _ ->
+              fail
+                "transport: unknown key %S (expected \
+                 healthy|degrade|recover|dwell|samples|window|burst|budget)"
+                k)
+    in
+    let rec go a = function
+      | [] -> (
+          match validate_adaptive a with
+          | Ok () -> Ok (`Adaptive a)
+          | Error msg -> Error msg)
+      | kv :: rest -> (
+          match field a kv with Ok a -> go a rest | Error _ as e -> e)
+    in
+    go default_adaptive (String.split_on_char ',' spec)
+  in
   match String.index_opt s ':' with
   | None -> (
       match s with
       | "bare" -> Ok `Bare
       | "reliable" -> Ok (`Reliable default_config)
       | "scheduled" -> Ok (`Scheduled Pte_sched.Synth.default_policy)
+      | "adaptive" -> Ok (`Adaptive default_adaptive)
       | _ ->
           fail
-            "unknown transport %S (expected bare, reliable[:k=v,...] or \
-             scheduled[:k=v,...])"
+            "unknown transport %S (expected bare, reliable[:k=v,...], \
+             scheduled[:k=v,...] or adaptive[:k=v,...])"
             s)
   | Some i ->
       let head = String.sub s 0 i in
       let spec = String.sub s (i + 1) (String.length s - i - 1) in
       if String.equal head "reliable" then parse_fields spec
       else if String.equal head "scheduled" then parse_sched_fields spec
+      else if String.equal head "adaptive" then parse_adaptive_fields spec
       else
         fail
-          "unknown transport %S (expected bare, reliable[:k=v,...] or \
-           scheduled[:k=v,...])"
+          "unknown transport %S (expected bare, reliable[:k=v,...], \
+           scheduled[:k=v,...] or adaptive[:k=v,...])"
           head
 
 let pp_config ppf c =
@@ -723,6 +1117,16 @@ let pp_mode ppf = function
         p.retries
         (opt "budget" Fmt.float)
         p.budget
+  | `Adaptive (a : adaptive_config) ->
+      Fmt.pf ppf "adaptive:healthy=%s,degrade=%g,recover=%g,dwell=%g%a"
+        (match a.healthy with `Bare -> "bare" | `Reliable _ -> "reliable")
+        a.policy.Pte_adapt.Policy.degrade_above
+        a.policy.Pte_adapt.Policy.recover_below
+        a.policy.Pte_adapt.Policy.min_dwell
+        (fun ppf -> function
+          | None -> ()
+          | Some b -> Fmt.pf ppf ",budget=%g" b)
+        a.budget
 
 (* The one `--transport` converter every CLI shares: adding a mode (or
    rewording an error) lands in every binary at once. *)
@@ -738,4 +1142,9 @@ let pp_stats ppf s =
   Fmt.pf ppf
     "sends:%d delivered:%d gave-up:%d retx:%d acks:%d acks-lost:%d dups:%d"
     s.data_sends s.delivered s.gave_up s.retransmissions s.acks_sent
-    s.acks_lost s.dups_suppressed
+    s.acks_lost s.dups_suppressed;
+  (* switch counters only exist in `Adaptive mode; printing them only
+     when set keeps the legacy render byte-identical *)
+  if s.switches_up + s.switches_down + s.switch_refusals > 0 then
+    Fmt.pf ppf " switches-up:%d switches-down:%d switch-refusals:%d"
+      s.switches_up s.switches_down s.switch_refusals

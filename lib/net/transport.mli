@@ -63,8 +63,27 @@ val validate : config -> (unit, string) result
 (** Well-formedness: [max_retries >= 0], positive [base_rto],
     [multiplier >= 1], [cap >= base_rto], [jitter >= 0]. *)
 
+(** Configuration of the [`Adaptive] mode: which static mode carries
+    traffic while the channel is healthy, the synthesis template for
+    the degraded [`Scheduled] mode — its [loss] field is replaced by
+    the channel-health estimate at each escalation, so the blind retry
+    count matches the loss the channel is actually showing — and the
+    estimator / escalation-policy knobs. [budget] is the stand-alone
+    admission bound on a candidate mode's worst-case latency, used
+    when no {!set_admit} callback is installed. *)
+type adaptive_config = {
+  healthy : [ `Bare | `Reliable of config ];
+  degraded : Pte_sched.Synth.policy;
+  estimator : Pte_adapt.Estimator.config;
+  policy : Pte_adapt.Policy.config;
+  budget : float option;
+}
+
 type mode =
-  [ `Bare | `Reliable of config | `Scheduled of Pte_sched.Synth.policy ]
+  [ `Bare
+  | `Reliable of config
+  | `Scheduled of Pte_sched.Synth.policy
+  | `Adaptive of adaptive_config ]
 (** [`Scheduled] is the time-triggered third mode (TTW-style): radio
     sends are admitted into a static TDMA round schedule synthesized
     from the star at {!create} ({!Pte_sched.Synth.synthesize}), and
@@ -79,16 +98,44 @@ type mode =
     it runs event-driven on the executor's timer queue and needs
     {!attach}. Injected [Delay_frame] faults sit outside the
     synthesized bound, exactly as they sit outside
-    {!worst_case_latency}. *)
+    {!worst_case_latency}.
+
+    [`Adaptive] switches between a healthy sub-mode and the degraded
+    [`Scheduled] sub-mode at runtime, driven by an online
+    channel-health estimator ({!Pte_adapt.Estimator}) pooled over all
+    senders and an escalation policy with hysteresis
+    ({!Pte_adapt.Policy}). Every switch runs the {e safe-switch
+    protocol}: the candidate mode's worst-case latency is rechecked
+    against the Theorem-1 delay budget ({!set_admit}, or the
+    configured [budget]) {e before} committing; an inadmissible
+    candidate is refused — the transport stays in its current,
+    still-admitted mode and counts a [switch_refusals]. An admitted
+    switch first quiesces: in-flight exchanges of the outgoing mode
+    drain (bounded by that mode's own worst-case latency on the
+    executor's revocable timer queue), so no exchange ever straddles
+    two modes, and a [`Scheduled] exit is automatically round-aligned.
+    Needs {!attach} regardless of the healthy sub-mode. *)
+
+val default_adaptive : adaptive_config
+(** [`Reliable default_config] while healthy (indistinguishable from
+    bare on a clean channel, but a de-escalation under a mis-estimated
+    recovery lands on ARQ rather than single-shot sends),
+    {!Pte_sched.Synth.default_policy} as the degraded template, default
+    estimator and policy knobs, no stand-alone budget. *)
+
+val validate_adaptive : adaptive_config -> (unit, string) result
 
 val mode_of_string : string -> (mode, string) result
 (** Parse a CLI transport spec: ["bare"], ["reliable"], ["scheduled"],
-    ["reliable:key=value,..."] with keys [retries], [rto],
-    [multiplier], [cap] and [jitter], or ["scheduled:key=value,..."]
-    with keys [slot], [retries], [loss], [confidence], [depth] and
-    [budget]. A reliable config is {!validate}d here; a scheduled
-    policy is checked at {!create}, where the topology is known. A
-    malformed spec surfaces as [Error] with the reason. *)
+    ["adaptive"], ["reliable:key=value,..."] with keys [retries],
+    [rto], [multiplier], [cap] and [jitter],
+    ["scheduled:key=value,..."] with keys [slot], [retries], [loss],
+    [confidence], [depth] and [budget], or ["adaptive:key=value,..."]
+    with keys [healthy] (bare|reliable), [degrade], [recover], [dwell],
+    [samples], [window], [burst] and [budget]. A reliable or adaptive
+    config is validated here; a scheduled policy is checked at
+    {!create}, where the topology is known. A malformed spec surfaces
+    as [Error] with the reason. *)
 
 val conv : mode Cmdliner.Arg.conv
 (** The [--transport] converter shared by every CLI: {!mode_of_string}
@@ -127,6 +174,14 @@ type stats = {
           sends, seconds — the measured counterpart of the mode's
           closed-form bound ({!worst_case_latency} /
           {!Pte_sched.Schedule.worst_case_latency}). *)
+  mutable switches_up : int;
+      (** [`Adaptive]: committed escalations healthy → degraded. *)
+  mutable switches_down : int;
+      (** [`Adaptive]: committed de-escalations degraded → healthy. *)
+  mutable switch_refusals : int;
+      (** [`Adaptive]: switches the safe-switch protocol refused —
+          the Theorem-1 recheck rejected the candidate mode (or its
+          synthesis failed), so the transport stayed put. *)
 }
 
 type t
@@ -153,7 +208,33 @@ val schedule : t -> Pte_sched.Schedule.t option
 (** The concrete round schedule synthesized at {!create} —
     [Some _] exactly in [`Scheduled] mode. Its
     {!Pte_sched.Schedule.worst_case_latency} is the bound callers feed
-    into the Theorem-1 recheck, in place of {!worst_case_latency}. *)
+    into the Theorem-1 recheck, in place of {!worst_case_latency}. In
+    [`Adaptive] mode, the schedule the safe-switch protocol last
+    committed — [Some _] exactly while degraded. *)
+
+(** {2 Adaptive mode} *)
+
+val set_admit : t -> (candidate_latency:float -> bool) -> unit
+(** Install the Theorem-1 admission callback the safe-switch protocol
+    consults before committing a mode switch: given the candidate
+    mode's worst-case latency, decide whether the c1–c7 constraint
+    system stays satisfiable at that delay. The emulation layer wires
+    {!Pte_core.Constraints.satisfies_with_delay} in here (the net
+    layer cannot depend on the core). Without a callback the
+    configured [budget] bounds admission; with neither, every
+    candidate is admitted. No-op outside [`Adaptive] mode. *)
+
+val tier : t -> Pte_adapt.Policy.tier option
+(** The current tier — [Some _] exactly in [`Adaptive] mode. *)
+
+val estimator : t -> sender:string -> Pte_adapt.Estimator.t option
+(** The per-sender channel-health estimator ([`Adaptive] mode; [None]
+    until [sender]'s first resolved exchange). *)
+
+val pooled_estimator : t -> Pte_adapt.Estimator.t option
+(** The pooled estimator that drives tier decisions — the star shares
+    one interference environment, so outcomes from every sender inform
+    the switch. [Some _] exactly in [`Adaptive] mode. *)
 
 val router : t -> Pte_hybrid.Executor.router
 (** The executor transport hook. Non-star automata stay wired;

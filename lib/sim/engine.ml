@@ -41,7 +41,8 @@ let create ?(config = Executor.default_config) ?net
         let trng =
           match transport with
           | `Bare -> rng
-          | `Reliable _ | `Scheduled _ -> Pte_util.Rng.split rng
+          | `Reliable _ | `Scheduled _ | `Adaptive _ ->
+              Pte_util.Rng.split rng
         in
         let t = Pte_net.Transport.create ~mode:transport ~rng:trng star in
         Pte_net.Transport.attach t exec;

@@ -15,14 +15,77 @@ val default : Pte_core.Params.t -> config
 (** [k = 3], [hold] = the pattern's all-safe settle bound
     T^max_wait + T^max_LS1 ({!Pte_core.Params.risky_dwell_bound}). *)
 
+(** {2 Watchdog-parameter synthesis}
+
+    A candidate (k, hold) is exercised against scripted channel
+    blackouts ({!Degraded_synth}); every trip is classified as
+    {e justified} (inside the blackout window, allowing for the
+    detection lag) or a {e false trip} (the background loss alone
+    tripped it), and {!synthesize} picks the parameterization that
+    detects every blackout with the fewest false trips. *)
+
+type trip_class = Justified | False_trip
+
+val classify_trip :
+  blackout_start:float ->
+  blackout_end:float ->
+  slack:float ->
+  entered_at:float ->
+  trip_class
+(** Justified iff [entered_at] lies in
+    [\[blackout_start, blackout_end +. slack)] — [slack] covers the
+    detection lag: the k-th consecutive loss only becomes known one
+    transport resolution after the blackout begins, and losses in
+    flight at its end still surface afterwards. *)
+
+(** One cell of the loss × k × hold sweep. *)
+type sweep_cell = {
+  sweep_loss : float;  (** background (non-blackout) average loss. *)
+  sweep_k : int;
+  sweep_hold : float;
+  false_trips : int;  (** trips outside the blackout window (+slack). *)
+  justified_trips : int;  (** trips inside it. *)
+  detection_delay : float;
+      (** first justified trip minus blackout start; [nan] when the
+          blackout went undetected. *)
+  failures : int;  (** PTE violation episodes in the cell's trial. *)
+}
+
+(** A synthesized (k, hold) with its aggregate quality over the loss
+    axis. *)
+type choice = {
+  chosen_k : int;
+  chosen_hold : float;
+  total_false_trips : int;
+  worst_detection_delay : float;
+}
+
+val synthesize : ?max_false_trips:int -> sweep_cell list -> choice option
+(** Group the sweep by (k, hold) and pick the pair that detected the
+    blackout at {e every} background loss level, kept every trial
+    violation-free, and stayed within [max_false_trips] (default 0)
+    summed over the sweep; ties break toward the fastest worst-case
+    detection, then the shorter hold, then the smaller k. [None] when
+    no pair qualifies. *)
+
+val pp_trip_class : trip_class Fmt.t
+val pp_sweep_cell : sweep_cell Fmt.t
+val pp_choice : choice Fmt.t
+
 type handle = {
   config : config;
   mutable entries : int;  (** times the mode was entered. *)
   mutable active : bool;
   mutable entered_at : float list;  (** entry times, newest first. *)
+  mutable release_at : float option;
+      (** the pending hold expiry, [Some (entered_at +. hold)] exactly
+          while active. *)
 }
 
 val install : Pte_sim.Engine.t -> supervisor:string -> config -> handle
 (** Register the watchdog process on [engine] (a no-op engine without a
     network). Must be installed {e after} the oximeter so its forced 0
-    overwrites the oximeter's approval sample within each instant. *)
+    overwrites the oximeter's approval sample within each instant. The
+    entry check polls per step, but the hold expiry is an executor
+    timer: the mode exits (and the loss counter re-arms) at exactly
+    [entered_at +. hold]. *)

@@ -1,0 +1,156 @@
+(** The loss × k × hold watchdog sweep: exercise candidate
+    degraded-safe-mode parameterizations against scripted channel
+    blackouts and classify every trip, feeding {!Degraded.synthesize}.
+
+    Each cell runs one emulation trial at a background loss level with
+    the fault plan's [loss_profile] carving total blackout windows
+    into the channel ([loss = 1] → every packet lost). A well-chosen
+    (k, hold) trips {e inside} those windows — the channel really is
+    gone — and never on the background loss alone; the sweep measures
+    exactly that, per candidate, via {!Pte_campaign.Runner} so cells
+    run on all cores and replay per (seed, cell). Several windows are
+    scripted per trial because a blackout is only {e observable} while
+    the supervisor has traffic in flight (it counts its own send
+    losses; a request lost en route starts no session, so no sends): a
+    single window stakes detection on a session happening to straddle
+    its onset. *)
+
+type config = {
+  base : Emulation.config;
+      (** trial template; its [loss], [faults.loss_profile] and
+          [degraded] fields are overridden per cell. *)
+  losses : float list;  (** background average loss levels to sweep. *)
+  ks : int list;  (** candidate consecutive-loss thresholds. *)
+  holds : float list;  (** candidate hold durations, seconds. *)
+  blackouts : (float * float) list;
+      (** scripted total-blackout windows, [(start, duration)]. *)
+  slack : float;
+      (** detection-lag allowance after each blackout ends
+          ({!Degraded.classify_trip}). *)
+}
+
+let default_config params =
+  let rdb = Pte_core.Params.risky_dwell_bound params in
+  {
+    (* high laser duty cycle — request ~5 s after each fall-back, emit
+       until cancelled late: the watchdog counts *supervisor* send
+       losses, and the supervisor only transmits while an exchange is
+       live, so a traffic-bearing workload is what makes blackout
+       detection a property of (k, hold) vs the channel rather than of
+       surgeon timing luck *)
+    base =
+      { Emulation.default with params; horizon = 600.0; e_ton = 5.0;
+        e_toff = 120.0 };
+    losses = [ 0.0; 0.25; 0.4 ];
+    ks = [ 2; 3; 5 ];
+    holds = [ 0.5 *. rdb; rdb; 2.0 *. rdb ];
+    blackouts = [ (150.0, 60.0); (300.0, 60.0); (450.0, 60.0) ];
+    (* the k-th loss surfaces one transport resolution after the
+       blackout begins; give the tail the same allowance *)
+    slack = 15.0;
+  }
+
+let run_cell config ~loss ~k ~hold =
+  let base = config.base in
+  let faults =
+    {
+      base.Emulation.faults with
+      Pte_faults.Plan.loss_profile =
+        List.concat_map
+          (fun (start, duration) ->
+            [
+              Pte_faults.Plan.loss_step ~at:start ~loss:1.0;
+              Pte_faults.Plan.loss_step ~at:(start +. duration) ~loss;
+            ])
+          config.blackouts;
+    }
+  in
+  let trial =
+    {
+      base with
+      Emulation.loss =
+        (if loss <= 0.0 then Pte_net.Loss.Perfect
+         else Pte_net.Loss.wifi_interference ~average_loss:loss);
+      faults;
+      degraded = Some { Degraded.k; hold };
+    }
+  in
+  let built = Emulation.build trial in
+  let trace = Emulation.run built in
+  let report =
+    Pte_core.Monitor.analyze_system trace built.Emulation.system
+      built.Emulation.spec ~horizon:trial.Emulation.horizon
+  in
+  let entries =
+    match built.Emulation.degraded with
+    | Some h -> List.rev h.Degraded.entered_at  (* chronological *)
+    | None -> []
+  in
+  (* a trip is justified when any scripted window claims it; its
+     detection delay is measured from that window's start *)
+  let window_of at =
+    List.find_opt
+      (fun (start, duration) ->
+        Degraded.classify_trip ~blackout_start:start
+          ~blackout_end:(start +. duration) ~slack:config.slack
+          ~entered_at:at
+        = Degraded.Justified)
+      config.blackouts
+  in
+  let justified, false_trips =
+    List.partition (fun at -> Option.is_some (window_of at)) entries
+  in
+  {
+    Degraded.sweep_loss = loss;
+    sweep_k = k;
+    sweep_hold = hold;
+    false_trips = List.length false_trips;
+    justified_trips = List.length justified;
+    detection_delay =
+      (match justified with
+      | first :: _ -> (
+          match window_of first with
+          | Some (start, _) -> first -. start
+          | None -> assert false)
+      | [] -> nan);
+    failures = Pte_core.Monitor.episodes report;
+  }
+
+let sweep ?workers config =
+  let cells =
+    Array.of_list
+      (List.concat_map
+         (fun loss ->
+           List.concat_map
+             (fun k -> List.map (fun hold -> (loss, k, hold)) config.holds)
+             config.ks)
+         config.losses)
+  in
+  let results : Degraded.sweep_cell option array =
+    Array.make (Array.length cells) None
+  in
+  ignore
+    (Pte_campaign.Runner.run
+       ~config:
+         {
+           Pte_campaign.Runner.workers;
+           retries = 1;
+           checkpoint = None;
+           resume = false;
+         }
+       ~cells ~reps:1 ~seed:config.base.Emulation.seed
+       (fun job _rng ->
+         let loss, k, hold = job.Pte_campaign.Job.payload in
+         let cell = run_cell config ~loss ~k ~hold in
+         results.(job.Pte_campaign.Job.id) <- Some cell;
+         [
+           ("false_trips", Float.of_int cell.Degraded.false_trips);
+           ("justified_trips", Float.of_int cell.Degraded.justified_trips);
+           ("detection_delay", cell.Degraded.detection_delay);
+           ("failures", Float.of_int cell.Degraded.failures);
+         ]));
+  Array.to_list results |> List.filter_map Fun.id
+
+let synthesize ?workers ?max_false_trips config =
+  let cells = sweep ?workers config in
+  (cells, Degraded.synthesize ?max_false_trips cells)

@@ -1,0 +1,53 @@
+(** The loss × k × hold watchdog sweep behind {!Degraded.synthesize}:
+    run candidate degraded-safe-mode parameterizations against
+    scripted channel blackouts (the fault plan's [loss_profile] at
+    [loss = 1]) over a grid of background loss levels, classify every
+    trip as justified or false, and pick the (k, hold) that trips on
+    the blackouts within the false-trip budget. Several blackout
+    windows are scripted per trial: a blackout is only observable
+    while the supervisor has traffic in flight, so a single window
+    would stake detection on a session happening to straddle it. *)
+
+type config = {
+  base : Emulation.config;
+      (** trial template; its [loss], [faults.loss_profile] and
+          [degraded] fields are overridden per cell. *)
+  losses : float list;  (** background average loss levels to sweep. *)
+  ks : int list;  (** candidate consecutive-loss thresholds. *)
+  holds : float list;  (** candidate hold durations, seconds. *)
+  blackouts : (float * float) list;
+      (** scripted total-blackout windows, [(start, duration)]. *)
+  slack : float;
+      (** detection-lag allowance after each blackout ends
+          ({!Degraded.classify_trip}). *)
+}
+
+val default_config : Pte_core.Params.t -> config
+(** 10-minute trials, losses {0, 25 %, 40 %}, k ∈ {2, 3, 5}, hold ∈
+    {½, 1, 2} × the all-safe settle bound
+    ({!Pte_core.Params.risky_dwell_bound}), three 60 s blackouts (at
+    t = 150, 300, 450 s), 15 s detection slack. The trial template
+    runs the laser at a high duty cycle (E(Ton) = 5 s, E(Toff) =
+    120 s — request soon after each fall-back, emit until cancelled
+    late): the watchdog counts supervisor send losses, and the
+    supervisor only transmits while an exchange is live, so a
+    traffic-bearing workload is what makes blackout detection a
+    property of (k, hold) vs the channel. *)
+
+val run_cell :
+  config -> loss:float -> k:int -> hold:float -> Degraded.sweep_cell
+(** One cell: a trial at background [loss] with the blackouts overlaid
+    and the watchdog at (k, hold), trips classified (justified when
+    any scripted window claims them; the detection delay is measured
+    from the claiming window's start). *)
+
+val sweep : ?workers:int -> config -> Degraded.sweep_cell list
+(** The full grid as one {!Pte_campaign.Runner} campaign (all cores by
+    default), in cell order. *)
+
+val synthesize :
+  ?workers:int ->
+  ?max_false_trips:int ->
+  config ->
+  Degraded.sweep_cell list * Degraded.choice option
+(** {!sweep}, then {!Degraded.synthesize} over the cells. *)

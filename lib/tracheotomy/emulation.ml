@@ -88,10 +88,29 @@ let build (config : config) =
       [ supervisor; ventilator; laser; Patient.automaton ]
   in
   let rng = Pte_util.Rng.create config.seed in
+  (* a loss profile in the fault plan overlays a time-varying channel:
+     the configured model covers the span before the first step, each
+     step then switches the whole star to its level *)
+  let loss_kind =
+    match config.faults.Pte_faults.Plan.loss_profile with
+    | [] -> config.loss
+    | steps ->
+        let kind_of loss =
+          if loss <= 0.0 then Pte_net.Loss.Perfect
+          else if loss >= 1.0 then Pte_net.Loss.Bernoulli 1.0
+            (* a total blackout, which wifi_interference cannot realize *)
+          else Pte_net.Loss.wifi_interference ~average_loss:loss
+        in
+        Pte_net.Loss.Profile
+          ((0.0, config.loss)
+          :: List.map
+               (fun (s : Pte_faults.Plan.loss_step) -> (s.at, kind_of s.loss))
+               steps)
+  in
   let net =
     Pte_net.Star.create ~base:supervisor_name
       ~remotes:[ ventilator_name; laser_name ]
-      ~loss_kind:config.loss ~mac_retries:config.mac_retries ~rng ()
+      ~loss_kind ~mac_retries:config.mac_retries ~rng ()
   in
   (* A non-bare transport is only admissible when Theorem 1 survives
      its worst-case latency: recheck c1–c7 with the mode's closed-form
@@ -151,6 +170,40 @@ let build (config : config) =
         recheck_theorem1 ~what:"synthesized round schedule"
           (Pte_sched.Schedule.worst_case_latency sched);
         { config with transport = `Scheduled policy }
+    | `Adaptive acfg ->
+        (match Pte_net.Transport.validate_adaptive acfg with
+        | Ok () -> ()
+        | Error msg -> invalid_arg ("Emulation.build: " ^ msg));
+        (* the trial starts in the healthy sub-mode, so its bound must
+           hold outright; escalation candidates are rechecked at switch
+           time by the admission callback installed below *)
+        (match acfg.Pte_net.Transport.healthy with
+        | `Bare -> ()
+        | `Reliable tcfg ->
+            recheck_theorem1 ~what:"adaptive healthy retry budget"
+              (Pte_net.Transport.worst_case_latency tcfg
+                 ~frame_delay:(Pte_net.Star.worst_frame_delay net)));
+        (* fill unset budgets with the Theorem-1 delay budget, exactly
+           as for a static `Scheduled mode: escalation-time synthesis
+           then already refuses over-budget schedules, and the c1–c7
+           recheck below stays the final word *)
+        let budget = Pte_core.Constraints.max_delay_budget params in
+        let degraded =
+          match acfg.Pte_net.Transport.degraded.Pte_sched.Synth.budget with
+          | Some _ -> acfg.Pte_net.Transport.degraded
+          | None ->
+              { acfg.Pte_net.Transport.degraded with
+                Pte_sched.Synth.budget = Some budget }
+        in
+        let acfg =
+          match acfg.Pte_net.Transport.budget with
+          | Some _ -> { acfg with Pte_net.Transport.degraded }
+          | None ->
+              { acfg with
+                Pte_net.Transport.degraded;
+                budget = Some budget }
+        in
+        { config with transport = `Adaptive acfg }
   in
   let exec_config = { Executor.default_config with dt = config.dt } in
   let engine =
@@ -187,6 +240,12 @@ let build (config : config) =
     | Some t -> t
     | None -> assert false (* the engine always gets ~net here *)
   in
+  (* the safe-switch protocol's Theorem-1 recheck: a candidate mode is
+     admissible iff c1–c7 survive its worst-case latency (the net layer
+     cannot depend on the core, so the check is injected) *)
+  Pte_net.Transport.set_admit transport (fun ~candidate_latency ->
+      Pte_core.Constraints.satisfies_with_delay params
+        ~delay:candidate_latency);
   {
     config;
     engine;

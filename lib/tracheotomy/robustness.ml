@@ -78,7 +78,7 @@ let targets ?params ?(occurrences = 2) () =
             message = m;
             occurrence = k;
             plan =
-              {
+              { Plan.empty with
                 Plan.packet_faults =
                   [
                     Plan.drop_nth ~entity:m.site.Plan.entity

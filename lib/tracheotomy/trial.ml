@@ -24,8 +24,13 @@ type result = {
   dups_suppressed : int;  (** replayed copies squashed by (src, seq). *)
   degraded_entries : int;  (** times the supervisor entered safe-mode. *)
   worst_latency : float;  (** largest observed send-to-delivery delay. *)
+  mode_switches_up : int;  (** adaptive: committed escalations. *)
+  mode_switches_down : int;  (** adaptive: committed de-escalations. *)
+  switch_refusals : int;
+      (** adaptive: switches refused by the Theorem-1 recheck. *)
   schedule : Pte_sched.Schedule.t option;
-      (** the synthesized round schedule (scheduled mode only). *)
+      (** the synthesized round schedule (scheduled mode, or the
+          adaptive mode's last committed degraded schedule). *)
 }
 
 let run (config : Emulation.config) : result =
@@ -77,6 +82,9 @@ let run (config : Emulation.config) : result =
       | Some h -> h.Degraded.entries
       | None -> 0);
     worst_latency = tstats.Pte_net.Transport.worst_latency;
+    mode_switches_up = tstats.Pte_net.Transport.switches_up;
+    mode_switches_down = tstats.Pte_net.Transport.switches_down;
+    switch_refusals = tstats.Pte_net.Transport.switch_refusals;
     schedule = Pte_net.Transport.schedule built.Emulation.transport;
   }
 
@@ -120,6 +128,9 @@ let metrics_of_result (r : result) =
     ("dups_suppressed", Float.of_int r.dups_suppressed);
     ("degraded_entries", Float.of_int r.degraded_entries);
     ("worst_latency", r.worst_latency);
+    ("mode_switches_up", Float.of_int r.mode_switches_up);
+    ("mode_switches_down", Float.of_int r.mode_switches_down);
+    ("switch_refusals", Float.of_int r.switch_refusals);
     (* indicator, so the aggregate counts replicates with any failure *)
     ("failed", if r.failures > 0 then 1.0 else 0.0);
   ]

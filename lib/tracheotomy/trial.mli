@@ -32,9 +32,21 @@ type result = {
           radio sends, seconds
           ({!Pte_net.Transport.stats.worst_latency}) — the measured
           counterpart of the mode's closed-form latency bound. *)
+  mode_switches_up : int;
+      (** adaptive transport: committed escalations healthy →
+          degraded ([0] in every static mode). *)
+  mode_switches_down : int;
+      (** adaptive transport: committed de-escalations degraded →
+          healthy. *)
+  switch_refusals : int;
+      (** adaptive transport: switches the safe-switch protocol
+          refused after the Theorem-1 recheck rejected the candidate
+          mode (the transport stayed in its current mode). *)
   schedule : Pte_sched.Schedule.t option;
       (** the concrete round schedule the transport synthesized
-          ([Some _] exactly in scheduled mode); its
+          ([Some _] exactly in scheduled mode; in adaptive mode, the
+          degraded schedule in force at trial end — [Some _] iff the
+          trial ended in the degraded tier); its
           {!Pte_sched.Schedule.worst_case_latency} is the bound
           [worst_latency] must stay under. *)
 }

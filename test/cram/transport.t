@@ -34,14 +34,14 @@ Unknown modes name every alternative, on both CLIs:
 
   $ ../../bin/pte_sim_cli.exe --minutes 1 --transport turbo
   pte-sim: option '--transport': unknown transport "turbo" (expected bare,
-           reliable[:k=v,...] or scheduled[:k=v,...])
+           reliable[:k=v,...], scheduled[:k=v,...] or adaptive[:k=v,...])
   Usage: pte-sim [OPTION]…
   Try 'pte-sim --help' for more information.
   [124]
 
   $ ../../bin/pte_faults_cli.exe coverage --transport turbo
   pte-faults: option '--transport': unknown transport "turbo" (expected bare,
-              reliable[:k=v,...] or scheduled[:k=v,...])
+              reliable[:k=v,...], scheduled[:k=v,...] or adaptive[:k=v,...])
   Usage: pte-faults coverage [OPTION]…
   Try 'pte-faults coverage --help' or 'pte-faults --help' for more information.
   [124]
@@ -70,6 +70,51 @@ any trial runs:
   $ ../../bin/pte_sim_cli.exe --minutes 1 --transport scheduled:retries=12
   pte-sim: Emulation.build: schedule synthesis: minimal schedule needs 3.18s but the delay budget is 2s
   [2]
+
+`--transport adaptive` starts in a healthy ARQ tier and watches the
+channel online: when the per-attempt loss estimate crosses the
+escalation threshold (and the Theorem-1 recheck admits the candidate
+schedule) it switches to a synthesized time-triggered degraded tier.
+On a steady 60% channel it escalates once and ends the trial
+degraded, violation free:
+
+  $ ../../bin/pte_sim_cli.exe --minutes 5 --loss 0.6 --seed 7 --transport adaptive
+  5-minute trial (with lease, E(Ton)=30s, E(Toff)=18s, loss 0.6, seed 7)
+    emissions:3 failures:0 evtToStop:1 aborts:0 requests:7 longest-pause:33.2s longest-emission:21.5s minSpO2:92.2 loss:55%
+    transport: adaptive switches-up:1 switches-down:0 switch-refusals:0 gave-up:3 worst-seen:0.90s (ended degraded)
+
+Its knobs ride the same spec-string syntax; the validators reject an
+inverted hysteresis band and unknown keys up front:
+
+  $ ../../bin/pte_sim_cli.exe --minutes 1 --transport adaptive:degrade=0.2,recover=0.5
+  pte-sim: option '--transport': policy: recover_below must be < degrade_above
+           (hysteresis)
+  Usage: pte-sim [OPTION]…
+  Try 'pte-sim --help' for more information.
+  [124]
+
+  $ ../../bin/pte_sim_cli.exe --minutes 1 --transport adaptive:turbo=1
+  pte-sim: option '--transport': transport: unknown key "turbo" (expected
+           healthy|degrade|recover|dwell|samples|window|burst|budget)
+  Usage: pte-sim [OPTION]…
+  Try 'pte-sim --help' for more information.
+  [124]
+
+`--loss-model` swaps the Table-I WiFi channel for an explicit model
+(a raw Gilbert-Elliott chain here), and names the alternatives when
+it cannot parse one:
+
+  $ ../../bin/pte_sim_cli.exe --minutes 5 --seed 7 --loss-model ge:0.1,0.3,0.05,0.9
+  5-minute trial (with lease, E(Ton)=30s, E(Toff)=18s, loss gilbert-elliott(bad:0.100 good:0.300), seed 7)
+    emissions:2 failures:0 evtToStop:0 aborts:0 requests:7 longest-pause:25.8s longest-emission:14.9s minSpO2:93.4 loss:26%
+
+  $ ../../bin/pte_sim_cli.exe --minutes 1 --loss-model nope
+  pte-sim: option '--loss-model': unknown loss model "nope" (expected perfect,
+           wifi:<avg>, bernoulli:<p>, ge:to_bad,to_good,loss_good,loss_bad or
+           interferer:period,burst,loss_during,loss_idle)
+  Usage: pte-sim [OPTION]…
+  Try 'pte-sim --help' for more information.
+  [124]
 
 The coverage campaign reruns every scripted single-drop target over
 the reliable transport; retransmission recovers each drop, so both

@@ -201,6 +201,17 @@ let test_trial_campaign_determinism_across_workers () =
         transport = `Scheduled Pte_sched.Synth.default_policy;
         loss = Pte_net.Loss.wifi_interference ~average_loss:0.35;
       };
+      (* adaptive mode adds the estimator, the escalation policy and
+         the safe-switch protocol on top; a lossy channel keeps the
+         estimator fed so tier decisions are part of what must replay
+         identically at any worker count *)
+      {
+        Pte_tracheotomy.Emulation.default with
+        horizon = 30.0;
+        seed = 45;
+        transport = `Adaptive Pte_net.Transport.default_adaptive;
+        loss = Pte_net.Loss.wifi_interference ~average_loss:0.5;
+      };
     |]
   in
   let agg workers =

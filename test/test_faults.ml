@@ -22,6 +22,20 @@ let prop_plan_json_roundtrip =
       | Ok plan' -> plan = plan'
       | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
 
+(* the loss_profile segment rides the same contract: any plan the
+   profile-aware fuzzer emits survives encode/decode intact *)
+let prop_plan_with_profile_json_roundtrip =
+  QCheck.Test.make ~name:"plans with loss profiles round-trip through JSON"
+    ~count:200
+    QCheck.(make ~print:string_of_int Gen.int)
+    (fun seed ->
+      let plan =
+        Fuzz.random_plan_with_profile (Pte_util.Rng.create seed) vocab
+      in
+      match Plan.of_string (Plan.to_string plan) with
+      | Ok plan' -> plan = plan'
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+
 let test_plan_rejects_garbage () =
   List.iter
     (fun s ->
@@ -29,7 +43,10 @@ let test_plan_rejects_garbage () =
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "accepted %S" s)
     [ "{"; "[]"; "{\"packet\": 3}";
-      "{\"packet\": [{\"entity\": \"v\"}], \"node\": []}" ]
+      "{\"packet\": [{\"entity\": \"v\"}], \"node\": []}";
+      (* loss steps must sit on the timeline with loss in [0, 1] *)
+      "{\"loss_profile\": [{\"at\": -1.0, \"loss\": 0.5}]}";
+      "{\"loss_profile\": [{\"at\": 3.0, \"loss\": 1.5}]}" ]
 
 (* ------------------------------------------------------------------ *)
 (* injector semantics on real links                                    *)
@@ -52,7 +69,7 @@ let send link ~time ~root =
 let test_injector_drops_nth () =
   let star = mk_star () in
   let plan =
-    {
+    { Plan.empty with
       Plan.packet_faults =
         [ Plan.drop_nth ~entity:"r1" ~direction:Plan.Down ~root:"evt_k" 1 ];
       node_faults = [];
@@ -80,7 +97,7 @@ let test_injector_drops_nth () =
 let test_injector_site_selectivity () =
   let star = mk_star () in
   let plan =
-    {
+    { Plan.empty with
       Plan.packet_faults =
         [ Plan.drop_every ~entity:"r1" ~direction:Plan.Down ~root:"e" ];
       node_faults = [];
@@ -101,7 +118,7 @@ let test_injector_site_selectivity () =
 let test_injector_corrupt_flows_through_crc () =
   let star = mk_star () in
   let plan =
-    {
+    { Plan.empty with
       Plan.packet_faults =
         [
           Plan.packet ~root:"e" ~entity:"r2" ~direction:Plan.Up
@@ -123,7 +140,7 @@ let test_injector_corrupt_flows_through_crc () =
 let test_injector_window_and_delay () =
   let star = mk_star () in
   let plan =
-    {
+    { Plan.empty with
       Plan.packet_faults =
         [
           Plan.packet ~root:"e" ~window:{ Plan.after = 10.0; before = 20.0 }
@@ -147,7 +164,7 @@ let test_injector_window_and_delay () =
 let test_injector_duplicate () =
   let star = mk_star () in
   let plan =
-    {
+    { Plan.empty with
       Plan.packet_faults =
         [
           Plan.packet ~root:"e" ~entity:"r1" ~direction:Plan.Up
@@ -166,7 +183,7 @@ let test_injector_first_fault_shadows () =
   let star = mk_star () in
   let drop = Plan.drop_nth ~entity:"r1" ~direction:Plan.Down ~root:"e" 0 in
   let plan =
-    {
+    { Plan.empty with
       Plan.packet_faults =
         [ drop; { drop with Plan.action = Plan.Duplicate } ];
       node_faults = [];
@@ -192,7 +209,7 @@ let test_crash_and_restart_schedule () =
         horizon = 30.0;
         seed = 3;
         faults =
-          {
+          { Plan.empty with
             Plan.packet_faults = [];
             node_faults = [ Plan.crash ~entity:"ventilator" ~at:10.0 ~blackout:5.0 ];
           };
@@ -250,7 +267,7 @@ let test_shrink_to_culprit () =
       ~entity:"laser" ~direction:Plan.Up ~occurrence:(Plan.Nth 3) Plan.Drop
   in
   let plan =
-    {
+    { Plan.empty with
       Plan.packet_faults = noise @ [ culprit ];
       node_faults = [ Plan.crash ~entity:"laser" ~at:50.0 ~blackout:20.0 ];
     }
@@ -275,10 +292,46 @@ let test_shrink_to_culprit () =
   | _ -> assert false);
   Alcotest.(check bool) "bounded oracle budget" true (calls <= 200)
 
+let test_shrink_loss_profile () =
+  (* the oracle cares about one thing: an early channel blackout
+     (loss >= 0.8 arriving by t = 60). Shrinking must strip the packet
+     and node noise, drop the benign steps, and may only pull the
+     culprit toward the benign end while the oracle still fails *)
+  let rng = Pte_util.Rng.create 17 in
+  let plan =
+    {
+      Plan.packet_faults =
+        List.init 3 (fun _ -> Fuzz.random_packet_fault rng vocab);
+      node_faults = [ Plan.crash ~entity:"laser" ~at:40.0 ~blackout:10.0 ];
+      loss_profile =
+        [
+          Plan.loss_step ~at:5.0 ~loss:0.2;
+          Plan.loss_step ~at:30.0 ~loss:1.0;
+          Plan.loss_step ~at:80.0 ~loss:0.1;
+        ];
+    }
+  in
+  let oracle (p : Plan.t) =
+    List.exists
+      (fun (s : Plan.loss_step) -> s.Plan.loss >= 0.8 && s.Plan.at <= 60.0)
+      p.Plan.loss_profile
+  in
+  let minimal, _calls = Shrink.shrink ~oracle plan in
+  Alcotest.(check bool) "still failing" true (oracle minimal);
+  Alcotest.(check int) "packet noise removed" 0
+    (List.length minimal.Plan.packet_faults);
+  Alcotest.(check int) "node noise removed" 0
+    (List.length minimal.Plan.node_faults);
+  match minimal.Plan.loss_profile with
+  | [ s ] ->
+      Alcotest.(check bool) "the blackout step survives" true
+        (s.Plan.loss >= 0.8)
+  | l -> Alcotest.failf "expected one surviving step, got %d" (List.length l)
+
 let test_shrink_respects_budget () =
   let rng = Pte_util.Rng.create 9 in
   let plan =
-    {
+    { Plan.empty with
       Plan.packet_faults = List.init 6 (fun _ -> Fuzz.random_packet_fault rng vocab);
       node_faults = [];
     }
@@ -300,7 +353,7 @@ let test_artifact_replay_deterministic () =
   let artifact =
     {
       Robustness.plan =
-        {
+        { Plan.empty with
           Plan.packet_faults =
             [
               Plan.drop_nth ~entity:"ventilator" ~direction:Plan.Down
@@ -375,6 +428,7 @@ let suite =
     ( "faults.plan",
       [
         QCheck_alcotest.to_alcotest prop_plan_json_roundtrip;
+        QCheck_alcotest.to_alcotest prop_plan_with_profile_json_roundtrip;
         Alcotest.test_case "rejects malformed JSON" `Quick
           test_plan_rejects_garbage;
       ] );
@@ -403,6 +457,8 @@ let suite =
     ( "faults.shrink",
       [
         Alcotest.test_case "strips to the culprit" `Quick test_shrink_to_culprit;
+        Alcotest.test_case "strips a loss profile to its blackout" `Quick
+          test_shrink_loss_profile;
         Alcotest.test_case "respects the oracle budget" `Quick
           test_shrink_respects_budget;
       ] );

@@ -9,6 +9,7 @@ let () =
    @ Test_executor.suite @ Test_export.suite
    @ Test_elaboration.suite @ Test_crc.suite @ Test_loss.suite
    @ Test_network.suite @ Test_sched.suite @ Test_transport.suite
+   @ Test_adapt.suite
    @ Test_constraints.suite
    @ Test_synthesis.suite
    @ Test_monitor.suite @ Test_monitor_reference.suite @ Test_pattern.suite

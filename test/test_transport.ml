@@ -591,7 +591,7 @@ let duplicate_everything =
   let dup entity direction =
     Plan.packet ~entity ~direction ~occurrence:Plan.Every Plan.Duplicate
   in
-  {
+  { Plan.empty with
     Plan.packet_faults =
       [
         dup "ventilator" Plan.Up; dup "ventilator" Plan.Down;
@@ -669,7 +669,7 @@ let blackout_after t0 =
     Plan.packet ~window:{ Plan.after = t0; before = 1e9 } ~entity
       ~direction:Plan.Down ~occurrence:Plan.Every Plan.Drop
   in
-  { Plan.packet_faults = [ drop "ventilator"; drop "laser" ];
+  { Plan.empty with Plan.packet_faults = [ drop "ventilator"; drop "laser" ];
     node_faults = [] }
 
 let test_degraded_blackout () =
@@ -750,6 +750,110 @@ let test_degraded_blackout () =
   Alcotest.(check int) "no PTE violation despite the blackout" 0
     (Pte_core.Monitor.episodes report)
 
+(* ---- boundary: the hold expiry rides the executor's timer queue,
+        so release happens at exactly entered_at + hold — not at the
+        next step-quantized poll — and the re-armed watchdog needs k
+        fresh losses to trip again ---- *)
+
+let test_degraded_hold_expiry_on_timer () =
+  (* a hold deliberately off the dt grid: a per-step poll could only
+     release at the next step boundary after it *)
+  let hold = 15.003 in
+  let config =
+    {
+      Emulation.default with
+      horizon = 150.0;
+      (* steady surgeon traffic: requests keep crossing the intact
+         uplink, so the supervisor keeps answering into the blackout
+         and the counter keeps moving before and after the hold *)
+      e_ton = 3.0;
+      e_toff = 5.0;
+      loss = Pte_net.Loss.Perfect;
+      seed = 33;
+      transport = `Reliable Transport.default_config;
+      degraded = Some { Pte_tracheotomy.Degraded.k = 2; hold };
+      faults = blackout_after 20.0;
+    }
+  in
+  let built = Emulation.build config in
+  let handle =
+    match built.Emulation.degraded with
+    | Some h -> h
+    | None -> Alcotest.fail "degraded mode was configured"
+  in
+  let trace = Emulation.run built in
+  Alcotest.(check bool)
+    (Fmt.str "re-tripped after re-arm (%d entries)"
+       handle.Pte_tracheotomy.Degraded.entries)
+    true
+    (handle.Pte_tracheotomy.Degraded.entries >= 2);
+  let entries = List.rev handle.Pte_tracheotomy.Degraded.entered_at in
+  let exits =
+    List.filter_map
+      (fun (e : Pte_hybrid.Trace.entry) ->
+        match e.Pte_hybrid.Trace.event with
+        | Pte_hybrid.Trace.Note "degraded-safe-mode: exit" ->
+            Some e.Pte_hybrid.Trace.time
+        | _ -> None)
+      trace
+  in
+  (* every exit lands at the first executor step at-or-after the
+     matching entry + hold — never before it (the timer's due is the
+     exact off-grid release instant; the executor drains it at the
+     next step boundary, within one dt) *)
+  List.iteri
+    (fun i exit_at ->
+      let release = List.nth entries i +. hold in
+      Alcotest.(check bool)
+        (Fmt.str "exit %d not before release (%.4f vs %.4f)" i exit_at release)
+        true
+        (exit_at >= release -. 1e-9);
+      Alcotest.(check bool)
+        (Fmt.str "exit %d within one step of release" i)
+        true
+        (exit_at <= release +. config.Emulation.dt +. 1e-9))
+    exits;
+  Alcotest.(check bool) "at least one full enter/exit cycle" true
+    (List.length exits >= 1);
+  (* the re-armed watchdog needed k fresh losses: the second entry
+     sits strictly after the first release *)
+  match entries with
+  | e0 :: e1 :: _ ->
+      Alcotest.(check bool) "second entry after the first release" true
+        (e1 > e0 +. hold)
+  | _ -> Alcotest.fail "two entries recorded"
+
+let test_reset_vs_inflight_exchange () =
+  (* a reset landing while an exchange is still unresolved: the loss
+     that becomes known afterwards counts from zero — the reset never
+     retroactively forgives it, nor does the exchange resurrect the
+     pre-reset count *)
+  let star = mk_star ~loss:(Loss.Bernoulli 1.0) ~seed:9 () in
+  let exec, t =
+    ev_harness ~star ~mode:(`Reliable Transport.default_config) ~rng_seed:10
+      ~sender:"base" ~receiver:"r1" ()
+  in
+  List.iter
+    (fun at ->
+      Exec.run exec ~until:at;
+      ignore (Exec.inject exec ~receiver:"base" ~root:"kick"))
+    [ 0.0; 1.0 ];
+  Exec.run exec ~until:7.0;
+  Alcotest.(check int) "two losses known" 2
+    (Transport.consecutive_losses t ~sender:"base");
+  ignore (Exec.inject exec ~receiver:"base" ~root:"kick");
+  Exec.run exec ~until:8.0;
+  Alcotest.(check int) "third exchange still in flight" 2
+    (Transport.consecutive_losses t ~sender:"base");
+  Transport.reset_consecutive_losses t ~sender:"base";
+  Alcotest.(check int) "reset while in flight" 0
+    (Transport.consecutive_losses t ~sender:"base");
+  Exec.run exec ~until:16.0;
+  Alcotest.(check int) "the straddling loss counts from zero, not three" 1
+    (Transport.consecutive_losses t ~sender:"base");
+  Alcotest.(check int) "all three exchanges resolved" 3
+    (Transport.stats t).Transport.gave_up
+
 let suite =
   [
     ( "net.transport",
@@ -791,5 +895,9 @@ let suite =
           `Quick test_build_rejects_unsafe_schedule;
         Alcotest.test_case "blackout -> degraded-safe-mode -> all-safe"
           `Slow test_degraded_blackout;
+        Alcotest.test_case "hold expiry fires on the timer queue" `Slow
+          test_degraded_hold_expiry_on_timer;
+        Alcotest.test_case "counter reset vs an in-flight exchange" `Quick
+          test_reset_vs_inflight_exchange;
       ] );
   ]
