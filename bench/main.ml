@@ -38,6 +38,11 @@ let summary_fields (s : Pte_campaign.Aggregate.summary) =
   [ ("mean", J.Num s.Pte_campaign.Aggregate.mean);
     ("ci95", J.Num s.Pte_campaign.Aggregate.ci95);
     ("n", J.Num (Float.of_int s.Pte_campaign.Aggregate.n)) ]
+  @
+  (* indicator metrics carry the boundary-honest Wilson interval too *)
+  match s.Pte_campaign.Aggregate.wilson with
+  | None -> []
+  | Some (lo, hi) -> [ ("wilson_lo", J.Num lo); ("wilson_hi", J.Num hi) ]
 
 (* ------------------------------------------------------------------ *)
 (* T1: Table I — PTE safety rule violation statistics                  *)
@@ -1393,6 +1398,116 @@ let r1 () =
               ("n", J.Num (Float.of_int report.R.trials)) ] ])
 
 (* ------------------------------------------------------------------ *)
+(* C1: rare-event certification — SPRT screen + importance splitting   *)
+(* ------------------------------------------------------------------ *)
+
+let c1 () =
+  let module C = Pte_tracheotomy.Certify in
+  let module Seq = Pte_rare.Seq in
+  let module Split = Pte_rare.Split in
+  let config = if !smoke then C.smoke else C.default in
+  let report = C.run ~config () in
+  let table =
+    Table.create
+      ~title:
+        (Fmt.str
+           "C1: rare-event certification at target %.0e, confidence %g \
+            (%.0f-min trials, %d particles x %d stages)"
+           config.C.target config.C.confidence
+           (config.C.horizon /. 60.0)
+           config.C.split.Split.particles config.C.split.Split.max_stages)
+      ~header:
+        [ "design"; "screen"; "stages"; "bound"; "effective trials";
+          "trials run"; "verdict" ]
+      ~aligns:
+        [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Left ]
+      ()
+  in
+  List.iter
+    (fun (cell : C.cell) ->
+      let screen =
+        match cell.C.screen with
+        | None -> "skipped"
+        | Some s ->
+            Fmt.str "%a (%d/%d)" Seq.pp_verdict s.Seq.verdict s.Seq.hits
+              s.Seq.trials
+      in
+      let stages =
+        match cell.C.split with
+        | None -> "-"
+        | Some s -> Table.fmt_int (List.length s.Split.stages)
+      in
+      Table.add_row table
+        [ cell.C.design.C.label; screen; stages;
+          Fmt.str "%.3g" cell.C.bound;
+          Fmt.str "%.3g" cell.C.effective_trials;
+          Table.fmt_int cell.C.trials_run;
+          (if cell.C.certified then "CERTIFIED" else "not certified") ])
+    report.C.cells;
+  Table.add_note table
+    "with-lease must certify the bound (splitting over fault-plan severity \
+     finds no violating path);";
+  Table.add_note table
+    "without-lease must fail at the SPRT screen — the same budget refutes \
+     the baseline.";
+  Table.print table;
+  let module J = Pte_campaign.Json in
+  let cell_metrics (cell : C.cell) =
+    let label = cell.C.design.C.label in
+    let screen_trials =
+      match cell.C.screen with None -> 0 | Some s -> s.Seq.trials
+    in
+    [ J.Obj
+        [ ("name", J.Str (label ^ "_bound"));
+          ("mean", J.Num cell.C.bound); ("ci95", J.Num 0.0);
+          ("n", J.Num (Float.of_int cell.C.trials_run)) ];
+      J.Obj
+        [ ("name", J.Str (label ^ "_effective_trials"));
+          ("mean", J.Num cell.C.effective_trials); ("ci95", J.Num 0.0);
+          ("n", J.Num (Float.of_int cell.C.trials_run)) ];
+      J.Obj
+        [ ("name", J.Str (label ^ "_certified"));
+          ("mean", J.Num (if cell.C.certified then 1.0 else 0.0));
+          ("ci95", J.Num 0.0);
+          ("n", J.Num (Float.of_int screen_trials)) ] ]
+  in
+  write_bench_json ~bench:"C1" ~seed:config.C.seed
+    ~params:
+      [ ("target", J.Num config.C.target);
+        ("confidence", J.Num config.C.confidence);
+        ("min_effective", J.Num config.C.min_effective);
+        ("horizon", J.Num config.C.horizon);
+        ("particles", J.Num (Float.of_int config.C.split.Split.particles));
+        ("max_stages", J.Num (Float.of_int config.C.split.Split.max_stages)) ]
+    ~metrics:(List.concat_map cell_metrics report.C.cells);
+  (* hard gates — `dune build @bench-smoke` fails CI on any of these *)
+  let cell label =
+    List.find (fun (c : C.cell) -> c.C.design.C.label = label) report.C.cells
+  in
+  let with_lease = cell "with-lease" and without = cell "without-lease" in
+  if not with_lease.C.certified then
+    Fmt.failwith
+      "C1: with-lease failed to certify %.0e (bound %.3g, %.3g effective \
+       trials)"
+      config.C.target with_lease.C.bound with_lease.C.effective_trials;
+  (match with_lease.C.split with
+  | Some s when s.Split.hits > 0 ->
+      Fmt.failwith
+        "C1: splitting found %d with-lease violation(s) — Theorem 1 broken \
+         under the drop/loss fault model"
+        s.Split.hits
+  | _ -> ());
+  (match without.C.screen with
+  | Some { Seq.verdict = Seq.Refuted; _ } -> ()
+  | _ ->
+      Fmt.failwith
+        "C1: without-lease baseline was not refuted at the screen (expected \
+         its violation rate to reject the bound within a few trials)");
+  if without.C.certified then
+    Fmt.failwith "C1: without-lease baseline certified — gate logic broken"
+
+(* ------------------------------------------------------------------ *)
 (* P1: Bechamel performance microbenches                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1574,8 +1689,8 @@ let experiments =
   [
     ("T1", t1); ("F1", f1); ("F2", f2); ("F3", f3); ("F6", f6); ("S1", s1);
     ("S2", s2); ("S3", s3); ("V1", v1); ("V2", v2); ("X1", x1); ("X2", x2);
-    ("X3", x3); ("A1", a1); ("A2", a2); ("A3", a3); ("R1", r1); ("P1", p1);
-    ("P2", p2);
+    ("X3", x3); ("A1", a1); ("A2", a2); ("A3", a3); ("R1", r1); ("C1", c1);
+    ("P1", p1); ("P2", p2);
   ]
 
 let () =

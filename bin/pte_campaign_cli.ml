@@ -42,13 +42,25 @@ let fmt_summary (s : Pte_campaign.Aggregate.summary) =
     Fmt.str "%.1f ±%.1f" s.Pte_campaign.Aggregate.mean
       s.Pte_campaign.Aggregate.ci95
 
+(* Failing-reps column with the Wilson 95% interval on the violation
+   rate: "0/20 [0,16%]" says what 0-out-of-20 actually certifies, where
+   the normal-approximation half-width would degenerate to +-0. *)
+let fmt_failing_reps (a : Pte_tracheotomy.Trial.aggregate) =
+  let base =
+    Fmt.str "%d/%d" a.Pte_tracheotomy.Trial.failure_reps
+      a.Pte_tracheotomy.Trial.reps
+  in
+  match a.Pte_tracheotomy.Trial.failure_rate.Pte_campaign.Aggregate.wilson with
+  | Some (lo, hi) when a.Pte_tracheotomy.Trial.reps >= 2 ->
+      Fmt.str "%s [%.0f,%.0f%%]" base (100.0 *. lo) (100.0 *. hi)
+  | _ -> base
+
 let aggregate_columns (a : Pte_tracheotomy.Trial.aggregate) =
   [
     Pte_util.Table.fmt_int a.Pte_tracheotomy.Trial.reps;
     fmt_summary a.Pte_tracheotomy.Trial.emissions;
     fmt_summary a.Pte_tracheotomy.Trial.failures;
-    Fmt.str "%d/%d" a.Pte_tracheotomy.Trial.failure_reps
-      a.Pte_tracheotomy.Trial.reps;
+    fmt_failing_reps a;
     fmt_summary a.Pte_tracheotomy.Trial.evt_to_stop;
     fmt_summary a.Pte_tracheotomy.Trial.longest_pause;
   ]
@@ -59,7 +71,13 @@ let aggregate_aligns =
   Pte_util.Table.[ Right; Right; Right; Right; Right; Right ]
 
 let exit_of_campaign (campaign : _ Pte_campaign.Runner.result) =
-  if campaign.Pte_campaign.Runner.failed > 0 then exit 1
+  if campaign.Pte_campaign.Runner.failed > 0 then begin
+    Fmt.epr
+      "pte-campaign: %d job(s) failed after retries — the aggregates \
+       above rest on dropped trials@."
+      campaign.Pte_campaign.Runner.failed;
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* table1 subcommand                                                  *)
@@ -154,15 +172,58 @@ let run_sweep losses reps seed workers minutes out resume verbose =
       Pte_util.Table.add_row table
         [ Fmt.str "%.0f%%" (100.0 *. loss);
           fmt_summary w.Pte_tracheotomy.Trial.failures;
-          Fmt.str "%d/%d" w.Pte_tracheotomy.Trial.failure_reps
-            w.Pte_tracheotomy.Trial.reps;
+          fmt_failing_reps w;
           fmt_summary n.Pte_tracheotomy.Trial.failures;
-          Fmt.str "%d/%d" n.Pte_tracheotomy.Trial.failure_reps
-            n.Pte_tracheotomy.Trial.reps;
+          fmt_failing_reps n;
           fmt_summary n.Pte_tracheotomy.Trial.longest_pause ])
     losses;
   Pte_util.Table.print table;
   exit_of_campaign campaign
+
+(* ------------------------------------------------------------------ *)
+(* certify subcommand                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_certify smoke target confidence particles stages min_effective
+    no_screen cseed workers cminutes json verbose =
+  setup_logs verbose;
+  let module C = Pte_tracheotomy.Certify in
+  let base = if smoke then C.smoke else C.default in
+  let value v default = Option.value v ~default in
+  let config =
+    {
+      base with
+      C.target = value target base.C.target;
+      confidence = value confidence base.C.confidence;
+      min_effective = value min_effective base.C.min_effective;
+      horizon =
+        (match cminutes with
+        | Some m -> m *. 60.0
+        | None -> base.C.horizon);
+      screen = (if no_screen then None else base.C.screen);
+      split =
+        {
+          base.C.split with
+          Pte_rare.Split.particles =
+            value particles base.C.split.Pte_rare.Split.particles;
+          max_stages = value stages base.C.split.Pte_rare.Split.max_stages;
+        };
+      seed = value cseed base.C.seed;
+      workers;
+    }
+  in
+  let report = C.run ~config () in
+  Fmt.pr "%a@." C.pp_report report;
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc
+            (Pte_campaign.Json.to_string (C.report_to_json report) ^ "\n")))
+    json;
+  exit (C.exit_code report)
 
 (* ------------------------------------------------------------------ *)
 (* terms                                                              *)
@@ -235,6 +296,78 @@ let sweep_cmd =
       const run_sweep $ losses $ reps $ seed $ workers $ minutes $ out $ resume
       $ verbose)
 
+let certify_cmd =
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Seconds-scale CI preset: 5-minute trials, 16 particles x 10 \
+             stages, target 1e-3.")
+  in
+  let target =
+    Arg.(
+      value & opt (some float) None
+      & info [ "target" ] ~docv:"P" ~doc:"Violation-rate bound to certify.")
+  in
+  let confidence =
+    Arg.(
+      value & opt (some float) None
+      & info [ "confidence" ] ~docv:"C"
+          ~doc:"Joint confidence of the certificate.")
+  in
+  let particles =
+    Arg.(
+      value & opt (some pos_int) None
+      & info [ "particles" ] ~docv:"N"
+          ~doc:"Splitting population per stage.")
+  in
+  let stages =
+    Arg.(
+      value & opt (some pos_int) None
+      & info [ "stages" ] ~docv:"N" ~doc:"Splitting stage budget.")
+  in
+  let min_effective =
+    Arg.(
+      value & opt (some float) None
+      & info [ "min-effective" ] ~docv:"N"
+          ~doc:
+            "Effective-trial floor below which a reached bound is reported \
+             but not certified.")
+  in
+  let no_screen =
+    Arg.(
+      value & flag
+      & info [ "no-screen" ]
+          ~doc:"Skip the SPRT screen and go straight to splitting.")
+  in
+  let cseed =
+    Arg.(
+      value & opt (some int) None
+      & info [ "seed" ] ~docv:"N" ~doc:"Certification master seed.")
+  in
+  let cminutes =
+    Arg.(
+      value & opt (some float) None
+      & info [ "minutes" ] ~docv:"MIN" ~doc:"Simulated length of each trial.")
+  in
+  let json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the full report (stages, bounds, verdicts) as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Certify a rare-event violation bound: SPRT screen, then importance \
+          splitting over fault-plan severity. Exit 0 only when with-lease \
+          certifies and without-lease fails to.")
+    Term.(
+      const run_certify $ smoke $ target $ confidence $ particles $ stages
+      $ min_effective $ no_screen $ cseed $ workers $ cminutes $ json
+      $ verbose)
+
 let cmd =
   Cmd.group
     (Cmd.info "pte-campaign"
@@ -248,7 +381,7 @@ let cmd =
               seed by job index, so results are identical at any worker count \
               and across checkpoint/resume cycles.";
          ])
-    [ table1_cmd; sweep_cmd ]
+    [ table1_cmd; sweep_cmd; certify_cmd ]
 
 let () =
   match Cmd.eval_value ~catch:false cmd with

@@ -80,9 +80,37 @@ let report_degraded_sweep p ~workers ~max_false_trips =
       Fmt.pr "no (k, hold) pair qualifies@.";
       exit 1
 
+(* The rare-event certification engine (DESIGN §12): SPRT screen, then
+   importance splitting over fault-plan severity. Prints per-cell
+   stopping verdicts, splitting levels and the joint upper bound; exits
+   0 only when the with-lease design certifies the target AND the
+   without-lease baseline fails to (the case study's expected shape). *)
+let report_certify ~target ~confidence ~minutes ~particles ~stages ~screen
+    ~min_effective ~seed ~workers =
+  let module C = Pte_tracheotomy.Certify in
+  let base = C.default in
+  let config =
+    {
+      base with
+      C.target;
+      confidence;
+      min_effective;
+      horizon = minutes *. 60.0;
+      screen = (if screen then base.C.screen else None);
+      split =
+        { base.C.split with Pte_rare.Split.particles; max_stages = stages };
+      seed;
+      workers;
+    }
+  in
+  let report = C.run ~config () in
+  Fmt.pr "%a@." C.pp_report report;
+  exit (C.exit_code report)
+
 let check t_wait t_fb t_req t_enter_1 t_run_1 t_exit_1 t_enter_2 t_run_2
     t_exit_2 synthesize run_time transports degraded_sweep workers
-    max_false_trips =
+    max_false_trips certify target confidence minutes particles stages
+    no_screen min_effective seed =
   match synthesize with
   | Some names ->
       let entity_names = String.split_on_char ',' names in
@@ -133,6 +161,9 @@ let check t_wait t_fb t_req t_enter_1 t_run_1 t_exit_1 t_enter_2 t_run_2
       in
       if transports then report_transports p;
       if degraded_sweep then report_degraded_sweep p ~workers ~max_false_trips;
+      if certify then
+        report_certify ~target ~confidence ~minutes ~particles ~stages
+          ~screen:(not no_screen) ~min_effective ~seed ~workers;
       Fmt.pr "%a@.@." Pte_core.Params.pp p;
       let outcomes = Pte_core.Constraints.check p in
       Fmt.pr "%a@." Pte_core.Constraints.pp_report outcomes;
@@ -189,6 +220,68 @@ let cmd =
              windows, summed over the sweep (availability given away, never \
              safety).")
   in
+  let certify =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "Run the rare-event certification engine on the case study: an \
+             SPRT screen of the violation rate, then importance splitting \
+             over fault-plan severity bounding it far below what fixed \
+             replicate counts can see. Exit 0 only when the with-lease \
+             design certifies the target bound and the without-lease \
+             baseline fails to.")
+  in
+  let target =
+    Arg.(
+      value & opt float 1e-6
+      & info [ "target" ] ~docv:"P"
+          ~doc:"Violation-rate bound to certify (with --certify).")
+  in
+  let confidence =
+    Arg.(
+      value & opt float 0.99
+      & info [ "confidence" ] ~docv:"C"
+          ~doc:"Joint confidence of the certificate (with --certify).")
+  in
+  let minutes =
+    Arg.(
+      value & opt float 30.0
+      & info [ "certify-minutes" ] ~docv:"MIN"
+          ~doc:"Trial horizon in minutes (with --certify).")
+  in
+  let particles =
+    Arg.(
+      value & opt int 64
+      & info [ "particles" ] ~docv:"N"
+          ~doc:"Splitting population per stage (with --certify).")
+  in
+  let stages =
+    Arg.(
+      value & opt int 16
+      & info [ "stages" ] ~docv:"N"
+          ~doc:"Splitting stage budget (with --certify).")
+  in
+  let no_screen =
+    Arg.(
+      value & flag
+      & info [ "no-screen" ]
+          ~doc:"Skip the SPRT screen and go straight to splitting.")
+  in
+  let min_effective =
+    Arg.(
+      value & opt float 1e6
+      & info [ "min-effective" ] ~docv:"N"
+          ~doc:
+            "Effective-trial floor below which a reached bound is reported \
+             but not certified (with --certify).")
+  in
+  let cseed =
+    Arg.(
+      value & opt int 9300
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Master seed for --certify (split per phase and particle).")
+  in
   let doc = "check Theorem 1's conditions c1-c7 or synthesize a configuration" in
   Cmd.v
     (Cmd.info "pte-check" ~doc)
@@ -204,6 +297,7 @@ let cmd =
       $ opt_f "t-run-2" "Override the laser's T_run."
       $ opt_f "t-exit-2" "Override the laser's T_exit."
       $ synthesize $ run_time $ transports $ degraded_sweep $ workers
-      $ max_false_trips)
+      $ max_false_trips $ certify $ target $ confidence $ minutes $ particles
+      $ stages $ no_screen $ min_effective $ cseed)
 
 let () = exit (Cmd.eval cmd)

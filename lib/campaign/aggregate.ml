@@ -9,6 +9,7 @@ type summary = {
   ci95 : float;
   lo : float;
   hi : float;
+  wilson : (float * float) option;
 }
 
 let of_online acc =
@@ -21,6 +22,13 @@ let of_online acc =
     ci95 = (if n < 2 then 0.0 else 1.96 *. stddev /. sqrt (Float.of_int n));
     lo = Stats.Online.min acc;
     hi = Stats.Online.max acc;
+    (* the normal-approximation ci95 is degenerate for 0/1-valued
+       metrics at the boundaries (0 hits -> half-width 0); indicator
+       metrics get the Wilson score interval instead *)
+    wilson =
+      (if Stats.Online.is_binary acc then
+         Some (Stats.wilson ~n ~hits:(Stats.Online.hits acc) ())
+       else None);
   }
 
 let summarize xs =
@@ -29,8 +37,12 @@ let summarize xs =
   of_online acc
 
 let pp_summary ppf s =
-  if s.n < 2 then Fmt.pf ppf "%g" s.mean
-  else Fmt.pf ppf "%g ±%.2g" s.mean s.ci95
+  match s.wilson with
+  | Some (lo, hi) when s.n >= 2 ->
+      Fmt.pf ppf "%g [%.2g,%.2g]" s.mean lo hi
+  | _ ->
+      if s.n < 2 then Fmt.pf ppf "%g" s.mean
+      else Fmt.pf ppf "%g ±%.2g" s.mean s.ci95
 
 type cell = {
   index : int;

@@ -13,13 +13,23 @@ type summary = {
   ci95 : float;  (** 1.96 * stddev / sqrt n — half-width; 0 below two points. *)
   lo : float;
   hi : float;
+  wilson : (float * float) option;
+      (** Wilson 95% score interval on the proportion — present exactly
+          when every observed value was 0 or 1. For such indicator
+          metrics (e.g. the per-replicate "failed" flag) the
+          normal-approximation [ci95] is meaningless at the boundary: an
+          all-zero sample gets half-width 0 where the honest upper end
+          is ~3/n. Use this field for rare Bernoulli metrics; [ci95]
+          stays the field for continuous ones. *)
 }
 
 val summarize : float list -> summary
 (** Welford over the list in order; [n = 0] gives NaN mean/lo/hi. *)
 
 val pp_summary : summary Fmt.t
-(** ["12.4 ±1.2"] — mean and CI half-width (mean only when [n < 2]). *)
+(** ["12.4 ±1.2"] — mean and CI half-width (mean only when [n < 2]);
+    indicator metrics print the Wilson interval instead:
+    ["0.00 [0,0.16]"]. *)
 
 type cell = {
   index : int;

@@ -2,13 +2,27 @@
 
 module Log = (val Logs.src_log Log.src : Logs.LOG)
 
-type header = { seed : int; cells : int; reps : int; digest : string }
+type header = {
+  seed : int;
+  cells : int;
+  reps : int;
+  digest : string;
+  version : string;
+      (** {!Version.string} of the library that wrote the file; [""] in
+          files predating the stamp. Resume refuses a version mismatch:
+          sequential-stopping state folded from a checkpoint written by
+          a different engine is statistically invalid. *)
+}
 
 exception Mismatch of string
 
+let make_header ~seed ~cells ~reps ~digest =
+  { seed; cells; reps; digest; version = Version.string }
+
 let pp_header ppf h =
-  Format.fprintf ppf "seed %d, %d cells x %d reps, digest %s" h.seed h.cells
-    h.reps h.digest
+  Format.fprintf ppf "seed %d, %d cells x %d reps, digest %s, version %s"
+    h.seed h.cells h.reps h.digest
+    (if h.version = "" then "<pre-stamp>" else h.version)
 
 let header_to_json h =
   Json.Obj
@@ -18,6 +32,7 @@ let header_to_json h =
       ("cells", Json.Num (Float.of_int h.cells));
       ("reps", Json.Num (Float.of_int h.reps));
       ("digest", Json.Str h.digest);
+      ("version", Json.Str h.version);
     ]
 
 let header_of_json json =
@@ -27,7 +42,15 @@ let header_of_json json =
       let str name = Option.bind (Json.member name json) Json.to_str in
       match (int "seed", int "cells", int "reps", str "digest") with
       | Some seed, Some cells, Some reps, Some digest ->
-          Some { seed; cells; reps; digest }
+          (* files written before the stamp carry no version field *)
+          Some
+            {
+              seed;
+              cells;
+              reps;
+              digest;
+              version = Option.value (str "version") ~default:"";
+            }
       | _ -> None)
   | _ -> None
 

@@ -7,14 +7,26 @@
 
 (** First line of a checkpoint file: which campaign produced it. [seed],
     [cells] and [reps] identify the grid; [digest] fingerprints the
-    per-job seed sequence ({!Job.digest}), so resuming a file written by
-    a different campaign is refused instead of silently poisoning the
-    results. *)
-type header = { seed : int; cells : int; reps : int; digest : string }
+    per-job seed sequence ({!Job.digest}); [version] pins the library
+    stamp ({!Version.string}) — resuming a file written by a different
+    campaign {e or a different engine version} is refused instead of
+    silently poisoning the results (a sequential-stopping state resumed
+    across versions is statistically invalid). *)
+type header = {
+  seed : int;
+  cells : int;
+  reps : int;
+  digest : string;
+  version : string;  (** [""] in files predating the stamp. *)
+}
 
 exception Mismatch of string
 (** Raised by the runner when [resume] meets a checkpoint whose header
     disagrees with the current campaign. *)
+
+val make_header :
+  seed:int -> cells:int -> reps:int -> digest:string -> header
+(** A header stamped with the current {!Version.string}. *)
 
 val pp_header : Format.formatter -> header -> unit
 val header_to_json : header -> Json.t

@@ -34,12 +34,8 @@ let run ?(config = default) ~cells ~reps ~seed f =
   let jobs = Job.plan ~cells ~reps ~seed in
   let total = Array.length jobs in
   let header =
-    {
-      Checkpoint.seed;
-      cells = Array.length cells;
-      reps;
-      digest = Job.digest jobs;
-    }
+    Checkpoint.make_header ~seed ~cells:(Array.length cells) ~reps
+      ~digest:(Job.digest jobs)
   in
   (* 1. resume: collect completed outcomes from the checkpoint file *)
   let completed : Job.outcome option array = Array.make total None in
@@ -47,6 +43,15 @@ let run ?(config = default) ~cells ~reps ~seed f =
   (match config.checkpoint with
   | Some path when config.resume ->
       (match Checkpoint.read_header path with
+      | Some h when h.Checkpoint.version <> header.Checkpoint.version ->
+          raise
+            (Checkpoint.Mismatch
+               (Format.asprintf
+                  "checkpoint %s was written by library version %S; this \
+                   build is %S — a recorded run cannot be resumed across \
+                   versions (the replayed prefix would feed a different \
+                   engine's statistics)"
+                  path h.Checkpoint.version header.Checkpoint.version))
       | Some h when h <> header ->
           raise
             (Checkpoint.Mismatch

@@ -1,0 +1,10 @@
+(** Library version stamp pinned into campaign checkpoints.
+
+    Bump the stamp whenever the campaign engine's statistical contract
+    changes — job planning, PRNG splitting, aggregation, or the
+    sequential-stopping state. A checkpoint written under one stamp must
+    not be resumed under another: with sequential stopping, the recorded
+    prefix *is* part of the test statistic, so replaying it into a
+    different engine silently invalidates the stopping guarantee. *)
+
+let string = "pte-campaign/8"

@@ -1,0 +1,89 @@
+module Rng = Pte_util.Rng
+
+let packet_weight (f : Plan.packet_fault) =
+  match f.occurrence with Plan.Every -> 2 | Plan.Nth _ -> 1
+
+let loss_weight (s : Plan.loss_step) =
+  max 1 (int_of_float (Float.round (s.loss *. 10.0)))
+
+let rank (p : Plan.t) =
+  List.fold_left (fun acc f -> acc + packet_weight f) 0 p.packet_faults
+  + (4 * List.length p.node_faults)
+  + List.fold_left (fun acc s -> acc + loss_weight s) 0 p.loss_profile
+
+let rec is_prefix eq base ext =
+  match (base, ext) with
+  | [], _ -> true
+  | _, [] -> false
+  | b :: bs, e :: es -> eq b e && is_prefix eq bs es
+
+let is_extension ~base (p : Plan.t) =
+  is_prefix ( = ) base.Plan.packet_faults p.Plan.packet_faults
+  && is_prefix ( = ) base.Plan.node_faults p.Plan.node_faults
+  && is_prefix ( = ) base.Plan.loss_profile p.Plan.loss_profile
+
+(* Next unused Nth index for drops on (site, root): escalations walk
+   successive frames of the same message instead of piling duplicate
+   faults onto one already-dropped frame (which would not add
+   adversity). *)
+let next_occurrence (p : Plan.t) ~site ~root =
+  List.fold_left
+    (fun acc (f : Plan.packet_fault) ->
+      if f.site = site && f.root = root then
+        match f.occurrence with
+        | Plan.Nth i -> max acc (i + 1)
+        | Plan.Every -> acc
+      else acc)
+    0 p.packet_faults
+
+let escalate_drop (vocab : Fuzz.vocabulary) (p : Plan.t) rng =
+  let msg =
+    List.nth vocab.messages (Rng.int rng (List.length vocab.messages))
+  in
+  let occurrence = Plan.Nth (next_occurrence p ~site:msg.site ~root:(Some msg.root)) in
+  let fault =
+    {
+      Plan.site = msg.site;
+      root = Some msg.root;
+      occurrence;
+      window = None;
+      action = Plan.Drop;
+    }
+  in
+  { p with Plan.packet_faults = p.Plan.packet_faults @ [ fault ] }
+
+let escalate_loss (vocab : Fuzz.vocabulary) (p : Plan.t) rng =
+  let last_at, last_loss =
+    match List.rev p.Plan.loss_profile with
+    | [] -> (0.0, 0.0)
+    | s :: _ -> (s.Plan.at, s.Plan.loss)
+  in
+  (* strictly later start, strictly higher level: sortedness and the
+     prefix property both survive the append *)
+  let span = Float.max 1.0 (vocab.horizon -. last_at) in
+  let at = last_at +. Rng.uniform rng ~lo:(0.05 *. span) ~hi:(0.5 *. span) in
+  let loss =
+    Float.min 0.9 (last_loss +. Rng.uniform rng ~lo:0.1 ~hi:0.3)
+  in
+  let loss = if loss <= last_loss then Float.min 0.95 (last_loss +. 0.05) else loss in
+  { p with Plan.loss_profile = p.Plan.loss_profile @ [ Plan.loss_step ~at ~loss ] }
+
+let escalate_crash (vocab : Fuzz.vocabulary) (p : Plan.t) rng =
+  let entity =
+    List.nth vocab.entities (Rng.int rng (List.length vocab.entities))
+  in
+  let at = Rng.uniform rng ~lo:0.0 ~hi:vocab.horizon in
+  let blackout = Rng.uniform rng ~lo:1.0 ~hi:30.0 in
+  {
+    p with
+    Plan.node_faults = p.Plan.node_faults @ [ Plan.crash ~entity ~at ~blackout ];
+  }
+
+let escalate ?(crashes = false) ~vocab (p : Plan.t) rng =
+  if vocab.Fuzz.messages = [] then
+    invalid_arg "Severity.escalate: empty message vocabulary";
+  let die = Rng.int rng (if crashes && vocab.Fuzz.entities <> [] then 5 else 4) in
+  match die with
+  | 0 | 1 -> escalate_drop vocab p rng
+  | 2 | 3 -> escalate_loss vocab p rng
+  | _ -> escalate_crash vocab p rng

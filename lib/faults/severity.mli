@@ -1,0 +1,48 @@
+(** Fault-plan severity: the splitting axis of the rare-event
+    certification engine ({!Pte_rare.Split}).
+
+    Importance splitting needs a way to push a surviving trial "further
+    toward failure" without invalidating what it already achieved: the
+    clone must replay the survivor's (plan, seed) prefix exactly and
+    only then add adversity. {!escalate} provides that move at the
+    fault-plan level — it {e appends} faults (extra message drops, a
+    higher loss step later in the trial, optionally a crash) and never
+    reorders, retimes, or removes existing ones, so the escalated plan
+    is a strict {!is_extension} of its base and the base's replay
+    prefix is preserved.
+
+    {!rank} totals a plan's adversity (drops, loss-profile mass, crash
+    depth) as a deterministic integer that {e strictly increases} under
+    {!escalate} — the certification level function uses it as a
+    tiebreak so adaptive splitting thresholds keep climbing even when
+    the continuous trial score plateaus. *)
+
+val rank : Plan.t -> int
+(** Severity total: 1 per packet fault (Every-occurrence faults count
+    double), 4 per node fault, plus each loss step's level in tenths
+    (at least 1). 0 for {!Plan.empty}. Strictly monotone under
+    {!escalate}. *)
+
+val is_extension : base:Plan.t -> Plan.t -> bool
+(** [is_extension ~base p] — every fault list of [base] (packet, node,
+    loss profile) is a structural prefix of the corresponding list of
+    [p]. Reflexive; escalation preserves it. *)
+
+val escalate :
+  ?crashes:bool -> vocab:Fuzz.vocabulary -> Plan.t -> Pte_util.Rng.t -> Plan.t
+(** One random severity step drawn from the given stream:
+    - an extra [Drop] of a vocabulary message, at the next unused
+      occurrence index for that (site, root) — so repeated escalations
+      target successive frames rather than re-dropping the same one;
+    - or a loss step appended strictly after the profile's last step
+      (keeping the profile sorted and the base a prefix), at a level
+      strictly above the previous step's, toward blackout;
+    - or (only when [crashes], default false) a fail-stop {!Plan.crash}
+      of a vocabulary entity. Crash escalation is off by default
+      because the with-lease design is {e supposed} to ride out packet
+      loss (Theorem 1) — certifying under crashes is a separate, harder
+      claim the caller must opt into.
+
+    [vocab.messages] must be non-empty. The result satisfies
+    [is_extension ~base:plan] and has [rank] strictly greater than
+    [plan]'s. *)

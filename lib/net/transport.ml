@@ -86,6 +86,7 @@ type stats = {
   mutable acks_lost : int;
   mutable dups_suppressed : int;
   mutable worst_latency : float;
+  mutable max_consec_losses : int;
   mutable switches_up : int;
   mutable switches_down : int;
   mutable switch_refusals : int;
@@ -225,8 +226,8 @@ let create ~mode ~rng star =
     stats =
       { data_sends = 0; delivered = 0; gave_up = 0; retransmissions = 0;
         acks_sent = 0; acks_lost = 0; dups_suppressed = 0;
-        worst_latency = 0.0; switches_up = 0; switches_down = 0;
-        switch_refusals = 0 };
+        worst_latency = 0.0; max_consec_losses = 0; switches_up = 0;
+        switches_down = 0; switch_refusals = 0 };
     seen = Hashtbl.create 8;
     next_seq = Hashtbl.create 8;
     consec = Hashtbl.create 8;
@@ -427,12 +428,20 @@ let exchange_resolved t ~at =
       | None -> ())
   | _ -> ()
 
+(* High-water mark of the per-sender consecutive-loss counters: the
+   deepest feedback blackout any sender saw in the trial — the
+   certification level function's loss component. *)
+let bump t sender =
+  let c = counter t sender in
+  incr c;
+  if !c > t.stats.max_consec_losses then t.stats.max_consec_losses <- !c
+
 let confirm t sender ~at =
   counter t sender := 0;
   adapt_outcome t ~sender ~confirmed:true ~at
 
 let unconfirmed t sender ~at =
-  incr (counter t sender);
+  bump t sender;
   adapt_outcome t ~sender ~confirmed:false ~at
 
 (* The consecutive-loss counters alone — for outcomes that are not
@@ -441,7 +450,7 @@ let unconfirmed t sender ~at =
    degraded-safe-mode watchdog stays at exchange granularity either
    way: k consecutive *exchanges* lost, not k attempts. *)
 let consec_confirm t sender = counter t sender := 0
-let consec_unconfirmed t sender = incr (counter t sender)
+let consec_unconfirmed t sender = bump t sender
 
 let flow_seen t ~src ~dst =
   match Hashtbl.find_opt t.seen (src, dst) with

@@ -174,6 +174,13 @@ type stats = {
           sends, seconds — the measured counterpart of the mode's
           closed-form bound ({!worst_case_latency} /
           {!Pte_sched.Schedule.worst_case_latency}). *)
+  mutable max_consec_losses : int;
+      (** high-water mark of the per-sender {!consecutive_losses}
+          counters over the whole trial: the deepest feedback blackout
+          any sender experienced. One component of the rare-event
+          certification level function — how close the trial came to
+          the degraded-safe-mode trip (and, past it, to a with-lease
+          violation). 0 in [`Bare] mode (no feedback to lose). *)
   mutable switches_up : int;
       (** [`Adaptive]: committed escalations healthy → degraded. *)
   mutable switches_down : int;

@@ -1,0 +1,231 @@
+module Rng = Pte_util.Rng
+module Pool = Pte_campaign.Pool
+module Job = Pte_campaign.Job
+module Checkpoint = Pte_campaign.Checkpoint
+
+type rule =
+  | Sprt of Sprt.config
+  | Okamoto of { bound : float; confidence : float }
+
+type verdict = Certified | Refuted | Inconclusive
+
+type result = {
+  verdict : verdict;
+  trials : int;
+  hits : int;
+  upper_bound : float;
+  rule : rule;
+}
+
+let rule_confidence = function
+  | Sprt c -> 1.0 -. c.alpha
+  | Okamoto { confidence; _ } -> confidence
+
+let validate_rule = function
+  | Sprt c -> (
+      match Sprt.validate c with Ok () -> () | Error e -> invalid_arg e)
+  | Okamoto { bound; confidence } ->
+      if not (0.0 < bound && bound < 1.0) then
+        invalid_arg (Format.asprintf "Seq: bound %g outside (0,1)" bound);
+      if not (0.0 < confidence && confidence < 1.0) then
+        invalid_arg
+          (Format.asprintf "Seq: confidence %g outside (0,1)" confidence)
+
+(* The digest pins seed AND rule: replaying a recorded 0/1 stream into a
+   different sequential test would silently invalidate its error rates. *)
+let digest_of rule seed =
+  match rule with
+  | Sprt c ->
+      Format.asprintf "seq-sprt/%d/p0=%.17g/p1=%.17g/a=%.17g/b=%.17g" seed
+        c.Sprt.p0 c.Sprt.p1 c.Sprt.alpha c.Sprt.beta
+  | Okamoto { bound; confidence } ->
+      Format.asprintf "seq-okamoto/%d/bound=%.17g/conf=%.17g" seed bound
+        confidence
+
+(* Mutable fold state over the 0/1 stream. *)
+type state =
+  | S of Sprt.t
+  | O of {
+      bound : float;
+      confidence : float;
+      needed : int;
+      mutable n : int;
+      mutable hits : int;
+    }
+
+let init_state = function
+  | Sprt c -> S (Sprt.create c)
+  | Okamoto { bound; confidence } ->
+      O
+        {
+          bound;
+          confidence;
+          needed = Sprt.Okamoto.required_trials ~bound ~confidence;
+          n = 0;
+          hits = 0;
+        }
+
+let state_n = function S s -> Sprt.n s | O o -> o.n
+let state_hits = function S s -> Sprt.hits s | O o -> o.hits
+
+let observe st violated =
+  match st with
+  | S s -> Sprt.observe s violated
+  | O o ->
+      o.n <- o.n + 1;
+      if violated then o.hits <- o.hits + 1
+
+let conclude st ~max_trials =
+  match st with
+  | S s -> (
+      match Sprt.verdict s with
+      | Sprt.Accept_bound -> Some Certified
+      | Sprt.Reject_bound -> Some Refuted
+      | Sprt.Continue ->
+          if Sprt.n s >= max_trials then Some Inconclusive else None)
+  | O o ->
+      let plan_n = min o.needed max_trials in
+      if o.n >= plan_n then
+        let up =
+          Sprt.Okamoto.upper_bound ~n:o.n ~hits:o.hits
+            ~confidence:o.confidence
+        in
+        Some
+          (if up <= o.bound then Certified
+           else if o.n >= o.needed then Refuted
+           else Inconclusive)
+      else if o.hits > 0 then
+        (* early refutation: even finishing the plan with no further
+           hits cannot push the upper bound below the target *)
+        let best_possible =
+          (float_of_int o.hits /. float_of_int o.needed)
+          +. sqrt
+               (log (1.0 /. (1.0 -. o.confidence))
+               /. (2.0 *. float_of_int o.needed))
+        in
+        if best_possible > o.bound then Some Refuted else None
+      else None
+
+let run ?workers ?(batch = 32) ?(max_trials = 100_000) ?checkpoint
+    ?(resume = false) ~rule ~seed trial =
+  validate_rule rule;
+  if batch < 1 then invalid_arg "Seq.run: batch < 1";
+  if max_trials < 1 then invalid_arg "Seq.run: max_trials < 1";
+  let root = Rng.create seed in
+  let trial_rng i = Rng.keyed root ~key:(Int64.of_int i) in
+  let digest = digest_of rule seed in
+  let header = Checkpoint.make_header ~seed ~cells:1 ~reps:max_trials ~digest in
+  let st = init_state rule in
+  let concluded = ref None in
+  let fold violated =
+    observe st violated;
+    concluded := conclude st ~max_trials
+  in
+  (* Resume: replay the recorded contiguous prefix into the statistic. *)
+  let start =
+    match checkpoint with
+    | Some path when resume -> (
+        (match Checkpoint.read_header path with
+        | None -> ()
+        | Some h ->
+            if h.Checkpoint.version <> header.Checkpoint.version then
+              raise
+                (Checkpoint.Mismatch
+                   (Format.asprintf
+                      "checkpoint %s was written by library version %S; \
+                       this build is %S — a sequential statistic cannot be \
+                       resumed across versions"
+                      path h.Checkpoint.version header.Checkpoint.version))
+            else if h.Checkpoint.seed <> seed || h.Checkpoint.digest <> digest
+            then
+              raise
+                (Checkpoint.Mismatch
+                   (Format.asprintf
+                      "checkpoint %s records a different certification run \
+                       (%a); asked to resume seed %d, rule digest %s"
+                      path Checkpoint.pp_header h seed digest)));
+        let by_id = Hashtbl.create 256 in
+        List.iter
+          (fun (o : Job.outcome) ->
+            if Job.outcome_ok o && not (Hashtbl.mem by_id o.Job.id) then
+              Hashtbl.add by_id o.Job.id o)
+          (Checkpoint.load path);
+        let rec replay i =
+          if !concluded <> None then i
+          else
+            match Hashtbl.find_opt by_id i with
+            | None -> i
+            | Some o ->
+                let violated =
+                  match List.assoc_opt "violation" o.Job.metrics with
+                  | Some v -> v <> 0.0
+                  | None -> false
+                in
+                fold violated;
+                replay (i + 1)
+        in
+        replay 0)
+    | _ -> 0
+  in
+  let writer =
+    match checkpoint with
+    | None -> None
+    | Some path -> Some (Checkpoint.open_writer ~append:resume ~header path)
+  in
+  let record i violated =
+    match writer with
+    | None -> ()
+    | Some w ->
+        Checkpoint.record w
+          {
+            Job.id = i;
+            cell = 0;
+            rep = i;
+            attempts = 1;
+            status = Job.Done;
+            metrics = [ ("violation", if violated then 1.0 else 0.0) ];
+          }
+  in
+  let i = ref start in
+  while !concluded = None && !i < max_trials do
+    let b = min batch (max_trials - !i) in
+    let idx = Array.init b (fun k -> !i + k) in
+    (* evaluate the whole batch in parallel, fold in index order: the
+       verdict depends on (seed, rule, batch) only, never on workers *)
+    let outs = Pool.map ?workers (fun j -> trial (trial_rng j)) idx in
+    Array.iteri
+      (fun k violated ->
+        if !concluded = None then begin
+          fold violated;
+          record idx.(k) violated
+        end)
+      outs;
+    i := !i + b
+  done;
+  Option.iter Checkpoint.close writer;
+  let n = state_n st and hits = state_hits st in
+  let verdict =
+    match !concluded with
+    | Some v -> v
+    | None -> Inconclusive (* max_trials = 0 trials folded can't happen *)
+  in
+  let upper_bound =
+    Sprt.Okamoto.upper_bound ~n ~hits ~confidence:(rule_confidence rule)
+  in
+  { verdict; trials = n; hits; upper_bound; rule }
+
+let pp_verdict ppf = function
+  | Certified -> Fmt.string ppf "CERTIFIED"
+  | Refuted -> Fmt.string ppf "REFUTED"
+  | Inconclusive -> Fmt.string ppf "INCONCLUSIVE"
+
+let pp_rule ppf = function
+  | Sprt c ->
+      Fmt.pf ppf "SPRT p0=%g p1=%g α=%g β=%g" c.Sprt.p0 c.Sprt.p1 c.Sprt.alpha
+        c.Sprt.beta
+  | Okamoto { bound; confidence } ->
+      Fmt.pf ppf "Okamoto bound=%g conf=%g" bound confidence
+
+let pp_result ppf r =
+  Fmt.pf ppf "%a after %d trials (%d hits; rate upper bound %.3g; %a)"
+    pp_verdict r.verdict r.trials r.hits r.upper_bound pp_rule r.rule

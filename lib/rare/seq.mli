@@ -1,0 +1,66 @@
+(** Streaming sequential campaign driver: run Bernoulli trials until a
+    stopping rule concludes, instead of a fixed replicate count.
+
+    Trials are planned lazily: trial [i] draws from the stream
+    [keyed (create seed) ~key:i], so the plan is unbounded, any prefix
+    is replayable, and no array of seeds is materialized. Batches of
+    [batch] trials are evaluated on the worker pool, then folded into
+    the stopping statistic {e in index order}; the verdict and the
+    reported trial count therefore depend only on [(seed, rule, batch)]
+    — never on the worker count (trials evaluated past the concluding
+    index inside the final batch are discarded deterministically).
+
+    Checkpointing reuses the campaign JSONL format: one
+    {!Pte_campaign.Job.outcome} line per trial with a single
+    ["violation"] metric, under a header whose digest pins the seed
+    {e and the stopping rule} — resuming with a different rule (or a
+    different library version) is refused, because a sequential
+    statistic replayed into a different test is invalid. *)
+
+type rule =
+  | Sprt of Sprt.config
+      (** certify p <= p0 / refute at p >= p1 (Wald). *)
+  | Okamoto of { bound : float; confidence : float }
+      (** fixed-confidence single-sampling plan
+          ({!Sprt.Okamoto.required_trials}). *)
+
+type verdict =
+  | Certified  (** the rule accepted the bound. *)
+  | Refuted  (** the rule concluded the rate exceeds the bound. *)
+  | Inconclusive  (** trial budget exhausted without a conclusion. *)
+
+type result = {
+  verdict : verdict;
+  trials : int;  (** trials folded into the statistic. *)
+  hits : int;  (** violations among them. *)
+  upper_bound : float;
+      (** one-sided upper confidence bound on the violation rate from
+          the folded sample ({!Sprt.Okamoto.upper_bound}, at the rule's
+          confidence) — informative alongside the verdict. *)
+  rule : rule;
+}
+
+val rule_confidence : rule -> float
+(** [1 - alpha] for SPRT, the plan's confidence for Okamoto. *)
+
+val run :
+  ?workers:int ->
+  ?batch:int ->
+  ?max_trials:int ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  rule:rule ->
+  seed:int ->
+  (Pte_util.Rng.t -> bool) ->
+  result
+(** [run ~rule ~seed trial] — [trial rng] must return [true] iff the
+    replicate violated, must be thread-safe, and must draw all its
+    randomness from the given stream. [batch] defaults to 32,
+    [max_trials] to 100_000. [checkpoint] appends each folded trial to
+    a JSONL file; [resume] replays a previous file's outcomes into the
+    statistic before running new trials. Raises
+    [Pte_campaign.Checkpoint.Mismatch] on a foreign or cross-version
+    checkpoint. *)
+
+val pp_verdict : verdict Fmt.t
+val pp_result : result Fmt.t

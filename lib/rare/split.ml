@@ -1,0 +1,224 @@
+module Rng = Pte_util.Rng
+module Stats = Pte_util.Stats
+module Pool = Pte_campaign.Pool
+
+type 'p model = {
+  init : Rng.t -> 'p;
+  extend : 'p -> Rng.t -> 'p;
+  score : 'p -> float;
+  target : float;
+}
+
+type config = {
+  particles : int;
+  keep : float;
+  max_stages : int;
+  confidence : float;
+  workers : int option;
+}
+
+let default =
+  {
+    particles = 64;
+    keep = 0.125;
+    max_stages = 16;
+    confidence = 0.99;
+    workers = None;
+  }
+
+let survivor_budget c = max 1 (int_of_float (c.keep *. float_of_int c.particles))
+
+let validate c =
+  if c.particles < 2 then
+    Error (Format.asprintf "splitting needs >= 2 particles (got %d)" c.particles)
+  else if not (0.0 < c.keep && c.keep < 1.0) then
+    Error (Format.asprintf "keep fraction %g outside (0, 1)" c.keep)
+  else if survivor_budget c >= c.particles then
+    Error
+      (Format.asprintf
+         "keep %g of %d particles leaves no room to climb (all survive)"
+         c.keep c.particles)
+  else if c.max_stages < 1 then
+    Error (Format.asprintf "stage budget %d < 1" c.max_stages)
+  else if not (0.0 < c.confidence && c.confidence < 1.0) then
+    Error (Format.asprintf "confidence %g outside (0, 1)" c.confidence)
+  else Ok ()
+
+type stage = {
+  index : int;
+  threshold : float;
+  survivors : int;
+  attempts : int;
+  p_hat : float;
+  p_upper : float;
+}
+
+type result = {
+  stages : stage list;
+  hits : int;
+  estimate : float;
+  upper_bound : float;
+  effective_trials : float;
+  trials_run : int;
+  stagnated : bool;
+}
+
+(* Independent stream per (stage, slot), derived without ordering
+   constraints so the worker pool's schedule cannot matter. *)
+let slot_rng root ~stage ~slot =
+  let key =
+    Int64.logor
+      (Int64.shift_left (Int64.of_int (stage + 1)) 32)
+      (Int64.of_int slot)
+  in
+  Rng.keyed root ~key
+
+let stage_upper ~conf ~n ~hits =
+  if hits = 0 then
+    (* exact binomial zero-hit bound; Wilson is only approximate here *)
+    1.0 -. ((1.0 -. conf) ** (1.0 /. float_of_int n))
+  else Stats.wilson_upper ~confidence:conf ~n ~hits ()
+
+let run ?(config = default) ~seed model =
+  (match validate config with Ok () -> () | Error e -> invalid_arg e);
+  let n = config.particles in
+  let nf = float_of_int n in
+  let budget = survivor_budget config in
+  (* Joint confidence across at most max_stages + 1 Wilson bounds
+     (Šidák): each stage certified at confidence^(1/(max_stages+1)), so
+     the product of the uppers holds jointly at [confidence] even when
+     every stage consumes its allowance. *)
+  let conf =
+    config.confidence ** (1.0 /. float_of_int (config.max_stages + 1))
+  in
+  let root = Rng.create seed in
+  let workers = config.workers in
+  let scored stage particles =
+    let slots = Array.init n (fun i -> i) in
+    Pool.map ?workers
+      (fun i ->
+        let rng = slot_rng root ~stage ~slot:i in
+        let p =
+          match particles with
+          | None -> model.init rng
+          | Some survivors ->
+              model.extend survivors.(i mod Array.length survivors) rng
+        in
+        let s = model.score p in
+        if not (Float.is_finite s) then
+          invalid_arg
+            (Format.asprintf "Split.run: non-finite score %g at stage %d" s
+               stage);
+        (p, s))
+      slots
+  in
+  let rec go stage prev_threshold survivors acc =
+    let pop = scored stage survivors in
+    let hits_now =
+      Array.fold_left
+        (fun k (_, s) -> if s >= model.target then k + 1 else k)
+        0 pop
+    in
+    let sorted = Array.map snd pop in
+    Array.sort (fun a b -> compare b a) sorted;
+    let threshold = sorted.(budget - 1) in
+    let last_stage = stage >= config.max_stages - 1 in
+    if threshold >= model.target || last_stage then
+      (* terminal stage: count hits at the actual target *)
+      let p_hat = float_of_int hits_now /. nf in
+      let st =
+        {
+          index = stage;
+          threshold = model.target;
+          survivors = hits_now;
+          attempts = n;
+          p_hat;
+          p_upper = stage_upper ~conf ~n ~hits:hits_now;
+        }
+      in
+      (List.rev (st :: acc), hits_now, false)
+    else if threshold <= prev_threshold then
+      (* the score plateaued: cloning no longer makes progress and the
+         conditional-probability factorization breaks down *)
+      let st =
+        {
+          index = stage;
+          threshold;
+          survivors = 0;
+          attempts = n;
+          p_hat = 0.0;
+          p_upper = 1.0;
+        }
+      in
+      (List.rev (st :: acc), 0, true)
+    else
+      (* fixed-effort splitting: keep exactly the top [budget] particles
+         (stable slot-index tiebreak). Keeping everything at or above
+         the threshold instead lets tie clusters — clones whose scores
+         differ only in the severity tiebreak — survive en masse,
+         inflating p̂ toward 1 and stalling the product estimator. *)
+      let ranked = Array.mapi (fun i (p, s) -> (s, i, p)) pop in
+      Array.sort
+        (fun (sa, ia, _) (sb, ib, _) ->
+          match compare sb sa with 0 -> compare ia ib | c -> c)
+        ranked;
+      let keepers =
+        Array.init budget (fun i ->
+            let _, _, p = ranked.(i) in
+            p)
+      in
+      let st =
+        {
+          index = stage;
+          threshold;
+          survivors = budget;
+          attempts = n;
+          p_hat = float_of_int budget /. nf;
+          p_upper = stage_upper ~conf ~n ~hits:budget;
+        }
+      in
+      go (stage + 1) threshold (Some keepers) (st :: acc)
+  in
+  let stages, hits, stagnated = go 0 neg_infinity None [] in
+  let estimate =
+    if stagnated then 0.0
+    else List.fold_left (fun acc st -> acc *. st.p_hat) 1.0 stages
+  in
+  let upper_bound =
+    if stagnated then 1.0
+    else List.fold_left (fun acc st -> acc *. st.p_upper) 1.0 stages
+  in
+  let effective_trials =
+    if stagnated then 0.0
+    else
+      match List.rev stages with
+      | terminal :: earlier ->
+          let prefix =
+            List.fold_left (fun acc st -> acc *. st.p_hat) 1.0 earlier
+          in
+          if prefix > 0.0 then float_of_int terminal.attempts /. prefix
+          else 0.0
+      | [] -> 0.0
+  in
+  {
+    stages;
+    hits;
+    estimate;
+    upper_bound;
+    effective_trials;
+    trials_run = n * List.length stages;
+    stagnated;
+  }
+
+let pp_stage ppf st =
+  Fmt.pf ppf "stage %d: level %g, %d/%d survive (p̂=%.3g, upper %.3g)"
+    st.index st.threshold st.survivors st.attempts st.p_hat st.p_upper
+
+let pp_result ppf r =
+  Fmt.pf ppf "@[<v>%a@,%s: estimate %.3g, upper bound %.3g, %g effective \
+              trials (%d run over %d stages)@]"
+    (Fmt.list ~sep:Fmt.cut pp_stage)
+    r.stages
+    (if r.stagnated then "STAGNATED" else "converged")
+    r.estimate r.upper_bound r.effective_trials r.trials_run
+    (List.length r.stages)

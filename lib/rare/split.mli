@@ -1,0 +1,92 @@
+(** Importance splitting (adaptive multilevel / RESTART-style) for
+    rare-event probability bounds.
+
+    Direct Monte-Carlo needs ~[3/p] trials to see a p-probability event
+    at all; at the 1e-6..1e-9 failure rates a certification campaign
+    targets, that is years of emulation. Splitting factors the rare
+    event into a chain of conditional events, each common enough to
+    estimate with a small fixed effort:
+
+      P(score >= target) = Π_k P(score >= L_{k+1} | score >= L_k)
+
+    Levels are chosen adaptively (Cérou–Guyader): each stage runs
+    [particles] independent trials, keeps the top [keep] fraction by
+    {!model.score}, and clones the survivors (cyclically, via
+    {!model.extend}) to refill the population. The product of the
+    per-stage survival fractions estimates the rare-event probability;
+    the per-stage Wilson upper bounds at Šidák-adjusted confidence
+    multiply into a joint upper bound (see DESIGN §12 for the soundness
+    caveats — the bound is exact only conditional on the importance
+    policy explored; paths pruned below every level are not covered).
+
+    Determinism: every particle at stage [k], slot [i] draws from the
+    stream [keyed root ~key:(k, i)], so the result is bit-identical at
+    any worker count and replayable from the root seed alone. *)
+
+type 'p model = {
+  init : Pte_util.Rng.t -> 'p;
+      (** fresh trial from scratch (stage-0 particle). *)
+  extend : 'p -> Pte_util.Rng.t -> 'p;
+      (** clone a survivor and push it further toward the event; must
+          preserve the survivor's achievements (score must not be able
+          to regress below the level it survived at — in the fault-plan
+          instantiation the clone replays the survivor's (plan, seed)
+          prefix and only appends severity). *)
+  score : 'p -> float;
+      (** importance of the particle; the event is [score >= target].
+          Must be finite. *)
+  target : float;  (** the score at which the rare event has occurred. *)
+}
+
+type config = {
+  particles : int;  (** population per stage (N). *)
+  keep : float;  (** survivor fraction per stage (in (0, 1)). *)
+  max_stages : int;  (** stage budget before giving up. *)
+  confidence : float;  (** joint confidence of [upper_bound]. *)
+  workers : int option;  (** domains for the per-stage map. *)
+}
+
+val default : config
+(** 64 particles, keep 1/8, 16 stages, 0.99 confidence. *)
+
+val validate : config -> (unit, string) result
+
+type stage = {
+  index : int;
+  threshold : float;  (** the adaptive level this stage established. *)
+  survivors : int;
+      (** particles carried into the next stage: exactly the keep
+          budget in intermediate stages (top-m selection, stable
+          slot-index tiebreak), the count reaching [target] in the
+          terminal stage. *)
+  attempts : int;  (** particles evaluated ([= particles]). *)
+  p_hat : float;  (** survivors / attempts. *)
+  p_upper : float;
+      (** Wilson upper bound on the stage's conditional probability at
+          the Šidák-adjusted per-stage confidence. *)
+}
+
+type result = {
+  stages : stage list;  (** in execution order; last = terminal stage. *)
+  hits : int;  (** terminal-stage particles reaching [target]. *)
+  estimate : float;  (** product estimator Π p̂_k. *)
+  upper_bound : float;
+      (** joint upper confidence bound: Π (per-stage Wilson uppers),
+          with the exact zero-hit binomial bound on a 0-hit terminal
+          stage. *)
+  effective_trials : float;
+      (** the direct-Monte-Carlo sample size this run is worth:
+          terminal attempts / Π_{k<terminal} p̂_k. *)
+  trials_run : int;  (** raw trials actually executed. *)
+  stagnated : bool;
+      (** the adaptive threshold failed to increase strictly — the
+          score plateaued below [target]; [upper_bound] is then 1.0
+          (no certification). *)
+}
+
+val run : ?config:config -> seed:int -> 'p model -> result
+(** Raises [Invalid_argument] on an invalid config or a non-finite
+    score. *)
+
+val pp_stage : stage Fmt.t
+val pp_result : result Fmt.t

@@ -1,0 +1,92 @@
+type config = { p0 : float; p1 : float; alpha : float; beta : float }
+
+let validate c =
+  if not (0.0 < c.p0 && c.p0 < c.p1 && c.p1 < 1.0) then
+    Error
+      (Format.asprintf "SPRT needs 0 < p0 < p1 < 1 (got p0=%g p1=%g)" c.p0
+         c.p1)
+  else if not (0.0 < c.alpha && c.alpha <= 0.5 && 0.0 < c.beta && c.beta <= 0.5)
+  then
+    Error
+      (Format.asprintf "SPRT needs alpha, beta in (0, 1/2] (got %g, %g)"
+         c.alpha c.beta)
+  else Ok ()
+
+type verdict = Accept_bound | Reject_bound | Continue
+
+type t = {
+  cfg : config;
+  (* per-observation LLR increments, precomputed once *)
+  inc_hit : float;
+  inc_miss : float;
+  (* Wald boundaries *)
+  upper : float;  (* llr >= upper: accept H1, reject the bound *)
+  lower : float;  (* llr <= lower: accept H0, certify the bound *)
+  mutable llr : float;
+  mutable n : int;
+  mutable hits : int;
+}
+
+let create cfg =
+  (match validate cfg with Ok () -> () | Error e -> invalid_arg e);
+  {
+    cfg;
+    inc_hit = log (cfg.p1 /. cfg.p0);
+    inc_miss = log ((1.0 -. cfg.p1) /. (1.0 -. cfg.p0));
+    upper = log ((1.0 -. cfg.beta) /. cfg.alpha);
+    lower = log (cfg.beta /. (1.0 -. cfg.alpha));
+    llr = 0.0;
+    n = 0;
+    hits = 0;
+  }
+
+let config t = t.cfg
+let n t = t.n
+let hits t = t.hits
+let llr t = t.llr
+
+let observe t violated =
+  t.n <- t.n + 1;
+  if violated then begin
+    t.hits <- t.hits + 1;
+    t.llr <- t.llr +. t.inc_hit
+  end
+  else t.llr <- t.llr +. t.inc_miss
+
+let verdict t =
+  if t.llr >= t.upper then Reject_bound
+  else if t.llr <= t.lower then Accept_bound
+  else Continue
+
+let pp_verdict ppf = function
+  | Accept_bound -> Fmt.string ppf "accept-bound"
+  | Reject_bound -> Fmt.string ppf "reject-bound"
+  | Continue -> Fmt.string ppf "continue"
+
+module Okamoto = struct
+  let check ~bound ~confidence =
+    if not (0.0 < bound && bound < 1.0) then
+      invalid_arg (Format.asprintf "Okamoto: bound %g outside (0,1)" bound);
+    if not (0.0 < confidence && confidence < 1.0) then
+      invalid_arg
+        (Format.asprintf "Okamoto: confidence %g outside (0,1)" confidence)
+
+  let required_trials ~bound ~confidence =
+    check ~bound ~confidence;
+    (* least n with (1 - bound)^n <= 1 - confidence *)
+    let n = log (1.0 -. confidence) /. log (1.0 -. bound) in
+    int_of_float (ceil n)
+
+  let upper_bound ~n ~hits ~confidence =
+    check ~bound:0.5 ~confidence;
+    if n <= 0 then 1.0
+    else if hits = 0 then
+      (* exact binomial: largest p with (1-p)^n >= 1 - confidence *)
+      1.0 -. ((1.0 -. confidence) ** (1.0 /. float_of_int n))
+    else
+      let p_hat = float_of_int hits /. float_of_int n in
+      let slack =
+        sqrt (log (1.0 /. (1.0 -. confidence)) /. (2.0 *. float_of_int n))
+      in
+      Float.min 1.0 (p_hat +. slack)
+end

@@ -1,0 +1,71 @@
+(** Sequential hypothesis tests on a Bernoulli violation stream.
+
+    Two stopping rules for "is the violation probability below the
+    target bound?", replacing fixed-rep Monte-Carlo (whose 0-out-of-200
+    certifies nothing past ~1e-2) with tests that run exactly as long
+    as the evidence requires:
+
+    - {!t}: Wald's SPRT of H0: p <= p0 against H1: p >= p1 at error
+      rates alpha (accepting H1 when p <= p0) and beta (accepting H0
+      when p >= p1). Optimal expected sample size at both hypotheses;
+      indifferent in (p0, p1).
+    - {!Okamoto}: the Okamoto/Chernoff–Hoeffding fixed-confidence
+      bound — a deterministic trial budget that certifies p <= bound
+      when the observed hit count stays low enough.
+
+    Both are pure fold states over the 0/1 stream: feeding the same
+    prefix always yields the same verdict at the same index, which is
+    what makes checkpoint resume and any-worker-count determinism
+    possible upstream ({!Seq}). *)
+
+type config = {
+  p0 : float;  (** the certified bound (null: p <= p0). *)
+  p1 : float;  (** the rejection level (alternative: p >= p1). *)
+  alpha : float;  (** P(declare p >= p1 | p = p0). *)
+  beta : float;  (** P(declare p <= p0 | p = p1). *)
+}
+
+val validate : config -> (unit, string) result
+(** [0 < p0 < p1 < 1] and [alpha, beta] in (0, 1/2]. *)
+
+type verdict =
+  | Accept_bound  (** the stream supports p <= p0. *)
+  | Reject_bound  (** the stream supports p >= p1. *)
+  | Continue
+
+type t
+
+val create : config -> t
+(** Raises [Invalid_argument] on an invalid config. *)
+
+val config : t -> config
+val observe : t -> bool -> unit
+(** Fold one trial outcome ([true] = violation) into the statistic. *)
+
+val n : t -> int
+val hits : t -> int
+
+val llr : t -> float
+(** Current log-likelihood ratio log L(p1)/L(p0). *)
+
+val verdict : t -> verdict
+(** Wald boundaries: [Reject_bound] at llr >= log((1-beta)/alpha),
+    [Accept_bound] at llr <= log(beta/(1-alpha)). *)
+
+val pp_verdict : verdict Fmt.t
+
+(** Fixed-confidence single-sampling bounds. *)
+module Okamoto : sig
+  val required_trials : bound:float -> confidence:float -> int
+  (** Smallest n such that observing 0 hits in n trials certifies
+      p <= bound at the given confidence: the least n with
+      [(1 - bound)^n <= 1 - confidence] (the exact binomial zero-hit
+      bound; ~ ln(1/(1-confidence)) / bound for small bounds). *)
+
+  val upper_bound : n:int -> hits:int -> confidence:float -> float
+  (** One-sided upper confidence bound on p after observing [hits] in
+      [n] trials: the exact [1 - (1-confidence)^(1/n)] when [hits = 0],
+      the Okamoto/Chernoff–Hoeffding inversion
+      [p_hat + sqrt (ln (1/(1-confidence)) / (2 n))] otherwise.
+      [1.0] when [n = 0]. *)
+end

@@ -23,6 +23,9 @@ type result = {
   gave_up : int;  (** sends lost after the full retry budget. *)
   dups_suppressed : int;  (** replayed copies squashed by (src, seq). *)
   degraded_entries : int;  (** times the supervisor entered safe-mode. *)
+  max_consec_losses : int;
+      (** deepest per-sender feedback blackout (consecutive unconfirmed
+          exchanges) — a certification level-function component. *)
   worst_latency : float;  (** largest observed send-to-delivery delay. *)
   mode_switches_up : int;  (** adaptive: committed escalations. *)
   mode_switches_down : int;  (** adaptive: committed de-escalations. *)
@@ -81,6 +84,7 @@ let run (config : Emulation.config) : result =
       (match built.Emulation.degraded with
       | Some h -> h.Degraded.entries
       | None -> 0);
+    max_consec_losses = tstats.Pte_net.Transport.max_consec_losses;
     worst_latency = tstats.Pte_net.Transport.worst_latency;
     mode_switches_up = tstats.Pte_net.Transport.switches_up;
     mode_switches_down = tstats.Pte_net.Transport.switches_down;
@@ -96,6 +100,9 @@ type aggregate = {
   reps : int;
   failed_jobs : int;
   failure_reps : int;
+  failure_rate : Pte_campaign.Aggregate.summary;
+      (** the 0/1 "failed" indicator itself — carries the Wilson
+          interval honest at 0 observed violations. *)
   emissions : Pte_campaign.Aggregate.summary;
   failures : Pte_campaign.Aggregate.summary;
   evt_to_stop : Pte_campaign.Aggregate.summary;
@@ -127,6 +134,7 @@ let metrics_of_result (r : result) =
     ("gave_up", Float.of_int r.gave_up);
     ("dups_suppressed", Float.of_int r.dups_suppressed);
     ("degraded_entries", Float.of_int r.degraded_entries);
+    ("max_consec_losses", Float.of_int r.max_consec_losses);
     ("worst_latency", r.worst_latency);
     ("mode_switches_up", Float.of_int r.mode_switches_up);
     ("mode_switches_down", Float.of_int r.mode_switches_down);
@@ -141,7 +149,8 @@ let metrics_of_result (r : result) =
 
 let aggregate_of_cell (cell : Pte_campaign.Aggregate.cell) =
   let empty : Pte_campaign.Aggregate.summary =
-    { n = 0; mean = nan; stddev = 0.0; ci95 = 0.0; lo = nan; hi = nan }
+    { n = 0; mean = nan; stddev = 0.0; ci95 = 0.0; lo = nan; hi = nan;
+      wilson = None }
   in
   let metric name =
     try Pte_campaign.Aggregate.metric cell name with Not_found -> empty
@@ -157,6 +166,7 @@ let aggregate_of_cell (cell : Pte_campaign.Aggregate.cell) =
            (Float.round
               (failed_ind.Pte_campaign.Aggregate.mean
               *. Float.of_int failed_ind.Pte_campaign.Aggregate.n)));
+    failure_rate = failed_ind;
     emissions = metric "emissions";
     failures = metric "failures";
     evt_to_stop = metric "evt_to_stop";
@@ -193,8 +203,17 @@ let run_cells ?workers ?checkpoint ?(resume = false) ?(retries = 1) ~reps ~seed
   (campaign, full)
 
 (* One replicated row per cell; only valid when nothing was resumed
-   (replicate 0 then always ran in this process). *)
+   (replicate 0 then always ran in this process). Jobs that exhausted
+   their retries would silently vanish from the aggregates — a table
+   (or a certified bound) must never rest on dropped trials, so any
+   failed job fails the whole aggregation loudly instead. *)
 let replicated_rows campaign full reps =
+  if campaign.Pte_campaign.Runner.failed > 0 then
+    failwith
+      (Printf.sprintf
+         "Trial.replicated_rows: %d job(s) exhausted their retries; \
+          refusing to aggregate over dropped trials"
+         campaign.Pte_campaign.Runner.failed);
   Array.to_list
     (Array.mapi
        (fun i cell ->

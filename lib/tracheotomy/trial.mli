@@ -27,6 +27,11 @@ type result = {
       (** replayed copies squashed at the receiver by (src, seq). *)
   degraded_entries : int;
       (** # of times the supervisor entered degraded-safe-mode. *)
+  max_consec_losses : int;
+      (** deepest per-sender feedback blackout — the high-water mark of
+          {!Pte_net.Transport.consecutive_losses} over the trial, a
+          component of the {!Certify} level function. 0 under the bare
+          transport (no feedback to lose). *)
   worst_latency : float;
       (** largest observed send-to-delivery delay across delivered
           radio sends, seconds
@@ -69,6 +74,10 @@ type aggregate = {
   reps : int;  (** replicates that completed. *)
   failed_jobs : int;  (** replicates that crashed (exhausted retries). *)
   failure_reps : int;  (** replicates with >= 1 PTE violation episode. *)
+  failure_rate : Pte_campaign.Aggregate.summary;
+      (** the 0/1 "failed" indicator summary; its [wilson] interval is
+          the honest CI on the violation rate (non-degenerate at 0
+          failing replicates, unlike the normal-approximation ci95). *)
   emissions : Pte_campaign.Aggregate.summary;
   failures : Pte_campaign.Aggregate.summary;
   evt_to_stop : Pte_campaign.Aggregate.summary;

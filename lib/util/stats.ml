@@ -31,6 +31,69 @@ let percentile xs p =
       let nth i = List.nth sorted i in
       nth lo +. (frac *. (nth hi -. nth lo))
 
+(* Wilson score interval. The normal-approximation half-width
+   z·s/√n collapses to 0 on an all-zero Bernoulli sample, which is
+   exactly backwards for rare events: 0 violations in n trials bounds
+   the rate near 3/n, not 0. The score interval inverts the normal test
+   on the true p instead of plugging in p̂, so it stays honest at the
+   boundaries. *)
+let wilson ?(z = 1.959963984540054) ~n ~hits () =
+  if n <= 0 then (0.0, 1.0)
+  else begin
+    let nf = Float.of_int n in
+    let p = Float.of_int hits /. nf in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. nf) in
+    let center = (p +. (z2 /. (2.0 *. nf))) /. denom in
+    let half =
+      z
+      *. sqrt ((p *. (1.0 -. p) /. nf) +. (z2 /. (4.0 *. nf *. nf)))
+      /. denom
+    in
+    (Float.max 0.0 (center -. half), Float.min 1.0 (center +. half))
+  end
+
+(* z for a one-sided level: wilson upper at confidence c is the upper
+   end of the two-sided interval at 2c-1. Newton on the error function
+   would be overkill; Acklam-style rational approximation of the normal
+   quantile is plenty for confidence displays and bench gates. *)
+let normal_quantile p =
+  if p <= 0.0 || p >= 1.0 then invalid_arg "Stats.normal_quantile: p in (0,1)";
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  and b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  and c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  and d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let p_low = 0.02425 in
+  if p < p_low then
+    let q = sqrt (-2.0 *. log p) in
+    (((((c.(0) *. q +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+    /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+  else if p <= 1.0 -. p_low then
+    let q = p -. 0.5 in
+    let r = q *. q in
+    (((((a.(0) *. r +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4)) *. r +. a.(5))
+    *. q
+    /. (((((b.(0) *. r +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4)) *. r +. 1.0)
+  else
+    let q = sqrt (-2.0 *. log (1.0 -. p)) in
+    -.((((((c.(0) *. q +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+       /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0))
+
+(** One-sided Wilson upper bound: P(p <= result) >= confidence. *)
+let wilson_upper ?(confidence = 0.95) ~n ~hits () =
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Stats.wilson_upper: confidence in (0,1)";
+  snd (wilson ~z:(normal_quantile confidence) ~n ~hits ())
+
 (** Online accumulator (Welford) for long streams. *)
 module Online = struct
   type t = {
@@ -39,10 +102,20 @@ module Online = struct
     mutable m2 : float;
     mutable min : float;
     mutable max : float;
+    mutable binary : bool;  (** every value added so far was 0 or 1 *)
+    mutable hits : int;  (** count of 1-values (meaningful when binary) *)
   }
 
   let create () =
-    { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+    {
+      n = 0;
+      mean = 0.0;
+      m2 = 0.0;
+      min = infinity;
+      max = neg_infinity;
+      binary = true;
+      hits = 0;
+    }
 
   let add t x =
     t.n <- t.n + 1;
@@ -50,7 +123,9 @@ module Online = struct
     t.mean <- t.mean +. (delta /. Float.of_int t.n);
     t.m2 <- t.m2 +. (delta *. (x -. t.mean));
     if x < t.min then t.min <- x;
-    if x > t.max then t.max <- x
+    if x > t.max then t.max <- x;
+    if x = 1.0 then t.hits <- t.hits + 1
+    else if x <> 0.0 then t.binary <- false
 
   let count t = t.n
   let mean t = if t.n = 0 then nan else t.mean
@@ -58,4 +133,6 @@ module Online = struct
   let stddev t = sqrt (variance t)
   let min t = if t.n = 0 then nan else t.min
   let max t = if t.n = 0 then nan else t.max
+  let is_binary t = t.n > 0 && t.binary
+  let hits t = t.hits
 end

@@ -14,6 +14,21 @@ val sum : float list -> float
 val percentile : float list -> float -> float
 (** Linear interpolation between closest ranks. *)
 
+val wilson : ?z:float -> n:int -> hits:int -> unit -> float * float
+(** Wilson score interval for a Bernoulli proportion observed as
+    [hits] successes in [n] trials, at critical value [z] (default:
+    two-sided 95%). Unlike the normal approximation, the interval is
+    non-degenerate at 0 and n hits — 0 violations in n trials yields an
+    upper end near 3/n rather than 0. [(0, 1)] when [n <= 0]. *)
+
+val normal_quantile : float -> float
+(** Inverse standard-normal CDF (Acklam's rational approximation,
+    |error| < 1.15e-9). Raises [Invalid_argument] outside (0, 1). *)
+
+val wilson_upper : ?confidence:float -> n:int -> hits:int -> unit -> float
+(** One-sided Wilson upper confidence bound on the proportion:
+    P(p <= bound) >= [confidence] (default 0.95). *)
+
 (** Online accumulator (Welford) for long streams. *)
 module Online : sig
   type t
@@ -26,4 +41,12 @@ module Online : sig
   val stddev : t -> float
   val min : t -> float
   val max : t -> float
+
+  val is_binary : t -> bool
+  (** Every value added so far was exactly 0 or 1 (and there was at
+      least one) — the stream is an indicator metric, for which the
+      normal-approximation CI is replaced by a {!wilson} interval. *)
+
+  val hits : t -> int
+  (** Count of 1-valued additions (meaningful when {!is_binary}). *)
 end

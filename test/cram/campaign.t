@@ -62,4 +62,4 @@ Resuming with a different master seed is refused — the checkpoint's
 header names a different campaign:
 
   $ ../../bin/pte_campaign_cli.exe table1 --reps 1 --minutes 3 --workers 2 --seed 2014 --out results.jsonl --resume 2>&1 | sed 's/digest [0-9a-f]*/digest .../g'
-  pte-campaign: checkpoint results.jsonl was written by a different campaign (file: seed 2013, 4 cells x 1 reps, digest ...; expected: seed 2014, 4 cells x 1 reps, digest ...)
+  pte-campaign: checkpoint results.jsonl was written by a different campaign (file: seed 2013, 4 cells x 1 reps, digest ..., version pte-campaign/8; expected: seed 2014, 4 cells x 1 reps, digest ..., version pte-campaign/8)

@@ -1,0 +1,51 @@
+The rare-event certification engine at the CI smoke scale (5-minute
+trial horizon, 16 particles x 10 stages, target 1e-3): the SPRT screen
+certifies the with-lease design in 59 clean trials and refutes the
+without-lease baseline almost immediately; importance splitting then
+bounds the with-lease violation rate below the target, so the pair
+matches the case study's expected shape and the checker exits 0:
+
+  $ ../../bin/pte_check.exe --certify --certify-minutes 5 --target 1e-3 \
+  >   --particles 16 --stages 10 --min-effective 1e3 --seed 9300
+  certification target 0.001 at confidence 0.99 (>= 1000 effective trials)
+  with-lease:
+    screen: CERTIFIED after 59 trials (0 hits; rate upper bound 0.0495; SPRT p0=0.001 p1=0.05 α=0.05 β=0.05)
+    splitting: stage 0: level 0.353833, 2/16 survive (p̂=0.125, upper 0.514)
+               stage 1: level 0.364692, 2/16 survive (p̂=0.125, upper 0.514)
+               stage 2: level 0.36487, 2/16 survive (p̂=0.125, upper 0.514)
+               stage 3: level 0.364955, 2/16 survive (p̂=0.125, upper 0.514)
+               stage 4: level 0.365769, 2/16 survive (p̂=0.125, upper 0.514)
+               stage 5: level 0.366253, 2/16 survive (p̂=0.125, upper 0.514)
+               stage 6: level 0.366626, 2/16 survive (p̂=0.125, upper 0.514)
+               stage 7: level 0.366923, 2/16 survive (p̂=0.125, upper 0.514)
+               stage 8: level 0.367164, 2/16 survive (p̂=0.125, upper 0.514)
+               stage 9: level 1, 0/16 survive (p̂=0, upper 0.354)
+               converged: estimate 0, upper bound 0.000895, 2.14748e+09 effective trials (160 run over 10 stages)
+    bound 0.000895, 2.14748e+09 effective trials, 219 trials run -> CERTIFIED
+  without-lease:
+    screen: REFUTED after 2 trials (1 hits; rate upper bound 1; SPRT p0=0.001 p1=0.05 α=0.05 β=0.05)
+    splitting: not reached
+    bound 1, 0 effective trials, 2 trials run -> NOT CERTIFIED
+  verdict: PASS (lease certified; baseline refuted)
+
+A target the configured effort cannot reach (1e-9 on a 2-stage budget)
+must fail loudly — the report says NOT CERTIFIED and the exit code is
+nonzero, so a CI gate cannot mistake an under-powered run for a
+certificate:
+
+  $ ../../bin/pte_check.exe --certify --no-screen --certify-minutes 5 \
+  >   --target 1e-9 --particles 4 --stages 2 --min-effective 1 --seed 9300
+  certification target 1e-09 at confidence 0.99 (>= 1 effective trials)
+  with-lease:
+    screen: skipped
+    splitting: stage 0: level 0.341731, 1/4 survive (p̂=0.25, upper 0.796)
+               stage 1: level 1, 0/4 survive (p̂=0, upper 0.76)
+               converged: estimate 0, upper bound 0.605, 16 effective trials (8 run over 2 stages)
+    bound 0.605, 16 effective trials, 8 trials run -> NOT CERTIFIED
+  without-lease:
+    screen: skipped
+    splitting: stage 0: level 1, 1/4 survive (p̂=0.25, upper 0.796)
+               converged: estimate 0.25, upper bound 0.796, 4 effective trials (4 run over 1 stages)
+    bound 0.796, 4 effective trials, 4 trials run -> NOT CERTIFIED
+  verdict: FAIL
+  [1]

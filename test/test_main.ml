@@ -17,4 +17,5 @@ let () =
    @ Test_compliance.suite
    @ Test_engine.suite @ Test_dbm.suite @ Test_mc.suite
    @ Test_tracheotomy.suite @ Test_scenarios.suite @ Test_faults.suite
+   @ Test_rare.suite
    @ Test_integration.suite @ Test_lint.suite)

@@ -1,0 +1,538 @@
+(* Rare-event engine: SPRT boundaries, Okamoto plans, splitting
+   consistency on a synthetic chain with a known tail probability,
+   worker-count determinism, sequential checkpoint resume + cross-version
+   refusal, and the severity-escalation laws the splitting clones rely
+   on. *)
+
+open Pte_rare
+module Rng = Pte_util.Rng
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+(* ------------------------------------------------------------------ *)
+(* SPRT                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The default certification screen: accept needs
+   ceil(log(beta/(1-alpha)) / log((1-p1)/(1-p0))) = 59 clean trials. *)
+let screen = { Sprt.p0 = 1e-3; p1 = 0.05; alpha = 0.05; beta = 0.05 }
+
+let test_sprt_accepts_after_clean_run () =
+  let t = Sprt.create screen in
+  for _ = 1 to 58 do
+    Sprt.observe t false
+  done;
+  Alcotest.(check bool)
+    "58 clean trials not yet conclusive" true
+    (Sprt.verdict t = Sprt.Continue);
+  Sprt.observe t false;
+  Alcotest.(check bool)
+    "59th clean trial accepts the bound" true
+    (Sprt.verdict t = Sprt.Accept_bound);
+  Alcotest.(check int) "n" 59 (Sprt.n t);
+  Alcotest.(check int) "hits" 0 (Sprt.hits t)
+
+let test_sprt_rejects_on_hits () =
+  (* one hit is worth log(p1/p0) = log(50) = 3.91 > the 2.94 upper
+     boundary: a single violation refutes the 1e-3 bound instantly *)
+  let t = Sprt.create screen in
+  Sprt.observe t true;
+  Alcotest.(check bool)
+    "single hit rejects" true
+    (Sprt.verdict t = Sprt.Reject_bound);
+  (* a short clean prefix only buys log((1-p0)/(1-p1)) per trial: after
+     15 misses one hit still lands above the Wald boundary *)
+  let t = Sprt.create screen in
+  for _ = 1 to 15 do
+    Sprt.observe t false
+  done;
+  Sprt.observe t true;
+  Alcotest.(check bool)
+    "hit after 15 clean trials still rejects" true
+    (Sprt.verdict t = Sprt.Reject_bound);
+  (* a longer prefix absorbs the first hit; the second one rejects *)
+  let t = Sprt.create screen in
+  for _ = 1 to 25 do
+    Sprt.observe t false
+  done;
+  Sprt.observe t true;
+  Alcotest.(check bool)
+    "one hit after 25 clean trials is not yet conclusive" true
+    (Sprt.verdict t = Sprt.Continue);
+  Sprt.observe t true;
+  Alcotest.(check bool) "the second hit rejects" true
+    (Sprt.verdict t = Sprt.Reject_bound)
+
+let test_sprt_validate () =
+  let bad c =
+    match Sprt.validate c with Ok () -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "p0 >= p1" true (bad { screen with Sprt.p0 = 0.1 });
+  Alcotest.(check bool) "alpha > 1/2" true (bad { screen with Sprt.alpha = 0.6 });
+  Alcotest.(check bool) "beta = 0" true (bad { screen with Sprt.beta = 0.0 });
+  Alcotest.(check bool) "default screen fine" true
+    (Sprt.validate screen = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Okamoto                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_okamoto_required_trials () =
+  (* least n with 0.999^n <= 0.05: n = 2995 *)
+  let n = Sprt.Okamoto.required_trials ~bound:1e-3 ~confidence:0.95 in
+  Alcotest.(check int) "plan size" 2995 n;
+  Alcotest.(check bool) "plan certifies at 0 hits" true
+    (Sprt.Okamoto.upper_bound ~n ~hits:0 ~confidence:0.95 <= 1e-3);
+  Alcotest.(check bool) "one fewer trial does not" true
+    (Sprt.Okamoto.upper_bound ~n:(n - 1) ~hits:0 ~confidence:0.95 > 1e-3)
+
+let test_okamoto_upper_bound () =
+  (* zero hits: the exact binomial bound 1 - (1-c)^(1/n) *)
+  Alcotest.(check bool) "0/1000 at 95%" true
+    (feq ~eps:1e-6
+       (Sprt.Okamoto.upper_bound ~n:1000 ~hits:0 ~confidence:0.95)
+       (1.0 -. (0.05 ** 0.001)));
+  (* with hits: Chernoff-Hoeffding inversion around the point estimate *)
+  let up = Sprt.Okamoto.upper_bound ~n:100 ~hits:10 ~confidence:0.95 in
+  Alcotest.(check bool) "10/100 bound above p-hat" true (up > 0.1);
+  Alcotest.(check bool) "10/100 bound below p-hat + 0.2" true (up < 0.3);
+  Alcotest.(check bool) "n = 0 is vacuous" true
+    (feq (Sprt.Okamoto.upper_bound ~n:0 ~hits:0 ~confidence:0.95) 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Splitting on a synthetic chain                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A Markov chain with a closed-form tail: depth advances by a fair-ish
+   coin (P(heads) = p) until the first tails, and the score is
+   depth + jitter with the jitter frozen at the last advance (so a
+   clone can never regress below the level its parent survived at).
+   P(depth >= m) = p^m exactly under [init]; [extend] continues the
+   same chain, so the splitting estimate must recover p^m. *)
+type chain = { depth : int; jitter : float }
+
+let advance ~p ~cap c rng =
+  let d = ref c.depth and moved = ref false in
+  while !d < cap && Rng.bernoulli rng p do
+    incr d;
+    moved := true
+  done;
+  if !moved then { depth = !d; jitter = Rng.float rng } else c
+
+let chain_model ~p ~m =
+  {
+    Split.init =
+      (fun rng ->
+        let jitter = Rng.float rng in
+        advance ~p ~cap:m { depth = 0; jitter } rng);
+    extend = (fun c rng -> advance ~p ~cap:m c rng);
+    score = (fun c -> Float.of_int c.depth +. c.jitter);
+    target = Float.of_int m;
+  }
+
+let chain_config =
+  {
+    Split.default with
+    Split.particles = 400;
+    keep = 0.05;
+    max_stages = 24;
+    workers = Some 1;
+  }
+
+let split_estimates ~p ~m ~seeds =
+  List.map
+    (fun seed -> Split.run ~config:chain_config ~seed (chain_model ~p ~m))
+    seeds
+
+(* The engine's clones inherit their parent's achieved score as a floor
+   (extend never regresses), so levels climb faster than the charged
+   [keep] fraction justifies: the product estimator systematically
+   OVER-states the tail probability. That is the sound direction for a
+   certification bound — what these tests pin down is (a) coverage:
+   estimate and upper bound never fall below the truth, (b) the
+   over-statement stays within a bounded factor, and (c) the rare event
+   is reached with orders of magnitude fewer raw trials than 1/p. All
+   runs use fixed seeds, so the windows are deterministic. *)
+let check_split_coverage ~truth ~slack runs =
+  let ok = List.filter (fun (r : Split.result) -> not r.Split.stagnated) runs in
+  Alcotest.(check int)
+    (Fmt.str "no run stagnated at truth %.0e" truth)
+    (List.length runs) (List.length ok);
+  List.iter
+    (fun (r : Split.result) ->
+      Alcotest.(check bool)
+        (Fmt.str "estimate %.3g covers the truth %.0e" r.Split.estimate truth)
+        true
+        (r.Split.estimate >= truth /. 4.0);
+      Alcotest.(check bool)
+        (Fmt.str "estimate %.3g within %gx of %.0e" r.Split.estimate slack
+           truth)
+        true
+        (r.Split.estimate <= truth *. slack);
+      Alcotest.(check bool)
+        (Fmt.str "upper bound %.3g above the truth" r.Split.upper_bound)
+        true
+        (r.Split.upper_bound >= truth);
+      Alcotest.(check bool) "upper bound above the estimate" true
+        (r.Split.upper_bound >= r.Split.estimate);
+      Alcotest.(check bool) "terminal stage actually hit the target" true
+        (r.Split.hits > 0);
+      Alcotest.(check bool)
+        (Fmt.str "claimed effective trials %g exceed raw trials %d"
+           r.Split.effective_trials r.Split.trials_run)
+        true
+        (r.Split.effective_trials > Float.of_int r.Split.trials_run))
+    ok
+
+let test_split_conservative_at_1e4 () =
+  check_split_coverage ~truth:1e-4 ~slack:50.0
+    (split_estimates ~p:0.1 ~m:4 ~seeds:(List.init 20 (fun i -> 100 + i)))
+
+let test_split_conservative_at_1e6 () =
+  let truth = 1e-6 in
+  let runs = split_estimates ~p:0.1 ~m:6 ~seeds:(List.init 10 (fun i -> 10 + i)) in
+  check_split_coverage ~truth ~slack:200.0 runs;
+  List.iter
+    (fun (r : Split.result) ->
+      (* direct Monte-Carlo would need ~3e6 trials to see the event at
+         all; splitting reaches it and bounds it below 1e-3 within a few
+         thousand raw trials *)
+      Alcotest.(check bool)
+        (Fmt.str "only %d raw trials spent" r.Split.trials_run)
+        true
+        (r.Split.trials_run <= 4000);
+      Alcotest.(check bool)
+        (Fmt.str "upper bound %.3g beats what 4000 direct trials could give"
+           r.Split.upper_bound)
+        true
+        (r.Split.upper_bound
+        <= 1.0 -. ((1.0 -. 0.99) ** (1.0 /. 4000.0))))
+    runs
+
+(* The property form of the coverage check, over arbitrary root seeds:
+   a run either stagnates (and certifies nothing — upper bound 1.0) or
+   it anchors to the analytic tail p^m within an order of magnitude
+   below (the estimator's bias is upward, so even an unlucky seed must
+   not land far under truth), and the engine invariants hold — bound
+   above estimate, levels strictly increasing, effort accounted. *)
+let prop_split_never_unsound =
+  QCheck.Test.make ~name:"splitting never under-states a known 1e-3 tail"
+    ~count:30
+    QCheck.(make ~print:string_of_int Gen.int)
+    (fun seed ->
+      let truth = 1e-3 in
+      let r = Split.run ~config:chain_config ~seed (chain_model ~p:0.1 ~m:3) in
+      if r.Split.stagnated then feq r.Split.upper_bound 1.0
+      else
+        let thresholds =
+          List.map (fun (st : Split.stage) -> st.Split.threshold) r.Split.stages
+        in
+        let rec increasing = function
+          | a :: (b :: _ as rest) -> a < b && increasing rest
+          | _ -> true
+        in
+        r.Split.estimate >= truth /. 50.0
+        && r.Split.upper_bound >= truth /. 10.0
+        && r.Split.upper_bound >= r.Split.estimate
+        && increasing thresholds
+        && r.Split.trials_run
+           = chain_config.Split.particles * List.length r.Split.stages
+        && r.Split.effective_trials >= Float.of_int r.Split.trials_run)
+
+let test_split_deterministic_across_workers () =
+  let run workers =
+    Split.run
+      ~config:{ chain_config with Split.workers = Some workers }
+      ~seed:42 (chain_model ~p:0.1 ~m:4)
+  in
+  let r1 = run 1 and r2 = run 2 and r4 = run 4 in
+  Alcotest.(check bool) "1 vs 2 workers identical" true (r1 = r2);
+  Alcotest.(check bool) "2 vs 4 workers identical" true (r2 = r4)
+
+let test_split_validate () =
+  let bad c =
+    match Split.validate c with Ok () -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "1 particle" true
+    (bad { Split.default with Split.particles = 1 });
+  Alcotest.(check bool) "keep = 1" true
+    (bad { Split.default with Split.keep = 1.0 });
+  Alcotest.(check bool) "no stage budget" true
+    (bad { Split.default with Split.max_stages = 0 });
+  Alcotest.(check bool) "certain confidence" true
+    (bad { Split.default with Split.confidence = 1.0 });
+  Alcotest.(check bool) "default fine" true (Split.validate Split.default = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Sequential driver                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A deterministic Bernoulli stream driven by the trial's own RNG —
+   exactly how the certification screen consumes it. *)
+let bernoulli_trial p rng = Rng.bernoulli rng p
+
+let test_seq_deterministic_across_workers () =
+  let run workers =
+    Seq.run ~workers ~rule:(Seq.Sprt screen) ~seed:7 (bernoulli_trial 0.02)
+  in
+  let r1 = run 1 and r2 = run 2 and r4 = run 4 in
+  Alcotest.(check bool) "1 vs 2 workers identical" true (r1 = r2);
+  Alcotest.(check bool) "2 vs 4 workers identical" true (r2 = r4)
+
+let test_seq_verdicts () =
+  (* a clean stream accepts the bound in exactly 59 trials *)
+  let r = Seq.run ~rule:(Seq.Sprt screen) ~seed:1 (fun _ -> false) in
+  Alcotest.(check bool) "clean stream certifies" true
+    (r.Seq.verdict = Seq.Certified);
+  Alcotest.(check int) "at the Wald boundary" 59 r.Seq.trials;
+  (* an always-violating stream refutes immediately *)
+  let r = Seq.run ~rule:(Seq.Sprt screen) ~seed:1 (fun _ -> true) in
+  Alcotest.(check bool) "dirty stream refutes" true
+    (r.Seq.verdict = Seq.Refuted);
+  Alcotest.(check int) "in one trial" 1 r.Seq.trials;
+  (* a rate between p0 and p1 with a tiny budget stays inconclusive *)
+  let r =
+    Seq.run ~max_trials:10 ~rule:(Seq.Sprt screen) ~seed:3 (fun _ -> false)
+  in
+  Alcotest.(check bool) "budget too small" true
+    (r.Seq.verdict = Seq.Inconclusive)
+
+let test_seq_okamoto_rule () =
+  let rule = Seq.Okamoto { bound = 0.01; confidence = 0.95 } in
+  (* clean stream: runs the full 299-trial plan and certifies *)
+  let r = Seq.run ~max_trials:1000 ~rule ~seed:1 (fun _ -> false) in
+  Alcotest.(check bool) "plan certifies" true (r.Seq.verdict = Seq.Certified);
+  Alcotest.(check int) "exactly the Okamoto plan size"
+    (Sprt.Okamoto.required_trials ~bound:0.01 ~confidence:0.95)
+    r.Seq.trials;
+  Alcotest.(check bool) "bound tight enough" true (r.Seq.upper_bound <= 0.01);
+  (* heavy violations: refuted early, well before the full plan *)
+  let r = Seq.run ~max_trials:1000 ~rule ~seed:1 (bernoulli_trial 0.5) in
+  Alcotest.(check bool) "heavy stream refuted" true
+    (r.Seq.verdict = Seq.Refuted);
+  Alcotest.(check bool) "refuted early" true
+    (r.Seq.trials < Sprt.Okamoto.required_trials ~bound:0.01 ~confidence:0.95)
+
+let with_tmp f =
+  let path = Filename.temp_file "pte_rare" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let test_seq_checkpoint_resume () =
+  with_tmp (fun path ->
+      let trial_calls = ref 0 in
+      let trial rng =
+        incr trial_calls;
+        Rng.bernoulli rng 0.001
+      in
+      (* interrupted run: budget exhausted while still inconclusive *)
+      let r1 =
+        Seq.run ~max_trials:30 ~checkpoint:path ~rule:(Seq.Sprt screen)
+          ~seed:5 trial
+      in
+      Alcotest.(check bool) "interrupted" true
+        (r1.Seq.verdict = Seq.Inconclusive);
+      let ran_before = !trial_calls in
+      (* resumed run: replays the 30 recorded trials, runs only the rest *)
+      let r2 =
+        Seq.run ~max_trials:200 ~checkpoint:path ~resume:true
+          ~rule:(Seq.Sprt screen) ~seed:5 trial
+      in
+      let ran_after = !trial_calls - ran_before in
+      (* an uninterrupted reference run *)
+      let r3 = Seq.run ~max_trials:200 ~rule:(Seq.Sprt screen) ~seed:5 trial in
+      Alcotest.(check bool) "resumed = uninterrupted" true
+        (r2.Seq.verdict = r3.Seq.verdict && r2.Seq.trials = r3.Seq.trials
+        && r2.Seq.hits = r3.Seq.hits);
+      Alcotest.(check bool)
+        (Fmt.str "resume replayed the prefix (ran %d new, %d total)" ran_after
+           r3.Seq.trials)
+        true
+        (ran_after < r3.Seq.trials))
+
+let test_seq_resume_refuses_other_rule () =
+  with_tmp (fun path ->
+      let _ =
+        Seq.run ~max_trials:20 ~checkpoint:path ~rule:(Seq.Sprt screen) ~seed:5
+          (fun _ -> false)
+      in
+      match
+        Seq.run ~max_trials:20 ~checkpoint:path ~resume:true
+          ~rule:(Seq.Okamoto { bound = 0.01; confidence = 0.95 })
+          ~seed:5
+          (fun _ -> false)
+      with
+      | exception Pte_campaign.Checkpoint.Mismatch _ -> ()
+      | _ -> Alcotest.fail "resume with a different stopping rule accepted")
+
+let test_seq_resume_refuses_cross_version () =
+  with_tmp (fun path ->
+      (* forge a checkpoint stamped by a different library version *)
+      let header =
+        {
+          (Pte_campaign.Checkpoint.make_header ~seed:5 ~cells:1 ~reps:100
+             ~digest:"seq-sprt/5/p0=0.001/p1=0.05/a=0.05/b=0.05")
+          with
+          Pte_campaign.Checkpoint.version = "pte-campaign/0";
+        }
+      in
+      let w = Pte_campaign.Checkpoint.open_writer ~header path in
+      Pte_campaign.Checkpoint.close w;
+      match
+        Seq.run ~max_trials:20 ~checkpoint:path ~resume:true
+          ~rule:(Seq.Sprt screen) ~seed:5
+          (fun _ -> false)
+      with
+      | exception Pte_campaign.Checkpoint.Mismatch msg ->
+          Alcotest.(check bool) "message names both versions" true
+            (let has s sub =
+               let n = String.length s and m = String.length sub in
+               let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+               go 0
+             in
+             has msg "pte-campaign/0")
+      | _ -> Alcotest.fail "cross-version resume accepted")
+
+(* ------------------------------------------------------------------ *)
+(* Severity escalation laws                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Plan = Pte_faults.Plan
+module Severity = Pte_faults.Severity
+
+let vocab =
+  Pte_tracheotomy.Robustness.vocabulary ~horizon:300.0 ()
+
+let prop_escalate_extends_and_ranks =
+  QCheck.Test.make
+    ~name:"escalation only appends, strictly increases rank, keeps profile sorted"
+    ~count:200
+    QCheck.(make ~print:string_of_int Gen.int)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let rec go plan depth =
+        if depth = 0 then true
+        else
+          let next = Severity.escalate ~crashes:true ~vocab plan rng in
+          let sorted =
+            let rec ok = function
+              | (a : Plan.loss_step) :: (b :: _ as rest) ->
+                  a.Plan.at <= b.Plan.at && ok rest
+              | _ -> true
+            in
+            ok next.Plan.loss_profile
+          in
+          Severity.is_extension ~base:plan next
+          && Severity.rank next > Severity.rank plan
+          && sorted
+          && go next (depth - 1)
+      in
+      go Plan.empty 8)
+
+let test_severity_rank () =
+  Alcotest.(check int) "empty plan" 0 (Severity.rank Plan.empty);
+  let drop =
+    Plan.drop_nth ~entity:"vent" ~direction:Plan.Down ~root:"r" 0
+  in
+  let plan =
+    {
+      Plan.packet_faults = [ drop; { drop with Plan.occurrence = Plan.Every } ];
+      node_faults = [ Plan.crash ~entity:"vent" ~at:10.0 ~blackout:5.0 ];
+      loss_profile = [ Plan.loss_step ~at:60.0 ~loss:0.3 ];
+    }
+  in
+  (* 1 (Nth drop) + 2 (Every drop) + 4 (crash) + 3 (30% loss step) *)
+  Alcotest.(check int) "compound plan" 10 (Severity.rank plan)
+
+let test_is_extension () =
+  let drop n =
+    Plan.drop_nth ~entity:"vent" ~direction:Plan.Down ~root:"r" n
+  in
+  let base = { Plan.empty with Plan.packet_faults = [ drop 0 ] } in
+  let ext = { base with Plan.packet_faults = [ drop 0; drop 1 ] } in
+  let reordered = { base with Plan.packet_faults = [ drop 1; drop 0 ] } in
+  Alcotest.(check bool) "reflexive" true (Severity.is_extension ~base base);
+  Alcotest.(check bool) "append is an extension" true
+    (Severity.is_extension ~base ext);
+  Alcotest.(check bool) "reorder is not" false
+    (Severity.is_extension ~base reordered);
+  Alcotest.(check bool) "removal is not" false
+    (Severity.is_extension ~base:ext base)
+
+(* ------------------------------------------------------------------ *)
+(* Certification driver determinism                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A seconds-scale certify config: enough to exercise screen +
+   splitting end-to-end and compare worker counts structurally. *)
+let tiny_certify workers =
+  let module C = Pte_tracheotomy.Certify in
+  let base = C.smoke in
+  let config =
+    {
+      base with
+      C.horizon = 60.0;
+      screen_max = 12;
+      screen = Some { screen with Sprt.p0 = 0.05; p1 = 0.5 };
+      split =
+        { base.C.split with Split.particles = 4; keep = 0.3; max_stages = 2 };
+      workers = Some workers;
+    }
+  in
+  C.certify_design config (List.hd (C.designs config))
+
+let test_certify_deterministic_across_workers () =
+  let module C = Pte_tracheotomy.Certify in
+  let r1 = tiny_certify 1 and r2 = tiny_certify 2 and r4 = tiny_certify 4 in
+  let repr (c : C.cell) = Fmt.str "%a" C.pp_cell c in
+  Alcotest.(check string) "1 vs 2 workers" (repr r1) (repr r2);
+  Alcotest.(check string) "2 vs 4 workers" (repr r2) (repr r4)
+
+let suite =
+  [
+    ( "rare.sprt",
+      [
+        Alcotest.test_case "accepts after a clean run" `Quick
+          test_sprt_accepts_after_clean_run;
+        Alcotest.test_case "rejects on hits" `Quick test_sprt_rejects_on_hits;
+        Alcotest.test_case "validates configs" `Quick test_sprt_validate;
+        Alcotest.test_case "Okamoto plan sizes" `Quick
+          test_okamoto_required_trials;
+        Alcotest.test_case "Okamoto upper bounds" `Quick
+          test_okamoto_upper_bound;
+      ] );
+    ( "rare.split",
+      [
+        Alcotest.test_case "conservative at p = 1e-4" `Slow
+          test_split_conservative_at_1e4;
+        Alcotest.test_case "conservative at p = 1e-6" `Slow
+          test_split_conservative_at_1e6;
+        QCheck_alcotest.to_alcotest prop_split_never_unsound;
+        Alcotest.test_case "deterministic at any worker count" `Quick
+          test_split_deterministic_across_workers;
+        Alcotest.test_case "validates configs" `Quick test_split_validate;
+      ] );
+    ( "rare.seq",
+      [
+        Alcotest.test_case "deterministic at any worker count" `Quick
+          test_seq_deterministic_across_workers;
+        Alcotest.test_case "SPRT verdicts" `Quick test_seq_verdicts;
+        Alcotest.test_case "Okamoto rule" `Quick test_seq_okamoto_rule;
+        Alcotest.test_case "checkpoint resume" `Quick
+          test_seq_checkpoint_resume;
+        Alcotest.test_case "resume refuses another rule" `Quick
+          test_seq_resume_refuses_other_rule;
+        Alcotest.test_case "resume refuses cross-version files" `Quick
+          test_seq_resume_refuses_cross_version;
+      ] );
+    ( "rare.severity",
+      [
+        QCheck_alcotest.to_alcotest prop_escalate_extends_and_ranks;
+        Alcotest.test_case "rank weights" `Quick test_severity_rank;
+        Alcotest.test_case "extension laws" `Quick test_is_extension;
+      ] );
+    ( "rare.certify",
+      [
+        Alcotest.test_case "deterministic at 1/2/4 workers" `Slow
+          test_certify_deterministic_across_workers;
+      ] );
+  ]

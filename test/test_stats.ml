@@ -44,6 +44,76 @@ let test_online_matches_batch () =
   Alcotest.(check bool) "max" true
     (feq (Stats.Online.max online) (Stats.maximum xs))
 
+let test_normal_quantile () =
+  (* classic two-sided critical values *)
+  Alcotest.(check bool) "z(0.975)" true
+    (feq ~eps:1e-6 (Stats.normal_quantile 0.975) 1.959964);
+  Alcotest.(check bool) "z(0.95)" true
+    (feq ~eps:1e-6 (Stats.normal_quantile 0.95) 1.6448536);
+  Alcotest.(check bool) "median" true (feq (Stats.normal_quantile 0.5) 0.0);
+  Alcotest.(check bool) "symmetry" true
+    (feq ~eps:1e-9
+       (Stats.normal_quantile 0.975)
+       (-.Stats.normal_quantile 0.025));
+  Alcotest.(check bool) "rejects 0" true
+    (match Stats.normal_quantile 0.0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_wilson () =
+  (* 0 hits in 20 trials at z = 1.96: lo = 0, hi = z^2/(n + z^2) — the
+     non-degenerate upper end the campaign summaries rely on *)
+  let z = 1.959964 in
+  let lo, hi = Stats.wilson ~n:20 ~hits:0 () in
+  Alcotest.(check bool) "0/20 lo" true (feq ~eps:1e-6 lo 0.0);
+  Alcotest.(check bool) "0/20 hi" true
+    (feq ~eps:1e-4 hi ((z *. z) /. (20.0 +. (z *. z))));
+  (* all hits mirror zero hits *)
+  let lo', hi' = Stats.wilson ~n:20 ~hits:20 () in
+  Alcotest.(check bool) "20/20 hi" true (feq ~eps:1e-6 hi' 1.0);
+  Alcotest.(check bool) "20/20 lo mirrors 0/20 hi" true
+    (feq ~eps:1e-6 lo' (1.0 -. hi));
+  (* interval brackets the point estimate and shrinks with n *)
+  let lo10, hi10 = Stats.wilson ~n:100 ~hits:10 () in
+  Alcotest.(check bool) "brackets p-hat" true (lo10 < 0.1 && 0.1 < hi10);
+  let _, hi1000 = Stats.wilson ~n:1000 ~hits:100 () in
+  Alcotest.(check bool) "shrinks with n" true (hi1000 < hi10);
+  (* degenerate sample *)
+  let lo0, hi0 = Stats.wilson ~n:0 ~hits:0 () in
+  Alcotest.(check bool) "n = 0 vacuous" true (feq lo0 0.0 && feq hi0 1.0)
+
+let test_wilson_upper () =
+  (* one-sided 95% upper bound for 0/20 uses z(0.95), tighter than the
+     two-sided interval's upper end *)
+  let up = Stats.wilson_upper ~n:20 ~hits:0 () in
+  let z = 1.6448536 in
+  Alcotest.(check bool) "0/20 one-sided" true
+    (feq ~eps:1e-4 up ((z *. z) /. (20.0 +. (z *. z))));
+  let _, hi_two_sided = Stats.wilson ~n:20 ~hits:0 () in
+  Alcotest.(check bool) "tighter than two-sided" true (up < hi_two_sided);
+  Alcotest.(check bool) "higher confidence widens" true
+    (Stats.wilson_upper ~confidence:0.99 ~n:20 ~hits:0 () > up)
+
+let prop_wilson_covers_p_hat =
+  QCheck.Test.make ~name:"wilson interval always brackets hits/n" ~count:200
+    QCheck.(
+      make
+        ~print:(fun (n, h) -> Printf.sprintf "(%d, %d)" n h)
+        Gen.(
+          int_range 1 1000 >>= fun n ->
+          int_range 0 n >>= fun h -> return (n, h)))
+    (fun (n, hits) ->
+      (* the boundary cases (0 or n hits) are exact only in real
+         arithmetic; allow float slop there *)
+      let eps = 1e-9 in
+      let lo, hi = Stats.wilson ~n ~hits () in
+      let p = float_of_int hits /. float_of_int n in
+      -.eps <= lo
+      && lo <= p +. eps
+      && p <= hi +. eps
+      && hi <= 1.0 +. eps
+      && Stats.wilson_upper ~n ~hits () >= p -. eps)
+
 let prop_online_mean =
   QCheck.Test.make ~name:"online mean = batch mean" ~count:200
     QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (float_bound_exclusive 100.0))
@@ -61,6 +131,10 @@ let suite =
         Alcotest.test_case "min/max/sum" `Quick test_min_max_sum;
         Alcotest.test_case "percentile" `Quick test_percentile;
         Alcotest.test_case "online = batch" `Quick test_online_matches_batch;
+        Alcotest.test_case "normal quantile" `Quick test_normal_quantile;
+        Alcotest.test_case "wilson interval" `Quick test_wilson;
+        Alcotest.test_case "wilson one-sided upper" `Quick test_wilson_upper;
+        QCheck_alcotest.to_alcotest prop_wilson_covers_p_hat;
         QCheck_alcotest.to_alcotest prop_online_mean;
       ] );
   ]
