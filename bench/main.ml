@@ -5,10 +5,11 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe T1 X1      # a subset, by experiment id
 
-   Experiment ids: T1 F1 F2 F3 F6 S1 S2 S3 V1 V2 X1 X2 X3 R1 P1 P2 (see
-   DESIGN.md, "Per-experiment index"). Output is plain text tables so the run
-   can be diffed against EXPERIMENTS.md. `--smoke` shrinks the workloads
-   (fewer occurrences/trials, shorter horizons) for CI-sized runs. *)
+   Experiment ids: T1 F1 F2 F3 F6 SV1 SV2 SV3 V1 V2 X1 X2 X3 A1 A2 A3 R1 C1
+   P1 P2 S1 (see DESIGN.md, "Per-experiment index"). Output is plain text
+   tables so the run can be diffed against EXPERIMENTS.md. `--smoke` shrinks
+   the workloads (fewer occurrences/trials, shorter horizons) for CI-sized
+   runs. *)
 
 open Pte_util
 
@@ -349,8 +350,8 @@ let scenario_table ~title ~note episodes =
   Table.add_note table note;
   Table.print table
 
-let s1 () =
-  scenario_table ~title:"S1: surgeon forgets to cancel (Toff -> 1 hour)"
+let sv1 () =
+  scenario_table ~title:"SV1: surgeon forgets to cancel (Toff -> 1 hour)"
     ~note:
       "with the lease the laser self-stops at T_run,2=20 s; without it only \
        the SpO2 abort chain can intervene — and a blackout of those messages \
@@ -369,9 +370,9 @@ let s1 () =
           ~lease:false () );
     ]
 
-let s2 () =
+let sv2 () =
   scenario_table
-    ~title:"S2: surgeon cancels but evt(laser->supervisor)Cancel is lost"
+    ~title:"SV2: surgeon cancels but evt(laser->supervisor)Cancel is lost"
     ~note:
       "the laser stops itself either way; without the lease the supervisor \
        never learns and the ventilator's pause overruns the 60 s bound"
@@ -380,12 +381,12 @@ let s2 () =
       ("cancel lost", Pte_tracheotomy.Scenarios.s2_lost_cancel ~lease:false ());
     ]
 
-let s3 () =
+let sv3 () =
   let outcomes, episode = Pte_tracheotomy.Scenarios.s3_c5_violated () in
   let table =
     Table.create
       ~title:
-        "S3: configuration constraint c5 deliberately violated (T_enter,2 = \
+        "SV3: configuration constraint c5 deliberately violated (T_enter,2 = \
          T_enter,1)"
       ~header:[ "check"; "verdict" ]
       ~aligns:[ Table.Left; Table.Left ] ()
@@ -1684,13 +1685,208 @@ let p2 () =
   Table.print table
 
 (* ------------------------------------------------------------------ *)
+(* S1: step-loop throughput at scale (heap queue vs legacy list)       *)
+(* ------------------------------------------------------------------ *)
+
+(* Timer-storm cell: [timers] concurrent self-rescheduling timers with
+   cancel churn, on a minimal pattern system so the event queue — not
+   the Euler advance — is what's being measured. This is the access
+   pattern of the transports at scale: ARQ retransmission timers,
+   scheduled blind copies and adaptive drains all park revocable timers
+   on the shared timeline, and the legacy sorted list pays O(queue) per
+   insert and per cancel where the heap pays O(log) / O(1). *)
+let s1_storm ~queue ~timers ~horizon ~seed =
+  let module E = Pte_hybrid.Executor in
+  let system, _ = Pte_core.Scale.system ~n:2 () in
+  (* the host system is tiny (3 automata) so the default per-instant
+     chain budget (max_chain * automata) is far below a burst of
+     [timers] distinct timers landing in one dt window; the storm is
+     not Zeno — every firing is a separate due time — so widen the
+     budget to cover the worst aligned burst *)
+  let config =
+    { E.default_config with max_chain = Stdlib.max 64 (4 * timers) }
+  in
+  let ex = E.create ~config ~queue system in
+  let rng = Rng.create seed in
+  let decoys = Array.make timers None in
+  (* each firing re-arms itself, cancels the previous long-dated decoy
+     and parks a new one: steady state is ~2*[timers] live entries plus
+     churn, with inserts landing at both ends of the timeline *)
+  let rec arm i period =
+    ignore
+      (E.schedule ex ~owner:"storm" ~at:(E.time ex +. period) (fun ex ->
+           (match decoys.(i) with Some d -> E.cancel ex d | None -> ());
+           decoys.(i) <-
+             Some (E.schedule ex ~at:(E.time ex +. 3600.0) (fun _ -> ()));
+           arm i period))
+  in
+  for i = 0 to timers - 1 do
+    arm i (Rng.uniform rng ~lo:0.002 ~hi:0.05)
+  done;
+  let t0 = Unix.gettimeofday () in
+  E.run ex ~until:horizon;
+  let wall = Unix.gettimeofday () -. t0 in
+  let events = E.events_processed ex in
+  (events, wall, Float.of_int events /. wall)
+
+(* Full-emulation cell: the N-order pattern of Pte_core.Scale under the
+   wireless star, driven by stimuli on the Initializer — requests from
+   Fall-Back, cancels mid-cascade (Requesting) and mid-emission (Risky
+   Core) — so grant/cancel sweeps keep flowing through all N+1 automata.
+   Returns (events, wall); Zeno or Time_block would propagate and fail
+   the bench, which is the gate. *)
+let s1_emulation ~n ~horizon ~dt ~seed =
+  let system, p = Pte_core.Scale.system ~n () in
+  let net =
+    Pte_net.Star.create ~base:p.Pte_core.Params.supervisor
+      ~remotes:(Pte_core.Pattern.remotes p) ~loss_kind:Pte_net.Loss.Perfect
+      ~rng:(Rng.create ((seed * 2) + 1))
+      ()
+  in
+  let engine =
+    Pte_sim.Engine.create
+      ~config:{ Pte_hybrid.Executor.default_config with dt }
+      ~net ~transport:`Bare ~seed system
+  in
+  let init = Pte_core.Scale.initializer_name in
+  let request = Pte_core.Events.stim_request ~initializer_:init in
+  let cancel = Pte_core.Events.stim_cancel ~initializer_:init in
+  Pte_sim.Scenario.exponential_stimulus engine ~mean:30.0 ~immediately:true
+    ~automaton:init ~armed_in:"Fall-Back" ~root:request ();
+  Pte_sim.Scenario.exponential_stimulus engine ~mean:10.0 ~automaton:init
+    ~armed_in:"Requesting" ~root:cancel ();
+  Pte_sim.Scenario.exponential_stimulus engine ~mean:8.0 ~automaton:init
+    ~armed_in:"Risky Core" ~root:cancel ();
+  let t0 = Unix.gettimeofday () in
+  Pte_sim.Engine.run engine ~until:horizon;
+  let wall = Unix.gettimeofday () -. t0 in
+  let events =
+    Pte_hybrid.Executor.events_processed (Pte_sim.Engine.executor engine)
+  in
+  (events, wall)
+
+let s1_scale () =
+  let module J = Pte_campaign.Json in
+  let seed = 2024 in
+  let sizes, storm_horizon, emu_horizon =
+    if !smoke then ([ 4; 64 ], 0.5, 60.0) else ([ 4; 64; 256; 1024 ], 2.0, 1800.0)
+  in
+  let n_max = List.fold_left max 0 sizes in
+  (* --- timer-storm microbench: heap vs legacy list --- *)
+  let storm =
+    Table.create
+      ~title:
+        (Fmt.str
+           "S1a: event-queue throughput, %g simulated s of N concurrent \
+            self-rescheduling timers with cancel churn"
+           storm_horizon)
+      ~header:
+        [ "N timers"; "events"; "list ev/s"; "heap ev/s"; "heap/list" ]
+      ~aligns:
+        [ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  let storm_cells =
+    List.map
+      (fun n ->
+        let ev_l, _, rate_l =
+          s1_storm ~queue:`Legacy_list ~timers:n ~horizon:storm_horizon ~seed
+        in
+        let ev_h, _, rate_h =
+          s1_storm ~queue:`Heap ~timers:n ~horizon:storm_horizon ~seed
+        in
+        if ev_l <> ev_h then
+          Fmt.failwith "S1: queue kinds disagree on work done (%d vs %d)" ev_l
+            ev_h;
+        let ratio = rate_h /. rate_l in
+        Table.add_row storm
+          [ Table.fmt_int n; Table.fmt_int ev_h;
+            Table.fmt_float ~decimals:0 rate_l;
+            Table.fmt_float ~decimals:0 rate_h; Fmt.str "%.1fx" ratio ];
+        (n, ev_h, rate_l, rate_h, ratio))
+      sizes
+  in
+  Table.add_note storm
+    "both queue kinds fire exactly the same timers; the ratio is pure \
+     queue-discipline speedup";
+  Table.print storm;
+  (* --- full pattern emulation: N+1 automata to completion --- *)
+  let emu =
+    Table.create
+      ~title:
+        (Fmt.str
+           "S1b: full pattern emulation, N+1 automata for %g simulated s \
+            (bare transport, perfect channel)"
+           emu_horizon)
+      ~header:[ "N"; "dt s"; "events"; "wall s"; "sim-s/wall-s"; "ev/s" ]
+      ~aligns:
+        [ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right ]
+      ()
+  in
+  let emu_cells =
+    List.map
+      (fun n ->
+        let dt = 0.01 in
+        let events, wall = s1_emulation ~n ~horizon:emu_horizon ~dt ~seed in
+        Table.add_row emu
+          [ Table.fmt_int n; Table.fmt_float ~decimals:2 dt;
+            Table.fmt_int events; Table.fmt_float ~decimals:1 wall;
+            Table.fmt_float ~decimals:0 (emu_horizon /. wall);
+            Table.fmt_float ~decimals:1 (Float.of_int events /. wall) ];
+        (n, dt, events, wall))
+      sizes
+  in
+  Table.add_note emu
+    "a cell that wedged (Zeno, time-block, non-finite timer) would have \
+     aborted the run; completion is the gate";
+  Table.print emu;
+  (* hard gates, full runs only: the heap must beat the list by >= 10x
+     at the largest N, and that N must be >= 1024 *)
+  if not !smoke then begin
+    let _, _, _, _, ratio =
+      List.find (fun (n, _, _, _, _) -> n = n_max) storm_cells
+    in
+    if n_max < 1024 then
+      Fmt.failwith "S1: full run must reach N=1024 (got %d)" n_max;
+    if ratio < 10.0 then
+      Fmt.failwith "S1: heap/list throughput ratio %.1fx < 10x at N=%d" ratio
+        n_max
+  end;
+  write_bench_json ~bench:"S1" ~seed
+    ~params:
+      [ ("sizes", J.Arr (List.map (fun n -> J.Num (Float.of_int n)) sizes));
+        ("storm_horizon", J.Num storm_horizon);
+        ("emu_horizon", J.Num emu_horizon);
+        ("smoke", J.Num (if !smoke then 1.0 else 0.0)) ]
+    ~metrics:
+      (List.map
+         (fun (n, events, rate_l, rate_h, ratio) ->
+           J.Obj
+             [ ("name", J.Str (Fmt.str "storm_n%04d" n));
+               ("events", J.Num (Float.of_int events));
+               ("list_events_per_s", J.Num rate_l);
+               ("heap_events_per_s", J.Num rate_h);
+               ("heap_over_list", J.Num ratio) ])
+         storm_cells
+      @ List.map
+          (fun (n, dt, events, wall) ->
+            J.Obj
+              [ ("name", J.Str (Fmt.str "emu_n%04d" n)); ("dt", J.Num dt);
+                ("events", J.Num (Float.of_int events));
+                ("wall_s", J.Num wall);
+                ("sim_per_wall", J.Num (emu_horizon /. wall));
+                ("events_per_s", J.Num (Float.of_int events /. wall)) ])
+          emu_cells)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
-    ("T1", t1); ("F1", f1); ("F2", f2); ("F3", f3); ("F6", f6); ("S1", s1);
-    ("S2", s2); ("S3", s3); ("V1", v1); ("V2", v2); ("X1", x1); ("X2", x2);
+    ("T1", t1); ("F1", f1); ("F2", f2); ("F3", f3); ("F6", f6); ("SV1", sv1);
+    ("SV2", sv2); ("SV3", sv3); ("V1", v1); ("V2", v2); ("X1", x1); ("X2", x2);
     ("X3", x3); ("A1", a1); ("A2", a2); ("A3", a3); ("R1", r1); ("C1", c1);
-    ("P1", p1); ("P2", p2);
+    ("P1", p1); ("P2", p2); ("S1", s1_scale);
   ]
 
 let () =

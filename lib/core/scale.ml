@@ -1,0 +1,49 @@
+(** N-parameterized instances of the lease design pattern.
+
+    The paper's case study fixes N = 2 and the examples stretch to
+    N = 3..4; the ROADMAP's north star is an engine that emulates the
+    full-order pattern ξ1 < … < ξN for N in the thousands. This module
+    is the generator those scaling experiments (bench S1) share: given a
+    chain length it names the entities, synthesizes a feasible c1–c7
+    constant set via {!Synthesis}, and assembles the {!Pattern} system.
+
+    Feasibility at scale: the margin-based derivation grows T_exit,1
+    linearly and T_run,1 quadratically with N (each run budget must
+    cover the whole residual chain), so the constants are astronomically
+    conservative at N = 1024 — which is fine: the throughput experiments
+    exercise the {e executor} under thousands of concurrently flowing
+    automata and the grant/cancel cascades between them, not the lease
+    expiries at the top of the chain. *)
+
+let entity_name i = Printf.sprintf "p%04d" i
+
+let initializer_name = "init"
+
+(** ξ1 .. ξN for a chain of [n] remote entities: participants
+    [p0001 .. p<n-1>] and the Initializer ["init"]. *)
+let entity_names ~n =
+  if n < 2 then Fmt.invalid_arg "Scale.entity_names: need n >= 2, got %d" n;
+  List.init (n - 1) (fun i -> entity_name (i + 1)) @ [ initializer_name ]
+
+(** Requirements for a chain of [n] remote entities: uniform safeguard
+    intervals (2 s risky-entry, 1 s safe-exit — the F3/X2 values) and
+    the default 20 s initializer run / 3 s wait / 1 s margin, unless
+    overridden. *)
+let requirements ?(enter_risky_min = 2.0) ?(exit_safe_min = 1.0)
+    ?(initializer_run = 20.0) ?(t_wait_max = 3.0) ?(margin = 1.0) ~n () =
+  let base =
+    Synthesis.default_requirements ~entity_names:(entity_names ~n)
+      ~safeguards:
+        (List.init (n - 1) (fun _ ->
+             { Params.enter_risky_min; exit_safe_min }))
+  in
+  { base with Synthesis.initializer_run; t_wait_max; margin }
+
+let params_exn ~n = Synthesis.synthesize_exn (requirements ~n ())
+
+(** The assembled pattern system for a chain of [n] remote entities
+    (n + 1 automata including the supervisor), with its synthesized
+    constants. *)
+let system ?(lease = true) ~n () =
+  let p = params_exn ~n in
+  (Pattern.system ~lease p, p)

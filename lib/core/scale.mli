@@ -1,0 +1,33 @@
+(** N-parameterized instances of the lease design pattern — the shared
+    generator of the scaling experiments (bench S1): name a chain of [n]
+    remote entities, synthesize feasible c1–c7 constants, assemble the
+    pattern system. *)
+
+val entity_name : int -> string
+(** [entity_name i] is the 1-based participant name ["p%04d"]. *)
+
+val initializer_name : string
+(** ["init"], the name of ξN. *)
+
+val entity_names : n:int -> string list
+(** ξ1 .. ξN for a chain of [n] remote entities (participants then the
+    Initializer). Raises [Invalid_argument] for [n < 2]. *)
+
+val requirements :
+  ?enter_risky_min:float ->
+  ?exit_safe_min:float ->
+  ?initializer_run:float ->
+  ?t_wait_max:float ->
+  ?margin:float ->
+  n:int ->
+  unit ->
+  Synthesis.requirements
+(** Uniform safeguards (defaults 2 s / 1 s) and the default
+    run/wait/margin constants over {!entity_names}. *)
+
+val params_exn : n:int -> Params.t
+(** [Synthesis.synthesize_exn (requirements ~n ())]. *)
+
+val system : ?lease:bool -> n:int -> unit -> Pte_hybrid.System.t * Params.t
+(** The assembled pattern system (n + 1 automata including the
+    supervisor) with its synthesized constants. *)

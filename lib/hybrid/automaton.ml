@@ -74,16 +74,17 @@ let validate a =
   let errs = ref [] in
   let err fmt = Fmt.kstr (fun s -> errs := s :: !errs) fmt in
   let declared = Var.Set.of_list a.vars in
-  let names = location_names a in
-  let rec check_dup = function
-    | [] -> ()
-    | n :: rest ->
-        if List.exists (String.equal n) rest then
-          err "duplicate location name %S" n;
-        check_dup rest
-  in
-  check_dup names;
-  (match find_location a a.initial_location with
+  (* hashed location table: validation stays linear in |locations| +
+     |edges| (the synthesized pattern supervisor at N >= 1000 has
+     thousands of each, so the old nested scans dominated start-up) *)
+  let loc_table = Hashtbl.create (2 * List.length a.locations) in
+  List.iter
+    (fun (l : Location.t) ->
+      if Hashtbl.mem loc_table l.name then
+        err "duplicate location name %S" l.name
+      else Hashtbl.replace loc_table l.name l)
+    a.locations;
+  (match Hashtbl.find_opt loc_table a.initial_location with
   | None -> err "initial location %S does not exist" a.initial_location
   | Some l ->
       let v0 = initial_valuation a in
@@ -108,9 +109,9 @@ let validate a =
     a.locations;
   List.iteri
     (fun i (e : Edge.t) ->
-      if find_location a e.src = None then
+      if not (Hashtbl.mem loc_table e.src) then
         err "edge #%d has unknown source %S" i e.src;
-      if find_location a e.dst = None then
+      if not (Hashtbl.mem loc_table e.dst) then
         err "edge #%d has unknown destination %S" i e.dst;
       check_vars (Printf.sprintf "guard of edge #%d" i) (Guard.vars e.guard);
       check_vars (Printf.sprintf "reset of edge #%d" i) (Reset.vars e.reset))

@@ -24,7 +24,22 @@
       (wired) semantics delivers instantly and reliably; [pte_sim] plugs
       in the wireless star network, making [??l] receptions lossy.
     - A bounded number of discrete changes may occur per instant;
-      exceeding it raises {!Zeno} (the paper assumes non-zeno automata). *)
+      exceeding it raises {!Zeno} (the paper assumes non-zeno automata).
+
+    Hot-path organisation (PR 9, "scale to N >= 1000"): the event queue
+    is a binary min-heap ordered by [(due, seq)] with lazy-delete
+    tombstones (push O(log n), cancel O(1) amortised); automata live in
+    a flat array indexed by int with the name->index table only at the
+    API boundary; every location carries a precomputed dispatch index
+    (trigger-root -> edges, cached eager/spontaneous arrays); and
+    {!stabilize} re-chases only {e active} automata — those that fired,
+    received a message or whose location is time-sensitive — instead of
+    scanning the whole system every fixpoint round. Because [seq] is the
+    insertion order and breaks [due] ties exactly as the old sorted list
+    did, and quiescent automata contribute nothing to a fixpoint round,
+    traces are byte-identical to the pre-heap executor (the legacy
+    sorted-list engine survives as [~queue:`Legacy_list] for the S1
+    benchmark baseline and differential tests). *)
 
 exception Time_block of { automaton : string; location : string; time : float }
 exception Zeno of { automaton : string; time : float }
@@ -59,15 +74,34 @@ type config = {
 let default_config =
   { dt = 1e-3; max_chain = 64; sample_vars = []; sample_period = 1.0 }
 
+type queue_kind = [ `Heap | `Legacy_list ]
+
+(* Per-location dispatch index, precomputed at {!create}: the edge
+   subsets the hot path needs, in declaration order (so "first enabled
+   edge" picks the same edge the old linear [edges_from] scan did). *)
+type loc_info = {
+  loc : Location.t;
+  eager : Edge.t array;  (* spontaneous + Eager *)
+  spontaneous : Edge.t array;  (* any urgency *)
+  triggered : (string, Edge.t array) Hashtbl.t;  (* trigger root -> edges *)
+  has_eager : bool;
+      (* whether time passage alone can enable a transition here: if not,
+         the automaton needs no eager re-chase after a continuous step *)
+}
+
 type automaton_state = {
   automaton : Automaton.t;
-  mutable location : Location.t;
+  ix : int;  (* index into [t.states] *)
+  infos : (string, loc_info) Hashtbl.t;  (* location name -> index *)
+  mutable info : loc_info;  (* current location's index *)
   mutable valuation : Valuation.t;
   mutable entered_at : float;
   mutable halted : bool;
       (* crashed node: flows frozen, edges disabled, receptions dropped *)
   mutable rate : float;
       (* local clock-drift factor: its flows advance [rate * dt] per step *)
+  mutable active : bool;
+      (* needs an eager re-chase in the next stabilization round *)
 }
 
 type token = int
@@ -76,49 +110,274 @@ type t = {
   system : System.t;
   config : config;
   mutable now : float;
-  states : (string, automaton_state) Hashtbl.t;
-  order : string list;
-  mutable queue : pending list;  (* sorted by (due, seq) *)
+  states : automaton_state array;
+  index : (string, int) Hashtbl.t;  (* automaton name -> states index *)
+  listeners : (string, int array) Hashtbl.t;
+      (* root -> listener indices, in system declaration order *)
+  queue : queue;
   mutable next_token : int;
+  mutable events : int;  (* deliveries + timer firings + transitions *)
   recorder : Trace.Recorder.recorder;
   mutable router : router;
   mutable next_sample : float;
 }
 
-and pending = { due : float; payload : payload; seq : int }
+and pending = { due : float; seq : int; owner : string; payload : payload }
+(* [owner]: the automaton blamed in Zeno diagnostics — the receiver for
+   messages, the automaton whose exchange armed the timer for timers. *)
 
 and payload =
-  | Message of { receiver : string; root : string }
+  | Message of { receiver : int; root : string }
       (* a scheduled arrival: deliver [root] to [receiver] at [due] *)
   | Timer of (t -> unit)
       (* a scheduled callback (e.g. a transport retransmission timer) *)
 
-let create ?(config = default_config) ?trace_sink system =
-  let system = System.validate_exn system in
-  let states = Hashtbl.create 16 in
-  let recorder = Trace.Recorder.create ?sink:trace_sink () in
-  let order =
-    List.map (fun (a : Automaton.t) -> a.Automaton.name) system.automata
+and queue = Heap of heap | Legacy_list of legacy_list
+
+and heap = {
+  mutable arr : pending array;  (* slots [0, len) hold the heap *)
+  mutable len : int;
+  live : (int, unit) Hashtbl.t;
+      (* seqs queued and not cancelled; cancel = remove (a tombstone),
+         pop skips entries whose seq is no longer live *)
+}
+
+and legacy_list = { mutable items : pending list (* sorted by (due, seq) *) }
+
+(* {2 The event queue}
+
+   Min-heap ordered by [(due, seq)]: [seq] is the global insertion
+   counter, so due-ties pop in insertion order — exactly the order the
+   legacy sorted list maintained. *)
+
+let dummy_pending =
+  { due = 0.0; seq = -1; owner = "<none>"; payload = Timer (fun _ -> ()) }
+
+let pending_before a b = a.due < b.due || (a.due = b.due && a.seq < b.seq)
+
+let heap_push h item =
+  let cap = Array.length h.arr in
+  if h.len = cap then begin
+    let arr = Array.make (2 * cap) dummy_pending in
+    Array.blit h.arr 0 arr 0 h.len;
+    h.arr <- arr
+  end;
+  let i = ref h.len in
+  h.len <- h.len + 1;
+  h.arr.(!i) <- item;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if pending_before h.arr.(!i) h.arr.(parent) then begin
+      let tmp = h.arr.(parent) in
+      h.arr.(parent) <- h.arr.(!i);
+      h.arr.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+(* Remove the root (precondition: [h.len > 0]), restoring heap order. *)
+let heap_drop_root h =
+  h.len <- h.len - 1;
+  h.arr.(0) <- h.arr.(h.len);
+  h.arr.(h.len) <- dummy_pending (* release the callback closure *);
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < h.len && pending_before h.arr.(l) h.arr.(!smallest) then
+      smallest := l;
+    if r < h.len && pending_before h.arr.(r) h.arr.(!smallest) then
+      smallest := r;
+    if !smallest <> !i then begin
+      let tmp = h.arr.(!smallest) in
+      h.arr.(!smallest) <- h.arr.(!i);
+      h.arr.(!i) <- tmp;
+      i := !smallest
+    end
+    else continue := false
+  done
+
+(* The live minimum, discarding cancelled (tombstoned) entries. *)
+let rec heap_peek h =
+  if h.len = 0 then None
+  else
+    let root = h.arr.(0) in
+    if Hashtbl.mem h.live root.seq then Some root
+    else begin
+      heap_drop_root h;
+      heap_peek h
+    end
+
+(* Pop the next live entry due at or before [deadline], if any. *)
+let queue_pop_due q ~deadline =
+  match q with
+  | Heap h -> (
+      match heap_peek h with
+      | Some p when p.due <= deadline ->
+          Hashtbl.remove h.live p.seq;
+          heap_drop_root h;
+          Some p
+      | Some _ | None -> None)
+  | Legacy_list l -> (
+      match l.items with
+      | p :: rest when p.due <= deadline ->
+          l.items <- rest;
+          Some p
+      | _ -> None)
+
+let queue_insert q item =
+  match q with
+  | Heap h ->
+      Hashtbl.replace h.live item.seq ();
+      heap_push h item
+  | Legacy_list l ->
+      let rec insert = function
+        | [] -> [ item ]
+        | hd :: tl as all ->
+            if hd.due > item.due || (hd.due = item.due && hd.seq > item.seq)
+            then item :: all
+            else hd :: insert tl
+      in
+      l.items <- insert l.items
+
+let queue_cancel q token =
+  match q with
+  | Heap h -> Hashtbl.remove h.live token
+  | Legacy_list l -> l.items <- List.filter (fun p -> p.seq <> token) l.items
+
+(* {2 Construction} *)
+
+let build_loc_info (loc : Location.t) edges =
+  let edges = Array.of_list edges in
+  let eager =
+    Array.of_list
+      (List.filter
+         (fun (e : Edge.t) -> Edge.is_spontaneous e && e.urgency = Edge.Eager)
+         (Array.to_list edges))
   in
+  let spontaneous =
+    Array.of_list (List.filter Edge.is_spontaneous (Array.to_list edges))
+  in
+  let triggered = Hashtbl.create 8 in
+  (* group triggered edges by root, preserving declaration order *)
+  Array.iter
+    (fun (e : Edge.t) ->
+      match Edge.trigger_root e with
+      | Some root ->
+          let prev =
+            match Hashtbl.find_opt triggered root with
+            | Some l -> l
+            | None -> []
+          in
+          Hashtbl.replace triggered root (e :: prev)
+      | None -> ())
+    edges;
+  let triggered_arrays = Hashtbl.create (Hashtbl.length triggered) in
+  Hashtbl.iter
+    (fun root rev_edges ->
+      Hashtbl.replace triggered_arrays root
+        (Array.of_list (List.rev rev_edges)))
+    triggered;
+  {
+    loc;
+    eager;
+    spontaneous;
+    triggered = triggered_arrays;
+    has_eager = Array.length eager > 0;
+  }
+
+let build_state ix (a : Automaton.t) =
+  (* group edges by source location in one pass (declaration order) *)
+  let by_src = Hashtbl.create (List.length a.Automaton.locations * 2) in
   List.iter
-    (fun (a : Automaton.t) ->
-      let location = Automaton.location_exn a a.Automaton.initial_location in
-      let valuation = Automaton.initial_valuation a in
-      Hashtbl.replace states a.Automaton.name
-        { automaton = a; location; valuation; entered_at = 0.0; halted = false;
-          rate = 1.0 };
+    (fun (e : Edge.t) ->
+      let prev =
+        match Hashtbl.find_opt by_src e.src with Some l -> l | None -> []
+      in
+      Hashtbl.replace by_src e.src (e :: prev))
+    a.Automaton.edges;
+  let infos = Hashtbl.create (List.length a.Automaton.locations * 2) in
+  List.iter
+    (fun (loc : Location.t) ->
+      let edges =
+        match Hashtbl.find_opt by_src loc.Location.name with
+        | Some rev -> List.rev rev
+        | None -> []
+      in
+      Hashtbl.replace infos loc.Location.name (build_loc_info loc edges))
+    a.Automaton.locations;
+  let info =
+    match Hashtbl.find_opt infos a.Automaton.initial_location with
+    | Some i -> i
+    | None -> assert false (* System.validate_exn checked it *)
+  in
+  {
+    automaton = a;
+    ix;
+    infos;
+    info;
+    valuation = Automaton.initial_valuation a;
+    entered_at = 0.0;
+    halted = false;
+    rate = 1.0;
+    active = true;
+  }
+
+let create ?(config = default_config) ?(queue = `Heap) ?trace_sink system =
+  let system = System.validate_exn system in
+  let recorder = Trace.Recorder.create ?sink:trace_sink () in
+  let automata = Array.of_list system.System.automata in
+  let n = Array.length automata in
+  let index = Hashtbl.create (2 * n) in
+  Array.iteri
+    (fun i (a : Automaton.t) -> Hashtbl.replace index a.Automaton.name i)
+    automata;
+  let states = Array.mapi build_state automata in
+  let listeners = Hashtbl.create (4 * n) in
+  Array.iteri
+    (fun i (a : Automaton.t) ->
+      Var.Set.iter
+        (fun root ->
+          let prev =
+            match Hashtbl.find_opt listeners root with Some l -> l | None -> []
+          in
+          Hashtbl.replace listeners root (i :: prev))
+        (Automaton.listened_roots a))
+    automata;
+  let listeners_arr = Hashtbl.create (Hashtbl.length listeners) in
+  Hashtbl.iter
+    (fun root rev_ixs ->
+      Hashtbl.replace listeners_arr root (Array.of_list (List.rev rev_ixs)))
+    listeners;
+  Array.iter
+    (fun st ->
       Trace.Recorder.record recorder ~time:0.0
         (Trace.Enter_location
-           { automaton = a.Automaton.name; location = location.Location.name }))
-    system.automata;
+           {
+             automaton = st.automaton.Automaton.name;
+             location = st.info.loc.Location.name;
+           }))
+    states;
+  let queue =
+    match queue with
+    | `Heap ->
+        Heap
+          { arr = Array.make 64 dummy_pending; len = 0; live = Hashtbl.create 64 }
+    | `Legacy_list -> Legacy_list { items = [] }
+  in
   {
     system;
     config;
     now = 0.0;
     states;
-    order;
-    queue = [];
+    index;
+    listeners = listeners_arr;
+    queue;
     next_token = 0;
+    events = 0;
     recorder;
     router = reliable_router;
     next_sample = 0.0;
@@ -127,13 +386,16 @@ let create ?(config = default_config) ?trace_sink system =
 let set_router t router = t.router <- router
 let time t = t.now
 let trace t = Trace.Recorder.entries t.recorder
+let events_processed t = t.events
 
-let state t name =
-  match Hashtbl.find_opt t.states name with
-  | Some s -> s
+let state_ix t name =
+  match Hashtbl.find_opt t.index name with
+  | Some ix -> ix
   | None -> Fmt.invalid_arg "executor: unknown automaton %s" name
 
-let location_of t name = (state t name).location.Location.name
+let state t name = t.states.(state_ix t name)
+
+let location_of t name = (state t name).info.loc.Location.name
 let valuation_of t name = (state t name).valuation
 let value_of t name var = Valuation.get (state t name).valuation var
 let dwell_time t name = t.now -. (state t name).entered_at
@@ -146,7 +408,8 @@ let dwell_time t name = t.now -. (state t name).entered_at
     coupling API rather than directly. *)
 let set_value t name var value =
   let st = state t name in
-  st.valuation <- Valuation.set st.valuation var value
+  st.valuation <- Valuation.set st.valuation var value;
+  st.active <- true
 
 let record t event = Trace.Recorder.record t.recorder ~time:t.now event
 let note t text = record t (Trace.Note text)
@@ -168,14 +431,16 @@ let halt t name =
 let restart t name =
   let st = state t name in
   st.halted <- false;
-  st.location <-
-    Automaton.location_exn st.automaton st.automaton.Automaton.initial_location;
+  (match Hashtbl.find_opt st.infos st.automaton.Automaton.initial_location with
+  | Some info -> st.info <- info
+  | None -> assert false);
   st.valuation <- Automaton.initial_valuation st.automaton;
   st.entered_at <- t.now;
+  st.active <- true;
   note t (Printf.sprintf "fault: %s restarted" name);
   record t
     (Trace.Enter_location
-       { automaton = name; location = st.location.Location.name })
+       { automaton = name; location = st.info.loc.Location.name })
 
 let is_halted t name = (state t name).halted
 
@@ -189,50 +454,61 @@ let set_rate t name rate =
 
 let rate t name = (state t name).rate
 
-let push t ~due payload =
-  let item = { due; payload; seq = t.next_token } in
+let push t ~due ~owner payload =
+  if not (Float.is_finite due) then
+    Fmt.invalid_arg "executor: event due time must be finite, got %g" due;
+  let item = { due; seq = t.next_token; owner; payload } in
   t.next_token <- t.next_token + 1;
-  let rec insert = function
-    | [] -> [ item ]
-    | hd :: tl as all ->
-        if hd.due > item.due || (hd.due = item.due && hd.seq > item.seq) then
-          item :: all
-        else hd :: insert tl
-  in
-  t.queue <- insert t.queue;
+  queue_insert t.queue item;
   item.seq
 
 let enqueue t ~due ~receiver ~root =
-  ignore (push t ~due (Message { receiver; root }))
+  let owner = t.states.(receiver).automaton.Automaton.name in
+  ignore (push t ~due ~owner (Message { receiver; root }))
 
 (** Schedule [f] to run at absolute time [at] (never earlier than the
     current instant), on the same timeline as message deliveries. The
     returned token revokes it through {!cancel} as long as it has not
     fired. This is the hook behind the event-driven ARQ transport:
     retransmission timers live in the delivery queue, so an arriving ACK
-    can cancel the pending retransmission before the channel sees it. *)
-let schedule t ~at f = push t ~due:(Float.max at t.now) (Timer f)
+    can cancel the pending retransmission before the channel sees it.
+    [owner] names the automaton whose exchange armed the timer — it is
+    blamed in Zeno diagnostics instead of the anonymous ["<timer>"].
+    Raises [Invalid_argument] when [at] is NaN or infinite: the old
+    sorted-list queue silently accepted such timers and they could never
+    fire ([Float.max nan now] is NaN), wedging the exchange and leaking
+    the cancel token. *)
+let schedule t ?(owner = "<timer>") ~at f =
+  if not (Float.is_finite at) then
+    Fmt.invalid_arg "executor: timer due time must be finite, got %g" at;
+  push t ~due:(Float.max at t.now) ~owner (Timer f)
 
 (** Revoke a scheduled timer or arrival before it fires. Unknown or
     already-fired tokens are ignored (cancellation is idempotent). *)
-let cancel t token = t.queue <- List.filter (fun p -> p.seq <> token) t.queue
+let cancel t token = queue_cancel t.queue token
 
 let broadcast t ~sender ~root =
-  record t (Trace.Message_sent { sender; root });
-  List.iter
-    (fun (listener : Automaton.t) ->
-      let receiver = listener.Automaton.name in
-      if not (String.equal receiver sender) then
-        match t.router ~time:t.now ~sender ~root ~receiver with
-        | Lose | Deliver_many [] ->
-            record t (Trace.Message_lost { receiver; root })
-        | Deliver delay -> enqueue t ~due:(t.now +. delay) ~receiver ~root
-        | Deliver_many delays ->
-            List.iter
-              (fun delay -> enqueue t ~due:(t.now +. delay) ~receiver ~root)
-              delays
-        | Deferred -> ())
-    (System.listeners t.system root)
+  let sender_name = t.states.(sender).automaton.Automaton.name in
+  record t (Trace.Message_sent { sender = sender_name; root });
+  match Hashtbl.find_opt t.listeners root with
+  | None -> ()
+  | Some ixs ->
+      Array.iter
+        (fun ix ->
+          if ix <> sender then begin
+            let receiver = t.states.(ix).automaton.Automaton.name in
+            match t.router ~time:t.now ~sender:sender_name ~root ~receiver with
+            | Lose | Deliver_many [] ->
+                record t (Trace.Message_lost { receiver; root })
+            | Deliver delay -> enqueue t ~due:(t.now +. delay) ~receiver:ix ~root
+            | Deliver_many delays ->
+                List.iter
+                  (fun delay ->
+                    enqueue t ~due:(t.now +. delay) ~receiver:ix ~root)
+                  delays
+            | Deferred -> ()
+          end)
+        ixs
 
 (* Fire [edge] from [st]'s current location. Emits trace entries and
    broadcasts any sent event. The caller maintains the chain budget. *)
@@ -243,64 +519,69 @@ let fire t st (edge : Edge.t) ~forced =
        { automaton = name; src = edge.src; dst = edge.dst; label = edge.label;
          forced });
   st.valuation <- Reset.apply edge.reset st.valuation;
-  st.location <- Automaton.location_exn st.automaton edge.dst;
+  (match Hashtbl.find_opt st.infos edge.dst with
+  | Some info -> st.info <- info
+  | None -> assert false (* validated: no dangling edge endpoints *));
   st.entered_at <- t.now;
+  st.active <- true;
+  t.events <- t.events + 1;
   record t
     (Trace.Enter_location
-       { automaton = name; location = st.location.Location.name });
+       { automaton = name; location = st.info.loc.Location.name });
   match edge.label with
-  | Some (Label.Send root) -> broadcast t ~sender:name ~root
+  | Some (Label.Send root) -> broadcast t ~sender:st.ix ~root
   | Some (Label.Internal _) | Some (Label.Recv _) | Some (Label.Recv_lossy _)
   | None ->
       ()
 
-let enabled_spontaneous st =
-  List.find_opt
-    (fun (e : Edge.t) ->
-      Edge.is_spontaneous e && Guard.holds e.guard st.valuation)
-    (Automaton.edges_from st.automaton st.location.Location.name)
+let first_enabled edges valuation =
+  let n = Array.length edges in
+  let rec go i =
+    if i >= n then None
+    else
+      let e : Edge.t = edges.(i) in
+      if Guard.holds e.guard valuation then Some e else go (i + 1)
+  in
+  go 0
 
-let enabled_eager st =
-  List.find_opt
-    (fun (e : Edge.t) ->
-      Edge.is_spontaneous e && e.urgency = Edge.Eager
-      && Guard.holds e.guard st.valuation)
-    (Automaton.edges_from st.automaton st.location.Location.name)
+let enabled_spontaneous st = first_enabled st.info.spontaneous st.valuation
+let enabled_eager st = first_enabled st.info.eager st.valuation
 
 (* Deliver [root] to [receiver]: fires the first enabled triggered edge
    listening on [root] in the current location, if any. *)
 let deliver t ~receiver ~root =
-  let st = state t receiver in
+  let st = t.states.(receiver) in
+  let name = st.automaton.Automaton.name in
+  t.events <- t.events + 1;
   if st.halted then begin
     (* a crashed node's radio is off: the frame arrives at nobody *)
-    record t (Trace.Message_delivered { receiver; root; consumed = false });
+    record t
+      (Trace.Message_delivered { receiver = name; root; consumed = false });
     false
   end
   else
-  let candidate =
-    List.find_opt
-      (fun (e : Edge.t) ->
-        (match Edge.trigger_root e with
-        | Some r -> String.equal r root
-        | None -> false)
-        && Guard.holds e.guard st.valuation)
-      (Automaton.edges_from st.automaton st.location.Location.name)
-  in
-  match candidate with
-  | Some edge ->
-      record t (Trace.Message_delivered { receiver; root; consumed = true });
-      fire t st edge ~forced:false;
-      true
-  | None ->
-      record t (Trace.Message_delivered { receiver; root; consumed = false });
-      false
+    let candidate =
+      match Hashtbl.find_opt st.info.triggered root with
+      | Some edges -> first_enabled edges st.valuation
+      | None -> None
+    in
+    match candidate with
+    | Some edge ->
+        record t
+          (Trace.Message_delivered { receiver = name; root; consumed = true });
+        fire t st edge ~forced:false;
+        true
+    | None ->
+        record t
+          (Trace.Message_delivered { receiver = name; root; consumed = false });
+        false
 
 (** Hand [root] to [receiver] at the current instant — the delivery half
     of a {!Deferred} routing decision (the event-driven transport calls
     this from a scheduled arrival callback). Returns [true] when a
     triggered edge consumed it. Any resulting cascade (eager edges,
     sends) is finished by the enclosing {!stabilize} loop. *)
-let deliver_now t ~receiver ~root = deliver t ~receiver ~root
+let deliver_now t ~receiver ~root = deliver t ~receiver:(state_ix t receiver) ~root
 
 (** Record that a send owned by a {!Deferred} router was lost — the
     asynchronous counterpart of the [Lose] routing decision, so traces
@@ -310,9 +591,20 @@ let lose_now t ~receiver ~root =
   record t (Trace.Message_lost { receiver; root })
 
 (* Fire eager edges and deliver due events until quiescent at the current
-   instant. *)
+   instant.
+
+   Incremental form: only {e active} automata — those that fired,
+   received a message, were externally mutated or sit in a location with
+   eager spontaneous edges after a continuous step — are re-chased each
+   round. Eager enabledness depends only on (location, valuation), and a
+   chase that reaches its fixpoint leaves nothing enabled, so skipping
+   quiescent automata removes no transition; active automata are visited
+   in declaration order, so the firing order (and hence the trace) is
+   exactly the full-scan order. The legacy-list engine keeps the
+   original full scan, as the benchmark baseline. *)
 let stabilize t =
-  let budget = t.config.max_chain * List.length t.order in
+  let n = Array.length t.states in
+  let budget = t.config.max_chain * n in
   let fires = ref 0 in
   let bump name =
     incr fires;
@@ -322,40 +614,53 @@ let stabilize t =
   while !progress do
     progress := false;
     (* due deliveries and timers, in order *)
+    let deadline = t.now +. 1e-12 in
     let rec drain () =
-      match t.queue with
-      | { due; payload; _ } :: rest when due <= t.now +. 1e-12 ->
-          t.queue <- rest;
-          (match payload with
-          | Message { receiver; root } ->
-              bump receiver;
-              if deliver t ~receiver ~root then progress := true
-          | Timer f ->
-              bump "<timer>";
-              f t;
-              progress := true);
+      match queue_pop_due t.queue ~deadline with
+      | Some { payload = Message { receiver; root }; _ } ->
+          bump t.states.(receiver).automaton.Automaton.name;
+          if deliver t ~receiver ~root then progress := true;
           drain ()
-      | _ -> ()
+      | Some { payload = Timer f; owner; _ } ->
+          bump owner;
+          t.events <- t.events + 1;
+          f t;
+          progress := true;
+          drain ()
+      | None -> ()
     in
     drain ();
-    List.iter
-      (fun name ->
-        let st = state t name in
-        if st.halted then ()
-        else
-        let rec chase n =
-          if n >= t.config.max_chain then
-            raise (Zeno { automaton = name; time = t.now });
-          match enabled_eager st with
-          | Some edge ->
-              bump name;
-              fire t st edge ~forced:false;
-              progress := true;
-              chase (n + 1)
-          | None -> ()
-        in
-        chase 0)
-      t.order
+    let chase st =
+      let name = st.automaton.Automaton.name in
+      let rec go k =
+        if k >= t.config.max_chain then
+          raise (Zeno { automaton = name; time = t.now });
+        match enabled_eager st with
+        | Some edge ->
+            bump name;
+            fire t st edge ~forced:false;
+            progress := true;
+            go (k + 1)
+        | None -> ()
+      in
+      go 0
+    in
+    match t.queue with
+    | Legacy_list _ ->
+        for i = 0 to n - 1 do
+          let st = t.states.(i) in
+          if not st.halted then chase st
+        done
+    | Heap _ ->
+        for i = 0 to n - 1 do
+          let st = t.states.(i) in
+          if st.active && not st.halted then begin
+            chase st;
+            (* fixpoint reached: nothing eager is enabled here until a
+               later delivery, mutation or continuous step re-marks it *)
+            st.active <- false
+          end
+        done
   done
 
 (* Advance one automaton's continuous state by [span] seconds starting at
@@ -366,10 +671,10 @@ let rec advance_automaton t st ~start ~span ~depth =
   else begin
     if depth > t.config.max_chain then
       raise (Zeno { automaton = st.automaton.Automaton.name; time = start });
-    let flow = st.location.Location.flow in
+    let flow = st.info.loc.Location.flow in
     let derivatives = Flow.derivatives flow ~time:start st.valuation in
     let tentative = Valuation.advance st.valuation derivatives span in
-    let invariant = st.location.Location.invariant in
+    let invariant = st.info.loc.Location.invariant in
     if Guard.holds invariant tentative then st.valuation <- tentative
     else begin
       (* Bisect for the largest alpha in [0,1] keeping the invariant. *)
@@ -393,7 +698,7 @@ let rec advance_automaton t st ~start ~span ~depth =
             (Time_block
                {
                  automaton = st.automaton.Automaton.name;
-                 location = st.location.Location.name;
+                 location = st.info.loc.Location.name;
                  time = boundary_time;
                }));
       t.now <- saved_now;
@@ -406,9 +711,10 @@ let rec advance_automaton t st ~start ~span ~depth =
 let sample t =
   List.iter
     (fun (automaton, var) ->
-      match Hashtbl.find_opt t.states automaton with
+      match Hashtbl.find_opt t.index automaton with
       | None -> ()
-      | Some st ->
+      | Some ix ->
+          let st = t.states.(ix) in
           record t
             (Trace.Sample
                { automaton; var; value = Valuation.get st.valuation var }))
@@ -419,17 +725,26 @@ let step t =
   stabilize t;
   let start = t.now in
   let span = t.config.dt in
-  List.iter
-    (fun name ->
-      let st = state t name in
-      if not st.halted then
-        advance_automaton t st ~start ~span:(span *. st.rate) ~depth:0)
-    t.order;
+  let n = Array.length t.states in
+  for i = 0 to n - 1 do
+    let st = t.states.(i) in
+    if not st.halted then begin
+      advance_automaton t st ~start ~span:(span *. st.rate) ~depth:0;
+      (* time passed: only a location with eager spontaneous edges can
+         have gained an enabled transition from it *)
+      if st.info.has_eager then st.active <- true
+    end
+  done;
   t.now <- start +. span;
   stabilize t;
   if t.config.sample_vars <> [] && t.now >= t.next_sample -. 1e-12 then begin
     sample t;
-    t.next_sample <- t.next_sample +. t.config.sample_period
+    (* catch up past [now]: with dt > sample_period the old one-period
+       bump fell permanently behind, emitting a stale burst *)
+    t.next_sample <- t.next_sample +. t.config.sample_period;
+    while t.now >= t.next_sample -. 1e-12 do
+      t.next_sample <- t.next_sample +. t.config.sample_period
+    done
   end
 
 let run t ~until =
@@ -443,6 +758,6 @@ let run t ~until =
     triggered edge consumed it. *)
 let inject t ~receiver ~root =
   record t (Trace.Message_sent { sender = "env"; root });
-  let consumed = deliver t ~receiver ~root in
+  let consumed = deliver t ~receiver:(state_ix t receiver) ~root in
   stabilize t;
   consumed

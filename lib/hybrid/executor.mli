@@ -6,7 +6,16 @@
     soon as their guard holds; event transport is delegated to a
     pluggable {!type-router} (reliable-instant by default; [pte_sim]
     plugs in the lossy wireless star). A bounded number of discrete
-    changes may occur per instant. *)
+    changes may occur per instant.
+
+    The hot path is built for systems of 1000+ automata: a binary
+    min-heap event queue ordered by (due, insertion seq) with
+    lazy-delete tombstones, flat int-indexed automaton states with
+    per-location dispatch indices, and an activity-set stabilization
+    that re-chases only automata that changed since the last fixpoint.
+    All of it is trace-equivalent (byte-identical) to the original
+    sorted-list engine, which remains available as the
+    [~queue:`Legacy_list] benchmark baseline. *)
 
 exception
   Time_block of { automaton : string; location : string; time : float }
@@ -47,13 +56,26 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> ?trace_sink:(Trace.entry -> unit) ->
-  System.t -> t
+type queue_kind = [ `Heap | `Legacy_list ]
+(** Event-queue implementation: [`Heap] (the default) is the
+    O(log n)-push min-heap with O(1)-amortised cancel; [`Legacy_list]
+    is the original O(n) sorted singly-linked list {e and} the original
+    full-scan stabilization — kept as the measured baseline of the S1
+    throughput benchmark and for differential (trace-equality) tests.
+    Both produce byte-identical traces. *)
+
+val create : ?config:config -> ?queue:queue_kind ->
+  ?trace_sink:(Trace.entry -> unit) -> System.t -> t
 (** Validates the system. [trace_sink] streams entries as they happen. *)
 
 val set_router : t -> router -> unit
 val time : t -> float
 val trace : t -> Trace.t
+
+val events_processed : t -> int
+(** Monotone count of discrete work done so far: message deliveries,
+    timer firings and transitions. Cheap (no trace traversal) — the
+    throughput benchmarks' events/sec numerator. *)
 
 (** {2 Revocable scheduling}
 
@@ -65,12 +87,20 @@ val trace : t -> Trace.t
 type token
 (** Names one scheduled (not yet fired) queue entry. *)
 
-val schedule : t -> at:float -> (t -> unit) -> token
+val schedule : t -> ?owner:string -> at:float -> (t -> unit) -> token
 (** Run the callback at absolute time [at] (clamped to now if in the
     past), interleaved with message deliveries in queue order. The
     callback may deliver events ({!deliver_now}), schedule or {!cancel}
     further timers, and mutate automata; any discrete cascade it starts
-    is finished within the same instant. *)
+    is finished within the same instant.
+
+    [owner] names the automaton on whose behalf the timer was armed
+    (e.g. the sender of a retransmission): Zeno diagnostics raised
+    while firing the callback blame it instead of the anonymous
+    ["<timer>"], so shrink artifacts name the real culprit.
+
+    Raises [Invalid_argument] if [at] is NaN or infinite — such a timer
+    could never fire and would silently wedge its exchange. *)
 
 val cancel : t -> token -> unit
 (** Revoke a scheduled entry before it fires. Idempotent: unknown or

@@ -42,17 +42,13 @@ let listeners system root =
 let validate system =
   let errs = ref [] in
   let err fmt = Fmt.kstr (fun s -> errs := s :: !errs) fmt in
-  let rec unique_names = function
-    | [] -> ()
-    | (a : Automaton.t) :: rest ->
-        if
-          List.exists
-            (fun (b : Automaton.t) -> String.equal a.name b.Automaton.name)
-            rest
-        then err "duplicate automaton name %S" a.Automaton.name;
-        unique_names rest
-  in
-  unique_names system.automata;
+  let seen = Hashtbl.create (2 * List.length system.automata) in
+  List.iter
+    (fun (a : Automaton.t) ->
+      if Hashtbl.mem seen a.Automaton.name then
+        err "duplicate automaton name %S" a.Automaton.name
+      else Hashtbl.replace seen a.Automaton.name ())
+    system.automata;
   List.iter
     (fun (a : Automaton.t) ->
       match Automaton.validate a with

@@ -163,6 +163,12 @@ type t = {
   sched : Pte_sched.Schedule.t option;
   (* per-link reservation state (`Scheduled mode). *)
   sched_links : (string * string, sched_link) Hashtbl.t;
+  (* hashed (src, dst) -> entry view of the live schedule, keyed by the
+     schedule value itself so an adaptive re-synthesis invalidates it.
+     The per-send [Schedule.find] list walk is O(links) — thousands of
+     entries on a 1000-entity star. *)
+  mutable sched_index :
+    (Pte_sched.Schedule.t * Pte_sched.Schedule.index) option;
   (* the executor whose timeline carries this transport's timers and
      arrivals (`Reliable and `Scheduled modes); set by {!attach}. *)
   mutable exec : Executor.t option;
@@ -233,6 +239,7 @@ let create ~mode ~rng star =
     consec = Hashtbl.create 8;
     sched;
     sched_links = Hashtbl.create 8;
+    sched_index = None;
     exec = None;
     observer = None;
     adapt;
@@ -340,7 +347,8 @@ let adapt_start_switch t a target ~at =
     | Some exec ->
         let deadline = at +. adapt_active_wcl a in
         let token =
-          Executor.schedule exec ~at:deadline (fun _exec ->
+          Executor.schedule exec ~owner:"<adaptive-switch>" ~at:deadline
+            (fun _exec ->
               a.a_pending_token <- None;
               match a.a_pending with
               | Some target -> adapt_commit t a target ~at:deadline
@@ -649,7 +657,7 @@ let rec send_attempt t ex exec ~at ~attempt =
   in
   let due = at +. wait in
   let token =
-    Executor.schedule exec ~at:due (fun exec ->
+    Executor.schedule exec ~owner:ex.ex_src ~at:due (fun exec ->
         ex.ex_timer <- None;
         if not ex.ex_resolved then
           if attempt < ex.ex_cfg.max_retries then begin
@@ -667,7 +675,8 @@ let rec send_attempt t ex exec ~at ~attempt =
 and schedule_copy t ex exec ~arrival =
   ex.ex_in_flight <- ex.ex_in_flight + 1;
   ignore
-    (Executor.schedule exec ~at:arrival (fun exec -> receive t ex exec ~arrival))
+    (Executor.schedule exec ~owner:ex.ex_dst ~at:arrival (fun exec ->
+         receive t ex exec ~arrival))
 
 (* A data copy reaches the receiver: dedup by the end-to-end seq, hand
    the first fresh copy to the automaton, and acknowledge every copy on
@@ -699,7 +708,7 @@ and receive t ex exec ~arrival =
       | Link.Deliver { arrival = ack_at; packet = _ }
       | Link.Deliver_dup { arrivals = ack_at, _; packet = _ } ->
           ignore
-            (Executor.schedule exec ~at:ack_at (fun exec ->
+            (Executor.schedule exec ~owner:ex.ex_src ~at:ack_at (fun exec ->
                  resolve_confirmed t ex exec ~at:ack_at)))
 
 let reliable_send t cfg link ~time ~sender ~receiver ~root =
@@ -734,6 +743,16 @@ let reliable_send t cfg link ~time ~sender ~receiver ~root =
 (* ------------------------------------------------------------------ *)
 
 module Schedule = Pte_sched.Schedule
+
+(* The cached index of the live schedule, rebuilt when the schedule
+   value changes (adaptive escalation synthesizes a fresh one). *)
+let sched_index t sched =
+  match t.sched_index with
+  | Some (s, idx) when s == sched -> idx
+  | _ ->
+      let idx = Schedule.index sched in
+      t.sched_index <- Some (sched, idx);
+      idx
 
 let sched_link_state t ~sender ~receiver =
   match Hashtbl.find_opt t.sched_links (sender, receiver) with
@@ -798,7 +817,7 @@ let sched_copy t ss exec ~at ~copy =
   | Link.Deliver { arrival; packet = _ } ->
       adapt_outcome t ~sender:ss.ss_src ~confirmed:true ~at;
       ignore
-        (Executor.schedule exec ~at:arrival (fun exec ->
+        (Executor.schedule exec ~owner:ss.ss_dst ~at:arrival (fun exec ->
              sched_receive t ss exec ~arrival))
   | Link.Deliver_dup { arrivals = a1, a2; packet = _ } ->
       (* an injected duplicate: both copies fly; the replay is squashed
@@ -807,7 +826,7 @@ let sched_copy t ss exec ~at ~copy =
       List.iter
         (fun arrival ->
           ignore
-            (Executor.schedule exec ~at:arrival (fun exec ->
+            (Executor.schedule exec ~owner:ss.ss_dst ~at:arrival (fun exec ->
                  sched_receive t ss exec ~arrival)))
         [ a1; a2 ]
 
@@ -838,7 +857,7 @@ let sched_resolve t ss st exec ~at =
 let scheduled_send t sched link ~time ~sender ~receiver ~root =
   let exec = require_exec t in
   t.stats.data_sends <- t.stats.data_sends + 1;
-  match Schedule.find sched ~src:sender ~dst:receiver with
+  match Schedule.find_indexed (sched_index t sched) ~src:sender ~dst:receiver with
   | None ->
       (* every star link is scheduled at synthesis; unreachable unless
          the topology grew after creation — fail as a plain loss *)
@@ -879,12 +898,12 @@ let scheduled_send t sched link ~time ~sender ~receiver ~root =
         for copy = 0 to entry.Schedule.retries do
           let at = first +. (Float.of_int copy *. period) in
           ignore
-            (Executor.schedule exec ~at (fun exec ->
+            (Executor.schedule exec ~owner:sender ~at (fun exec ->
                  sched_copy t ss exec ~at ~copy))
         done;
         let resolve_at = first +. span +. (2.0 *. sched.Schedule.slot_len) in
         ignore
-          (Executor.schedule exec ~at:resolve_at (fun exec ->
+          (Executor.schedule exec ~owner:sender ~at:resolve_at (fun exec ->
                sched_resolve t ss st exec ~at:resolve_at));
         Executor.Deferred
       end

@@ -40,6 +40,19 @@ let find t ~src ~dst =
     (fun e -> String.equal e.link.src src && String.equal e.link.dst dst)
     t.entries
 
+(* Hashed (src, dst) -> entry lookup. [find] walks the entry list, which
+   is O(links) on every admitted send — at N >= 1000 remote entities the
+   star has thousands of scheduled links, so the transport's per-send
+   lookup goes through this index instead. *)
+type index = (string * string, entry) Hashtbl.t
+
+let index t : index =
+  let tbl = Hashtbl.create (2 * List.length t.entries) in
+  List.iter (fun e -> Hashtbl.replace tbl (e.link.src, e.link.dst) e) t.entries;
+  tbl
+
+let find_indexed (idx : index) ~src ~dst = Hashtbl.find_opt idx (src, dst)
+
 (* Smallest k*P + slot*slot_len >= after, k natural. Computed from the
    ceiling of (after - offset) / P so it is exact for after <= offset
    and monotone in [after]. *)

@@ -45,6 +45,21 @@ val collision_free : t -> bool
     makes per-link latency independent of the other links' traffic. *)
 
 val find : t -> src:string -> dst:string -> entry option
+(** Linear scan of [entries]. Per-send lookups should go through
+    {!index} / {!find_indexed} instead: with 1000+ remote entities the
+    star carries thousands of scheduled links, and the transport pays
+    this lookup on every admitted send. *)
+
+type index
+(** A hashed (src, dst) -> entry view of one schedule's entries. *)
+
+val index : t -> index
+(** Build the hashed lookup (O(entries) once). The index is a snapshot:
+    rebuild it if a new schedule is synthesized (e.g. at an adaptive
+    mode switch). *)
+
+val find_indexed : index -> src:string -> dst:string -> entry option
+(** O(1) equivalent of {!find}. *)
 
 val slot_start : t -> entry -> after:float -> float
 (** The earliest start time of [entry]'s slot at or after time

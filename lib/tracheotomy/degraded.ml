@@ -167,7 +167,7 @@ let install engine ~supervisor config =
       in
       let arm_exit ~at =
         ignore
-          (Pte_hybrid.Executor.schedule exec ~at (fun _exec ->
+          (Pte_hybrid.Executor.schedule exec ~owner:supervisor ~at (fun _exec ->
                h.active <- false;
                h.release_at <- None;
                Pte_net.Transport.reset_consecutive_losses transport

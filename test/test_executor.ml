@@ -289,6 +289,100 @@ let test_timer_delivers_now () =
   Alcotest.(check string) "timer delivered" "Got"
     (Executor.location_of exec "listener")
 
+let test_schedule_rejects_non_finite () =
+  (* regression: a NaN/infinite due time would sit at the head of the
+     timeline and never fire (Float.max nan now is nan), silently
+     wedging its exchange — reject it at the API edge like set_rate *)
+  let exec = Executor.create (idle_system ()) in
+  List.iter
+    (fun at ->
+      match Executor.schedule exec ~at (fun _ -> ()) with
+      | _ -> Alcotest.failf "schedule accepted due time %g" at
+      | exception Invalid_argument _ -> ())
+    [ Float.nan; Float.infinity; Float.neg_infinity ]
+
+let test_zeno_blames_timer_owner () =
+  (* a timer callback that re-arms itself at the same instant is a Zeno
+     chain; the diagnostic must name the automaton the timer was armed
+     for, not the anonymous "<timer>" *)
+  let exec = Executor.create (idle_system ()) in
+  let rec storm exec0 =
+    ignore
+      (Executor.schedule exec0 ~owner:"culprit" ~at:(Executor.time exec0)
+         storm)
+  in
+  ignore (Executor.schedule exec ~owner:"culprit" ~at:0.1 storm);
+  match Executor.run exec ~until:1.0 with
+  | () -> Alcotest.fail "expected Zeno"
+  | exception Executor.Zeno { automaton; _ } ->
+      Alcotest.(check string) "blames the owner" "culprit" automaton
+
+let test_sampler_catches_up () =
+  (* with dt > sample_period the old one-period bump fell permanently
+     behind [now], so every later step emitted a stale sample burst;
+     the sampler must instead record once per due step and jump its
+     next deadline past [now] *)
+  let a =
+    Automaton.make ~name:"clk" ~vars:[ "c" ]
+      ~locations:[ Location.make ~flow:(Flow.clocks [ "c" ]) "L" ]
+      ~edges:[] ~initial_location:"L" ()
+  in
+  let config =
+    { Executor.default_config with
+      dt = 0.3;
+      sample_period = 0.1;
+      sample_vars = [ ("clk", "c") ];
+    }
+  in
+  let exec = Executor.create ~config (system_of [ a ]) in
+  Executor.run exec ~until:1.5;
+  let samples =
+    List.filter_map
+      (fun (e : Trace.entry) ->
+        match e.Trace.event with
+        | Trace.Sample { value; _ } -> Some (e.Trace.time, value)
+        | _ -> None)
+      (Executor.trace exec)
+  in
+  Alcotest.(check int) "one sample per step, no stale burst" 5
+    (List.length samples);
+  List.iteri
+    (fun i (time, value) ->
+      let expected = 0.3 *. Float.of_int (i + 1) in
+      if Float.abs (time -. expected) > 1e-9 then
+        Alcotest.failf "sample %d at t=%g, expected %g" i time expected;
+      if Float.abs (value -. expected) > 1e-9 then
+        Alcotest.failf "sample %d read %g, expected %g" i value expected)
+    samples
+
+let test_heap_legacy_traces_identical () =
+  (* differential gate behind the whole refactor: the heap queue plus
+     activity-set stabilization must replay a busy multi-automaton run
+     byte-identically to the legacy sorted-list full-scan engine *)
+  let run queue =
+    let system, _ = Pte_core.Scale.system ~n:3 () in
+    let exec = Executor.create ~queue system in
+    let init = Pte_core.Scale.initializer_name in
+    let request = Pte_core.Events.stim_request ~initializer_:init in
+    let cancel = Pte_core.Events.stim_cancel ~initializer_:init in
+    List.iter
+      (fun (at, root) ->
+        ignore
+          (Executor.schedule exec ~at (fun exec0 ->
+               ignore (Executor.deliver_now exec0 ~receiver:init ~root))))
+      [ (0.5, request); (9.0, cancel); (12.0, request); (40.0, cancel) ];
+    Executor.run exec ~until:60.0;
+    Executor.trace exec
+  in
+  let heap = run `Heap and legacy = run `Legacy_list in
+  Alcotest.(check int) "same trace length" (List.length legacy)
+    (List.length heap);
+  List.iter2
+    (fun (l : Trace.entry) (h : Trace.entry) ->
+      if l <> h then
+        Alcotest.failf "traces diverge at t=%g" l.Trace.time)
+    legacy heap
+
 let test_trace_sink_streams () =
   let seen = ref 0 in
   let vent = Pte_tracheotomy.Ventilator.stand_alone in
@@ -330,6 +424,14 @@ let suite =
           test_timer_chain_reschedules;
         Alcotest.test_case "timer delivers at its instant" `Quick
           test_timer_delivers_now;
+        Alcotest.test_case "schedule rejects non-finite due times" `Quick
+          test_schedule_rejects_non_finite;
+        Alcotest.test_case "zeno blames the timer owner" `Quick
+          test_zeno_blames_timer_owner;
+        Alcotest.test_case "sampler catches up when dt > period" `Quick
+          test_sampler_catches_up;
+        Alcotest.test_case "heap and legacy-list traces identical" `Quick
+          test_heap_legacy_traces_identical;
         Alcotest.test_case "trace sink streams" `Quick test_trace_sink_streams;
       ] );
   ]

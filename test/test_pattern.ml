@@ -141,6 +141,22 @@ let test_n4_system () =
   | Ok () -> ()
   | Error e -> Alcotest.failf "invalid: %s" (String.concat "; " e)
 
+let test_scale_generator () =
+  (* the bench-S1 generator: names, synthesis feasibility, assembly *)
+  Alcotest.(check (list string)) "chain names" [ "p0001"; "p0002"; "init" ]
+    (Scale.entity_names ~n:3);
+  (match Scale.entity_names ~n:1 with
+  | _ -> Alcotest.fail "n=1 accepted"
+  | exception Invalid_argument _ -> ());
+  let system, p8 = Scale.system ~n:8 () in
+  Alcotest.(check int) "8 remotes + supervisor" 9
+    (List.length system.System.automata);
+  Alcotest.(check int) "params carry the chain" 8
+    (List.length (Pattern.remotes p8));
+  match System.validate system with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid: %s" (String.concat "; " e)
+
 let test_dot_export () =
   let dot = Dot.to_string (Pattern.initializer_ p) in
   Alcotest.(check bool) "digraph" true
@@ -167,6 +183,7 @@ let suite =
           test_participant_index_range;
         Alcotest.test_case "remotes" `Quick test_remotes;
         Alcotest.test_case "N=4 system" `Quick test_n4_system;
+        Alcotest.test_case "scale generator" `Quick test_scale_generator;
         Alcotest.test_case "dot export" `Quick test_dot_export;
       ] );
   ]

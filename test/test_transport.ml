@@ -584,6 +584,72 @@ let prop_bare_counter_invariants =
       && s.Transport.dups_suppressed >= 0
       && s.Transport.acks_sent = 0)
 
+(* ---- satellite: the dedup-window forward-jump boundary ----
+
+   The receiver's replay filter keeps a per-flow high-water mark plus a
+   [dedup_window]-deep recent list; a seq arriving more than the window
+   ahead of high — exactly what a >= dedup_window-frame loss burst
+   produces, since dropped frames still consume link seqs — slides the
+   window forward (high <- seq - window). The property: under any
+   script of pass / drop / duplicate segments whose run lengths
+   straddle the 64-frame boundary, every non-dropped send is delivered
+   exactly once and every injected replay is suppressed — the slide
+   never re-accepts a seq at or below the old high-water mark and
+   never falsely rejects a genuinely new one. *)
+
+let prop_dedup_forward_jump =
+  let pp_seg (k, n) =
+    Fmt.str "%s*%d"
+      (match k with `Pass -> "pass" | `Drop -> "drop" | `Dup -> "dup")
+      n
+  in
+  QCheck.Test.make
+    ~name:"dedup window slide: exactly-once across >window loss bursts"
+    ~count:80
+    (QCheck.make
+       ~print:(fun segs -> String.concat ";" (List.map pp_seg segs))
+       QCheck.Gen.(
+         list_size (int_range 1 8)
+           (pair
+              (oneofl [ `Pass; `Drop; `Dup ])
+              (oneofl [ 1; 2; 63; 64; 65; 66; 80 ]))))
+    (fun segs ->
+      let script =
+        List.concat_map (fun (k, n) -> List.init n (fun _ -> k)) segs
+      in
+      let star = mk_star () in
+      let remaining = ref script in
+      Link.set_injector (uplink star "r1")
+        (Some
+           (fun ~time:_ ~root:_ ->
+             match !remaining with
+             | [] -> Link.Pass
+             | k :: rest ->
+                 remaining := rest;
+                 (match k with
+                 | `Pass -> Link.Pass
+                 | `Drop -> Link.Drop_frame
+                 | `Dup -> Link.Duplicate_frame)));
+      let t = Transport.create ~mode:`Bare ~rng:(Rng.create 11) star in
+      let router = Transport.router t in
+      let delivered = ref 0 in
+      List.iteri
+        (fun i _ ->
+          match
+            router ~time:(0.05 *. float_of_int i) ~sender:"r1" ~root:"evt"
+              ~receiver:"base"
+          with
+          | Pte_hybrid.Executor.Deliver _ -> incr delivered
+          | Pte_hybrid.Executor.Lose -> ()
+          | _ -> QCheck.Test.fail_report "unexpected routing decision")
+        script;
+      let count k = List.length (List.filter (fun x -> x = k) script) in
+      let s = Transport.stats t in
+      !delivered = count `Pass + count `Dup
+      && s.Transport.delivered = !delivered
+      && s.Transport.dups_suppressed = count `Dup
+      && s.Transport.data_sends = List.length script)
+
 (* ---- satellite: duplicate-heavy fault plan leaves a bare trial's
         Table-I metrics untouched (the star.ml double-delivery fix) ---- *)
 
@@ -884,6 +950,7 @@ let suite =
           test_scheduled_spec_parsing;
         QCheck_alcotest.to_alcotest prop_latency_within_bound;
         QCheck_alcotest.to_alcotest prop_bare_counter_invariants;
+        QCheck_alcotest.to_alcotest prop_dedup_forward_jump;
       ] );
     ( "tracheotomy.transport",
       [
